@@ -1,0 +1,38 @@
+// Fig. 11 (paper §IV-B.4): reference time compared to dPerf predictions for
+// the Grid5000 cluster, the Daisy xDSL desktop grid (Stage-2A) and the LAN
+// (Stage-2B), all at optimization level 0.
+//
+// Expected shape: the xDSL curve sits far above the others (communication
+// dominates; adding peers does not pay), the LAN curve tracks the cluster
+// within a modest factor.
+#include <cstdio>
+
+#include "experiments/harness.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace pdc;
+  const auto setup = experiments::PaperSetup::from_env();
+  const ir::OptLevel lvl = ir::OptLevel::O0;
+  std::printf("Fig. 11 -- reference vs dPerf predictions [s], optimization level 0\n\n");
+
+  TextTable table({"Peers", "reference", "dPerf Grid5000", "dPerf xDSL", "dPerf LAN"});
+  for (int peers : experiments::paper_peer_counts()) {
+    const double ref =
+        experiments::reference_seconds(experiments::Topology::Grid5000, peers, lvl, setup);
+    // One set of traces per peer count, replayed on each platform
+    // description -- exactly the paper's methodology.
+    const auto traces = experiments::traces_for(peers, lvl, setup);
+    const double g5k = experiments::predicted_seconds(experiments::Topology::Grid5000,
+                                                      peers, lvl, setup, traces);
+    const double xdsl = experiments::predicted_seconds(experiments::Topology::Xdsl, peers,
+                                                       lvl, setup, traces);
+    const double lan = experiments::predicted_seconds(experiments::Topology::Lan, peers,
+                                                      lvl, setup, traces);
+    table.add_row({std::to_string(peers), TextTable::num(ref, 2), TextTable::num(g5k, 2),
+                   TextTable::num(xdsl, 2), TextTable::num(lan, 2)});
+    std::printf("  ... %d peers done\n", peers);
+  }
+  std::printf("\n%s\n", table.render().c_str());
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Synchronous vs asynchronous iterative schemes (the distinction P2PSAP
+// adapts its transport to, paper §I/§III): the same obstacle problem solved
+// with both schemes on the LAN platform, with real values and early
+// stopping, comparing iterations-to-convergence and simulated time.
+//
+//   $ ./async_vs_sync
+#include <cstdio>
+
+#include "net/builders.hpp"
+#include "obstacle/distributed.hpp"
+#include "p2pdc/environment.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace pdc;
+  TextTable table({"Scheme", "iterations", "residual", "solve [s]", "max |diff| vs seq"});
+
+  obstacle::ObstacleProblem problem;
+  problem.n = 66;
+  const obstacle::SequentialResult seq = obstacle::solve_sequential(problem, 30000, 1e-7);
+
+  for (auto scheme : {p2psap::Scheme::Synchronous, p2psap::Scheme::Asynchronous}) {
+    sim::Engine engine;
+    const net::Platform plat = net::build_star(net::lan_spec(8));
+    p2pdc::Environment env{engine, plat};
+    env.boot_server(plat.host(0));
+    env.boot_tracker(plat.host(1), true);
+    for (int i = 2; i < 8; ++i)
+      env.boot_peer(plat.host(i), overlay::PeerResources{3e9, 2e9, 80e9});
+    env.finish_bootstrap();
+
+    obstacle::DistributedConfig cfg;
+    cfg.problem = problem;
+    cfg.iters = 30000;
+    cfg.rcheck = 25;
+    cfg.mode = obstacle::ValueMode::Real;
+    cfg.early_stop = true;
+    cfg.tol = 1e-7;
+    cfg.scheme = scheme;
+    obstacle::ObstacleProblem bench = problem;
+    bench.n = 34;
+    cfg.cost = obstacle::derive_cost_profile(ir::OptLevel::O2, bench);
+
+    const auto rep = obstacle::run_distributed(env, plat.host(2), cfg, 4);
+    if (!rep.ok) {
+      std::printf("%s run failed: %s\n",
+                  scheme == p2psap::Scheme::Synchronous ? "sync" : "async",
+                  rep.failure.c_str());
+      return 1;
+    }
+    double worst = 0;
+    for (int i = 1; i < problem.n - 1; ++i)
+      for (int j = 1; j < problem.n - 1; ++j)
+        worst = std::max(worst, std::abs(rep.solution.at(i, j) - seq.solution.at(i, j)));
+    table.add_row({scheme == p2psap::Scheme::Synchronous ? "synchronous" : "asynchronous",
+                   std::to_string(rep.iterations), TextTable::num(rep.residual, 9),
+                   TextTable::num(rep.solve_seconds, 3), TextTable::num(worst, 9)});
+  }
+
+  std::printf("Obstacle problem %dx%d on 4 LAN peers, early stop at 1e-7\n"
+              "(sequential solver: %d iterations)\n\n%s\n",
+              problem.n, problem.n, seq.iterations, table.render().c_str());
+  std::printf("the asynchronous scheme tolerates stale halos: no per-iteration\n"
+              "synchronization waits, at the price of extra iterations.\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+#include "alloc/groups.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <utility>
+
+namespace pdc::alloc {
+
+namespace {
+
+/// Recursively splits [lo, hi) at the widest IP gap (ties: most central)
+/// until every chunk fits in cmax. Splitting at the widest gap keeps
+/// network-adjacent peers together — the "groups based on proximity" rule.
+void split_chunk(const std::vector<overlay::PeerRef>& peers, std::size_t lo, std::size_t hi,
+                 int cmax, std::vector<std::pair<std::size_t, std::size_t>>& out) {
+  if (hi - lo <= static_cast<std::size_t>(cmax)) {
+    out.emplace_back(lo, hi);
+    return;
+  }
+  const double center = (static_cast<double>(lo) + static_cast<double>(hi)) / 2.0;
+  std::size_t best = lo + 1;
+  std::uint64_t best_gap = 0;
+  double best_centrality = -1;
+  for (std::size_t i = lo + 1; i < hi; ++i) {
+    const std::uint64_t gap = static_cast<std::uint64_t>(peers[i].ip.bits()) -
+                              static_cast<std::uint64_t>(peers[i - 1].ip.bits());
+    const double centrality = -std::abs(static_cast<double>(i) - center);
+    if (gap > best_gap || (gap == best_gap && centrality > best_centrality)) {
+      best = i;
+      best_gap = gap;
+      best_centrality = centrality;
+    }
+  }
+  split_chunk(peers, lo, best, cmax, out);
+  split_chunk(peers, best, hi, cmax, out);
+}
+
+}  // namespace
+
+std::vector<Group> form_groups(std::vector<overlay::PeerRef> peers, int cmax) {
+  assert(cmax > 0);
+  std::vector<Group> groups;
+  if (peers.empty()) return groups;
+  std::sort(peers.begin(), peers.end(),
+            [](const overlay::PeerRef& a, const overlay::PeerRef& b) { return a.ip < b.ip; });
+  std::vector<std::pair<std::size_t, std::size_t>> chunks;
+  split_chunk(peers, 0, peers.size(), cmax, chunks);
+  for (const auto& [lo, hi] : chunks) {
+    Group group;
+    group.members.assign(peers.begin() + static_cast<std::ptrdiff_t>(lo),
+                         peers.begin() + static_cast<std::ptrdiff_t>(hi));
+    for (std::size_t i = 1; i < group.members.size(); ++i) {
+      const auto& cur = group.members[i];
+      const auto& best = group.members[group.coordinator];
+      if (cur.res.cpu_hz > best.res.cpu_hz ||
+          (cur.res.cpu_hz == best.res.cpu_hz && cur.ip < best.ip))
+        group.coordinator = i;
+    }
+    groups.push_back(std::move(group));
+  }
+  return groups;
+}
+
+}  // namespace pdc::alloc

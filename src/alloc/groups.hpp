@@ -1,0 +1,34 @@
+// Hierarchical task allocation, part 1: group formation (paper §III-C).
+//
+// "When the submitter has collected enough peers, it divides peers into
+// groups based on proximity; in each group, a peer is chosen by the
+// submitter to become coordinator. The number of peers in a group cannot
+// exceed Cmax in order to ensure efficient management. We have chosen
+// Cmax = 32."
+#pragma once
+
+#include <vector>
+
+#include "overlay/types.hpp"
+
+namespace pdc::alloc {
+
+/// The paper's group size bound.
+inline constexpr int kCmax = 32;
+
+struct Group {
+  /// Index into `members` of the coordinator peer.
+  std::size_t coordinator = 0;
+  std::vector<overlay::PeerRef> members;
+
+  const overlay::PeerRef& coordinator_ref() const { return members[coordinator]; }
+};
+
+/// Partitions peers into proximity groups of at most `cmax` members: peers
+/// are sorted by IP and recursively split at the widest IP gap (ties broken
+/// toward balanced halves), so network-adjacent peers share a group. The
+/// coordinator is the member with the highest CPU speed (ties: lowest IP),
+/// since it carries the extra management load.
+std::vector<Group> form_groups(std::vector<overlay::PeerRef> peers, int cmax = kCmax);
+
+}  // namespace pdc::alloc

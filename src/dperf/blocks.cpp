@@ -1,0 +1,124 @@
+#include "dperf/blocks.hpp"
+
+#include "minic/builtins.hpp"
+
+namespace pdc::dperf {
+
+namespace {
+
+using minic::Expr;
+using minic::Stmt;
+using minic::StmtPtr;
+
+bool expr_has_comm(const Expr& e) {
+  if (e.kind == Expr::Kind::Call && minic::is_comm_builtin(e.name)) return true;
+  for (const auto& k : e.kids)
+    if (expr_has_comm(*k)) return true;
+  return false;
+}
+
+bool stmt_has_comm(const Stmt& s) {
+  for (const Expr* e : {s.array_size.get(), s.init.get(), s.lvalue.get(), s.value.get(),
+                        s.cond.get()})
+    if (e != nullptr && expr_has_comm(*e)) return true;
+  for (const Stmt* sub : {s.for_init.get(), s.for_step.get()})
+    if (sub != nullptr && stmt_has_comm(*sub)) return true;
+  for (const auto& b : s.body)
+    if (stmt_has_comm(*b)) return true;
+  for (const auto& b : s.else_body)
+    if (stmt_has_comm(*b)) return true;
+  return false;
+}
+
+class Instrumenter {
+ public:
+  explicit Instrumenter(InstrumentedProgram& out) : out_(&out) {}
+
+  void function(minic::Function& f) {
+    current_function_ = f.name;
+    walk(f.body, /*comm_loop_depth=*/0);
+  }
+
+ private:
+  minic::ExprPtr call_stmt_expr(const std::string& name, int id) {
+    std::vector<minic::ExprPtr> args;
+    args.push_back(Expr::make_int(id));
+    return Expr::make_call(name, std::move(args));
+  }
+  StmtPtr marker(const std::string& name, int id, int line) {
+    auto s = Stmt::make(Stmt::Kind::ExprStmt, line);
+    s->value = call_stmt_expr(name, id);
+    return s;
+  }
+
+  /// Rewrites a statement list: wraps comm-free runs into instrumented
+  /// blocks; recurses into comm-carrying compound statements.
+  void walk(std::vector<StmtPtr>& body, int comm_loop_depth) {
+    std::vector<StmtPtr> result;
+    std::vector<StmtPtr> pending;  // current comm-free run
+    auto flush = [&] {
+      if (pending.empty()) return;
+      const int id = next_id_++;
+      BlockInfo info;
+      info.id = id;
+      info.function = current_function_;
+      info.first_line = pending.front()->line;
+      info.comm_loop_depth = comm_loop_depth;
+      out_->blocks.push_back(info);
+      result.push_back(marker("dperf_block_begin", id, info.first_line));
+      for (auto& s : pending) result.push_back(std::move(s));
+      result.push_back(marker("dperf_block_end", id, info.first_line));
+      pending.clear();
+    };
+
+    for (auto& sp : body) {
+      if (!stmt_has_comm(*sp)) {
+        pending.push_back(std::move(sp));
+        continue;
+      }
+      flush();
+      Stmt& s = *sp;
+      switch (s.kind) {
+        case Stmt::Kind::For:
+        case Stmt::Kind::While: {
+          const bool outermost = comm_loop_depth == 0;
+          walk(s.body, comm_loop_depth + 1);
+          if (outermost) {
+            const int loop_id = out_->iter_loops++;
+            s.body.insert(s.body.begin(),
+                          marker("dperf_iter_mark", loop_id, s.line));
+          }
+          break;
+        }
+        case Stmt::Kind::If:
+        case Stmt::Kind::Block:
+          walk(s.body, comm_loop_depth);
+          walk(s.else_body, comm_loop_depth);
+          break;
+        default:
+          break;  // a bare comm statement: left as-is
+      }
+      result.push_back(std::move(sp));
+    }
+    flush();
+    body = std::move(result);
+  }
+
+  InstrumentedProgram* out_;
+  std::string current_function_;
+  int next_id_ = 0;
+};
+
+}  // namespace
+
+bool contains_comm(const minic::Stmt& stmt) { return stmt_has_comm(stmt); }
+
+InstrumentedProgram instrument(const minic::Program& program) {
+  InstrumentedProgram out;
+  out.program = program.clone();
+  Instrumenter ins{out};
+  for (auto& f : out.program.functions) ins.function(f);
+  return out;
+}
+
+}  // namespace pdc::dperf

@@ -1,0 +1,50 @@
+// dPerf trace files: per-process sequences of computation durations
+// (nanoseconds, as the paper's PAPI-based traces) and communication calls,
+// plus the iteration markers used for scale-up. A versioned text format
+// supports saving/loading ("the result consists in a set of trace files for
+// each execution and per participating process", paper §III-D).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pdc::dperf {
+
+struct TraceEvent {
+  enum class Kind { Compute, Send, Recv, Allreduce, IterMark };
+  Kind kind = Kind::Compute;
+  std::uint64_t ns = 0;     // Compute
+  int peer = -1;            // Send/Recv
+  int tag = 0;              // Send/Recv
+  double bytes = 0;         // Send
+  long long iter_id = 0;    // IterMark
+
+  friend bool operator==(const TraceEvent&, const TraceEvent&) = default;
+};
+
+struct Trace {
+  int rank = 0;
+  int nprocs = 1;
+  double host_hz = 3e9;  // frequency the computation times were measured at
+  std::vector<TraceEvent> events;
+
+  std::uint64_t total_compute_ns() const;
+  std::size_t count(TraceEvent::Kind kind) const;
+};
+
+/// Serializes to the "dperf-trace v1" text format.
+std::string save_trace(const Trace& trace);
+/// Parses the text format; throws std::runtime_error on malformed input.
+Trace load_trace(const std::string& text);
+
+/// Scale-up (paper: "the use of benchmarking by block makes it possible for
+/// dPerf results to be scaled-up while maintaining accuracy"): a trace
+/// sampled with `sample_iters` outer iterations is extended to
+/// `target_iters` by replicating the steady-state chunk of `chunk`
+/// iterations (the chunk ending `chunk` iterations before the sampled end,
+/// so warmup and tail stay measured). Requires:
+///   sample_iters >= 3 * chunk,  (target_iters - sample_iters) % chunk == 0.
+Trace extrapolate(const Trace& sampled, int sample_iters, int target_iters, int chunk);
+
+}  // namespace pdc::dperf

@@ -1,0 +1,156 @@
+#include "ir/ast_opt.hpp"
+
+#include "minic/builtins.hpp"
+
+namespace pdc::ir {
+
+namespace {
+
+using minic::BinOp;
+using minic::Expr;
+using minic::Program;
+using minic::Stmt;
+using minic::StmtPtr;
+
+bool expr_calls_anything(const Expr& e) {
+  if (e.kind == Expr::Kind::Call) {
+    // Pure math builtins are fine inside unrolled bodies.
+    auto b = minic::find_builtin(e.name);
+    if (!b || b->is_comm || e.name.rfind("dperf_", 0) == 0 || e.name.rfind("p2p_", 0) == 0)
+      return true;
+  }
+  for (const auto& k : e.kids)
+    if (expr_calls_anything(*k)) return true;
+  return false;
+}
+
+bool expr_mentions(const Expr& e, const std::string& name) {
+  if ((e.kind == Expr::Kind::Var || e.kind == Expr::Kind::Index) && e.name == name)
+    return true;
+  for (const auto& k : e.kids)
+    if (expr_mentions(*k, name)) return true;
+  return false;
+}
+
+/// Checks that a statement subtree is safe to duplicate: straight-line
+/// assignments/exprs over arrays and scalars, `if`s allowed, no loops, no
+/// declarations (would redeclare), no returns, no impure calls, and no
+/// assignment to the induction variable.
+bool body_unrollable(const std::vector<StmtPtr>& body, const std::string& ivar) {
+  for (const auto& sp : body) {
+    const Stmt& s = *sp;
+    switch (s.kind) {
+      case Stmt::Kind::Assign:
+        if (s.lvalue->kind == Expr::Kind::Var && s.lvalue->name == ivar) return false;
+        if (expr_calls_anything(*s.value) || expr_calls_anything(*s.lvalue)) return false;
+        break;
+      case Stmt::Kind::ExprStmt:
+        if (expr_calls_anything(*s.value)) return false;
+        break;
+      case Stmt::Kind::If:
+        if (expr_calls_anything(*s.cond)) return false;
+        if (!body_unrollable(s.body, ivar) || !body_unrollable(s.else_body, ivar))
+          return false;
+        break;
+      case Stmt::Kind::Block:
+        if (!body_unrollable(s.body, ivar)) return false;
+        break;
+      default:
+        return false;  // Decl, loops, Return
+    }
+  }
+  return true;
+}
+
+/// Matches `i = i + 1` (or `i = 1 + i`).
+bool is_increment_of(const Stmt& s, std::string& ivar_out) {
+  if (s.kind != Stmt::Kind::Assign || s.lvalue->kind != Expr::Kind::Var) return false;
+  const Expr& v = *s.value;
+  if (v.kind != Expr::Kind::Binary || v.bin != BinOp::Add) return false;
+  const Expr& l = *v.kids[0];
+  const Expr& r = *v.kids[1];
+  const std::string& name = s.lvalue->name;
+  const bool l_is_var = l.kind == Expr::Kind::Var && l.name == name;
+  const bool r_is_var = r.kind == Expr::Kind::Var && r.name == name;
+  const bool l_is_one = l.kind == Expr::Kind::IntLit && l.int_lit == 1;
+  const bool r_is_one = r.kind == Expr::Kind::IntLit && r.int_lit == 1;
+  if ((l_is_var && r_is_one) || (r_is_var && l_is_one)) {
+    ivar_out = name;
+    return true;
+  }
+  return false;
+}
+
+int unroll_in(std::vector<StmtPtr>& body, int factor);
+
+int try_unroll(StmtPtr& sp, int factor) {
+  Stmt& s = *sp;
+  // Recurse first: unroll innermost loops.
+  int count = 0;
+  if (s.kind == Stmt::Kind::If || s.kind == Stmt::Kind::Block ||
+      s.kind == Stmt::Kind::While || s.kind == Stmt::Kind::For) {
+    count += unroll_in(s.body, factor);
+    count += unroll_in(s.else_body, factor);
+  }
+  if (s.kind != Stmt::Kind::For || !s.cond || !s.for_step || count > 0) return count;
+
+  std::string ivar;
+  if (!is_increment_of(*s.for_step, ivar)) return count;
+  // Condition must be `i < E` or `i <= E` with E not mentioning i.
+  const Expr& c = *s.cond;
+  if (c.kind != Expr::Kind::Binary || (c.bin != BinOp::Lt && c.bin != BinOp::Le))
+    return count;
+  if (c.kids[0]->kind != Expr::Kind::Var || c.kids[0]->name != ivar) return count;
+  if (expr_mentions(*c.kids[1], ivar)) return count;
+  if (!body_unrollable(s.body, ivar)) return count;
+
+  // Build the unrolled main loop:
+  //   for (init; i + (factor-1) < E; i = i + 1) { body; i=i+1; body; ... }
+  auto main_loop = Stmt::make(Stmt::Kind::For, s.line);
+  if (s.for_init) main_loop->for_init = s.for_init->clone();
+  main_loop->for_step = s.for_step->clone();
+  main_loop->cond = Expr::make_binary(
+      c.bin,
+      Expr::make_binary(BinOp::Add, Expr::make_var(ivar), Expr::make_int(factor - 1)),
+      c.kids[1]->clone(), s.line);
+  for (int k = 0; k < factor; ++k) {
+    for (const auto& b : s.body) main_loop->body.push_back(b->clone());
+    if (k + 1 < factor) main_loop->body.push_back(s.for_step->clone());
+  }
+
+  // Remainder loop continues from the current i (no init).
+  auto rest = Stmt::make(Stmt::Kind::For, s.line);
+  rest->cond = s.cond->clone();
+  rest->for_step = s.for_step->clone();
+  for (const auto& b : s.body) rest->body.push_back(b->clone());
+
+  // Replace the original statement with a block of both loops. If the
+  // original init declared the induction variable, keep the declaration
+  // visible to the remainder loop by hoisting it into the block.
+  auto wrapper = Stmt::make(Stmt::Kind::Block, s.line);
+  if (s.for_init && s.for_init->kind == Stmt::Kind::Decl) {
+    wrapper->body.push_back(s.for_init->clone());
+    main_loop->for_init = nullptr;
+  }
+  wrapper->body.push_back(std::move(main_loop));
+  wrapper->body.push_back(std::move(rest));
+  sp = std::move(wrapper);
+  return count + 1;
+}
+
+int unroll_in(std::vector<StmtPtr>& body, int factor) {
+  int count = 0;
+  for (auto& sp : body) count += try_unroll(sp, factor);
+  return count;
+}
+
+}  // namespace
+
+int unroll_loops(Program& program, int factor) {
+  if (factor < 2) return 0;
+  int count = 0;
+  for (auto& f : program.functions) count += unroll_in(f.body, factor);
+  return count;
+}
+
+}  // namespace pdc::ir

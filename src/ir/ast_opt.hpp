@@ -1,0 +1,21 @@
+// AST-level transformations applied before lowering.
+//
+// Loop unrolling (enabled at -O3, like GCC's -funroll applied selectively):
+// counted `for` loops of the shape
+//     for (init; i < E  [or i <= E]; i = i + 1) body
+// where the body neither assigns `i`, declares arrays, returns, calls
+// user/comm functions, nor contains nested loops, become
+//     for (init; i + (k-1) < E; i = i + 1) { body; i=i+1; ... body; }
+//     ...remainder loop...
+// which reduces loop-control overhead per element.
+#pragma once
+
+#include "minic/ast.hpp"
+
+namespace pdc::ir {
+
+/// Unrolls eligible innermost loops by `factor`. Returns the number of
+/// loops transformed.
+int unroll_loops(minic::Program& program, int factor = 4);
+
+}  // namespace pdc::ir

@@ -1,0 +1,79 @@
+#include "ir/cfg.hpp"
+
+#include <algorithm>
+
+namespace pdc::ir {
+
+Cfg analyze_cfg(const IrFunction& fn) {
+  const auto n = fn.blocks.size();
+  Cfg cfg;
+  cfg.succs.resize(n);
+  cfg.preds.resize(n);
+  for (std::size_t b = 0; b < n; ++b) {
+    cfg.succs[b] = fn.successors(static_cast<int>(b));
+    for (int s : cfg.succs[b]) cfg.preds[static_cast<std::size_t>(s)].push_back(static_cast<int>(b));
+  }
+  // Iterative dominators: dom(entry) = {entry}; dom(b) = {b} ∪ ∩ dom(preds).
+  cfg.dom.assign(n, std::vector<bool>(n, true));
+  cfg.dom[0].assign(n, false);
+  cfg.dom[0][0] = true;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t b = 1; b < n; ++b) {
+      std::vector<bool> next(n, true);
+      if (cfg.preds[b].empty()) {
+        // Unreachable block: dominated by everything (vacuous); keep as-is.
+        continue;
+      }
+      for (int p : cfg.preds[b])
+        for (std::size_t i = 0; i < n; ++i)
+          next[i] = next[i] && cfg.dom[static_cast<std::size_t>(p)][i];
+      next[b] = true;
+      if (next != cfg.dom[b]) {
+        cfg.dom[b] = std::move(next);
+        changed = true;
+      }
+    }
+  }
+  return cfg;
+}
+
+std::vector<Loop> find_loops(const IrFunction& fn, const Cfg& cfg) {
+  const auto n = fn.blocks.size();
+  std::vector<Loop> loops;
+  auto find_or_create = [&](int header) -> Loop& {
+    for (Loop& l : loops)
+      if (l.header == header) return l;
+    Loop l;
+    l.header = header;
+    l.contains.assign(n, false);
+    l.contains[static_cast<std::size_t>(header)] = true;
+    l.blocks.push_back(header);
+    loops.push_back(std::move(l));
+    return loops.back();
+  };
+
+  for (std::size_t b = 0; b < n; ++b) {
+    for (int s : cfg.succs[b]) {
+      if (!cfg.dominates(s, static_cast<int>(b))) continue;  // not a back edge
+      Loop& loop = find_or_create(s);
+      // Walk predecessors backward from the back-edge source.
+      std::vector<int> work{static_cast<int>(b)};
+      while (!work.empty()) {
+        const int x = work.back();
+        work.pop_back();
+        if (loop.has(x)) continue;
+        loop.contains[static_cast<std::size_t>(x)] = true;
+        loop.blocks.push_back(x);
+        for (int p : cfg.preds[static_cast<std::size_t>(x)]) work.push_back(p);
+      }
+    }
+  }
+  // Innermost first: fewer blocks first.
+  std::sort(loops.begin(), loops.end(),
+            [](const Loop& a, const Loop& b) { return a.blocks.size() < b.blocks.size(); });
+  return loops;
+}
+
+}  // namespace pdc::ir

@@ -1,0 +1,36 @@
+// Control-flow analyses over IrFunction: predecessors, dominator sets and
+// natural-loop discovery, used by loop-invariant code motion.
+#pragma once
+
+#include <vector>
+
+#include "ir/ir.hpp"
+
+namespace pdc::ir {
+
+struct Cfg {
+  std::vector<std::vector<int>> succs;
+  std::vector<std::vector<int>> preds;
+  /// dom[b] = set of blocks dominating b (as a bitset over block ids).
+  std::vector<std::vector<bool>> dom;
+
+  bool dominates(int a, int b) const { return dom[static_cast<std::size_t>(b)][static_cast<std::size_t>(a)]; }
+};
+
+Cfg analyze_cfg(const IrFunction& fn);
+
+/// A natural loop: header plus the set of blocks that reach the back edge
+/// source without passing through the header.
+struct Loop {
+  int header = 0;
+  std::vector<int> blocks;       // includes the header
+  std::vector<bool> contains;    // membership bitset
+
+  bool has(int b) const { return contains[static_cast<std::size_t>(b)]; }
+};
+
+/// Finds all natural loops (one per back edge; loops sharing a header are
+/// merged). Ordered outermost-last so innermost loops come first.
+std::vector<Loop> find_loops(const IrFunction& fn, const Cfg& cfg);
+
+}  // namespace pdc::ir

@@ -1,0 +1,565 @@
+#include "ir/lower.hpp"
+
+#include <map>
+#include <vector>
+
+#include "minic/builtins.hpp"
+#include "minic/token.hpp"
+
+namespace pdc::ir {
+
+namespace {
+
+using minic::BinOp;
+using minic::CompileError;
+using minic::Expr;
+using minic::Function;
+using minic::Program;
+using minic::Stmt;
+using minic::Type;
+using minic::UnOp;
+
+IrType ir_type(Type t) { return t == Type::Double ? IrType::F64 : IrType::I64; }
+
+class Lowerer {
+ public:
+  Lowerer(const Program& prog, const Function& f) : prog_(prog), src_(f) {}
+
+  IrFunction run() {
+    fn_.name = src_.name;
+    fn_.returns_value = src_.ret != Type::Void;
+    fn_.ret_type = ir_type(src_.ret);
+    fn_.num_params = static_cast<int>(src_.params.size());
+    new_block();  // entry
+
+    push_scope();
+    for (std::size_t i = 0; i < src_.params.size(); ++i) {
+      const auto& p = src_.params[i];
+      if (minic::is_array(p.type)) {
+        const int slot = static_cast<int>(fn_.arr_slots.size());
+        fn_.arr_slots.push_back(ArrSlot{p.name, ir_type(element_type(p.type)), true,
+                                        static_cast<int>(i)});
+        bind(p.name, Binding{true, slot, ir_type(element_type(p.type))});
+      } else {
+        // Incoming scalar arguments arrive in registers 0..num_params-1.
+        const int slot = static_cast<int>(fn_.var_slots.size());
+        fn_.var_slots.push_back(VarSlot{p.name, ir_type(p.type), true, static_cast<int>(i)});
+        bind(p.name, Binding{false, slot, ir_type(p.type)});
+        // Reserve the incoming register id.
+        while (fn_.num_regs <= static_cast<int>(i)) fn_.new_reg();
+        Instr st;
+        st.op = Op::StoreVar;
+        st.slot = slot;
+        st.a = static_cast<int>(i);
+        st.type = ir_type(p.type);
+        emit(std::move(st));
+      }
+    }
+    push_scope();
+    for (const auto& s : src_.body) lower_stmt(*s);
+    pop_scope();
+    pop_scope();
+    // Guarantee a terminator on the last open block.
+    if (!block_terminated()) {
+      Instr ret;
+      ret.op = Op::Ret;
+      if (fn_.returns_value) {
+        // Falling off a value-returning function yields 0 (defined here,
+        // unlike C, to keep the VM total).
+        Instr zero;
+        zero.op = fn_.ret_type == IrType::F64 ? Op::ConstF : Op::ConstI;
+        zero.dst = fn_.new_reg();
+        zero.type = fn_.ret_type;
+        const int z = zero.dst;
+        emit(std::move(zero));
+        ret.a = z;
+      }
+      emit(std::move(ret));
+    }
+    return std::move(fn_);
+  }
+
+ private:
+  struct Binding {
+    bool is_array = false;
+    int slot = -1;
+    IrType type = IrType::I64;
+  };
+
+  // --- blocks ---
+  int new_block() {
+    const int id = static_cast<int>(fn_.blocks.size());
+    fn_.blocks.push_back(BasicBlock{id, {}});
+    cur_ = id;
+    return id;
+  }
+  BasicBlock& cur() { return fn_.blocks[static_cast<std::size_t>(cur_)]; }
+  bool block_terminated() {
+    return !cur().instrs.empty() && is_terminator(cur().instrs.back().op);
+  }
+  void emit(Instr in) {
+    if (!block_terminated()) cur().instrs.push_back(std::move(in));
+  }
+  void switch_to(int block) { cur_ = block; }
+  void jump_to(int target) {
+    Instr j;
+    j.op = Op::Jump;
+    j.t1 = target;
+    emit(std::move(j));
+  }
+
+  // --- scopes ---
+  void push_scope() { scopes_.emplace_back(); }
+  void pop_scope() { scopes_.pop_back(); }
+  void bind(const std::string& name, Binding b) { scopes_.back()[name] = b; }
+  const Binding& lookup(const std::string& name, int line) {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      auto v = it->find(name);
+      if (v != it->end()) return v->second;
+    }
+    throw CompileError(line, 1, "internal: unbound variable '" + name + "'");
+  }
+
+  // --- helpers ---
+  int emit_const_i(long long v) {
+    Instr c;
+    c.op = Op::ConstI;
+    c.imm_i = v;
+    c.dst = fn_.new_reg();
+    c.type = IrType::I64;
+    const int dst = c.dst;
+    emit(std::move(c));
+    return dst;
+  }
+  int emit_unop(Op op, int a, IrType type) {
+    Instr in;
+    in.op = op;
+    in.a = a;
+    in.dst = fn_.new_reg();
+    in.type = type;
+    const int dst = in.dst;
+    emit(std::move(in));
+    return dst;
+  }
+  int emit_binop(Op op, int a, int b, IrType type) {
+    Instr in;
+    in.op = op;
+    in.a = a;
+    in.b = b;
+    in.dst = fn_.new_reg();
+    in.type = type;
+    const int dst = in.dst;
+    emit(std::move(in));
+    return dst;
+  }
+  /// Converts an int-typed register to double when needed.
+  int promote(int reg, Type from, Type to) {
+    if (from == Type::Int && to == Type::Double) return emit_unop(Op::I2F, reg, IrType::F64);
+    return reg;
+  }
+
+  // --- expressions ---
+  int lower_expr(const Expr& e) {
+    switch (e.kind) {
+      case Expr::Kind::IntLit: return emit_const_i(e.int_lit);
+      case Expr::Kind::FloatLit: {
+        Instr c;
+        c.op = Op::ConstF;
+        c.imm_f = e.float_lit;
+        c.dst = fn_.new_reg();
+        c.type = IrType::F64;
+        const int dst = c.dst;
+        emit(std::move(c));
+        return dst;
+      }
+      case Expr::Kind::Var: {
+        const Binding& b = lookup(e.name, e.line);
+        if (b.is_array)
+          throw CompileError(e.line, 1, "internal: array used as scalar");
+        Instr ld;
+        ld.op = Op::LoadVar;
+        ld.slot = b.slot;
+        ld.dst = fn_.new_reg();
+        ld.type = b.type;
+        const int dst = ld.dst;
+        emit(std::move(ld));
+        return dst;
+      }
+      case Expr::Kind::Index: {
+        const Binding& b = lookup(e.name, e.line);
+        const int idx = lower_expr(*e.kids[0]);
+        Instr ld;
+        ld.op = Op::LoadIdx;
+        ld.slot = b.slot;
+        ld.a = idx;
+        ld.dst = fn_.new_reg();
+        ld.type = b.type;
+        const int dst = ld.dst;
+        emit(std::move(ld));
+        return dst;
+      }
+      case Expr::Kind::Unary: {
+        const int a = lower_expr(*e.kids[0]);
+        if (e.un == UnOp::Not) return emit_unop(Op::NotI, a, IrType::I64);
+        return e.kids[0]->type == Type::Double ? emit_unop(Op::NegF, a, IrType::F64)
+                                               : emit_unop(Op::NegI, a, IrType::I64);
+      }
+      case Expr::Kind::Binary: return lower_binary(e);
+      case Expr::Kind::Call: return lower_call(e);
+    }
+    throw CompileError(e.line, 1, "internal: unhandled expression");
+  }
+
+  int lower_binary(const Expr& e) {
+    if (e.bin == BinOp::And || e.bin == BinOp::Or) return lower_logical(e);
+    const Type lt = e.kids[0]->type;
+    const Type rt = e.kids[1]->type;
+    const bool fp = lt == Type::Double || rt == Type::Double;
+    int a = lower_expr(*e.kids[0]);
+    int b = lower_expr(*e.kids[1]);
+    if (fp) {
+      a = promote(a, lt, Type::Double);
+      b = promote(b, rt, Type::Double);
+    }
+    auto pick = [&](Op int_op, Op flt_op) { return fp ? flt_op : int_op; };
+    switch (e.bin) {
+      case BinOp::Add: return emit_binop(pick(Op::AddI, Op::AddF), a, b, fp ? IrType::F64 : IrType::I64);
+      case BinOp::Sub: return emit_binop(pick(Op::SubI, Op::SubF), a, b, fp ? IrType::F64 : IrType::I64);
+      case BinOp::Mul: return emit_binop(pick(Op::MulI, Op::MulF), a, b, fp ? IrType::F64 : IrType::I64);
+      case BinOp::Div: return emit_binop(pick(Op::DivI, Op::DivF), a, b, fp ? IrType::F64 : IrType::I64);
+      case BinOp::Mod: return emit_binop(Op::ModI, a, b, IrType::I64);
+      case BinOp::Lt: return emit_binop(pick(Op::LtI, Op::LtF), a, b, IrType::I64);
+      case BinOp::Le: return emit_binop(pick(Op::LeI, Op::LeF), a, b, IrType::I64);
+      case BinOp::Gt: return emit_binop(pick(Op::GtI, Op::GtF), a, b, IrType::I64);
+      case BinOp::Ge: return emit_binop(pick(Op::GeI, Op::GeF), a, b, IrType::I64);
+      case BinOp::Eq: return emit_binop(pick(Op::EqI, Op::EqF), a, b, IrType::I64);
+      case BinOp::Ne: return emit_binop(pick(Op::NeI, Op::NeF), a, b, IrType::I64);
+      default: throw CompileError(e.line, 1, "internal: unhandled binary op");
+    }
+  }
+
+  /// Short-circuit && / || with a join register (no phi needed: registers
+  /// are frame-scoped).
+  int lower_logical(const Expr& e) {
+    const int result = fn_.new_reg();
+    const int a = lower_expr(*e.kids[0]);
+    const int abool = emit_unop(Op::BoolI, a, IrType::I64);
+    Instr mov1;
+    mov1.op = Op::Mov;
+    mov1.dst = result;
+    mov1.a = abool;
+    mov1.type = IrType::I64;
+    emit(std::move(mov1));
+
+    Instr cj;
+    cj.op = Op::CJump;
+    cj.a = abool;
+    const int cj_block = cur_;
+    emit(std::move(cj));
+
+    const int eval_rhs = new_block();
+    const int b = lower_expr(*e.kids[1]);
+    const int bbool = emit_unop(Op::BoolI, b, IrType::I64);
+    Instr mov2;
+    mov2.op = Op::Mov;
+    mov2.dst = result;
+    mov2.a = bbool;
+    mov2.type = IrType::I64;
+    emit(std::move(mov2));
+    const int rhs_end = cur_;
+
+    const int join = new_block();
+    auto& cjb = fn_.blocks[static_cast<std::size_t>(cj_block)];
+    if (!cjb.instrs.empty() && cjb.instrs.back().op == Op::CJump) {
+      auto& cjr = cjb.instrs.back();
+      if (e.bin == BinOp::And) {
+        cjr.t1 = eval_rhs;  // true: need rhs
+        cjr.t2 = join;      // false: short-circuit
+      } else {
+        cjr.t1 = join;      // true: short-circuit
+        cjr.t2 = eval_rhs;  // false: need rhs
+      }
+    }
+    patch_jump(rhs_end, join);
+    switch_to(join);
+    return result;
+  }
+
+  int lower_call(const Expr& e) {
+    // Resolve the callee signature for argument conversions.
+    std::vector<Type> params;
+    Type ret = Type::Void;
+    if (auto b = minic::find_builtin(e.name)) {
+      params = b->params;
+      ret = b->ret;
+    } else if (const Function* f = prog_.find(e.name)) {
+      for (const auto& p : f->params) params.push_back(p.type);
+      ret = f->ret;
+    } else {
+      throw CompileError(e.line, 1, "internal: unknown callee '" + e.name + "'");
+    }
+
+    // Instrumentation markers become dedicated opcodes (ids must be
+    // literals, which is what the instrumenter generates).
+    if (e.name == "dperf_block_begin" || e.name == "dperf_block_end" ||
+        e.name == "dperf_iter_mark") {
+      if (e.kids[0]->kind != Expr::Kind::IntLit)
+        throw CompileError(e.line, 1, e.name + " id must be an integer literal");
+      Instr m;
+      m.op = e.name == "dperf_block_begin" ? Op::BlockBegin
+             : e.name == "dperf_block_end" ? Op::BlockEnd
+                                           : Op::IterMark;
+      m.imm_i = e.kids[0]->int_lit;
+      emit(std::move(m));
+      return -1;
+    }
+
+    Instr call;
+    call.op = Op::Call;
+    call.sym = e.name;
+    for (std::size_t i = 0; i < e.kids.size(); ++i) {
+      if (minic::is_array(params[i])) {
+        const Binding& b = lookup(e.kids[i]->name, e.line);
+        call.args.push_back(encode_array_arg(b.slot));
+      } else {
+        int reg = lower_expr(*e.kids[i]);
+        reg = promote(reg, e.kids[i]->type, params[i]);
+        call.args.push_back(reg);
+      }
+    }
+    if (ret != Type::Void) {
+      call.dst = fn_.new_reg();
+      call.type = ir_type(ret);
+    }
+    const int dst = call.dst;
+    emit(std::move(call));
+    return dst;
+  }
+
+  // --- statements ---
+  void lower_stmt(const Stmt& s) {
+    switch (s.kind) {
+      case Stmt::Kind::Decl: lower_decl(s); break;
+      case Stmt::Kind::Assign: lower_assign(s); break;
+      case Stmt::Kind::ExprStmt: lower_expr(*s.value); break;
+      case Stmt::Kind::Return: {
+        Instr ret;
+        ret.op = Op::Ret;
+        if (s.value) {
+          int reg = lower_expr(*s.value);
+          reg = promote(reg, s.value->type, src_.ret);
+          ret.a = reg;
+        }
+        emit(std::move(ret));
+        break;
+      }
+      case Stmt::Kind::Block: {
+        push_scope();
+        for (const auto& b : s.body) lower_stmt(*b);
+        pop_scope();
+        break;
+      }
+      case Stmt::Kind::If: lower_if(s); break;
+      case Stmt::Kind::While: lower_while(s); break;
+      case Stmt::Kind::For: lower_for(s); break;
+    }
+  }
+
+  void lower_decl(const Stmt& s) {
+    if (minic::is_array(s.decl_type)) {
+      const int size = lower_expr(*s.array_size);
+      const int slot = static_cast<int>(fn_.arr_slots.size());
+      const IrType elem = ir_type(element_type(s.decl_type));
+      fn_.arr_slots.push_back(ArrSlot{s.name, elem, false, -1});
+      bind(s.name, Binding{true, slot, elem});
+      Instr al;
+      al.op = Op::AllocArr;
+      al.slot = slot;
+      al.a = size;
+      al.type = elem;
+      emit(std::move(al));
+      return;
+    }
+    const int slot = static_cast<int>(fn_.var_slots.size());
+    fn_.var_slots.push_back(VarSlot{s.name, ir_type(s.decl_type), false, -1});
+    bind(s.name, Binding{false, slot, ir_type(s.decl_type)});
+    int reg;
+    if (s.init) {
+      reg = lower_expr(*s.init);
+      reg = promote(reg, s.init->type, s.decl_type);
+    } else {
+      // Zero-initialize (defined behaviour in MiniC).
+      if (s.decl_type == Type::Double) {
+        Instr c;
+        c.op = Op::ConstF;
+        c.dst = fn_.new_reg();
+        c.type = IrType::F64;
+        reg = c.dst;
+        emit(std::move(c));
+      } else {
+        reg = emit_const_i(0);
+      }
+    }
+    Instr st;
+    st.op = Op::StoreVar;
+    st.slot = slot;
+    st.a = reg;
+    st.type = ir_type(s.decl_type);
+    emit(std::move(st));
+  }
+
+  void lower_assign(const Stmt& s) {
+    if (s.lvalue->kind == Expr::Kind::Var) {
+      const Binding& b = lookup(s.lvalue->name, s.line);
+      int reg = lower_expr(*s.value);
+      reg = promote(reg, s.value->type,
+                    b.type == IrType::F64 ? Type::Double : Type::Int);
+      Instr st;
+      st.op = Op::StoreVar;
+      st.slot = b.slot;
+      st.a = reg;
+      st.type = b.type;
+      emit(std::move(st));
+    } else {
+      const Binding& b = lookup(s.lvalue->name, s.line);
+      const int idx = lower_expr(*s.lvalue->kids[0]);
+      int reg = lower_expr(*s.value);
+      reg = promote(reg, s.value->type, b.type == IrType::F64 ? Type::Double : Type::Int);
+      Instr st;
+      st.op = Op::StoreIdx;
+      st.slot = b.slot;
+      st.a = idx;
+      st.b = reg;
+      st.type = b.type;
+      emit(std::move(st));
+    }
+  }
+
+  void lower_if(const Stmt& s) {
+    const int cond = lower_expr(*s.cond);
+    Instr cj;
+    cj.op = Op::CJump;
+    cj.a = cond;
+    const int cj_block = cur_;
+    emit(std::move(cj));
+
+    const int then_block = new_block();
+    push_scope();
+    for (const auto& b : s.body) lower_stmt(*b);
+    pop_scope();
+    const int then_end = cur_;
+
+    int else_block = -1, else_end = -1;
+    if (!s.else_body.empty()) {
+      else_block = new_block();
+      push_scope();
+      for (const auto& b : s.else_body) lower_stmt(*b);
+      pop_scope();
+      else_end = cur_;
+    }
+    const int join = new_block();
+
+    auto& cjb = fn_.blocks[static_cast<std::size_t>(cj_block)];
+    if (!cjb.instrs.empty() && cjb.instrs.back().op == Op::CJump) {
+      auto& cjr = cjb.instrs.back();
+      cjr.t1 = then_block;
+      cjr.t2 = else_block >= 0 ? else_block : join;
+    }
+    patch_jump(then_end, join);
+    if (else_end >= 0) patch_jump(else_end, join);
+    switch_to(join);
+  }
+
+  /// Appends a jump to `target` at the end of `block` unless it already
+  /// terminates (e.g. by a return).
+  void patch_jump(int block, int target) {
+    BasicBlock& b = fn_.blocks[static_cast<std::size_t>(block)];
+    if (!b.instrs.empty() && is_terminator(b.instrs.back().op)) return;
+    Instr j;
+    j.op = Op::Jump;
+    j.t1 = target;
+    b.instrs.push_back(std::move(j));
+  }
+
+  void lower_while(const Stmt& s) {
+    const int before = cur_;
+    const int head = new_block();
+    patch_jump(before, head);
+    switch_to(head);
+    const int cond = lower_expr(*s.cond);
+    Instr cj;
+    cj.op = Op::CJump;
+    cj.a = cond;
+    const int cj_block = cur_;
+    emit(std::move(cj));
+
+    const int body = new_block();
+    push_scope();
+    for (const auto& b : s.body) lower_stmt(*b);
+    pop_scope();
+    patch_jump(cur_, head);
+
+    const int exit = new_block();
+    auto& cjb = fn_.blocks[static_cast<std::size_t>(cj_block)];
+    if (!cjb.instrs.empty() && cjb.instrs.back().op == Op::CJump) {
+      cjb.instrs.back().t1 = body;
+      cjb.instrs.back().t2 = exit;
+    }
+    switch_to(exit);
+  }
+
+  void lower_for(const Stmt& s) {
+    push_scope();
+    if (s.for_init) lower_stmt(*s.for_init);
+    const int before = cur_;
+    const int head = new_block();
+    patch_jump(before, head);
+    switch_to(head);
+    int cj_block = -1;
+    if (s.cond) {
+      const int cond = lower_expr(*s.cond);
+      Instr cj;
+      cj.op = Op::CJump;
+      cj.a = cond;
+      cj_block = cur_;
+      emit(std::move(cj));
+    }
+    const int body = new_block();
+    push_scope();
+    for (const auto& b : s.body) lower_stmt(*b);
+    pop_scope();
+    if (s.for_step) lower_stmt(*s.for_step);
+    patch_jump(cur_, head);
+    const int exit = new_block();
+    if (cj_block >= 0) {
+      auto& cjb = fn_.blocks[static_cast<std::size_t>(cj_block)];
+      if (!cjb.instrs.empty() && cjb.instrs.back().op == Op::CJump) {
+        cjb.instrs.back().t1 = body;
+        cjb.instrs.back().t2 = exit;
+      }
+    } else {
+      patch_jump(head, body);
+    }
+    pop_scope();
+    switch_to(exit);
+  }
+
+  const Program& prog_;
+  const Function& src_;
+  IrFunction fn_;
+  int cur_ = 0;
+  std::vector<std::map<std::string, Binding>> scopes_;
+};
+
+}  // namespace
+
+IrProgram lower(const Program& program) {
+  IrProgram out;
+  for (const Function& f : program.functions) {
+    Lowerer l{program, f};
+    out.functions.push_back(l.run());
+  }
+  return out;
+}
+
+}  // namespace pdc::ir

@@ -1,0 +1,27 @@
+// AST -> IR lowering.
+//
+// -O0 semantics: every named scalar variable gets a memory slot; each read
+// is a LoadVar, each write a StoreVar. Expression temporaries use virtual
+// registers. Logical && / || lower to short-circuit control flow.
+//
+// Call argument conventions: scalar arguments are registers; array
+// arguments are encoded in Instr::args as -(arr_slot + 2) (always negative),
+// decoded by the VM, which passes arrays by reference as the paper's C
+// obstacle code does.
+#pragma once
+
+#include "ir/ir.hpp"
+#include "minic/ast.hpp"
+
+namespace pdc::ir {
+
+/// Encoding helpers for array call arguments.
+inline int encode_array_arg(int arr_slot) { return -(arr_slot + 2); }
+inline bool is_array_arg(int encoded) { return encoded <= -2; }
+inline int decode_array_arg(int encoded) { return -encoded - 2; }
+
+/// Lowers a semantically checked program. Throws CompileError on constructs
+/// the backend cannot express (e.g. non-literal instrumentation ids).
+IrProgram lower(const minic::Program& program);
+
+}  // namespace pdc::ir

@@ -1,0 +1,41 @@
+// Optimization passes. Each works on the non-SSA IR (registers are frame
+// locals with possibly many definitions); see individual notes for the
+// soundness conditions that replace SSA-based reasoning.
+#pragma once
+
+#include "ir/ir.hpp"
+
+namespace pdc::ir {
+
+/// Local constant propagation + folding + exact algebraic simplification
+/// (x+0, x*1, x-0, x/1; integer x*0; int multiply-by-two strength
+/// reduction). Float identities that can change NaN/Inf behaviour are NOT
+/// applied. Returns true if anything changed.
+bool fold_constants(IrFunction& fn);
+
+/// Local copy propagation: rewrites uses of `dst` after `mov dst, src` to
+/// `src` while neither is redefined.
+bool propagate_copies(IrFunction& fn);
+
+/// Global dead-code elimination: removes pure instructions whose result is
+/// dead (backward liveness over the CFG) and stores to scalar slots that
+/// are never loaded anywhere in the function.
+bool eliminate_dead_code(IrFunction& fn);
+
+/// Local common-subexpression elimination by available-expression hashing;
+/// LoadVar/LoadIdx participate with conservative invalidation (stores to
+/// the same slot/array and calls kill them).
+bool eliminate_common_subexpressions(IrFunction& fn);
+
+/// Promotes scalar variable slots to dedicated registers (MiniC has no
+/// address-of, so every scalar is promotable). This is the -O1 "mem2reg"
+/// equivalent and the largest single win over -O0.
+bool promote_variables(IrFunction& fn);
+
+/// Loop-invariant code motion: hoists pure instructions whose operands have
+/// no definition inside the loop and whose destination has exactly one
+/// in-loop definition into a freshly created preheader. All hoisted ops are
+/// speculatable (is_pure excludes trapping DivI/ModI).
+bool hoist_loop_invariants(IrFunction& fn);
+
+}  // namespace pdc::ir

@@ -1,0 +1,144 @@
+#include "minic/ast.hpp"
+
+namespace pdc::minic {
+
+std::string type_name(Type t) {
+  switch (t) {
+    case Type::Void: return "void";
+    case Type::Int: return "int";
+    case Type::Double: return "double";
+    case Type::IntArray: return "int[]";
+    case Type::DoubleArray: return "double[]";
+  }
+  return "?";
+}
+
+ExprPtr Expr::make_int(long long v, int line) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::IntLit;
+  e->int_lit = v;
+  e->line = line;
+  return e;
+}
+
+ExprPtr Expr::make_float(double v, int line) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::FloatLit;
+  e->float_lit = v;
+  e->line = line;
+  return e;
+}
+
+ExprPtr Expr::make_var(std::string name, int line) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::Var;
+  e->name = std::move(name);
+  e->line = line;
+  return e;
+}
+
+ExprPtr Expr::make_binary(BinOp op, ExprPtr lhs, ExprPtr rhs, int line) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::Binary;
+  e->bin = op;
+  e->kids.push_back(std::move(lhs));
+  e->kids.push_back(std::move(rhs));
+  e->line = line;
+  return e;
+}
+
+ExprPtr Expr::make_unary(UnOp op, ExprPtr operand, int line) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::Unary;
+  e->un = op;
+  e->kids.push_back(std::move(operand));
+  e->line = line;
+  return e;
+}
+
+ExprPtr Expr::make_call(std::string name, std::vector<ExprPtr> args, int line) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::Call;
+  e->name = std::move(name);
+  e->kids = std::move(args);
+  e->line = line;
+  return e;
+}
+
+ExprPtr Expr::make_index(std::string base, ExprPtr index, int line) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::Index;
+  e->name = std::move(base);
+  e->kids.push_back(std::move(index));
+  e->line = line;
+  return e;
+}
+
+ExprPtr Expr::clone() const {
+  auto e = std::make_unique<Expr>();
+  e->kind = kind;
+  e->int_lit = int_lit;
+  e->float_lit = float_lit;
+  e->name = name;
+  e->bin = bin;
+  e->un = un;
+  e->type = type;
+  e->line = line;
+  for (const auto& k : kids) e->kids.push_back(k->clone());
+  return e;
+}
+
+StmtPtr Stmt::make(Kind kind, int line) {
+  auto s = std::make_unique<Stmt>();
+  s->kind = kind;
+  s->line = line;
+  return s;
+}
+
+StmtPtr Stmt::clone() const {
+  auto s = std::make_unique<Stmt>();
+  s->kind = kind;
+  s->line = line;
+  s->decl_type = decl_type;
+  s->name = name;
+  if (array_size) s->array_size = array_size->clone();
+  if (init) s->init = init->clone();
+  if (lvalue) s->lvalue = lvalue->clone();
+  if (value) s->value = value->clone();
+  if (cond) s->cond = cond->clone();
+  if (for_init) s->for_init = for_init->clone();
+  if (for_step) s->for_step = for_step->clone();
+  for (const auto& b : body) s->body.push_back(b->clone());
+  for (const auto& b : else_body) s->else_body.push_back(b->clone());
+  return s;
+}
+
+Function Function::clone() const {
+  Function f;
+  f.ret = ret;
+  f.name = name;
+  f.params = params;
+  f.line = line;
+  for (const auto& s : body) f.body.push_back(s->clone());
+  return f;
+}
+
+Program Program::clone() const {
+  Program p;
+  for (const auto& f : functions) p.functions.push_back(f.clone());
+  return p;
+}
+
+Function* Program::find(const std::string& name) {
+  for (auto& f : functions)
+    if (f.name == name) return &f;
+  return nullptr;
+}
+
+const Function* Program::find(const std::string& name) const {
+  for (const auto& f : functions)
+    if (f.name == name) return &f;
+  return nullptr;
+}
+
+}  // namespace pdc::minic

@@ -1,0 +1,101 @@
+// Abstract syntax tree for MiniC. The tree is mutable on purpose: dPerf's
+// instrumenter transforms it (inserting vPAPI block markers) before
+// unparsing, exactly as the paper's ROSE-based translator rewrites the AST.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace pdc::minic {
+
+enum class Type { Void, Int, Double, IntArray, DoubleArray };
+
+inline bool is_array(Type t) { return t == Type::IntArray || t == Type::DoubleArray; }
+inline Type element_type(Type t) { return t == Type::IntArray ? Type::Int : Type::Double; }
+std::string type_name(Type t);
+
+enum class BinOp { Add, Sub, Mul, Div, Mod, Lt, Le, Gt, Ge, Eq, Ne, And, Or };
+enum class UnOp { Neg, Not };
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr {
+  enum class Kind { IntLit, FloatLit, Var, Binary, Unary, Call, Index };
+  Kind kind;
+  long long int_lit = 0;
+  double float_lit = 0;
+  std::string name;  // Var / Call / Index base
+  BinOp bin{};
+  UnOp un{};
+  std::vector<ExprPtr> kids;  // Binary: [lhs, rhs]; Unary/Index: [operand]; Call: args
+  Type type = Type::Void;     // filled by sema
+  int line = 0;
+
+  static ExprPtr make_int(long long v, int line = 0);
+  static ExprPtr make_float(double v, int line = 0);
+  static ExprPtr make_var(std::string name, int line = 0);
+  static ExprPtr make_binary(BinOp op, ExprPtr lhs, ExprPtr rhs, int line = 0);
+  static ExprPtr make_unary(UnOp op, ExprPtr operand, int line = 0);
+  static ExprPtr make_call(std::string name, std::vector<ExprPtr> args, int line = 0);
+  static ExprPtr make_index(std::string base, ExprPtr index, int line = 0);
+
+  ExprPtr clone() const;
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct Stmt {
+  enum class Kind { Decl, Assign, If, While, For, Return, ExprStmt, Block };
+  Kind kind;
+  int line = 0;
+
+  // Decl: decl_type name [array_size] [= init]
+  Type decl_type = Type::Void;
+  std::string name;
+  ExprPtr array_size;
+  ExprPtr init;
+
+  // Assign: lvalue = value   (lvalue is a Var or Index expr)
+  ExprPtr lvalue;
+  ExprPtr value;
+
+  // If: cond, body (then), else_body; While: cond, body;
+  // For: for_init / cond / for_step, body; Return: value (may be null);
+  // ExprStmt: value; Block: body.
+  ExprPtr cond;
+  StmtPtr for_init;
+  StmtPtr for_step;
+  std::vector<StmtPtr> body;
+  std::vector<StmtPtr> else_body;
+
+  static StmtPtr make(Kind kind, int line = 0);
+  StmtPtr clone() const;
+};
+
+struct Param {
+  Type type = Type::Void;
+  std::string name;
+};
+
+struct Function {
+  Type ret = Type::Void;
+  std::string name;
+  std::vector<Param> params;
+  std::vector<StmtPtr> body;
+  int line = 0;
+
+  Function clone() const;
+};
+
+struct Program {
+  std::vector<Function> functions;
+
+  Program clone() const;
+  Function* find(const std::string& name);
+  const Function* find(const std::string& name) const;
+};
+
+}  // namespace pdc::minic

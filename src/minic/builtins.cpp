@@ -1,0 +1,39 @@
+#include "minic/builtins.hpp"
+
+namespace pdc::minic {
+
+const std::vector<BuiltinSig>& builtins() {
+  static const std::vector<BuiltinSig> kTable{
+      {"sqrt", Type::Double, {Type::Double}, false},
+      {"fabs", Type::Double, {Type::Double}, false},
+      {"fmax", Type::Double, {Type::Double, Type::Double}, false},
+      {"fmin", Type::Double, {Type::Double, Type::Double}, false},
+      {"floor", Type::Double, {Type::Double}, false},
+      {"p2p_rank", Type::Int, {}, false},
+      {"p2p_nprocs", Type::Int, {}, false},
+      {"p2p_send", Type::Void,
+       {Type::Int, Type::Int, Type::DoubleArray, Type::Int, Type::Int}, true},
+      {"p2p_recv", Type::Void,
+       {Type::Int, Type::Int, Type::DoubleArray, Type::Int, Type::Int}, true},
+      {"p2p_allreduce_max", Type::Double, {Type::Double}, true},
+      {"p2p_param", Type::Int, {Type::Int}, false},
+      {"p2p_param_f", Type::Double, {Type::Int}, false},
+      {"dperf_block_begin", Type::Void, {Type::Int}, false},
+      {"dperf_block_end", Type::Void, {Type::Int}, false},
+      {"dperf_iter_mark", Type::Void, {Type::Int}, false},
+  };
+  return kTable;
+}
+
+std::optional<BuiltinSig> find_builtin(const std::string& name) {
+  for (const BuiltinSig& b : builtins())
+    if (b.name == name) return b;
+  return std::nullopt;
+}
+
+bool is_comm_builtin(const std::string& name) {
+  auto b = find_builtin(name);
+  return b && b->is_comm;
+}
+
+}  // namespace pdc::minic

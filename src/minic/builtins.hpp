@@ -1,0 +1,39 @@
+// Builtin functions of MiniC: math, the P2PSAP communication intrinsics the
+// paper's dPerf recognizes during static analysis, workload parameters and
+// the vPAPI instrumentation markers.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "minic/ast.hpp"
+
+namespace pdc::minic {
+
+struct BuiltinSig {
+  std::string name;
+  Type ret = Type::Void;
+  std::vector<Type> params;
+  bool is_comm = false;  // dPerf treats these as communication calls
+};
+
+/// All builtins:
+///   sqrt, fabs, fmax, fmin, floor           : double math
+///   p2p_rank(), p2p_nprocs()                : topology queries
+///   p2p_send(peer, tag, arr, off, n)        : P2PSAP send (comm)
+///   p2p_recv(peer, tag, arr, off, n)        : P2PSAP receive (comm)
+///   p2p_allreduce_max(x)                    : hierarchical reduction (comm)
+///   p2p_param(i)                            : workload parameter (int)
+///   p2p_param_f(i)                          : workload parameter (double)
+///   dperf_block_begin(id), dperf_block_end(id) : vPAPI timers
+///   dperf_iter_mark(id)                     : outer-iteration marker
+const std::vector<BuiltinSig>& builtins();
+
+/// Lookup by name; nullopt when not a builtin.
+std::optional<BuiltinSig> find_builtin(const std::string& name);
+
+/// True when a call by this name is a communication intrinsic.
+bool is_comm_builtin(const std::string& name);
+
+}  // namespace pdc::minic

@@ -1,0 +1,211 @@
+#include <cctype>
+#include <map>
+
+#include "minic/token.hpp"
+
+namespace pdc::minic {
+
+namespace {
+const std::map<std::string, Tok> kKeywords{
+    {"int", Tok::KwInt},     {"double", Tok::KwDouble}, {"void", Tok::KwVoid},
+    {"if", Tok::KwIf},       {"else", Tok::KwElse},     {"while", Tok::KwWhile},
+    {"for", Tok::KwFor},     {"return", Tok::KwReturn},
+};
+}  // namespace
+
+std::vector<Token> lex(const std::string& src) {
+  std::vector<Token> out;
+  int line = 1, col = 1;
+  std::size_t i = 0;
+  auto peek = [&](std::size_t ahead = 0) -> char {
+    return i + ahead < src.size() ? src[i + ahead] : '\0';
+  };
+  auto advance = [&] {
+    if (src[i] == '\n') {
+      ++line;
+      col = 1;
+    } else {
+      ++col;
+    }
+    ++i;
+  };
+  auto push = [&](Tok kind, std::string text, int tline, int tcol) {
+    Token t;
+    t.kind = kind;
+    t.text = std::move(text);
+    t.line = tline;
+    t.col = tcol;
+    out.push_back(std::move(t));
+  };
+
+  while (i < src.size()) {
+    const char c = peek();
+    const int tline = line, tcol = col;
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      advance();
+      continue;
+    }
+    if (c == '/' && peek(1) == '/') {
+      while (i < src.size() && peek() != '\n') advance();
+      continue;
+    }
+    if (c == '/' && peek(1) == '*') {
+      advance();
+      advance();
+      while (i < src.size() && !(peek() == '*' && peek(1) == '/')) advance();
+      if (i >= src.size()) throw CompileError(tline, tcol, "unterminated comment");
+      advance();
+      advance();
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+      std::string num;
+      bool is_float = false;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) {
+        num += peek();
+        advance();
+      }
+      if (peek() == '.') {
+        is_float = true;
+        num += peek();
+        advance();
+        while (std::isdigit(static_cast<unsigned char>(peek()))) {
+          num += peek();
+          advance();
+        }
+      }
+      if (peek() == 'e' || peek() == 'E') {
+        is_float = true;
+        num += peek();
+        advance();
+        if (peek() == '+' || peek() == '-') {
+          num += peek();
+          advance();
+        }
+        if (!std::isdigit(static_cast<unsigned char>(peek())))
+          throw CompileError(line, col, "malformed exponent");
+        while (std::isdigit(static_cast<unsigned char>(peek()))) {
+          num += peek();
+          advance();
+        }
+      }
+      Token t;
+      t.text = num;
+      t.line = tline;
+      t.col = tcol;
+      if (is_float) {
+        t.kind = Tok::FloatLit;
+        t.float_val = std::stod(num);
+      } else {
+        t.kind = Tok::IntLit;
+        t.int_val = std::stoll(num);
+      }
+      out.push_back(std::move(t));
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::string ident;
+      while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_') {
+        ident += peek();
+        advance();
+      }
+      auto kw = kKeywords.find(ident);
+      push(kw != kKeywords.end() ? kw->second : Tok::Ident, ident, tline, tcol);
+      continue;
+    }
+    // Operators and punctuation.
+    auto two = [&](char second, Tok pair, Tok single) {
+      if (peek(1) == second) {
+        advance();
+        advance();
+        push(pair, std::string{c, second}, tline, tcol);
+      } else {
+        advance();
+        push(single, std::string{c}, tline, tcol);
+      }
+    };
+    switch (c) {
+      case '(': advance(); push(Tok::LParen, "(", tline, tcol); break;
+      case ')': advance(); push(Tok::RParen, ")", tline, tcol); break;
+      case '{': advance(); push(Tok::LBrace, "{", tline, tcol); break;
+      case '}': advance(); push(Tok::RBrace, "}", tline, tcol); break;
+      case '[': advance(); push(Tok::LBracket, "[", tline, tcol); break;
+      case ']': advance(); push(Tok::RBracket, "]", tline, tcol); break;
+      case ',': advance(); push(Tok::Comma, ",", tline, tcol); break;
+      case ';': advance(); push(Tok::Semi, ";", tline, tcol); break;
+      case '+': advance(); push(Tok::Plus, "+", tline, tcol); break;
+      case '-': advance(); push(Tok::Minus, "-", tline, tcol); break;
+      case '*': advance(); push(Tok::Star, "*", tline, tcol); break;
+      case '/': advance(); push(Tok::Slash, "/", tline, tcol); break;
+      case '%': advance(); push(Tok::Percent, "%", tline, tcol); break;
+      case '=': two('=', Tok::EqEq, Tok::Assign); break;
+      case '<': two('=', Tok::Le, Tok::Lt); break;
+      case '>': two('=', Tok::Ge, Tok::Gt); break;
+      case '!': two('=', Tok::Ne, Tok::Not); break;
+      case '&':
+        if (peek(1) != '&') throw CompileError(tline, tcol, "expected '&&'");
+        advance();
+        advance();
+        push(Tok::AndAnd, "&&", tline, tcol);
+        break;
+      case '|':
+        if (peek(1) != '|') throw CompileError(tline, tcol, "expected '||'");
+        advance();
+        advance();
+        push(Tok::OrOr, "||", tline, tcol);
+        break;
+      default:
+        throw CompileError(tline, tcol, std::string("unexpected character '") + c + "'");
+    }
+  }
+  Token end;
+  end.kind = Tok::End;
+  end.line = line;
+  end.col = col;
+  out.push_back(end);
+  return out;
+}
+
+std::string tok_name(Tok kind) {
+  switch (kind) {
+    case Tok::IntLit: return "integer literal";
+    case Tok::FloatLit: return "float literal";
+    case Tok::Ident: return "identifier";
+    case Tok::KwInt: return "'int'";
+    case Tok::KwDouble: return "'double'";
+    case Tok::KwVoid: return "'void'";
+    case Tok::KwIf: return "'if'";
+    case Tok::KwElse: return "'else'";
+    case Tok::KwWhile: return "'while'";
+    case Tok::KwFor: return "'for'";
+    case Tok::KwReturn: return "'return'";
+    case Tok::LParen: return "'('";
+    case Tok::RParen: return "')'";
+    case Tok::LBrace: return "'{'";
+    case Tok::RBrace: return "'}'";
+    case Tok::LBracket: return "'['";
+    case Tok::RBracket: return "']'";
+    case Tok::Comma: return "','";
+    case Tok::Semi: return "';'";
+    case Tok::Assign: return "'='";
+    case Tok::Plus: return "'+'";
+    case Tok::Minus: return "'-'";
+    case Tok::Star: return "'*'";
+    case Tok::Slash: return "'/'";
+    case Tok::Percent: return "'%'";
+    case Tok::Lt: return "'<'";
+    case Tok::Le: return "'<='";
+    case Tok::Gt: return "'>'";
+    case Tok::Ge: return "'>='";
+    case Tok::EqEq: return "'=='";
+    case Tok::Ne: return "'!='";
+    case Tok::AndAnd: return "'&&'";
+    case Tok::OrOr: return "'||'";
+    case Tok::Not: return "'!'";
+    case Tok::End: return "end of input";
+  }
+  return "?";
+}
+
+}  // namespace pdc::minic

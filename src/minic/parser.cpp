@@ -1,0 +1,327 @@
+#include "minic/parser.hpp"
+
+namespace pdc::minic {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : toks_(std::move(tokens)) {}
+
+  Program parse_program() {
+    Program prog;
+    while (peek().kind != Tok::End) prog.functions.push_back(parse_function());
+    return prog;
+  }
+
+ private:
+  const Token& peek(std::size_t ahead = 0) const {
+    const std::size_t i = std::min(pos_ + ahead, toks_.size() - 1);
+    return toks_[i];
+  }
+  const Token& advance() { return toks_[pos_++]; }
+  bool match(Tok kind) {
+    if (peek().kind != kind) return false;
+    ++pos_;
+    return true;
+  }
+  const Token& expect(Tok kind, const std::string& context) {
+    if (peek().kind != kind)
+      throw CompileError(peek().line, peek().col,
+                         "expected " + tok_name(kind) + " " + context + ", found " +
+                             tok_name(peek().kind));
+    return advance();
+  }
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw CompileError(peek().line, peek().col, msg);
+  }
+
+  bool at_type() const {
+    return peek().kind == Tok::KwInt || peek().kind == Tok::KwDouble ||
+           peek().kind == Tok::KwVoid;
+  }
+
+  Type parse_type() {
+    if (match(Tok::KwInt)) return Type::Int;
+    if (match(Tok::KwDouble)) return Type::Double;
+    if (match(Tok::KwVoid)) return Type::Void;
+    fail("expected a type");
+  }
+
+  Function parse_function() {
+    Function f;
+    f.line = peek().line;
+    f.ret = parse_type();
+    f.name = expect(Tok::Ident, "as function name").text;
+    expect(Tok::LParen, "after function name");
+    if (!match(Tok::RParen)) {
+      do {
+        Param p;
+        p.type = parse_type();
+        if (p.type == Type::Void) fail("parameters cannot be void");
+        p.name = expect(Tok::Ident, "as parameter name").text;
+        if (match(Tok::LBracket)) {
+          expect(Tok::RBracket, "in array parameter");
+          p.type = p.type == Type::Int ? Type::IntArray : Type::DoubleArray;
+        }
+        f.params.push_back(std::move(p));
+      } while (match(Tok::Comma));
+      expect(Tok::RParen, "after parameters");
+    }
+    expect(Tok::LBrace, "to open function body");
+    while (!match(Tok::RBrace)) f.body.push_back(parse_stmt());
+    return f;
+  }
+
+  StmtPtr parse_stmt() {
+    const int line = peek().line;
+    if (at_type()) return parse_decl();
+    switch (peek().kind) {
+      case Tok::KwIf: return parse_if();
+      case Tok::KwWhile: return parse_while();
+      case Tok::KwFor: return parse_for();
+      case Tok::KwReturn: {
+        advance();
+        auto s = Stmt::make(Stmt::Kind::Return, line);
+        if (peek().kind != Tok::Semi) s->value = parse_expr();
+        expect(Tok::Semi, "after return");
+        return s;
+      }
+      case Tok::LBrace: {
+        advance();
+        auto s = Stmt::make(Stmt::Kind::Block, line);
+        while (!match(Tok::RBrace)) s->body.push_back(parse_stmt());
+        return s;
+      }
+      default: return parse_assign_or_expr(/*need_semi=*/true);
+    }
+  }
+
+  StmtPtr parse_decl() {
+    const int line = peek().line;
+    const Type base = parse_type();
+    if (base == Type::Void) fail("cannot declare a void variable");
+    auto s = Stmt::make(Stmt::Kind::Decl, line);
+    s->name = expect(Tok::Ident, "as variable name").text;
+    s->decl_type = base;
+    if (match(Tok::LBracket)) {
+      s->array_size = parse_expr();
+      expect(Tok::RBracket, "after array size");
+      s->decl_type = base == Type::Int ? Type::IntArray : Type::DoubleArray;
+      if (peek().kind == Tok::Assign) fail("array declarations cannot have initializers");
+    } else if (match(Tok::Assign)) {
+      s->init = parse_expr();
+    }
+    expect(Tok::Semi, "after declaration");
+    return s;
+  }
+
+  /// Parses a statement as a loop/if body; a braced block is spliced so the
+  /// AST is canonical (no redundant Block nesting — keeps unparse/parse a
+  /// fixpoint).
+  void parse_body_into(std::vector<StmtPtr>& dst) {
+    StmtPtr st = parse_stmt();
+    if (st->kind == Stmt::Kind::Block) {
+      for (auto& b : st->body) dst.push_back(std::move(b));
+    } else {
+      dst.push_back(std::move(st));
+    }
+  }
+
+  StmtPtr parse_if() {
+    const int line = peek().line;
+    advance();
+    expect(Tok::LParen, "after 'if'");
+    auto s = Stmt::make(Stmt::Kind::If, line);
+    s->cond = parse_expr();
+    expect(Tok::RParen, "after condition");
+    parse_body_into(s->body);
+    if (match(Tok::KwElse)) parse_body_into(s->else_body);
+    return s;
+  }
+
+  StmtPtr parse_while() {
+    const int line = peek().line;
+    advance();
+    expect(Tok::LParen, "after 'while'");
+    auto s = Stmt::make(Stmt::Kind::While, line);
+    s->cond = parse_expr();
+    expect(Tok::RParen, "after condition");
+    parse_body_into(s->body);
+    return s;
+  }
+
+  StmtPtr parse_for() {
+    const int line = peek().line;
+    advance();
+    expect(Tok::LParen, "after 'for'");
+    auto s = Stmt::make(Stmt::Kind::For, line);
+    if (at_type())
+      s->for_init = parse_decl();  // consumes ';'
+    else if (peek().kind != Tok::Semi)
+      s->for_init = parse_assign_or_expr(/*need_semi=*/true);
+    else
+      advance();  // empty init
+    if (peek().kind != Tok::Semi) s->cond = parse_expr();
+    expect(Tok::Semi, "after for condition");
+    if (peek().kind != Tok::RParen) s->for_step = parse_assign_or_expr(/*need_semi=*/false);
+    expect(Tok::RParen, "after for clauses");
+    parse_body_into(s->body);
+    return s;
+  }
+
+  /// Parses `lvalue = expr` or a bare expression statement.
+  StmtPtr parse_assign_or_expr(bool need_semi) {
+    const int line = peek().line;
+    ExprPtr first = parse_expr();
+    StmtPtr s;
+    if (match(Tok::Assign)) {
+      if (first->kind != Expr::Kind::Var && first->kind != Expr::Kind::Index)
+        throw CompileError(line, 1, "left side of '=' must be a variable or array element");
+      s = Stmt::make(Stmt::Kind::Assign, line);
+      s->lvalue = std::move(first);
+      s->value = parse_expr();
+    } else {
+      s = Stmt::make(Stmt::Kind::ExprStmt, line);
+      s->value = std::move(first);
+    }
+    if (need_semi) expect(Tok::Semi, "after statement");
+    return s;
+  }
+
+  // --- expressions: precedence climbing ---
+  ExprPtr parse_expr() { return parse_or(); }
+
+  ExprPtr parse_or() {
+    ExprPtr e = parse_and();
+    while (peek().kind == Tok::OrOr) {
+      const int line = advance().line;
+      e = Expr::make_binary(BinOp::Or, std::move(e), parse_and(), line);
+    }
+    return e;
+  }
+
+  ExprPtr parse_and() {
+    ExprPtr e = parse_equality();
+    while (peek().kind == Tok::AndAnd) {
+      const int line = advance().line;
+      e = Expr::make_binary(BinOp::And, std::move(e), parse_equality(), line);
+    }
+    return e;
+  }
+
+  ExprPtr parse_equality() {
+    ExprPtr e = parse_relational();
+    while (peek().kind == Tok::EqEq || peek().kind == Tok::Ne) {
+      const BinOp op = peek().kind == Tok::EqEq ? BinOp::Eq : BinOp::Ne;
+      const int line = advance().line;
+      e = Expr::make_binary(op, std::move(e), parse_relational(), line);
+    }
+    return e;
+  }
+
+  ExprPtr parse_relational() {
+    ExprPtr e = parse_additive();
+    while (true) {
+      BinOp op;
+      switch (peek().kind) {
+        case Tok::Lt: op = BinOp::Lt; break;
+        case Tok::Le: op = BinOp::Le; break;
+        case Tok::Gt: op = BinOp::Gt; break;
+        case Tok::Ge: op = BinOp::Ge; break;
+        default: return e;
+      }
+      const int line = advance().line;
+      e = Expr::make_binary(op, std::move(e), parse_additive(), line);
+    }
+  }
+
+  ExprPtr parse_additive() {
+    ExprPtr e = parse_multiplicative();
+    while (peek().kind == Tok::Plus || peek().kind == Tok::Minus) {
+      const BinOp op = peek().kind == Tok::Plus ? BinOp::Add : BinOp::Sub;
+      const int line = advance().line;
+      e = Expr::make_binary(op, std::move(e), parse_multiplicative(), line);
+    }
+    return e;
+  }
+
+  ExprPtr parse_multiplicative() {
+    ExprPtr e = parse_unary();
+    while (peek().kind == Tok::Star || peek().kind == Tok::Slash ||
+           peek().kind == Tok::Percent) {
+      const BinOp op = peek().kind == Tok::Star    ? BinOp::Mul
+                       : peek().kind == Tok::Slash ? BinOp::Div
+                                                   : BinOp::Mod;
+      const int line = advance().line;
+      e = Expr::make_binary(op, std::move(e), parse_unary(), line);
+    }
+    return e;
+  }
+
+  ExprPtr parse_unary() {
+    if (peek().kind == Tok::Minus) {
+      const int line = advance().line;
+      return Expr::make_unary(UnOp::Neg, parse_unary(), line);
+    }
+    if (peek().kind == Tok::Not) {
+      const int line = advance().line;
+      return Expr::make_unary(UnOp::Not, parse_unary(), line);
+    }
+    return parse_primary();
+  }
+
+  ExprPtr parse_primary() {
+    const Token& t = peek();
+    switch (t.kind) {
+      case Tok::IntLit: {
+        advance();
+        return Expr::make_int(t.int_val, t.line);
+      }
+      case Tok::FloatLit: {
+        advance();
+        return Expr::make_float(t.float_val, t.line);
+      }
+      case Tok::LParen: {
+        advance();
+        ExprPtr e = parse_expr();
+        expect(Tok::RParen, "to close parenthesis");
+        return e;
+      }
+      case Tok::Ident: {
+        advance();
+        if (peek().kind == Tok::LParen) {
+          advance();
+          std::vector<ExprPtr> args;
+          if (peek().kind != Tok::RParen) {
+            do {
+              args.push_back(parse_expr());
+            } while (match(Tok::Comma));
+          }
+          expect(Tok::RParen, "after call arguments");
+          return Expr::make_call(t.text, std::move(args), t.line);
+        }
+        if (peek().kind == Tok::LBracket) {
+          advance();
+          ExprPtr idx = parse_expr();
+          expect(Tok::RBracket, "after array index");
+          return Expr::make_index(t.text, std::move(idx), t.line);
+        }
+        return Expr::make_var(t.text, t.line);
+      }
+      default: fail("expected an expression, found " + tok_name(t.kind));
+    }
+  }
+
+  std::vector<Token> toks_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Program parse(const std::string& source) {
+  Parser p{lex(source)};
+  return p.parse_program();
+}
+
+}  // namespace pdc::minic

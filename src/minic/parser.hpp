@@ -1,0 +1,27 @@
+// Recursive-descent parser for MiniC.
+//
+// Grammar (EBNF):
+//   program   := { function }
+//   function  := type ident '(' [ param {',' param} ] ')' block
+//   param     := type ident [ '[' ']' ]
+//   block     := '{' { stmt } '}'
+//   stmt      := decl | assign | if | while | for | return | exprstmt | block
+//   decl      := type ident [ '[' expr ']' ] [ '=' expr ] ';'
+//   assign    := lvalue '=' expr ';'
+//   lvalue    := ident | ident '[' expr ']'
+//   if        := 'if' '(' expr ')' stmt [ 'else' stmt ]
+//   while     := 'while' '(' expr ')' stmt
+//   for       := 'for' '(' (decl|assign|';') expr ';' assign-no-semi ')' stmt
+//   return    := 'return' [ expr ] ';'
+//   expr      := precedence climbing over || && == != < <= > >= + - * / % ! unary-
+#pragma once
+
+#include "minic/ast.hpp"
+#include "minic/token.hpp"
+
+namespace pdc::minic {
+
+/// Parses a full program. Throws CompileError on syntax errors.
+Program parse(const std::string& source);
+
+}  // namespace pdc::minic

@@ -1,0 +1,225 @@
+#include "minic/sema.hpp"
+
+#include <map>
+#include <vector>
+
+#include "minic/builtins.hpp"
+#include "minic/token.hpp"
+
+namespace pdc::minic {
+
+namespace {
+
+class Checker {
+ public:
+  explicit Checker(Program& prog) : prog_(prog) {}
+
+  void run() {
+    for (const Function& f : prog_.functions) {
+      if (find_builtin(f.name))
+        throw CompileError(f.line, 1, "function '" + f.name + "' shadows a builtin");
+      if (signatures_.count(f.name))
+        throw CompileError(f.line, 1, "duplicate function '" + f.name + "'");
+      signatures_[f.name] = &f;
+    }
+    for (Function& f : prog_.functions) check_function(f);
+  }
+
+ private:
+  using Scope = std::map<std::string, Type>;
+
+  [[noreturn]] void fail(int line, const std::string& msg) {
+    throw CompileError(line, 1, msg);
+  }
+
+  Type lookup(const std::string& name, int line) {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      auto v = it->find(name);
+      if (v != it->end()) return v->second;
+    }
+    fail(line, "use of undeclared variable '" + name + "'");
+  }
+
+  void declare(const std::string& name, Type type, int line) {
+    auto& scope = scopes_.back();
+    if (scope.count(name)) fail(line, "redeclaration of '" + name + "' in the same scope");
+    scope[name] = type;
+  }
+
+  void check_function(Function& f) {
+    current_ = &f;
+    scopes_.clear();
+    scopes_.emplace_back();
+    for (const Param& p : f.params) declare(p.name, p.type, f.line);
+    scopes_.emplace_back();  // body scope
+    for (StmtPtr& s : f.body) check_stmt(*s);
+    scopes_.pop_back();
+    scopes_.pop_back();
+  }
+
+  void check_stmt(Stmt& s) {
+    switch (s.kind) {
+      case Stmt::Kind::Decl: {
+        if (s.array_size) {
+          if (expr(*s.array_size) != Type::Int) fail(s.line, "array size must be int");
+        }
+        if (s.init) {
+          const Type vt = expr(*s.init);
+          if (!assignable(s.decl_type, vt))
+            fail(s.line, "cannot initialize " + type_name(s.decl_type) + " '" + s.name +
+                             "' from " + type_name(vt));
+        }
+        declare(s.name, s.decl_type, s.line);
+        break;
+      }
+      case Stmt::Kind::Assign: {
+        const Type lt = expr(*s.lvalue);
+        if (is_array(lt)) fail(s.line, "arrays cannot be assigned as a whole");
+        const Type vt = expr(*s.value);
+        if (!assignable(lt, vt))
+          fail(s.line, "cannot assign " + type_name(vt) + " to " + type_name(lt));
+        break;
+      }
+      case Stmt::Kind::If:
+      case Stmt::Kind::While: {
+        if (expr(*s.cond) != Type::Int) fail(s.line, "condition must be int");
+        scopes_.emplace_back();
+        for (StmtPtr& b : s.body) check_stmt(*b);
+        scopes_.pop_back();
+        scopes_.emplace_back();
+        for (StmtPtr& b : s.else_body) check_stmt(*b);
+        scopes_.pop_back();
+        break;
+      }
+      case Stmt::Kind::For: {
+        scopes_.emplace_back();  // for-scope holds the induction declaration
+        if (s.for_init) check_stmt(*s.for_init);
+        if (s.cond && expr(*s.cond) != Type::Int) fail(s.line, "for condition must be int");
+        if (s.for_step) check_stmt(*s.for_step);
+        scopes_.emplace_back();
+        for (StmtPtr& b : s.body) check_stmt(*b);
+        scopes_.pop_back();
+        scopes_.pop_back();
+        break;
+      }
+      case Stmt::Kind::Return: {
+        const Type want = current_->ret;
+        if (s.value) {
+          const Type got = expr(*s.value);
+          if (want == Type::Void) fail(s.line, "void function returns a value");
+          if (!assignable(want, got))
+            fail(s.line, "returning " + type_name(got) + " from a " + type_name(want) +
+                             " function");
+        } else if (want != Type::Void) {
+          fail(s.line, "non-void function must return a value");
+        }
+        break;
+      }
+      case Stmt::Kind::ExprStmt:
+        expr(*s.value);
+        break;
+      case Stmt::Kind::Block: {
+        scopes_.emplace_back();
+        for (StmtPtr& b : s.body) check_stmt(*b);
+        scopes_.pop_back();
+        break;
+      }
+    }
+  }
+
+  static bool assignable(Type dst, Type src) {
+    if (dst == src) return true;
+    return dst == Type::Double && src == Type::Int;  // implicit promotion
+  }
+
+  Type expr(Expr& e) {
+    switch (e.kind) {
+      case Expr::Kind::IntLit: return e.type = Type::Int;
+      case Expr::Kind::FloatLit: return e.type = Type::Double;
+      case Expr::Kind::Var: return e.type = lookup(e.name, e.line);
+      case Expr::Kind::Index: {
+        const Type base = lookup(e.name, e.line);
+        if (!is_array(base)) fail(e.line, "'" + e.name + "' is not an array");
+        if (expr(*e.kids[0]) != Type::Int) fail(e.line, "array index must be int");
+        return e.type = element_type(base);
+      }
+      case Expr::Kind::Unary: {
+        const Type t = expr(*e.kids[0]);
+        if (is_array(t)) fail(e.line, "invalid operand");
+        if (e.un == UnOp::Not) {
+          if (t != Type::Int) fail(e.line, "'!' needs an int operand");
+          return e.type = Type::Int;
+        }
+        return e.type = t;
+      }
+      case Expr::Kind::Binary: {
+        const Type lt = expr(*e.kids[0]);
+        const Type rt = expr(*e.kids[1]);
+        if (is_array(lt) || is_array(rt)) fail(e.line, "arrays are not valid operands");
+        switch (e.bin) {
+          case BinOp::And:
+          case BinOp::Or:
+            if (lt != Type::Int || rt != Type::Int)
+              fail(e.line, "logical operators need int operands");
+            return e.type = Type::Int;
+          case BinOp::Mod:
+            if (lt != Type::Int || rt != Type::Int) fail(e.line, "'%' needs int operands");
+            return e.type = Type::Int;
+          case BinOp::Lt:
+          case BinOp::Le:
+          case BinOp::Gt:
+          case BinOp::Ge:
+          case BinOp::Eq:
+          case BinOp::Ne:
+            return e.type = Type::Int;
+          default:
+            return e.type =
+                       (lt == Type::Double || rt == Type::Double) ? Type::Double : Type::Int;
+        }
+      }
+      case Expr::Kind::Call: {
+        std::vector<Type> params;
+        Type ret;
+        if (auto b = find_builtin(e.name)) {
+          params = b->params;
+          ret = b->ret;
+        } else if (auto it = signatures_.find(e.name); it != signatures_.end()) {
+          for (const Param& p : it->second->params) params.push_back(p.type);
+          ret = it->second->ret;
+        } else {
+          fail(e.line, "call to unknown function '" + e.name + "'");
+        }
+        if (e.kids.size() != params.size())
+          fail(e.line, "'" + e.name + "' expects " + std::to_string(params.size()) +
+                           " arguments, got " + std::to_string(e.kids.size()));
+        for (std::size_t i = 0; i < params.size(); ++i) {
+          const Type at = expr(*e.kids[i]);
+          if (is_array(params[i])) {
+            if (at != params[i])
+              fail(e.line, "argument " + std::to_string(i + 1) + " of '" + e.name +
+                               "' must be " + type_name(params[i]));
+            if (e.kids[i]->kind != Expr::Kind::Var)
+              fail(e.line, "array arguments must be plain array variables");
+          } else if (!assignable(params[i], at)) {
+            fail(e.line, "argument " + std::to_string(i + 1) + " of '" + e.name +
+                             "' has type " + type_name(at) + ", expected " +
+                             type_name(params[i]));
+          }
+        }
+        return e.type = ret;
+      }
+    }
+    fail(e.line, "internal: unhandled expression");
+  }
+
+  Program& prog_;
+  const Function* current_ = nullptr;
+  std::map<std::string, const Function*> signatures_;
+  std::vector<Scope> scopes_;
+};
+
+}  // namespace
+
+void check(Program& program) { Checker{program}.run(); }
+
+}  // namespace pdc::minic

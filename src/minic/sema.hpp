@@ -1,0 +1,23 @@
+// Semantic analysis: name resolution, type checking and annotation.
+//
+// Rules:
+//  * variables must be declared before use; shadowing in nested blocks is
+//    allowed; redeclaration in the same scope is an error;
+//  * int->double promotes implicitly in arithmetic, assignment to double,
+//    call arguments and return values; double->int never converts implicitly;
+//  * conditions and logical operands are int; comparisons yield int;
+//  * % is int-only; array indices are int; arrays cannot be assigned whole;
+//  * calls must match a builtin or program function signature (arrays pass
+//    by reference and must match element type exactly).
+//
+// check() annotates Expr::type in place and returns normally, or throws
+// CompileError on the first violation.
+#pragma once
+
+#include "minic/ast.hpp"
+
+namespace pdc::minic {
+
+void check(Program& program);
+
+}  // namespace pdc::minic

@@ -1,0 +1,56 @@
+// Token stream for MiniC, the C subset dPerf analyzes in this reproduction
+// (standing in for the C/C++/Fortran front-ends ROSE gives the paper).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace pdc::minic {
+
+enum class Tok {
+  // literals / identifiers
+  IntLit, FloatLit, Ident,
+  // keywords
+  KwInt, KwDouble, KwVoid, KwIf, KwElse, KwWhile, KwFor, KwReturn,
+  // punctuation
+  LParen, RParen, LBrace, RBrace, LBracket, RBracket, Comma, Semi,
+  // operators
+  Assign, Plus, Minus, Star, Slash, Percent,
+  Lt, Le, Gt, Ge, EqEq, Ne, AndAnd, OrOr, Not,
+  End,
+};
+
+struct Token {
+  Tok kind = Tok::End;
+  std::string text;
+  long long int_val = 0;
+  double float_val = 0;
+  int line = 1;
+  int col = 1;
+};
+
+/// Compile-time diagnostics carry a source position.
+class CompileError : public std::runtime_error {
+ public:
+  CompileError(int line, int col, const std::string& what)
+      : std::runtime_error("line " + std::to_string(line) + ":" + std::to_string(col) +
+                           ": " + what),
+        line_(line),
+        col_(col) {}
+  int line() const { return line_; }
+  int col() const { return col_; }
+
+ private:
+  int line_, col_;
+};
+
+/// Tokenizes MiniC source ('//' and '/* */' comments allowed).
+/// Throws CompileError on malformed input.
+std::vector<Token> lex(const std::string& source);
+
+/// Human-readable token-kind name for diagnostics.
+std::string tok_name(Tok kind);
+
+}  // namespace pdc::minic

@@ -1,0 +1,141 @@
+#include "net/builders.hpp"
+
+#include <string>
+#include <vector>
+
+#include "support/time.hpp"
+
+namespace pdc::net {
+
+using namespace pdc::units;
+
+Platform build_star(const StarSpec& spec) {
+  Platform p;
+  const NodeIdx sw = p.add_router(spec.name_prefix + "-switch");
+  const LinkIdx backbone = p.add_link("backbone", spec.backbone_bw_Bps, spec.backbone_latency);
+  std::vector<NodeIdx> hosts;
+  std::vector<LinkIdx> nics;
+  for (int i = 0; i < spec.hosts; ++i) {
+    const Ipv4 ip{spec.base_ip.bits() + static_cast<std::uint32_t>(i)};
+    const NodeIdx h =
+        p.add_host(spec.name_prefix + "-" + std::to_string(i), spec.host_speed_hz, ip);
+    const LinkIdx nic =
+        p.add_link("nic-" + std::to_string(i), spec.nic_bw_Bps, spec.nic_latency);
+    p.connect(h, sw, nic);
+    hosts.push_back(h);
+    nics.push_back(nic);
+  }
+  // Explicit routes force every pair through the backbone: NIC_a up,
+  // backbone, NIC_b down. Direction of the backbone hop groups by flow
+  // orientation so the two directions of the full-duplex fabric are
+  // independent capacities.
+  for (int a = 0; a < spec.hosts; ++a) {
+    for (int b = a + 1; b < spec.hosts; ++b) {
+      std::vector<Hop> hops{Hop{nics[static_cast<std::size_t>(a)], 0},
+                            Hop{backbone, 0},
+                            Hop{nics[static_cast<std::size_t>(b)], 1}};
+      p.set_route(hosts[static_cast<std::size_t>(a)], hosts[static_cast<std::size_t>(b)],
+                  std::move(hops), /*symmetric=*/true);
+    }
+  }
+  return p;
+}
+
+StarSpec bordeplage_cluster_spec(int hosts) {
+  StarSpec s;
+  s.hosts = hosts;
+  s.host_speed_hz = 3e9;
+  s.nic_bw_Bps = 1.0 * Gbps;
+  s.nic_latency = 100 * us;
+  s.backbone_bw_Bps = 10.0 * Gbps;
+  s.backbone_latency = 100 * us;
+  s.base_ip = Ipv4{172, 16, 0, 1};
+  s.name_prefix = "bordeplage";
+  return s;
+}
+
+StarSpec lan_spec(int hosts) {
+  StarSpec s;
+  s.hosts = hosts;
+  s.host_speed_hz = 3e9;  // identical machines, different interconnect
+  s.nic_bw_Bps = 100.0 * Mbps;
+  // Commodity campus switches and 2011-era NIC stacks: noticeably higher
+  // per-hop latency than the cluster-grade gear of Stage-1.
+  s.nic_latency = 300 * us;
+  s.backbone_bw_Bps = 1.0 * Gbps;
+  s.backbone_latency = 300 * us;
+  s.base_ip = Ipv4{192, 168, 0, 1};
+  s.name_prefix = "lan";
+  return s;
+}
+
+int daisy_host_count(const DaisySpec& spec) {
+  return spec.central_routers * spec.routers_per_petal * spec.dslams_per_router *
+             spec.nodes_per_dslam +
+         spec.extra_nodes_on_one_dslam;
+}
+
+Platform build_daisy(const DaisySpec& spec, Rng& rng) {
+  Platform p;
+  // Central ring (l1 @ 100 Gbps).
+  std::vector<NodeIdx> center;
+  for (int c = 0; c < spec.central_routers; ++c)
+    center.push_back(p.add_router("core-" + std::to_string(c)));
+  for (int c = 0; c < spec.central_routers; ++c) {
+    const int next = (c + 1) % spec.central_routers;
+    const LinkIdx l1 = p.add_link("l1-" + std::to_string(c), spec.ring_bw_Bps,
+                                  spec.router_latency);
+    p.connect(center[static_cast<std::size_t>(c)], center[static_cast<std::size_t>(next)], l1);
+  }
+  int host_counter = 0;
+  for (int petal = 0; petal < spec.central_routers; ++petal) {
+    // Petal loop: core -> r0 -> r1 -> ... -> r9 -> core (l2 @ 10 Gbps).
+    std::vector<NodeIdx> petal_routers;
+    for (int r = 0; r < spec.routers_per_petal; ++r)
+      petal_routers.push_back(
+          p.add_router("petal-" + std::to_string(petal) + "-r" + std::to_string(r)));
+    NodeIdx prev = center[static_cast<std::size_t>(petal)];
+    for (int r = 0; r < spec.routers_per_petal; ++r) {
+      const LinkIdx l2 = p.add_link(
+          "l2-" + std::to_string(petal) + "-" + std::to_string(r), spec.petal_bw_Bps,
+          spec.router_latency);
+      p.connect(prev, petal_routers[static_cast<std::size_t>(r)], l2);
+      prev = petal_routers[static_cast<std::size_t>(r)];
+    }
+    const LinkIdx l2back = p.add_link("l2-" + std::to_string(petal) + "-back",
+                                      spec.petal_bw_Bps, spec.router_latency);
+    p.connect(prev, center[static_cast<std::size_t>(petal)], l2back);
+
+    for (int r = 0; r < spec.routers_per_petal; ++r) {
+      for (int d = 0; d < spec.dslams_per_router; ++d) {
+        const std::string dslam_name = "dslam-" + std::to_string(petal) + "-" +
+                                       std::to_string(r) + "-" + std::to_string(d);
+        const NodeIdx dslam = p.add_router(dslam_name);
+        const LinkIdx up = p.add_link(dslam_name + "-up", spec.dslam_up_bw_Bps,
+                                      spec.router_latency);
+        p.connect(dslam, petal_routers[static_cast<std::size_t>(r)], up);
+        // The very first DSLAM carries the 24 extra nodes (paper Fig. 8).
+        int nodes_here = spec.nodes_per_dslam;
+        if (petal == 0 && r == 0 && d == 0) nodes_here += spec.extra_nodes_on_one_dslam;
+        for (int n = 0; n < nodes_here; ++n) {
+          // IPs encode the topology so the IP-prefix proximity metric
+          // correlates with network distance: petal in the second octet,
+          // router/dslam in the third.
+          const Ipv4 ip{static_cast<std::uint8_t>(82),
+                        static_cast<std::uint8_t>(petal + 1),
+                        static_cast<std::uint8_t>(r * spec.dslams_per_router + d),
+                        static_cast<std::uint8_t>(n + 1)};
+          const NodeIdx host = p.add_host("xdsl-" + std::to_string(host_counter++),
+                                          spec.host_speed_hz, ip);
+          const double bw = rng.uniform(spec.last_mile_min_Bps, spec.last_mile_max_Bps);
+          const LinkIdx l3 =
+              p.add_link("l3-" + std::to_string(host_counter), bw, spec.last_mile_latency);
+          p.connect(host, dslam, l3);
+        }
+      }
+    }
+  }
+  return p;
+}
+
+}  // namespace pdc::net

@@ -1,0 +1,64 @@
+// Builders for the three platforms of the paper's evaluation (§IV-A):
+//
+//  * Stage-1:  Grid'5000 Bordeplage cluster — 1 Gbps NICs @ 100 us,
+//              10 Gbps backbone @ 100 us, Intel Xeon EM64T 3 GHz nodes;
+//  * Stage-2A: "Daisy" xDSL topology (Fig. 8) — 5 central routers on a
+//              100 Gbps ring, 5 petals of 10 routers (10 Gbps links),
+//              4 DSLAMs per petal router (10 Gbps uplinks), 5 nodes per
+//              DSLAM at 5..10 Mbps randomly assigned (one DSLAM carries
+//              5+24 extra nodes so the total is 1024);
+//  * Stage-2B: a regular LAN — 1 Gbps backbone, 100 Mbps per node.
+#pragma once
+
+#include "net/platform.hpp"
+#include "support/rng.hpp"
+
+namespace pdc::net {
+
+/// Star-with-backbone topology used for both the cluster and the LAN:
+/// every host has a private NIC link to the switch, and every host-to-host
+/// route additionally crosses one shared backbone link.
+struct StarSpec {
+  int hosts = 2;
+  double host_speed_hz = 3e9;  // paper: Xeon EM64T 3 GHz, one core per node
+  double nic_bw_Bps = 0;
+  Time nic_latency = 0;
+  double backbone_bw_Bps = 0;
+  Time backbone_latency = 0;
+  Ipv4 base_ip{10, 0, 0, 1};
+  std::string name_prefix = "node";
+};
+
+Platform build_star(const StarSpec& spec);
+
+/// The paper's Stage-1 Bordeplage cluster with `hosts` nodes.
+StarSpec bordeplage_cluster_spec(int hosts);
+
+/// The paper's Stage-2B LAN with `hosts` nodes.
+StarSpec lan_spec(int hosts);
+
+/// Stage-2A Daisy xDSL topology (Fig. 8). Last-mile bandwidths are drawn
+/// uniformly from [last_mile_min_Bps, last_mile_max_Bps] using `rng`, as the
+/// paper randomly assigns 5..10 Mbps.
+struct DaisySpec {
+  int central_routers = 5;
+  int routers_per_petal = 10;
+  int dslams_per_router = 4;
+  int nodes_per_dslam = 5;
+  int extra_nodes_on_one_dslam = 24;  // "exceptionally, one DSLAM connects 5+24 nodes"
+  double host_speed_hz = 3e9;         // same machines as the cluster (paper §IV-A.3)
+  double ring_bw_Bps = 100e9 / 8;     // l1 @ 100 Gbps
+  double petal_bw_Bps = 10e9 / 8;     // l2 @ 10 Gbps
+  double dslam_up_bw_Bps = 10e9 / 8;  // DSLAM->router @ 10 Gbps
+  double last_mile_min_Bps = 5e6 / 8;
+  double last_mile_max_Bps = 10e6 / 8;
+  Time router_latency = 200 * 1e-6;     // per backbone hop
+  Time last_mile_latency = 2 * 1e-3;    // DSL line latency
+};
+
+Platform build_daisy(const DaisySpec& spec, Rng& rng);
+
+/// Total number of end hosts `build_daisy` creates for a spec.
+int daisy_host_count(const DaisySpec& spec);
+
+}  // namespace pdc::net

@@ -1,0 +1,161 @@
+#include "net/flow.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace pdc::net {
+
+namespace {
+// Bytes below this are considered fully transferred (guards float drift).
+constexpr double kByteEpsilon = 1e-6;
+// Key for per-direction link usage.
+constexpr std::uint64_t dirkey(Hop h) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(h.link)) << 1) |
+         static_cast<std::uint32_t>(h.dir);
+}
+}  // namespace
+
+FlowId FlowNet::start_flow(NodeIdx src, NodeIdx dst, double bytes,
+                           std::function<void()> on_complete) {
+  ++stats_.flows_started;
+  const FlowId id = next_id_++;
+  if (src == dst) {
+    ++stats_.flows_completed;
+    stats_.bytes_completed += bytes;
+    engine_->post(std::move(on_complete));
+    return id;
+  }
+  const Route& route = platform_->route(src, dst);
+  Flow f;
+  f.id = id;
+  f.remaining = std::max(bytes, 0.0);
+  f.total_bytes = f.remaining;
+  f.hops = route.hops;
+  f.on_complete = std::move(on_complete);
+  f.phase = Phase::Latency;
+  flows_.emplace(id, std::move(f));
+  engine_->schedule_after(route.latency, [this, id] {
+    auto it = flows_.find(id);
+    if (it == flows_.end()) return;
+    it->second.phase = Phase::Transfer;
+    reshare();
+  });
+  return id;
+}
+
+sim::Task<void> FlowNet::transfer(NodeIdx src, NodeIdx dst, double bytes) {
+  auto gate = std::make_shared<sim::Gate>(*engine_);
+  start_flow(src, dst, bytes, [gate] { gate->open(); });
+  co_await gate->wait();
+}
+
+double FlowNet::flow_rate(FlowId id) const {
+  auto it = flows_.find(id);
+  return it == flows_.end() ? 0.0 : it->second.rate;
+}
+
+void FlowNet::advance_progress() {
+  const Time dt = engine_->now() - last_update_;
+  if (dt > 0) {
+    for (auto& [id, f] : flows_)
+      if (f.phase == Phase::Transfer && f.rate > 0)
+        f.remaining = std::max(0.0, f.remaining - f.rate * dt);
+  }
+  last_update_ = engine_->now();
+}
+
+void FlowNet::recompute_rates() {
+  // Progressive filling: repeatedly saturate the most constrained link.
+  std::map<std::uint64_t, double> capacity;
+  std::map<std::uint64_t, int> unfixed_count;
+  std::vector<Flow*> unfixed;
+  for (auto& [id, f] : flows_) {
+    f.rate = 0;
+    if (f.phase != Phase::Transfer) continue;
+    unfixed.push_back(&f);
+    for (const Hop& h : f.hops) {
+      capacity.emplace(dirkey(h), platform_->link(h.link).bandwidth_Bps);
+      ++unfixed_count[dirkey(h)];
+    }
+  }
+  while (!unfixed.empty()) {
+    double best_share = std::numeric_limits<double>::infinity();
+    for (const auto& [key, cap] : capacity) {
+      const int n = unfixed_count[key];
+      if (n > 0) best_share = std::min(best_share, cap / n);
+    }
+    if (!std::isfinite(best_share)) break;  // no constrained flows remain
+    // Fix every unfixed flow that crosses a bottleneck link.
+    std::vector<Flow*> still_unfixed;
+    for (Flow* f : unfixed) {
+      bool at_bottleneck = false;
+      for (const Hop& h : f->hops) {
+        const auto key = dirkey(h);
+        if (unfixed_count[key] > 0 &&
+            capacity[key] / unfixed_count[key] <= best_share * (1 + 1e-12)) {
+          at_bottleneck = true;
+          break;
+        }
+      }
+      if (at_bottleneck) {
+        f->rate = best_share;
+        for (const Hop& h : f->hops) {
+          const auto key = dirkey(h);
+          capacity[key] = std::max(0.0, capacity[key] - best_share);
+          --unfixed_count[key];
+        }
+      } else {
+        still_unfixed.push_back(f);
+      }
+    }
+    if (still_unfixed.size() == unfixed.size()) break;  // numeric safety
+    unfixed.swap(still_unfixed);
+  }
+}
+
+void FlowNet::schedule_next_completion() {
+  completion_timer_.cancel();
+  Time earliest = kTimeInfinity;
+  for (const auto& [id, f] : flows_) {
+    if (f.phase != Phase::Transfer) continue;
+    if (f.remaining <= kByteEpsilon) {
+      earliest = 0;
+      break;
+    }
+    if (f.rate > 0) earliest = std::min(earliest, f.remaining / f.rate);
+  }
+  if (earliest >= kTimeInfinity) return;
+  completion_timer_ = engine_->schedule_cancellable(earliest, [this] { on_completion_event(); });
+}
+
+void FlowNet::on_completion_event() {
+  advance_progress();
+  // Complete every flow that has drained (ties complete together).
+  std::vector<Flow> done;
+  for (auto it = flows_.begin(); it != flows_.end();) {
+    if (it->second.phase == Phase::Transfer && it->second.remaining <= kByteEpsilon) {
+      done.push_back(std::move(it->second));
+      it = flows_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (Flow& f : done) {
+    ++stats_.flows_completed;
+    stats_.bytes_completed += f.total_bytes;
+    engine_->post(std::move(f.on_complete));
+  }
+  recompute_rates();
+  schedule_next_completion();
+  ++stats_.reshares;
+}
+
+void FlowNet::reshare() {
+  advance_progress();
+  recompute_rates();
+  schedule_next_completion();
+  ++stats_.reshares;
+}
+
+}  // namespace pdc::net

@@ -1,0 +1,87 @@
+// Flow-level network model with max-min fair bandwidth sharing.
+//
+// Each transfer is a fluid flow along its route. Concurrent flows crossing
+// the same link in the same direction share that link's capacity with
+// max-min fairness (progressive filling), the same model family as
+// SimGrid's default used by the paper for trace-based simulation. A flow
+// first waits out the route's accumulated latency, then streams its bytes
+// at the allocated rate; allocations are recomputed whenever a flow enters
+// or leaves the transfer phase.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "net/platform.hpp"
+#include "sim/engine.hpp"
+#include "sim/sync.hpp"
+#include "sim/task.hpp"
+
+namespace pdc::net {
+
+using FlowId = std::uint64_t;
+
+/// Aggregate counters for tests and benches.
+struct FlowNetStats {
+  std::uint64_t flows_started = 0;
+  std::uint64_t flows_completed = 0;
+  double bytes_completed = 0;
+  std::uint64_t reshares = 0;
+};
+
+class FlowNet {
+ public:
+  FlowNet(sim::Engine& engine, const Platform& platform)
+      : engine_(&engine), platform_(&platform) {}
+  FlowNet(const FlowNet&) = delete;
+  FlowNet& operator=(const FlowNet&) = delete;
+
+  /// Starts a flow of `bytes` from `src` to `dst`; `on_complete` fires (as a
+  /// posted event) when the last byte arrives. A src==dst transfer completes
+  /// immediately (loopback: no modelled cost). Zero-byte flows still pay the
+  /// route latency.
+  FlowId start_flow(NodeIdx src, NodeIdx dst, double bytes, std::function<void()> on_complete);
+
+  /// Awaitable wrapper around start_flow.
+  sim::Task<void> transfer(NodeIdx src, NodeIdx dst, double bytes);
+
+  std::size_t active_flows() const { return flows_.size(); }
+  const FlowNetStats& stats() const { return stats_; }
+
+  /// Current max-min rate of an active flow (0 while in the latency phase);
+  /// exposed for tests of the sharing model.
+  double flow_rate(FlowId id) const;
+
+ private:
+  enum class Phase { Latency, Transfer };
+
+  struct Flow {
+    FlowId id = 0;
+    double remaining = 0;
+    double total_bytes = 0;
+    double rate = 0;
+    Phase phase = Phase::Latency;
+    std::vector<Hop> hops;
+    std::function<void()> on_complete;
+  };
+
+  /// Advances remaining byte counts to `now`, recomputes max-min rates and
+  /// reschedules the next-completion event.
+  void reshare();
+  void advance_progress();
+  void recompute_rates();
+  void schedule_next_completion();
+  void on_completion_event();
+
+  sim::Engine* engine_;
+  const Platform* platform_;
+  std::map<FlowId, Flow> flows_;  // ordered: deterministic iteration
+  FlowId next_id_ = 1;
+  Time last_update_ = 0;
+  sim::TimerHandle completion_timer_;
+  FlowNetStats stats_;
+};
+
+}  // namespace pdc::net

@@ -1,0 +1,172 @@
+#include "net/platfile.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "support/time.hpp"
+
+namespace pdc::net {
+
+namespace {
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> out;
+  std::string tok;
+  for (char c : line) {
+    if (c == '#') break;
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      if (!tok.empty()) out.push_back(std::move(tok)), tok.clear();
+    } else {
+      tok += c;
+    }
+  }
+  if (!tok.empty()) out.push_back(std::move(tok));
+  return out;
+}
+
+/// Parses "<number><suffix>" with one of the given suffix multipliers.
+double parse_with_unit(const std::string& text, const std::map<std::string, double>& units,
+                       int line, const std::string& what) {
+  std::size_t pos = 0;
+  while (pos < text.size() &&
+         (std::isdigit(static_cast<unsigned char>(text[pos])) || text[pos] == '.' ||
+          text[pos] == '-' || text[pos] == '+' || text[pos] == 'e' || text[pos] == 'E'))
+    ++pos;
+  // Allow scientific notation while preventing 'e' in a pure suffix: back off
+  // if the numeric part ends with a dangling exponent.
+  std::string num = text.substr(0, pos);
+  std::string suffix = text.substr(pos);
+  if (!num.empty() && (num.back() == 'e' || num.back() == 'E')) {
+    suffix = num.back() + suffix;
+    num.pop_back();
+  }
+  auto it = units.find(suffix);
+  if (num.empty() || it == units.end())
+    throw PlatFileError(line, "bad " + what + " value '" + text + "'");
+  try {
+    return std::stod(num) * it->second;
+  } catch (const std::exception&) {
+    throw PlatFileError(line, "bad " + what + " value '" + text + "'");
+  }
+}
+
+const std::map<std::string, double> kSpeedUnits{{"GHz", 1e9}, {"MHz", 1e6}, {"Hz", 1.0}};
+const std::map<std::string, double> kBwUnits{
+    {"Gbps", 1e9 / 8}, {"Mbps", 1e6 / 8}, {"Kbps", 1e3 / 8}, {"bps", 1.0 / 8}};
+const std::map<std::string, double> kLatUnits{
+    {"s", 1.0}, {"ms", 1e-3}, {"us", 1e-6}, {"ns", 1e-9}};
+
+}  // namespace
+
+Platform parse_platform(const std::string& text) {
+  Platform p;
+  std::map<std::string, NodeIdx> nodes;
+  std::map<std::string, LinkIdx> links;
+
+  auto need_node = [&](const std::string& name, int line) -> NodeIdx {
+    auto it = nodes.find(name);
+    if (it == nodes.end()) throw PlatFileError(line, "unknown node '" + name + "'");
+    return it->second;
+  };
+  auto need_link = [&](const std::string& name, int line) -> LinkIdx {
+    auto it = links.find(name);
+    if (it == links.end()) throw PlatFileError(line, "unknown link '" + name + "'");
+    return it->second;
+  };
+
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto tok = tokenize(line);
+    if (tok.empty()) continue;
+    const std::string& kw = tok[0];
+    if (kw == "host") {
+      if (tok.size() != 6 || tok[2] != "speed" || tok[4] != "ip")
+        throw PlatFileError(lineno, "expected: host <name> speed <v> ip <addr>");
+      if (nodes.count(tok[1])) throw PlatFileError(lineno, "duplicate node '" + tok[1] + "'");
+      const double speed = parse_with_unit(tok[3], kSpeedUnits, lineno, "speed");
+      auto ip = Ipv4::parse(tok[5]);
+      if (!ip) throw PlatFileError(lineno, "bad ip '" + tok[5] + "'");
+      nodes[tok[1]] = p.add_host(tok[1], speed, *ip);
+    } else if (kw == "router") {
+      if (tok.size() != 2) throw PlatFileError(lineno, "expected: router <name>");
+      if (nodes.count(tok[1])) throw PlatFileError(lineno, "duplicate node '" + tok[1] + "'");
+      nodes[tok[1]] = p.add_router(tok[1]);
+    } else if (kw == "link") {
+      if (tok.size() != 6 || tok[2] != "bw" || tok[4] != "lat")
+        throw PlatFileError(lineno, "expected: link <name> bw <v> lat <v>");
+      if (links.count(tok[1])) throw PlatFileError(lineno, "duplicate link '" + tok[1] + "'");
+      const double bw = parse_with_unit(tok[3], kBwUnits, lineno, "bandwidth");
+      const double lat = parse_with_unit(tok[5], kLatUnits, lineno, "latency");
+      links[tok[1]] = p.add_link(tok[1], bw, lat);
+    } else if (kw == "edge") {
+      if (tok.size() != 4) throw PlatFileError(lineno, "expected: edge <a> <b> <link>");
+      p.connect(need_node(tok[1], lineno), need_node(tok[2], lineno), need_link(tok[3], lineno));
+    } else if (kw == "route") {
+      if (tok.size() < 4) throw PlatFileError(lineno, "expected: route <src> <dst> <links...>");
+      const NodeIdx src = need_node(tok[1], lineno);
+      const NodeIdx dst = need_node(tok[2], lineno);
+      // Walk the listed links from src, inferring hop directions.
+      std::vector<Hop> hops;
+      NodeIdx at = src;
+      for (std::size_t i = 3; i < tok.size(); ++i) {
+        const LinkIdx l = need_link(tok[i], lineno);
+        bool found = false;
+        for (int e = 0; e < p.edge_count() && !found; ++e) {
+          const auto& edge = p.edge(e);
+          if (edge.link != l) continue;
+          if (edge.a == at) {
+            hops.push_back(Hop{l, 0});
+            at = edge.b;
+            found = true;
+          } else if (edge.b == at) {
+            hops.push_back(Hop{l, 1});
+            at = edge.a;
+            found = true;
+          }
+        }
+        if (!found)
+          throw PlatFileError(lineno, "link '" + tok[i] + "' does not continue the path");
+      }
+      if (at != dst) throw PlatFileError(lineno, "route does not end at '" + tok[2] + "'");
+      p.set_route(src, dst, std::move(hops));
+    } else {
+      throw PlatFileError(lineno, "unknown keyword '" + kw + "'");
+    }
+  }
+  return p;
+}
+
+std::string render_platform(const Platform& p) {
+  std::ostringstream out;
+  char buf[160];
+  for (int n = 0; n < p.node_count(); ++n) {
+    const NodeInfo& info = p.node(n);
+    if (info.is_host) {
+      std::snprintf(buf, sizeof buf, "host %s speed %.6gGHz ip %s\n", info.name.c_str(),
+                    info.speed_hz / 1e9, info.ip.to_string().c_str());
+      out << buf;
+    } else {
+      out << "router " << info.name << "\n";
+    }
+  }
+  for (int l = 0; l < p.link_count(); ++l) {
+    const Link& link = p.link(l);
+    std::snprintf(buf, sizeof buf, "link %s bw %.6gMbps lat %.6gus\n", link.name.c_str(),
+                  link.bandwidth_Bps * 8 / 1e6, link.latency / units::us);
+    out << buf;
+  }
+  for (int e = 0; e < p.edge_count(); ++e) {
+    const auto& edge = p.edge(e);
+    out << "edge " << p.node(edge.a).name << " " << p.node(edge.b).name << " "
+        << p.link(edge.link).name << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace pdc::net

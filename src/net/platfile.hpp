@@ -1,0 +1,44 @@
+// A small text format for platform descriptions, playing the role of the
+// SimGrid platform files that dPerf feeds to the MSG module.
+//
+// Grammar (line oriented, '#' starts a comment):
+//
+//   host   <name> speed <num><GHz|MHz|Hz> ip <a.b.c.d>
+//   router <name>
+//   link   <name> bw <num><Gbps|Mbps|Kbps|bps> lat <num><s|ms|us|ns>
+//   edge   <nodeA> <nodeB> <link>
+//   route  <src> <dst> <link> [<link> ...]
+//
+// `route` installs an explicit symmetric route; the listed links must form a
+// connected edge path from <src> to <dst> (hop directions are inferred from
+// edge orientation, and a malformed path is a parse error).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "net/platform.hpp"
+
+namespace pdc::net {
+
+/// Error with 1-based line information.
+class PlatFileError : public std::runtime_error {
+ public:
+  PlatFileError(int line, const std::string& what)
+      : std::runtime_error("platform file line " + std::to_string(line) + ": " + what),
+        line_(line) {}
+  int line() const { return line_; }
+
+ private:
+  int line_;
+};
+
+/// Parses a platform description from text. Throws PlatFileError.
+Platform parse_platform(const std::string& text);
+
+/// Serializes a Platform back to the text format (hosts, routers, links,
+/// edges; explicit routes are not exported). parse(render(p)) reproduces the
+/// same node/link/edge structure.
+std::string render_platform(const Platform& p);
+
+}  // namespace pdc::net

@@ -1,0 +1,109 @@
+#include "net/platform.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+
+namespace pdc::net {
+
+NodeIdx Platform::add_host(std::string name, double speed_hz, Ipv4 ip) {
+  const auto idx = static_cast<NodeIdx>(nodes_.size());
+  nodes_.push_back(NodeInfo{std::move(name), /*is_host=*/true, speed_hz, ip});
+  adjacency_.emplace_back();
+  hosts_.push_back(idx);
+  return idx;
+}
+
+NodeIdx Platform::add_router(std::string name) {
+  const auto idx = static_cast<NodeIdx>(nodes_.size());
+  nodes_.push_back(NodeInfo{std::move(name), /*is_host=*/false, 0.0, Ipv4{}});
+  adjacency_.emplace_back();
+  return idx;
+}
+
+LinkIdx Platform::add_link(std::string name, double bandwidth_Bps, Time latency) {
+  const auto idx = static_cast<LinkIdx>(links_.size());
+  links_.push_back(Link{std::move(name), bandwidth_Bps, latency});
+  return idx;
+}
+
+void Platform::connect(NodeIdx a, NodeIdx b, LinkIdx link) {
+  const int edge = static_cast<int>(edges_.size());
+  edges_.push_back(Edge{a, b, link});
+  adjacency_[static_cast<std::size_t>(a)].push_back(edge);
+  adjacency_[static_cast<std::size_t>(b)].push_back(edge);
+}
+
+void Platform::set_route(NodeIdx src, NodeIdx dst, std::vector<Hop> hops, bool symmetric) {
+  Route fwd;
+  fwd.hops = hops;
+  for (const Hop& h : hops) fwd.latency += links_[static_cast<std::size_t>(h.link)].latency;
+  explicit_routes_[pair_key(src, dst)] = std::move(fwd);
+  if (symmetric) {
+    Route rev;
+    for (auto it = hops.rbegin(); it != hops.rend(); ++it) {
+      rev.hops.push_back(Hop{it->link, 1 - it->dir});
+      rev.latency += links_[static_cast<std::size_t>(it->link)].latency;
+    }
+    explicit_routes_[pair_key(dst, src)] = std::move(rev);
+  }
+}
+
+const Route& Platform::route(NodeIdx src, NodeIdx dst) const {
+  if (auto it = explicit_routes_.find(pair_key(src, dst)); it != explicit_routes_.end())
+    return it->second;
+  if (auto it = route_cache_.find(pair_key(src, dst)); it != route_cache_.end())
+    return it->second;
+  Route r = compute_bfs_route(src, dst);
+  auto [it, _] = route_cache_.emplace(pair_key(src, dst), std::move(r));
+  return it->second;
+}
+
+Route Platform::compute_bfs_route(NodeIdx src, NodeIdx dst) const {
+  if (src == dst) return Route{};
+  std::vector<int> via_edge(nodes_.size(), -1);
+  std::vector<NodeIdx> parent(nodes_.size(), -1);
+  std::deque<NodeIdx> frontier{src};
+  parent[static_cast<std::size_t>(src)] = src;
+  while (!frontier.empty()) {
+    const NodeIdx n = frontier.front();
+    frontier.pop_front();
+    if (n == dst) break;
+    for (int e : adjacency_[static_cast<std::size_t>(n)]) {
+      const Edge& edge = edges_[static_cast<std::size_t>(e)];
+      const NodeIdx next = edge.a == n ? edge.b : edge.a;
+      if (parent[static_cast<std::size_t>(next)] != -1) continue;
+      parent[static_cast<std::size_t>(next)] = n;
+      via_edge[static_cast<std::size_t>(next)] = e;
+      frontier.push_back(next);
+    }
+  }
+  if (parent[static_cast<std::size_t>(dst)] == -1)
+    throw std::runtime_error("Platform::route: no path from " +
+                             nodes_[static_cast<std::size_t>(src)].name + " to " +
+                             nodes_[static_cast<std::size_t>(dst)].name);
+  Route r;
+  for (NodeIdx n = dst; n != src; n = parent[static_cast<std::size_t>(n)]) {
+    const Edge& edge = edges_[static_cast<std::size_t>(via_edge[static_cast<std::size_t>(n)])];
+    // The hop is traversed *into* n: direction 0 when moving a->b.
+    const int dir = edge.b == n ? 0 : 1;
+    r.hops.push_back(Hop{edge.link, dir});
+    r.latency += links_[static_cast<std::size_t>(edge.link)].latency;
+  }
+  std::reverse(r.hops.begin(), r.hops.end());
+  return r;
+}
+
+std::optional<NodeIdx> Platform::find_by_name(const std::string& name) const {
+  for (std::size_t i = 0; i < nodes_.size(); ++i)
+    if (nodes_[i].name == name) return static_cast<NodeIdx>(i);
+  return std::nullopt;
+}
+
+std::optional<NodeIdx> Platform::find_by_ip(Ipv4 ip) const {
+  for (NodeIdx h : hosts_)
+    if (nodes_[static_cast<std::size_t>(h)].ip == ip) return h;
+  return std::nullopt;
+}
+
+}  // namespace pdc::net

@@ -1,0 +1,108 @@
+// Network platform description: hosts, routers, full-duplex links and
+// routes. This plays the role of SimGrid's platform files in the paper's
+// dPerf pipeline ("the platform description file being ready ... with
+// Simgrid we calculate the necessary time for communicating").
+//
+// Routes are computed by hop-count BFS over the node graph unless a builder
+// installs an explicit route (used by the cluster/LAN builders to force the
+// NIC -> backbone -> NIC path of the paper's Stage-1/Stage-2B networks).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "support/ipv4.hpp"
+#include "support/time.hpp"
+
+namespace pdc::net {
+
+using NodeIdx = int;
+using LinkIdx = int;
+
+/// A full-duplex link: `bandwidth_Bps` is available independently in each
+/// direction (the paper: "all connections are full-duplex").
+struct Link {
+  std::string name;
+  double bandwidth_Bps = 0;
+  Time latency = 0;
+};
+
+struct NodeInfo {
+  std::string name;
+  bool is_host = false;
+  double speed_hz = 0;  // CPU cycles per second; 0 for routers
+  Ipv4 ip;              // hosts only
+};
+
+/// One traversal step of a route: a link plus the direction of traversal
+/// (0 = from the edge's first endpoint to the second). Flows contend only
+/// with flows crossing the same link in the same direction.
+struct Hop {
+  LinkIdx link = -1;
+  int dir = 0;
+  friend bool operator==(const Hop&, const Hop&) = default;
+};
+
+struct Route {
+  std::vector<Hop> hops;
+  Time latency = 0;  // sum of link latencies along the path
+};
+
+class Platform {
+ public:
+  NodeIdx add_host(std::string name, double speed_hz, Ipv4 ip);
+  NodeIdx add_router(std::string name);
+  LinkIdx add_link(std::string name, double bandwidth_Bps, Time latency);
+
+  /// Adds an undirected edge between nodes `a` and `b` carried by `link`.
+  void connect(NodeIdx a, NodeIdx b, LinkIdx link);
+
+  /// Installs an explicit route from `src` to `dst` (and its reverse, with
+  /// directions flipped, unless `symmetric` is false).
+  void set_route(NodeIdx src, NodeIdx dst, std::vector<Hop> hops, bool symmetric = true);
+
+  /// Returns the route between two *distinct* nodes: explicit if installed,
+  /// else the BFS shortest path (deterministic tie-breaking by node index).
+  /// Throws std::runtime_error if no path exists.
+  const Route& route(NodeIdx src, NodeIdx dst) const;
+
+  const NodeInfo& node(NodeIdx n) const { return nodes_[static_cast<std::size_t>(n)]; }
+  const Link& link(LinkIdx l) const { return links_[static_cast<std::size_t>(l)]; }
+  int node_count() const { return static_cast<int>(nodes_.size()); }
+  int link_count() const { return static_cast<int>(links_.size()); }
+
+  /// Hosts in insertion order (stable rank -> host mapping for experiments).
+  int host_count() const { return static_cast<int>(hosts_.size()); }
+  NodeIdx host(int i) const { return hosts_[static_cast<std::size_t>(i)]; }
+
+  std::optional<NodeIdx> find_by_name(const std::string& name) const;
+  std::optional<NodeIdx> find_by_ip(Ipv4 ip) const;
+
+  struct Edge {
+    NodeIdx a, b;
+    LinkIdx link;
+  };
+  int edge_count() const { return static_cast<int>(edges_.size()); }
+  const Edge& edge(int i) const { return edges_[static_cast<std::size_t>(i)]; }
+
+ private:
+
+  Route compute_bfs_route(NodeIdx src, NodeIdx dst) const;
+  static std::uint64_t pair_key(NodeIdx a, NodeIdx b) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(a)) << 32) |
+           static_cast<std::uint32_t>(b);
+  }
+
+  std::vector<NodeInfo> nodes_;
+  std::vector<Link> links_;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<int>> adjacency_;  // node -> edge indices
+  std::vector<NodeIdx> hosts_;
+  std::unordered_map<std::uint64_t, Route> explicit_routes_;
+  mutable std::unordered_map<std::uint64_t, Route> route_cache_;
+};
+
+}  // namespace pdc::net

@@ -1,0 +1,82 @@
+// Distributed obstacle solver on P2PDC (the paper's reference execution).
+//
+// Every peer solves a strip of rows, exchanging halo rows with both
+// neighbours through P2PSAP every iteration and joining a hierarchical
+// residual reduction every `rcheck` iterations. Simulated computation time
+// is charged from the dPerf block-benchmark cost profile (measured per-point
+// costs at each optimization level), so the reference execution and the
+// dPerf prediction are two *independent* paths over the same measured
+// quantities.
+//
+// ValueMode::Real additionally performs the numerical sweep natively and
+// ships real strips (used by examples and correctness tests — the sync
+// scheme reproduces the sequential solution bit for bit). ValueMode::Phantom
+// runs the identical event schedule without numeric work, which is how the
+// large benchmark instances stay cheap; both modes produce identical
+// simulated times.
+#pragma once
+
+#include "dperf/dperf.hpp"
+#include "ir/pipeline.hpp"
+#include "obstacle/problem.hpp"
+#include "p2pdc/environment.hpp"
+
+namespace pdc::obstacle {
+
+/// Per-point compute costs derived from dPerf block benchmarking of the
+/// MiniC kernel at one optimization level.
+struct CostProfile {
+  double init_ns_per_point = 25;  // one-off setup cost
+  double iter_ns_per_point = 40;  // per sweep point (update + copy + residual)
+  double ref_hz = 3e9;            // frequency the ns refer to
+};
+
+/// Benchmarks the instrumented MiniC kernel on a small instance and
+/// normalizes block means to per-point costs (dPerf's block scale-up rule).
+CostProfile derive_cost_profile(ir::OptLevel level, const ObstacleProblem& bench_problem,
+                                int bench_iters = 9, int bench_rcheck = 3);
+
+enum class ValueMode { Real, Phantom };
+
+struct DistributedConfig {
+  ObstacleProblem problem;
+  int iters = 300;
+  int rcheck = 25;
+  ValueMode mode = ValueMode::Phantom;
+  CostProfile cost;
+  p2psap::Scheme scheme = p2psap::Scheme::Synchronous;
+  bool early_stop = false;  // Real mode only: stop when residual < tol
+  double tol = 1e-6;
+};
+
+/// Task spec for the computation: subtask ships the strip's initial data
+/// (u0 + obstacle), the result ships the strip back.
+p2pdc::TaskSpec make_task_spec(const DistributedConfig& cfg, int peers);
+
+/// The per-rank computation (used directly with Environment::submit).
+p2pdc::PeerMain make_peer_main(DistributedConfig cfg);
+
+struct SolveReport {
+  bool ok = false;
+  std::string failure;
+  double solve_seconds = 0;  // first rank start -> last rank end
+  int iterations = 0;        // executed outer iterations (max over ranks)
+  double residual = 0;       // last reduced residual
+  Grid solution;             // assembled n x n grid (Real mode only)
+  p2pdc::ComputationResult computation;
+};
+
+/// Boots nothing: expects `env` to already have its overlay (server,
+/// trackers, peers) deployed. Submits, waits, assembles.
+SolveReport run_distributed(p2pdc::Environment& env, net::NodeIdx submitter_host,
+                            const DistributedConfig& cfg, int peers, Time warmup = 12.0);
+
+/// Row partition helper shared by solver, kernel and tests: the strip of
+/// `rank` among `nprocs` over `n-2` interior rows.
+struct Strip {
+  int rows = 0;      // interior rows owned
+  int first_row = 0; // global index of the first owned interior row (>= 1)
+};
+Strip strip_of(int n, int rank, int nprocs);
+
+}  // namespace pdc::obstacle

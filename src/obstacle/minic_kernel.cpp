@@ -1,0 +1,95 @@
+#include "obstacle/minic_kernel.hpp"
+
+namespace pdc::obstacle {
+
+const std::string& minic_kernel_source() {
+  static const std::string kSource = R"(
+int main() {
+  int n = p2p_param(0);
+  int iters = p2p_param(1);
+  int rcheck = p2p_param(2);
+  double omega = p2p_param_f(0);
+  double force = p2p_param_f(1);
+  double c0 = p2p_param_f(2);
+  double c1 = p2p_param_f(3);
+  int me = p2p_rank();
+  int np = p2p_nprocs();
+
+  int interior = n - 2;
+  int base = interior / np;
+  int extra = interior % np;
+  int myrows = base;
+  if (me < extra) { myrows = base + 1; }
+  int g0 = me * base + extra;
+  if (me < extra) { g0 = me * (base + 1); }
+  g0 = g0 + 1;
+
+  double h = 1.0 / (n - 1);
+  double h2f = h * h * force;
+  double u[(myrows + 2) * n];
+  double unew[(myrows + 2) * n];
+  double lower[(myrows + 2) * n];
+
+  for (int i = 0; i < myrows + 2; i = i + 1) {
+    for (int j = 0; j < n; j = j + 1) {
+      int gi = g0 - 1 + i;
+      double x = gi * h;
+      double y = j * h;
+      double dx = x - 0.5;
+      double dy = y - 0.5;
+      double p = c0 - c1 * (dx * dx + dy * dy);
+      lower[i * n + j] = p;
+      double s = p;
+      if (s < 0.0) { s = 0.0; }
+      if (gi == 0 || gi == n - 1 || j == 0 || j == n - 1) { s = 0.0; }
+      u[i * n + j] = s;
+      unew[i * n + j] = s;
+    }
+  }
+
+  for (int it = 0; it < iters; it = it + 1) {
+    if (me > 0) {
+      p2p_send(me - 1, 1, u, n, n);
+      p2p_recv(me - 1, 2, u, 0, n);
+    }
+    if (me < np - 1) {
+      p2p_send(me + 1, 2, u, myrows * n, n);
+      p2p_recv(me + 1, 1, u, (myrows + 1) * n, n);
+    }
+    double res = 0.0;
+    for (int i = 1; i <= myrows; i = i + 1) {
+      for (int j = 1; j < n - 1; j = j + 1) {
+        int idx = i * n + j;
+        double v = u[idx] + omega * 0.25 * (u[idx - 1] + u[idx + 1] + u[idx - n] + u[idx + n] - 4.0 * u[idx] + h2f);
+        if (v < lower[idx]) { v = lower[idx]; }
+        unew[idx] = v;
+        double d = v - u[idx];
+        if (d < 0.0) { d = 0.0 - d; }
+        if (d > res) { res = d; }
+      }
+    }
+    for (int i = 1; i <= myrows; i = i + 1) {
+      for (int j = 1; j < n - 1; j = j + 1) {
+        int idx = i * n + j;
+        u[idx] = unew[idx];
+      }
+    }
+    if (it % rcheck == rcheck - 1) {
+      double g = p2p_allreduce_max(res);
+      if (g < 0.0 - 1.0) { return 1; }
+    }
+  }
+  return 0;
+}
+)";
+  return kSource;
+}
+
+dperf::Workload kernel_workload(const ObstacleProblem& p, int iters, int rcheck) {
+  dperf::Workload w;
+  w.int_params = {p.n, iters, rcheck};
+  w.float_params = {p.omega, p.force, p.c0, p.c1};
+  return w;
+}
+
+}  // namespace pdc::obstacle

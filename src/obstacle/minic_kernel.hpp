@@ -1,0 +1,33 @@
+// The obstacle-problem kernel written in MiniC — the "input source code" of
+// the dPerf pipeline (the paper analyzes the ANR CIP obstacle code written
+// in C with P2PSAP communication calls; this is our equivalent).
+//
+// Workload parameters:
+//   p2p_param(0)   = n       grid points per side (boundary included)
+//   p2p_param(1)   = iters   outer iterations (fixed budget)
+//   p2p_param(2)   = rcheck  residual allreduce period
+//   p2p_param_f(0) = omega   relaxation factor
+//   p2p_param_f(1) = force   right-hand side f
+//   p2p_param_f(2) = c0      obstacle height
+//   p2p_param_f(3) = c1      obstacle curvature
+//
+// The kernel performs the same projected Richardson iteration as
+// pdc::obstacle::projected_sweep over a strip of rows, exchanging halo rows
+// with both neighbours through P2PSAP each iteration and reducing the
+// residual every `rcheck` iterations.
+#pragma once
+
+#include <string>
+
+#include "dperf/tracegen.hpp"
+#include "obstacle/problem.hpp"
+
+namespace pdc::obstacle {
+
+/// Returns the MiniC source of the distributed kernel.
+const std::string& minic_kernel_source();
+
+/// Builds the workload parameter vector for a given problem instance.
+dperf::Workload kernel_workload(const ObstacleProblem& p, int iters, int rcheck);
+
+}  // namespace pdc::obstacle

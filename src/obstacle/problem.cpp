@@ -1,0 +1,88 @@
+#include "obstacle/problem.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pdc::obstacle {
+
+Grid initial_guess(const ObstacleProblem& p) {
+  Grid g;
+  g.n = p.n;
+  g.values.assign(static_cast<std::size_t>(p.n) * static_cast<std::size_t>(p.n), 0.0);
+  for (int i = 1; i < p.n - 1; ++i)
+    for (int j = 1; j < p.n - 1; ++j) g.at(i, j) = std::max(p.psi_at(i, j), 0.0);
+  return g;
+}
+
+double projected_sweep(const ObstacleProblem& p, const std::vector<double>& u,
+                       std::vector<double>& out, int n_cols, int first_row, int last_row,
+                       int global_row_of_first, const std::vector<double>& psi_cache) {
+  const double h2f = p.h() * p.h() * p.force;
+  double res = 0;
+  for (int i = first_row; i <= last_row; ++i) {
+    const int base = i * n_cols;
+    for (int j = 1; j < n_cols - 1; ++j) {
+      const int idx = base + j;
+      double v = u[static_cast<std::size_t>(idx)] +
+                 p.omega * 0.25 *
+                     (u[static_cast<std::size_t>(idx - 1)] + u[static_cast<std::size_t>(idx + 1)] +
+                      u[static_cast<std::size_t>(idx - n_cols)] +
+                      u[static_cast<std::size_t>(idx + n_cols)] -
+                      4.0 * u[static_cast<std::size_t>(idx)] + h2f);
+      const double lower = psi_cache[static_cast<std::size_t>(idx)];
+      if (v < lower) v = lower;
+      out[static_cast<std::size_t>(idx)] = v;
+      const double d = std::fabs(v - u[static_cast<std::size_t>(idx)]);
+      if (d > res) res = d;
+    }
+  }
+  (void)global_row_of_first;
+  return res;
+}
+
+SequentialResult solve_sequential(const ObstacleProblem& p, int max_iters, double tol) {
+  SequentialResult r;
+  Grid u = initial_guess(p);
+  Grid next = u;
+  std::vector<double> psi_cache(u.values.size());
+  for (int i = 0; i < p.n; ++i)
+    for (int j = 0; j < p.n; ++j)
+      psi_cache[static_cast<std::size_t>(i * p.n + j)] = p.psi_at(i, j);
+
+  for (int it = 0; it < max_iters; ++it) {
+    const double res =
+        projected_sweep(p, u.values, next.values, p.n, 1, p.n - 2, 1, psi_cache);
+    std::swap(u.values, next.values);
+    r.iterations = it + 1;
+    r.residual = res;
+    if (res < tol) break;
+  }
+  r.solution = std::move(u);
+  return r;
+}
+
+double obstacle_violation(const ObstacleProblem& p, const Grid& u) {
+  double worst = 0;
+  for (int i = 1; i < p.n - 1; ++i)
+    for (int j = 1; j < p.n - 1; ++j)
+      worst = std::max(worst, p.psi_at(i, j) - u.at(i, j));
+  return worst;
+}
+
+double pde_residual_off_contact(const ObstacleProblem& p, const Grid& u, double margin) {
+  const double h2 = p.h() * p.h();
+  double worst = 0;
+  for (int i = 1; i < p.n - 1; ++i) {
+    for (int j = 1; j < p.n - 1; ++j) {
+      if (u.at(i, j) <= p.psi_at(i, j) + margin) continue;  // contact set
+      const double lap =
+          (u.at(i - 1, j) + u.at(i + 1, j) + u.at(i, j - 1) + u.at(i, j + 1) -
+           4.0 * u.at(i, j)) /
+          h2;
+      worst = std::max(worst, std::fabs(-lap - p.force));
+    }
+  }
+  return worst;
+}
+
+}  // namespace pdc::obstacle

@@ -1,0 +1,66 @@
+// The obstacle problem (paper §IV-A.1): find u >= psi on the unit square,
+// u = 0 on the boundary, satisfying the complementarity conditions of
+//   min(-Δu - f, u - psi) = 0,
+// solved by the projected Richardson method of Spiteri & Chau [32], the
+// numerical kernel of the paper's evaluation. The default obstacle is the
+// paraboloid bump psi(x,y) = c0 - c1*((x-1/2)^2 + (y-1/2)^2) with c0=0.25,
+// c1=2, and a downward force f = -8, which produces a genuine contact
+// region in the middle of the domain.
+#pragma once
+
+#include <vector>
+
+namespace pdc::obstacle {
+
+struct ObstacleProblem {
+  int n = 66;           // grid points per side, boundary included
+  double omega = 0.9;   // projected-Richardson relaxation, stable in (0, 1]
+  double force = -8.0;  // right-hand side f
+  double c0 = 0.25;     // obstacle height
+  double c1 = 2.0;      // obstacle curvature
+
+  double h() const { return 1.0 / (n - 1); }
+  double psi(double x, double y) const {
+    const double dx = x - 0.5, dy = y - 0.5;
+    return c0 - c1 * (dx * dx + dy * dy);
+  }
+  double psi_at(int row, int col) const { return psi(row * h(), col * h()); }
+};
+
+/// Row-major n x n grid.
+struct Grid {
+  int n = 0;
+  std::vector<double> values;
+
+  double& at(int row, int col) { return values[static_cast<std::size_t>(row * n + col)]; }
+  double at(int row, int col) const { return values[static_cast<std::size_t>(row * n + col)]; }
+};
+
+/// The feasible initial guess used by both solvers: max(psi, 0) inside,
+/// zero on the boundary.
+Grid initial_guess(const ObstacleProblem& p);
+
+struct SequentialResult {
+  Grid solution;
+  int iterations = 0;
+  double residual = 0;  // max |u_{k+1} - u_k| at the last iteration
+};
+
+/// Runs projected Richardson until the update norm drops below `tol` or
+/// `max_iters` sweeps elapse. Deterministic.
+SequentialResult solve_sequential(const ObstacleProblem& p, int max_iters, double tol);
+
+/// One projected sweep over the interior of `u` into `out`; returns the max
+/// update magnitude. Exposed so the distributed solver shares the kernel.
+double projected_sweep(const ObstacleProblem& p, const std::vector<double>& u,
+                       std::vector<double>& out, int n_cols, int first_row, int last_row,
+                       int global_row_of_first, const std::vector<double>& psi_cache);
+
+/// Max violation of u >= psi over the interior (0 when feasible).
+double obstacle_violation(const ObstacleProblem& p, const Grid& u);
+
+/// Max |(-Δu - f)| over interior points that are strictly above the
+/// obstacle (complementarity check: the PDE must hold off the contact set).
+double pde_residual_off_contact(const ObstacleProblem& p, const Grid& u, double margin);
+
+}  // namespace pdc::obstacle

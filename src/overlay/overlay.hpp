@@ -1,0 +1,236 @@
+// The decentralized P2PDC topology manager (paper §III-A):
+//
+//  * Server: contact point for nodes joining the overlay for the first
+//    time; stores tracker registry and zone statistics. The overlay keeps
+//    working while the server is down.
+//  * Trackers: form a line ordered by IP address; each tracker maintains a
+//    set N of closest trackers, half with lower and half with higher IPs,
+//    and direct connections (heartbeats) to its immediate neighbours.
+//    Joins are routed greedily to the closest tracker; crashes are detected
+//    by direct neighbours and repaired by exchanging neighbour-set halves.
+//  * Peers: join the zone of the closest tracker, publish their resources,
+//    refresh them periodically, and fail over to a neighbour zone when
+//    their tracker stops acknowledging updates after time T.
+//
+// Peers collection (paper §III-B) is implemented by PeerActor::collect_peers:
+// the submitter asks its own tracker, then every tracker in its local list,
+// then repeatedly expands the known-tracker horizon through the farthest
+// trackers on both sides until enough peers are reserved.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/flow.hpp"
+#include "overlay/types.hpp"
+#include "sim/engine.hpp"
+#include "sim/mailbox.hpp"
+#include "sim/task.hpp"
+
+namespace pdc::overlay {
+
+class Overlay;
+
+/// Common actor plumbing: two mailboxes (main protocol + RPC replies) and
+/// liveness control.
+class ActorBase {
+ public:
+  ActorBase(Overlay& overlay, NodeIdx host, Ipv4 ip);
+  virtual ~ActorBase() = default;
+
+  NodeIdx host() const { return host_; }
+  Ipv4 ip() const { return ip_; }
+  bool alive() const { return alive_; }
+
+  /// Graceful stop: the main loop exits at its next wake-up.
+  void stop() { alive_ = false; }
+  /// Crash: additionally, all queued and future messages are dropped.
+  void crash() {
+    alive_ = false;
+    crashed_ = true;
+  }
+  bool crashed() const { return crashed_; }
+
+ protected:
+  friend class Overlay;
+  Overlay* overlay_;
+  NodeIdx host_;
+  Ipv4 ip_;
+  bool alive_ = true;
+  bool crashed_ = false;
+  sim::Mailbox<CtrlMsg> main_box_;
+  sim::Mailbox<CtrlMsg> rpc_box_;
+};
+
+class ServerActor : public ActorBase {
+ public:
+  ServerActor(Overlay& overlay, NodeIdx host, Ipv4 ip) : ActorBase(overlay, host, ip) {}
+
+  sim::Process run();
+
+  /// Bootstrap registration of an administrator-managed core tracker.
+  void register_core_tracker(TrackerRef t) { trackers_.push_back(t); }
+
+  const std::vector<TrackerRef>& known_trackers() const { return trackers_; }
+  const std::map<NodeIdx, ZoneStats>& zone_stats() const { return stats_; }
+
+ private:
+  void handle(CtrlMsg msg);
+  std::vector<TrackerRef> trackers_;
+  std::map<NodeIdx, ZoneStats> stats_;
+};
+
+/// One entry of a tracker's zone.
+struct ZonePeer {
+  PeerRef peer;
+  bool busy = false;
+  Time last_update = 0;
+};
+
+class TrackerActor : public ActorBase {
+ public:
+  TrackerActor(Overlay& overlay, NodeIdx host, Ipv4 ip, bool bootstrap_core)
+      : ActorBase(overlay, host, ip), bootstrap_core_(bootstrap_core) {}
+
+  sim::Process run();
+
+  // --- inspection (tests, stats) ---
+  const std::vector<TrackerRef>& neighbor_set() const { return neighbors_; }
+  const std::map<NodeIdx, ZonePeer>& zone() const { return zone_; }
+  std::optional<TrackerRef> left_neighbor() const;   // closest lower-IP neighbour
+  std::optional<TrackerRef> right_neighbor() const;  // closest higher-IP neighbour
+  bool joined() const { return joined_; }
+
+  /// Bootstrap: install an initial neighbour set without running the join
+  /// protocol (administrator-configured core trackers, paper §III-A.3).
+  void bootstrap_neighbors(std::vector<TrackerRef> neighbors);
+
+ private:
+  friend class Overlay;
+  void handle(CtrlMsg msg);
+  sim::Task<void> join_overlay();
+  void insert_neighbor(TrackerRef t);
+  void remove_neighbor(NodeIdx node);
+  void trim_neighbors();
+  /// Closest tracker to `target` among the neighbour set and self.
+  TrackerRef closest_known(Ipv4 target) const;
+  std::vector<TrackerRef> neighbors_for(Ipv4 joiner) const;
+  void detect_dead_neighbors();
+  void expire_stale_peers();
+  void send_heartbeats();
+  void report_stats();
+
+  bool bootstrap_core_;
+  bool joined_ = false;
+  std::vector<TrackerRef> neighbors_;  // sorted by IP
+  std::map<NodeIdx, Time> neighbor_last_seen_;
+  std::map<NodeIdx, ZonePeer> zone_;
+  Time next_heartbeat_ = 0;
+  Time next_stats_ = 0;
+};
+
+class PeerActor : public ActorBase {
+ public:
+  PeerActor(Overlay& overlay, NodeIdx host, Ipv4 ip, PeerResources res)
+      : ActorBase(overlay, host, ip), res_(res) {}
+
+  sim::Process run();
+
+  // --- inspection ---
+  bool joined() const { return tracker_.node >= 0; }
+  TrackerRef tracker() const { return tracker_; }
+  const std::vector<TrackerRef>& tracker_list() const { return tracker_list_; }
+  bool busy() const { return busy_; }
+  const PeerResources& resources() const { return res_; }
+  int rejoin_count() const { return rejoins_; }
+
+  /// Releases a reservation made by a submitter (local action + notice).
+  void release();
+
+  /// Peers collection for a task (paper §III-B), run on the submitter.
+  /// Returns the reserved peers (may be fewer than requested if the overlay
+  /// is exhausted). `ticket` identifies the reservation.
+  sim::Task<std::vector<PeerRef>> collect_peers(int wanted, Requirements req,
+                                                std::uint64_t ticket);
+
+ private:
+  friend class Overlay;
+  void handle(CtrlMsg msg);
+  sim::Task<void> join_overlay();
+  sim::Task<std::optional<CtrlMsg>> rpc(NodeIdx to, CtrlMsg msg);
+
+  PeerResources res_;
+  TrackerRef tracker_{-1, Ipv4{}};
+  std::vector<TrackerRef> tracker_list_;
+  bool busy_ = false;
+  NodeIdx reserved_by_ = -1;
+  Time last_ack_ = 0;
+  int rejoins_ = 0;
+};
+
+/// The overlay context: actor registry plus the control-plane transport
+/// (small network flows carrying CtrlMsg values).
+class Overlay {
+ public:
+  Overlay(sim::Engine& engine, const net::Platform& platform, net::FlowNet& flownet,
+          OverlayConfig config = {});
+  Overlay(const Overlay&) = delete;
+  Overlay& operator=(const Overlay&) = delete;
+
+  ServerActor& create_server(NodeIdx host);
+  /// `bootstrap_core` trackers skip the join protocol; they are wired
+  /// directly into each other's neighbour sets by finish_bootstrap().
+  TrackerActor& create_tracker(NodeIdx host, bool bootstrap_core = false);
+  PeerActor& create_peer(NodeIdx host, PeerResources res);
+
+  /// Wires all bootstrap-core trackers into a consistent initial line and
+  /// registers them with the server. Call once after creating the cores.
+  void finish_bootstrap();
+
+  /// Sends a control message as a network flow, then delivers it.
+  void send_ctrl(NodeIdx from, NodeIdx to, CtrlMsg msg);
+
+  sim::Engine& engine() { return *engine_; }
+  const net::Platform& platform() const { return *platform_; }
+  const OverlayConfig& config() const { return config_; }
+  ServerActor* server() { return server_; }
+  NodeIdx server_host() const { return server_ ? server_->host() : -1; }
+
+  TrackerActor* tracker_at(NodeIdx host);
+  PeerActor* peer_at(NodeIdx host);
+  const std::vector<TrackerActor*>& trackers() const { return tracker_ptrs_; }
+  const std::vector<PeerActor*>& peers() const { return peer_ptrs_; }
+
+  /// Initial tracker list installed on new nodes (paper: set at install
+  /// time together with the server address).
+  std::vector<TrackerRef> install_tracker_list() const { return core_trackers_; }
+
+  /// Stops every actor so Engine::run() can drain.
+  void shutdown();
+
+  std::uint64_t ctrl_messages_sent() const { return ctrl_messages_; }
+
+ private:
+  friend class ActorBase;
+  friend class ServerActor;
+  friend class TrackerActor;
+  friend class PeerActor;
+
+  void deliver(NodeIdx to, CtrlMsg msg);
+
+  sim::Engine* engine_;
+  const net::Platform* platform_;
+  net::FlowNet* net_;
+  OverlayConfig config_;
+  ServerActor* server_ = nullptr;
+  std::map<NodeIdx, std::unique_ptr<ActorBase>> actors_;
+  std::vector<TrackerActor*> tracker_ptrs_;
+  std::vector<PeerActor*> peer_ptrs_;
+  std::vector<TrackerRef> core_trackers_;
+  std::uint64_t ctrl_messages_ = 0;
+};
+
+}  // namespace pdc::overlay

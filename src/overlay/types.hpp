@@ -1,0 +1,125 @@
+// Shared types and control messages of the P2PDC hybrid topology manager
+// (paper §III-A): Server, Trackers on a line topology ordered by IP, and
+// Peers grouped into per-tracker zones.
+#pragma once
+
+#include <cstdint>
+#include <variant>
+#include <vector>
+
+#include "net/platform.hpp"
+#include "support/ipv4.hpp"
+#include "support/time.hpp"
+
+namespace pdc::overlay {
+
+using net::NodeIdx;
+
+/// Resources a peer publishes to its tracker (paper: "peers publish their
+/// information regarding processor, memory, hard disk and current usage
+/// state to the tracker of the zone").
+struct PeerResources {
+  double cpu_hz = 0;
+  double mem_bytes = 0;
+  double disk_bytes = 0;
+};
+
+/// Lightweight reference to a tracker, as carried in tracker lists.
+struct TrackerRef {
+  NodeIdx node = -1;
+  Ipv4 ip;
+  friend bool operator==(const TrackerRef&, const TrackerRef&) = default;
+};
+
+/// A peer entry as returned by a tracker during peers collection.
+struct PeerRef {
+  NodeIdx node = -1;
+  Ipv4 ip;
+  PeerResources res;
+};
+
+/// Requirements attached to a peer request (paper: "this message contains
+/// information regarding computation like task's description, number of
+/// peers needed initially, peers requirements").
+struct Requirements {
+  double min_cpu_hz = 0;
+};
+
+/// Timing and sizing knobs of the topology manager.
+struct OverlayConfig {
+  Time update_period = 2.0;      // peer resource state updates
+  Time heartbeat_period = 1.0;   // tracker <-> tracker keepalive
+  Time fail_timeout = 5.0;       // the paper's detection time "T"
+  Time stats_period = 10.0;      // tracker -> server statistics
+  Time rpc_timeout = 3.0;        // request/reply round trips
+  int neighbor_set_size = 6;     // |N|, split half lower / half higher IPs
+  double ctrl_bytes = 256;       // base control message size on the wire
+  double ref_bytes = 16;         // additional wire bytes per carried node ref
+};
+
+// --- control messages ------------------------------------------------------
+
+// Server-bound.
+struct GetTrackersReq { NodeIdx from; };
+struct TrackerRegister { TrackerRef tracker; };
+struct TrackerDeadNotice { NodeIdx dead; NodeIdx reporter; };
+struct ZoneStats {
+  NodeIdx tracker;
+  int peers = 0;
+  int busy = 0;
+  double donated_cpu_hz = 0;
+};
+
+// Tracker <-> tracker.
+struct TrackerJoinReq { TrackerRef joiner; };
+struct NeighborAdd { TrackerRef tracker; };
+struct NeighborDead { NodeIdx dead; std::vector<TrackerRef> candidates; };
+struct TrackerHeartbeat { NodeIdx from; };
+
+// Peer <-> tracker.
+struct PeerJoinReq { NodeIdx peer; Ipv4 ip; PeerResources res; };
+struct StateUpdate { NodeIdx peer; PeerResources res; };
+struct StateAck { NodeIdx tracker; };
+struct PeerBusyNotice { NodeIdx peer; bool busy; };
+
+// Peers collection.
+struct PeerRequest { NodeIdx submitter; Requirements req; int max_peers; };
+struct TrackerListReq { NodeIdx from; Ipv4 ref_ip; bool side_greater; };
+
+// Reservation (paper: "peers reserved for a computation are considered busy
+// and cannot be reserved for another computation").
+struct ReserveReq { NodeIdx submitter; std::uint64_t ticket; };
+struct ReleaseReq { NodeIdx submitter; };
+
+// Replies (routed to the requesting actor's RPC mailbox).
+struct GetTrackersReply { std::vector<TrackerRef> trackers; };
+struct TrackerJoinAck { TrackerRef accepter; std::vector<TrackerRef> neighbors; };
+struct PeerJoinAck { TrackerRef tracker; std::vector<TrackerRef> tracker_list; };
+struct PeerListReply { NodeIdx tracker; std::vector<PeerRef> peers; };
+struct TrackerListReply { std::vector<TrackerRef> trackers; };
+struct ReserveAck { NodeIdx peer; bool ok; std::uint64_t ticket; };
+
+using CtrlMsg =
+    std::variant<GetTrackersReq, TrackerRegister, TrackerDeadNotice, ZoneStats,
+                 TrackerJoinReq, NeighborAdd, NeighborDead, TrackerHeartbeat,
+                 PeerJoinReq, StateUpdate, StateAck, PeerBusyNotice, PeerRequest,
+                 TrackerListReq, ReserveReq, ReleaseReq, GetTrackersReply,
+                 TrackerJoinAck, PeerJoinAck, PeerListReply, TrackerListReply,
+                 ReserveAck>;
+
+/// True for message kinds that answer an RPC initiated by the destination
+/// actor; these are delivered to the RPC mailbox instead of the main one.
+inline bool is_rpc_reply(const CtrlMsg& m) {
+  return std::holds_alternative<GetTrackersReply>(m) ||
+         std::holds_alternative<TrackerJoinAck>(m) ||
+         std::holds_alternative<PeerJoinAck>(m) ||
+         std::holds_alternative<PeerListReply>(m) ||
+         std::holds_alternative<TrackerListReply>(m) ||
+         std::holds_alternative<ReserveAck>(m);
+}
+
+/// Wire size of a control message: base cost plus a per-reference payload
+/// for messages that carry node lists.
+double ctrl_wire_bytes(const OverlayConfig& cfg, const CtrlMsg& m);
+
+}  // namespace pdc::overlay

@@ -1,0 +1,423 @@
+#include "p2pdc/environment.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "support/log.hpp"
+
+namespace pdc::p2pdc {
+
+namespace {
+// Internal tag space (user tags are >= 0).
+constexpr int kTagGroupAssign = -10;
+constexpr int kTagReverse = -11;
+constexpr int kTagSubtask = -12;
+constexpr int kTagResultUp = -13;
+constexpr int kTagResultBundle = -14;
+constexpr int kTagReduceUp = -20;
+constexpr int kTagReduceMid = -21;
+constexpr int kTagReduceMidDown = -22;
+constexpr int kTagReduceDown = -23;
+
+/// Packs per-rank result vectors as [rank, count, values...]* for the
+/// coordinator -> submitter bundles.
+std::vector<double> pack_results(const std::map<int, std::vector<double>>& results) {
+  std::vector<double> out;
+  for (const auto& [rank, values] : results) {
+    out.push_back(static_cast<double>(rank));
+    out.push_back(static_cast<double>(values.size()));
+    out.insert(out.end(), values.begin(), values.end());
+  }
+  return out;
+}
+
+void unpack_results(const std::vector<double>& packed,
+                    std::map<int, std::vector<double>>& into) {
+  std::size_t i = 0;
+  while (i + 1 < packed.size()) {
+    const int rank = static_cast<int>(packed[i]);
+    const auto count = static_cast<std::size_t>(packed[i + 1]);
+    i += 2;
+    std::vector<double> values(packed.begin() + static_cast<std::ptrdiff_t>(i),
+                               packed.begin() + static_cast<std::ptrdiff_t>(i + count));
+    into[rank] = std::move(values);
+    i += count;
+  }
+}
+}  // namespace
+
+/// Shared state of one running computation.
+struct Computation {
+  Computation(Environment& environment, TaskSpec task_spec, NodeIdx submitter_host,
+              std::vector<alloc::Group> peer_groups)
+      : env(&environment),
+        spec(std::move(task_spec)),
+        submitter(submitter_host),
+        groups(std::move(peer_groups)),
+        subtask_latch(environment.engine(), 0),
+        done_latch(environment.engine(), 0) {
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      for (std::size_t m = 0; m < groups[g].members.size(); ++m) {
+        if (m == groups[g].coordinator)
+          coord_rank.push_back(static_cast<int>(ranks.size()));
+        ranks.push_back(groups[g].members[m]);
+        group_of.push_back(static_cast<int>(g));
+      }
+    }
+    // coord_rank was appended in group order: index g holds group g's rank.
+  }
+
+  NodeIdx host_of(int rank) const { return ranks[static_cast<std::size_t>(rank)].node; }
+  int nprocs() const { return static_cast<int>(ranks.size()); }
+
+  p2psap::Channel& data_channel(int a_rank, int b_rank) {
+    return env->fabric().channel(host_of(a_rank), host_of(b_rank), spec.scheme);
+  }
+  /// Control traffic (allocation, reductions, results) always uses the
+  /// reliable synchronous profile, whatever the computation scheme: P2PSAP
+  /// adapts per channel purpose.
+  p2psap::Channel& ctrl_channel(NodeIdx a, NodeIdx b) {
+    return env->fabric().channel(a, b, p2psap::Scheme::Synchronous);
+  }
+
+  sim::Task<double> allreduce_max(int rank, double value);
+  sim::Task<void> broadcast_value(int from_rank, int tag, double value, bool to_coordinators);
+
+  Environment* env;
+  TaskSpec spec;
+  NodeIdx submitter;
+  std::vector<alloc::Group> groups;
+  std::vector<overlay::PeerRef> ranks;
+  std::vector<int> group_of;
+  std::vector<int> coord_rank;
+  sim::Latch subtask_latch;
+  sim::Latch done_latch;
+  Time t_allocated = 0;
+  std::map<int, std::vector<double>> results;             // gathered at submitter
+  std::map<int, std::vector<double>> rank_result_values;  // set by PeerContext
+};
+
+// --- PeerContext --------------------------------------------------------------
+
+int PeerContext::nprocs() const { return comp_->nprocs(); }
+NodeIdx PeerContext::host() const { return comp_->host_of(rank_); }
+double PeerContext::host_speed_hz() const {
+  return comp_->env->platform().node(host()).speed_hz;
+}
+Time PeerContext::now() const { return comp_->env->engine().now(); }
+
+sim::Task<void> PeerContext::send(int to_rank, int tag, double bytes,
+                                  std::shared_ptr<const std::vector<double>> values) {
+  assert(tag >= 0 && "user tags must be non-negative");
+  co_await comp_->data_channel(rank_, to_rank)
+      .send(comp_->host_of(rank_), tag, bytes, std::move(values));
+}
+
+sim::Task<p2psap::Message> PeerContext::recv(int from_rank, int tag) {
+  auto m = co_await comp_->data_channel(from_rank, rank_).recv(comp_->host_of(rank_), tag);
+  co_return m;
+}
+
+sim::Task<std::optional<p2psap::Message>> PeerContext::recv_for(int from_rank, int tag,
+                                                                Time timeout) {
+  auto m = co_await comp_->data_channel(from_rank, rank_)
+               .recv_for(comp_->host_of(rank_), tag, timeout);
+  co_return m;
+}
+
+std::optional<p2psap::Message> PeerContext::try_recv(int from_rank, int tag) {
+  return comp_->data_channel(from_rank, rank_).try_recv(comp_->host_of(rank_), tag);
+}
+
+sim::Task<void> PeerContext::compute(Time dt) {
+  co_await comp_->env->engine().sleep(dt);
+}
+
+sim::Task<double> PeerContext::allreduce_max(double value) {
+  double r = co_await comp_->allreduce_max(rank_, value);
+  co_return r;
+}
+
+void PeerContext::set_result(std::vector<double> values) {
+  comp_->rank_result_values[rank_] = std::move(values);
+}
+
+// --- hierarchical reduction ----------------------------------------------------
+
+sim::Task<void> Computation::broadcast_value(int from_rank, int tag, double value,
+                                             bool to_coordinators) {
+  const NodeIdx my_host = host_of(from_rank);
+  std::vector<NodeIdx> targets;
+  if (to_coordinators) {
+    for (std::size_t og = 0; og < groups.size(); ++og) {
+      const int other = coord_rank[og];
+      if (other != from_rank) targets.push_back(host_of(other));
+    }
+  } else {
+    const auto& group = groups[static_cast<std::size_t>(group_of[static_cast<std::size_t>(from_rank)])];
+    for (std::size_t m = 0; m < group.members.size(); ++m)
+      if (m != group.coordinator) targets.push_back(group.members[m].node);
+  }
+  if (targets.empty()) co_return;
+  auto latch = std::make_shared<sim::Latch>(env->engine(), static_cast<int>(targets.size()));
+  for (const NodeIdx to : targets) {
+    env->engine().spawn([](Computation& c, NodeIdx from, NodeIdx dest, int t, double v,
+                           std::shared_ptr<sim::Latch> l) -> sim::Process {
+      co_await c.ctrl_channel(from, dest)
+          .send(from, t, 16, std::make_shared<std::vector<double>>(1, v));
+      l->count_down();
+    }(*this, my_host, to, tag, value, latch));
+  }
+  co_await latch->wait();
+}
+
+sim::Task<double> Computation::allreduce_max(int rank, double value) {
+  const int g = group_of[static_cast<std::size_t>(rank)];
+  const int my_coord = coord_rank[static_cast<std::size_t>(g)];
+  const int root = coord_rank[0];
+  const NodeIdx my_host = host_of(rank);
+  const double kReduceBytes = 16;
+
+  if (rank != my_coord) {
+    // Leaf: send to the group coordinator, wait for the broadcast.
+    auto& ch = ctrl_channel(my_host, host_of(my_coord));
+    co_await ch.send(my_host, kTagReduceUp, kReduceBytes,
+                     std::make_shared<std::vector<double>>(1, value));
+    const auto m = co_await ch.recv(my_host, kTagReduceDown);
+    co_return (*m.values)[0];
+  }
+
+  // Coordinator: gather the group.
+  double acc = value;
+  const auto& group = groups[static_cast<std::size_t>(g)];
+  for (std::size_t m = 0; m < group.members.size(); ++m) {
+    if (m == group.coordinator) continue;
+    const NodeIdx member = group.members[m].node;
+    const auto msg = co_await ctrl_channel(my_host, member).recv(my_host, kTagReduceUp);
+    acc = std::max(acc, (*msg.values)[0]);
+  }
+  double global = acc;
+  if (rank != root) {
+    // Second level: coordinators reduce at the root coordinator.
+    auto& ch = ctrl_channel(my_host, host_of(root));
+    co_await ch.send(my_host, kTagReduceMid, kReduceBytes,
+                     std::make_shared<std::vector<double>>(1, acc));
+    const auto m = co_await ch.recv(my_host, kTagReduceMidDown);
+    global = (*m.values)[0];
+  } else {
+    for (std::size_t og = 0; og < groups.size(); ++og) {
+      const int other = coord_rank[og];
+      if (other == root) continue;
+      const auto msg =
+          co_await ctrl_channel(my_host, host_of(other)).recv(my_host, kTagReduceMid);
+      global = std::max(global, (*msg.values)[0]);
+    }
+    co_await broadcast_value(rank, kTagReduceMidDown, global, /*to_coordinators=*/true);
+  }
+  // Broadcast down to the group members (parallel writes: a real transport
+  // pipelines these instead of waiting for each ack in turn).
+  co_await broadcast_value(rank, kTagReduceDown, global, /*to_coordinators=*/false);
+  co_return global;
+}
+
+// --- Environment ----------------------------------------------------------------
+
+Environment::Environment(sim::Engine& engine, const net::Platform& platform,
+                         overlay::OverlayConfig config)
+    : engine_(&engine),
+      platform_(&platform),
+      flownet_(engine, platform),
+      fabric_(engine, flownet_, platform),
+      overlay_(engine, platform, flownet_, config) {}
+
+sim::Process Environment::rank_body(std::shared_ptr<Computation> comp, int rank,
+                                    PeerMain main) {
+  const NodeIdx my_host = comp->host_of(rank);
+  const bool flat = comp->spec.allocation == AllocationMode::Flat;
+  const int g = comp->group_of[static_cast<std::size_t>(rank)];
+  const NodeIdx feeder = flat ? comp->submitter
+                              : comp->host_of(comp->coord_rank[static_cast<std::size_t>(g)]);
+  auto& feed_ch = comp->ctrl_channel(feeder, my_host);
+  (void)co_await feed_ch.recv(my_host, kTagSubtask);
+  comp->subtask_latch.count_down();
+  if (comp->subtask_latch.open() && comp->t_allocated == 0)
+    comp->t_allocated = engine_->now();
+
+  PeerContext ctx{*comp, rank};
+  co_await main(ctx);
+
+  // Ship the result up: to the coordinator (hierarchical) or straight to
+  // the submitter (flat baseline).
+  auto it = comp->rank_result_values.find(rank);
+  auto values = std::make_shared<std::vector<double>>(
+      it == comp->rank_result_values.end() ? std::vector<double>{} : it->second);
+  co_await feed_ch.send(my_host, kTagResultUp, comp->spec.result_bytes, std::move(values));
+}
+
+sim::Process Environment::coordinator_body(std::shared_ptr<Computation> comp, int group) {
+  const auto& g = comp->groups[static_cast<std::size_t>(group)];
+  const NodeIdx me = g.coordinator_ref().node;
+  auto& sub_ch = comp->ctrl_channel(comp->submitter, me);
+  const double per_ref = 16;
+
+  // 1. Group assignment from the submitter (peers list of the group).
+  (void)co_await sub_ch.recv(me, kTagGroupAssign);
+
+  // 2. Connect to every member: the "reverse" message (paper §III-C),
+  //    sent in parallel.
+  {
+    auto latch = std::make_shared<sim::Latch>(*engine_, static_cast<int>(g.members.size()));
+    for (const auto& member : g.members) {
+      engine_->spawn([](Computation& c, NodeIdx from, NodeIdx to,
+                        std::shared_ptr<sim::Latch> l) -> sim::Process {
+        co_await c.ctrl_channel(from, to).send(from, kTagReverse, 64);
+        l->count_down();
+      }(*comp, me, member.node, latch));
+    }
+    co_await latch->wait();
+  }
+
+  // 3. Subtask bundle from the submitter, then parallel forwarding.
+  (void)co_await sub_ch.recv(me, kTagSubtask);
+  {
+    auto latch = std::make_shared<sim::Latch>(*engine_, static_cast<int>(g.members.size()));
+    for (const auto& member : g.members) {
+      engine_->spawn([](Computation& c, NodeIdx from, NodeIdx to,
+                        std::shared_ptr<sim::Latch> l) -> sim::Process {
+        co_await c.ctrl_channel(from, to).send(from, kTagSubtask, c.spec.subtask_bytes);
+        l->count_down();
+      }(*comp, me, member.node, latch));
+    }
+    co_await latch->wait();
+  }
+
+  // 4. Gather member results, bundle, ship to the submitter.
+  std::map<int, std::vector<double>> group_results;
+  int base_rank = 0;
+  for (int og = 0; og < group; ++og)
+    base_rank += static_cast<int>(comp->groups[static_cast<std::size_t>(og)].members.size());
+  for (std::size_t m = 0; m < g.members.size(); ++m) {
+    const NodeIdx member = g.members[m].node;
+    const auto msg = co_await comp->ctrl_channel(me, member).recv(me, kTagResultUp);
+    // Identify the sender's rank from its position in the group.
+    int member_rank = base_rank;
+    for (std::size_t k = 0; k < g.members.size(); ++k)
+      if (g.members[k].node == msg.src_host) member_rank = base_rank + static_cast<int>(k);
+    group_results[member_rank] = msg.values ? *msg.values : std::vector<double>{};
+  }
+  const auto packed = std::make_shared<std::vector<double>>(pack_results(group_results));
+  co_await sub_ch.send(me, kTagResultBundle,
+                       comp->spec.result_bytes * static_cast<double>(g.members.size()) +
+                           per_ref * static_cast<double>(g.members.size()),
+                       packed);
+}
+
+sim::Task<ComputationResult> Environment::submit(NodeIdx submitter_host, TaskSpec spec,
+                                                 PeerMain main) {
+  ComputationResult res;
+  res.t_submit = engine_->now();
+  overlay::PeerActor* sub = overlay_.peer_at(submitter_host);
+  if (sub == nullptr) {
+    res.failure = "submitter host does not run a peer actor";
+    co_return res;
+  }
+
+  // 1. Peers collection (paper §III-B).
+  const std::uint64_t ticket = next_ticket_++;
+  auto peers = co_await sub->collect_peers(spec.peers_needed, spec.requirements, ticket);
+  res.t_collected = engine_->now();
+  res.peers = static_cast<int>(peers.size());
+  if (static_cast<int>(peers.size()) < spec.peers_needed) {
+    for (const auto& p : peers)
+      overlay_.send_ctrl(submitter_host, p.node, overlay::ReleaseReq{submitter_host});
+    res.failure = "not enough peers: wanted " + std::to_string(spec.peers_needed) +
+                  ", reserved " + std::to_string(peers.size());
+    co_return res;
+  }
+
+  // 2. Proximity grouping with coordinators (paper §III-C).
+  auto comp = std::make_shared<Computation>(*this, spec, submitter_host,
+                                            alloc::form_groups(peers, spec.cmax));
+  res.groups = static_cast<int>(comp->groups.size());
+  comp->subtask_latch.reset(comp->nprocs());
+  const bool flat = spec.allocation == AllocationMode::Flat;
+  comp->done_latch.reset(flat ? comp->nprocs() : static_cast<int>(comp->groups.size()));
+
+  // 3. Spawn compute ranks (they wait for their subtask first).
+  for (int r = 0; r < comp->nprocs(); ++r)
+    engine_->spawn(rank_body(comp, r, main), spec.name + "/rank" + std::to_string(r));
+
+  if (!flat) {
+    // Coordinator protocol per group + submitter-side distribution.
+    for (int g = 0; g < static_cast<int>(comp->groups.size()); ++g)
+      engine_->spawn(coordinator_body(comp, g), spec.name + "/coord" + std::to_string(g));
+    for (int g = 0; g < static_cast<int>(comp->groups.size()); ++g) {
+      engine_->spawn([](Environment& env, std::shared_ptr<Computation> c,
+                        int group) -> sim::Process {
+        const auto& grp = c->groups[static_cast<std::size_t>(group)];
+        const NodeIdx coord = grp.coordinator_ref().node;
+        auto& ch = c->ctrl_channel(c->submitter, coord);
+        const double assign_bytes = 64 + 16.0 * static_cast<double>(grp.members.size());
+        co_await ch.send(c->submitter, kTagGroupAssign, assign_bytes);
+        co_await ch.send(c->submitter, kTagSubtask,
+                         c->spec.subtask_bytes * static_cast<double>(grp.members.size()));
+        // Await this group's result bundle.
+        const auto msg = co_await ch.recv(c->submitter, kTagResultBundle);
+        if (msg.values) unpack_results(*msg.values, c->results);
+        c->done_latch.count_down();
+        (void)env;
+      }(*this, comp, g));
+    }
+  } else {
+    // Flat baseline: the submitter connects to each peer *in succession*
+    // (awaiting every transfer) and gathers all results itself.
+    engine_->spawn([](std::shared_ptr<Computation> c) -> sim::Process {
+      for (int r = 0; r < c->nprocs(); ++r) {
+        auto& ch = c->ctrl_channel(c->submitter, c->host_of(r));
+        co_await ch.send(c->submitter, kTagReverse, 64);
+        co_await ch.send(c->submitter, kTagSubtask, c->spec.subtask_bytes);
+      }
+    }(comp));
+    for (int r = 0; r < comp->nprocs(); ++r) {
+      engine_->spawn([](std::shared_ptr<Computation> c, int rank) -> sim::Process {
+        auto& ch = c->ctrl_channel(c->submitter, c->host_of(rank));
+        const auto msg = co_await ch.recv(c->submitter, kTagResultUp);
+        if (msg.values) c->results[rank] = *msg.values;
+        c->done_latch.count_down();
+      }(comp, r));
+    }
+  }
+
+  // 4. Wait for completion, then free the peers.
+  co_await comp->done_latch.wait();
+  res.t_allocated = comp->t_allocated;
+  res.t_finished = engine_->now();
+  res.results = comp->results;
+  res.ok = true;
+  for (const auto& p : comp->ranks)
+    overlay_.send_ctrl(submitter_host, p.node, overlay::ReleaseReq{submitter_host});
+  co_return res;
+}
+
+ComputationResult Environment::run_computation(NodeIdx submitter_host, TaskSpec spec,
+                                               PeerMain main, Time warmup, Time time_cap) {
+  engine_->run_until(engine_->now() + warmup);
+  auto out = std::make_shared<ComputationResult>();
+  auto done = std::make_shared<bool>(false);
+  engine_->spawn([](Environment& env, NodeIdx sub, TaskSpec sp, PeerMain m,
+                    std::shared_ptr<ComputationResult> o,
+                    std::shared_ptr<bool> flag) -> sim::Process {
+    *o = co_await env.submit(sub, std::move(sp), std::move(m));
+    *flag = true;
+  }(*this, submitter_host, std::move(spec), std::move(main), out, done));
+  const Time deadline = engine_->now() + time_cap;
+  while (!*done && engine_->now() < deadline && !engine_->queue_empty())
+    engine_->run_until(engine_->now() + 5.0);
+  if (!*done) {
+    out->ok = false;
+    out->failure = "computation did not finish within the time cap";
+  }
+  return *out;
+}
+
+}  // namespace pdc::p2pdc

@@ -1,0 +1,155 @@
+#include "p2psap/p2psap.hpp"
+
+#include <algorithm>
+
+namespace pdc::p2psap {
+
+ChannelConfig adapt(Scheme scheme, LinkClass link_class) {
+  ChannelConfig cfg;
+  if (scheme == Scheme::Synchronous) {
+    cfg.reliable = true;
+    cfg.latest_value = false;
+    switch (link_class) {
+      case LinkClass::Loopback:
+        cfg.header_bytes = 0;
+        cfg.ack_bytes = 0;
+        cfg.profile = "SYNC/loopback";
+        break;
+      case LinkClass::IntraZone:
+        // Short RTT: lean framing, immediate acks (TCP with Nagle off).
+        cfg.header_bytes = 64;
+        cfg.ack_bytes = 64;
+        cfg.profile = "SYNC/TCP-intrazone";
+        break;
+      case LinkClass::Lan:
+        cfg.header_bytes = 64;
+        cfg.ack_bytes = 64;
+        cfg.profile = "SYNC/TCP-lan";
+        break;
+      case LinkClass::Wan:
+        // Congestion-controlled WAN profile: bigger frames, windowed acks
+        // modelled as a heavier ack exchange.
+        cfg.header_bytes = 96;
+        cfg.ack_bytes = 96;
+        cfg.profile = "SYNC/TCP-wan";
+        break;
+    }
+  } else {
+    // Asynchronous iterative schemes: drop ordering, acknowledgement and
+    // queueing; only the most recent value matters.
+    cfg.reliable = false;
+    cfg.latest_value = true;
+    cfg.ack_bytes = 0;
+    switch (link_class) {
+      case LinkClass::Loopback:
+        cfg.header_bytes = 0;
+        cfg.profile = "ASYNC/loopback";
+        break;
+      case LinkClass::IntraZone:
+        cfg.header_bytes = 32;
+        cfg.profile = "ASYNC/UDP-intrazone";
+        break;
+      case LinkClass::Lan:
+        cfg.header_bytes = 32;
+        cfg.profile = "ASYNC/UDP-lan";
+        break;
+      case LinkClass::Wan:
+        // DCCP-like: unreliable but congestion aware -> slightly larger
+        // framing than raw datagrams.
+        cfg.header_bytes = 48;
+        cfg.profile = "ASYNC/DCCP-wan";
+        break;
+    }
+  }
+  return cfg;
+}
+
+LinkClass classify(Ipv4 a, Ipv4 b) {
+  const int prefix = common_prefix_len(a, b);
+  if (prefix == 32) return LinkClass::Loopback;
+  if (prefix >= 24) return LinkClass::IntraZone;
+  if (prefix >= 16) return LinkClass::Lan;
+  return LinkClass::Wan;
+}
+
+Channel::Channel(Fabric& fabric, net::NodeIdx host_a, net::NodeIdx host_b,
+                 ChannelConfig config)
+    : fabric_(&fabric), a_(host_a), b_(host_b), config_(std::move(config)) {}
+
+Channel::Box& Channel::box_for(net::NodeIdx dst, int tag) {
+  const auto key = std::make_pair(dst, tag);
+  auto it = boxes_.find(key);
+  if (it == boxes_.end()) {
+    auto policy = config_.latest_value ? sim::MailboxPolicy::LatestValue
+                                       : sim::MailboxPolicy::Unbounded;
+    it = boxes_.emplace(key, std::make_unique<Box>(fabric_->engine(), policy)).first;
+  }
+  return *it->second;
+}
+
+sim::Task<void> Channel::send(net::NodeIdx from_host, int tag, double bytes,
+                              std::shared_ptr<const std::vector<double>> values) {
+  const net::NodeIdx dst = peer_of(from_host);
+  ++stats_.messages_sent;
+  stats_.payload_bytes_sent += bytes;
+
+  Message msg;
+  msg.src_host = from_host;
+  msg.tag = tag;
+  msg.payload_bytes = bytes;
+  msg.values = std::move(values);
+  msg.sent_at = fabric_->engine().now();
+
+  const double wire_bytes = bytes + config_.header_bytes;
+  if (config_.reliable) {
+    // Payload flow, deliver, then transport ack back to the sender.
+    co_await fabric_->flownet().transfer(from_host, dst, wire_bytes);
+    const std::uint64_t before = box_for(dst, tag).overwritten();
+    box_for(dst, tag).push(std::move(msg));
+    stats_.stale_dropped += box_for(dst, tag).overwritten() - before;
+    ++stats_.acks_sent;
+    co_await fabric_->flownet().transfer(dst, from_host, config_.ack_bytes);
+  } else {
+    // Fire-and-forget: the flow delivers in the background; the sender
+    // resumes immediately (injection is not modelled as blocking).
+    auto* self = this;
+    fabric_->flownet().start_flow(from_host, dst, wire_bytes,
+                                  [self, dst, tag, m = std::move(msg)]() mutable {
+                                    Box& box = self->box_for(dst, tag);
+                                    const std::uint64_t before = box.overwritten();
+                                    box.push(std::move(m));
+                                    self->stats_.stale_dropped += box.overwritten() - before;
+                                  });
+  }
+  co_return;
+}
+
+sim::Task<Message> Channel::recv(net::NodeIdx at_host, int tag) {
+  Message m = co_await box_for(at_host, tag).recv();
+  co_return m;
+}
+
+sim::Task<std::optional<Message>> Channel::recv_for(net::NodeIdx at_host, int tag,
+                                                    Time timeout) {
+  auto m = co_await box_for(at_host, tag).recv_for(timeout);
+  co_return m;
+}
+
+std::optional<Message> Channel::try_recv(net::NodeIdx at_host, int tag) {
+  return box_for(at_host, tag).try_recv();
+}
+
+Channel& Fabric::channel(net::NodeIdx a, net::NodeIdx b, Scheme scheme) {
+  const Key key{std::min(a, b), std::max(a, b), scheme};
+  auto it = channels_.find(key);
+  if (it == channels_.end()) {
+    const LinkClass lc = classify(platform_->node(a).ip, platform_->node(b).ip);
+    it = channels_
+             .emplace(key, std::make_unique<Channel>(*this, key.lo, key.hi,
+                                                     adapt(scheme, lc)))
+             .first;
+  }
+  return *it->second;
+}
+
+}  // namespace pdc::p2psap

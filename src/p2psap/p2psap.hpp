@@ -1,0 +1,143 @@
+// P2PSAP: the self-adaptive communication protocol of P2PDC (paper §I, §III).
+//
+// P2PSAP "chooses dynamically the appropriate communication mode between any
+// peers according to decisions taken at application level, like schemes of
+// computation (synchronous or asynchronous iterative schemes), and elements
+// of context like network topology at transport level."
+//
+// This module models that choice: a Channel between two hosts is configured
+// by `adapt(scheme, link_class)`:
+//   * synchronous schemes get a reliable, ordered, acknowledged transport
+//     (TCP-like), whose ack cost depends on the link class;
+//   * asynchronous schemes get an unordered, unacknowledged transport with
+//     *latest-value* delivery semantics (stale boundary data is overwritten,
+//     never queued), which is what asynchronous iterative algorithms want.
+//
+// Link classes are derived from the IP-based proximity metric, consistent
+// with P2PDC's use of purely local information.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/flow.hpp"
+#include "net/platform.hpp"
+#include "sim/mailbox.hpp"
+#include "sim/task.hpp"
+#include "support/ipv4.hpp"
+
+namespace pdc::p2psap {
+
+/// Application-level computation scheme (paper §I).
+enum class Scheme { Synchronous, Asynchronous };
+
+/// Transport-level context classes derived from IP proximity.
+enum class LinkClass { Loopback, IntraZone, Lan, Wan };
+
+/// The concrete protocol configuration picked by the adaptation policy.
+struct ChannelConfig {
+  bool reliable = true;       // sender waits for a transport-level ack
+  bool latest_value = false;  // receiver keeps only the newest message per (src, tag)
+  double header_bytes = 64;   // per-message framing overhead
+  double ack_bytes = 64;      // ack frame size when reliable
+  std::string profile;        // human-readable name of the selected micro-protocol
+};
+
+/// The self-adaptation policy (the heart of P2PSAP).
+ChannelConfig adapt(Scheme scheme, LinkClass link_class);
+
+/// Classifies the transport context between two peers from their IPs:
+/// same address -> Loopback, shared /24 -> IntraZone, shared /16 -> Lan,
+/// otherwise Wan.
+LinkClass classify(Ipv4 a, Ipv4 b);
+
+/// A message as seen by the application: a tag plus a payload size; the
+/// value vector is optional (timing-only runs ship no numeric data).
+struct Message {
+  net::NodeIdx src_host = -1;
+  int tag = 0;
+  double payload_bytes = 0;
+  std::shared_ptr<const std::vector<double>> values;  // may be null
+  Time sent_at = 0;
+};
+
+struct ChannelStats {
+  std::uint64_t messages_sent = 0;
+  double payload_bytes_sent = 0;
+  std::uint64_t acks_sent = 0;
+  std::uint64_t stale_dropped = 0;  // latest-value overwrites
+};
+
+class Fabric;
+
+/// A bidirectional channel between two hosts with one negotiated config.
+class Channel {
+ public:
+  Channel(Fabric& fabric, net::NodeIdx host_a, net::NodeIdx host_b, ChannelConfig config);
+
+  /// Sends `bytes` of payload from `from_host` to the opposite end. With a
+  /// reliable config, resumes after the transport ack returns; otherwise
+  /// resumes immediately after injection (fire-and-forget).
+  sim::Task<void> send(net::NodeIdx from_host, int tag, double bytes,
+                       std::shared_ptr<const std::vector<double>> values = nullptr);
+
+  /// Receives the next message addressed to `at_host` with tag `tag`.
+  sim::Task<Message> recv(net::NodeIdx at_host, int tag);
+
+  /// Receive with timeout: nullopt when nothing arrives within `timeout`.
+  sim::Task<std::optional<Message>> recv_for(net::NodeIdx at_host, int tag, Time timeout);
+
+  /// Non-suspending receive.
+  std::optional<Message> try_recv(net::NodeIdx at_host, int tag);
+
+  const ChannelConfig& config() const { return config_; }
+  const ChannelStats& stats() const { return stats_; }
+  net::NodeIdx peer_of(net::NodeIdx host) const { return host == a_ ? b_ : a_; }
+
+ private:
+  using Box = sim::Mailbox<Message>;
+  Box& box_for(net::NodeIdx dst, int tag);
+
+  Fabric* fabric_;
+  net::NodeIdx a_, b_;
+  ChannelConfig config_;
+  ChannelStats stats_;
+  // Keyed by (destination host, tag); both directions live here.
+  std::map<std::pair<net::NodeIdx, int>, std::unique_ptr<Box>> boxes_;
+};
+
+/// Creates and caches channels; the factory applies the adaptation policy
+/// using the scheme requested by the application and the IP-derived link
+/// class, mirroring P2PSAP's session negotiation.
+class Fabric {
+ public:
+  Fabric(sim::Engine& engine, net::FlowNet& flownet, const net::Platform& platform)
+      : engine_(&engine), net_(&flownet), platform_(&platform) {}
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  /// Returns the channel between two hosts for the given scheme, creating
+  /// it on first use. Channels are cached per (host pair, scheme).
+  Channel& channel(net::NodeIdx a, net::NodeIdx b, Scheme scheme);
+
+  sim::Engine& engine() { return *engine_; }
+  net::FlowNet& flownet() { return *net_; }
+  const net::Platform& platform() const { return *platform_; }
+
+ private:
+  struct Key {
+    net::NodeIdx lo, hi;
+    Scheme scheme;
+    auto operator<=>(const Key&) const = default;
+  };
+  sim::Engine* engine_;
+  net::FlowNet* net_;
+  const net::Platform* platform_;
+  std::map<Key, std::unique_ptr<Channel>> channels_;
+};
+
+}  // namespace pdc::p2psap

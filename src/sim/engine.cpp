@@ -1,0 +1,87 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+
+namespace pdc::sim {
+
+void Engine::schedule_at(Time t, std::function<void()> fn) {
+  if (t < now_) t = now_;  // never schedule into the past
+  heap_.push_back(Event{t, seq_++, std::move(fn)});
+  std::push_heap(heap_.begin(), heap_.end(),
+                 [](const Event& a, const Event& b) { return a > b; });
+}
+
+TimerHandle Engine::schedule_cancellable(Time dt, std::function<void()> fn) {
+  auto alive = std::make_shared<bool>(true);
+  schedule_after(dt, [alive, fn = std::move(fn)] {
+    if (*alive) fn();
+  });
+  return TimerHandle{alive};
+}
+
+void Engine::spawn(Process p, std::string name) {
+  Process::Handle h = p.release();
+  h.promise().engine = this;
+  h.promise().name = std::move(name);
+  registered_.push_back(h);
+  ++live_processes_;
+  post([h] { h.resume(); });
+}
+
+void Process::promise_type::FinalAwaiter::await_suspend(Process::Handle h) noexcept {
+  h.promise().engine->on_process_done(h);
+}
+
+void Engine::on_process_done(Process::Handle h) {
+  --live_processes_;
+  if (h.promise().error && !pending_error_) pending_error_ = h.promise().error;
+  zombies_.push_back(h);
+}
+
+void Engine::reap_zombies() {
+  for (auto h : zombies_) {
+    std::erase(registered_, h);
+    h.destroy();
+  }
+  zombies_.clear();
+}
+
+void Engine::dispatch(Event ev) {
+  now_ = ev.t;
+  ++dispatched_;
+  ev.fn();
+  reap_zombies();
+  if (pending_error_) {
+    auto e = pending_error_;
+    pending_error_ = nullptr;
+    std::rethrow_exception(e);
+  }
+}
+
+bool Engine::step() {
+  if (heap_.empty()) return false;
+  std::pop_heap(heap_.begin(), heap_.end(),
+                [](const Event& a, const Event& b) { return a > b; });
+  Event ev = std::move(heap_.back());
+  heap_.pop_back();
+  dispatch(std::move(ev));
+  return true;
+}
+
+void Engine::run() {
+  while (step()) {
+  }
+}
+
+void Engine::run_until(Time t_end) {
+  while (!heap_.empty() && heap_.front().t <= t_end) step();
+  if (now_ < t_end) now_ = t_end;
+}
+
+Engine::~Engine() {
+  // Destroy still-suspended processes; their frames' local destructors run.
+  reap_zombies();
+  for (auto h : registered_) h.destroy();
+}
+
+}  // namespace pdc::sim

@@ -1,0 +1,111 @@
+// The discrete-event simulation engine.
+//
+// Single-threaded, deterministic: events fire in (time, insertion-sequence)
+// order, so two runs with the same seed produce identical schedules. All
+// higher layers (network flows, P2PSAP channels, overlay protocols, trace
+// replay) are built on this kernel.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/process.hpp"
+#include "support/time.hpp"
+
+namespace pdc::sim {
+
+/// Cancellation token for a scheduled callback. Cheap to copy; cancelling an
+/// already-fired or empty handle is a no-op.
+class TimerHandle {
+ public:
+  TimerHandle() = default;
+  explicit TimerHandle(std::shared_ptr<bool> alive) : alive_(std::move(alive)) {}
+  void cancel() {
+    if (alive_) *alive_ = false;
+  }
+  bool active() const { return alive_ && *alive_; }
+
+ private:
+  std::shared_ptr<bool> alive_;
+};
+
+class Engine {
+ public:
+  Engine() = default;
+  ~Engine();
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  Time now() const { return now_; }
+
+  /// Schedules `fn` at the current simulated time (after already-queued
+  /// events at this time).
+  void post(std::function<void()> fn) { schedule_at(now_, std::move(fn)); }
+  void schedule_at(Time t, std::function<void()> fn);
+  void schedule_after(Time dt, std::function<void()> fn) {
+    schedule_at(now_ + dt, std::move(fn));
+  }
+  /// Like schedule_after, but returns a handle whose cancel() suppresses the
+  /// callback if it has not fired yet.
+  TimerHandle schedule_cancellable(Time dt, std::function<void()> fn);
+
+  /// Takes ownership of a process coroutine and schedules its first resume
+  /// at the current time.
+  void spawn(Process p, std::string name = {});
+
+  /// Awaitable: suspends the calling coroutine for `dt` simulated seconds.
+  struct SleepAwaiter {
+    Engine* engine;
+    Time dt;
+    bool await_ready() const noexcept { return dt <= 0; }
+    void await_suspend(std::coroutine_handle<> h) {
+      engine->schedule_after(dt, [h] { h.resume(); });
+    }
+    void await_resume() const noexcept {}
+  };
+  SleepAwaiter sleep(Time dt) { return SleepAwaiter{this, dt}; }
+
+  /// Runs until the event queue drains. Rethrows the first uncaught
+  /// exception escaping a process.
+  void run();
+  /// Runs until the queue drains or the next event lies beyond `t_end`
+  /// (the clock then advances to exactly `t_end`).
+  void run_until(Time t_end);
+  /// Dispatches a single event. Returns false when the queue is empty.
+  bool step();
+
+  std::size_t live_processes() const { return live_processes_; }
+  std::uint64_t dispatched_events() const { return dispatched_; }
+  bool queue_empty() const { return heap_.empty(); }
+
+ private:
+  friend struct Process::promise_type::FinalAwaiter;
+
+  struct Event {
+    Time t;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    bool operator>(const Event& other) const {
+      return t != other.t ? t > other.t : seq > other.seq;
+    }
+  };
+
+  void on_process_done(Process::Handle h);
+  void reap_zombies();
+  void dispatch(Event ev);
+
+  std::vector<Event> heap_;  // min-heap via std::push_heap with greater
+  Time now_ = 0.0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t dispatched_ = 0;
+  std::size_t live_processes_ = 0;
+  std::vector<Process::Handle> registered_;  // all spawned, for final cleanup
+  std::vector<Process::Handle> zombies_;     // finished, to destroy
+  std::exception_ptr pending_error_;
+};
+
+}  // namespace pdc::sim

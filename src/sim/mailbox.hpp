@@ -1,0 +1,137 @@
+// Typed mailboxes connecting simulation processes.
+//
+// push() never blocks. recv() suspends until a value arrives; recv_for()
+// additionally wakes with nullopt after a timeout — that is how the overlay
+// protocols implement the paper's "if no state update after a time T,
+// consider the node disconnected" rules.
+//
+// A mailbox can operate in LatestValue mode (capacity one, new values
+// overwrite unconsumed ones). P2PSAP uses it for asynchronous iterative
+// schemes where only the most recent boundary data matters.
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <list>
+#include <memory>
+#include <optional>
+
+#include "sim/engine.hpp"
+#include "support/time.hpp"
+
+namespace pdc::sim {
+
+enum class MailboxPolicy { Unbounded, LatestValue };
+
+template <class T>
+class Mailbox {
+ public:
+  explicit Mailbox(Engine& engine, MailboxPolicy policy = MailboxPolicy::Unbounded)
+      : engine_(&engine), policy_(policy) {}
+  Mailbox(const Mailbox&) = delete;
+  Mailbox& operator=(const Mailbox&) = delete;
+
+  /// Deposits a value: hands it directly to the oldest waiting receiver if
+  /// any (resumed via a same-time event), otherwise queues it.
+  void push(T value) {
+    if (!waiters_.empty()) {
+      WaitState& w = *waiters_.front();
+      waiters_.pop_front();
+      w.registered = false;
+      w.value.emplace(std::move(value));
+      if (w.timer_alive) *w.timer_alive = false;
+      engine_->post([h = w.handle] { h.resume(); });
+      return;
+    }
+    if (policy_ == MailboxPolicy::LatestValue && !queue_.empty()) {
+      queue_.clear();
+      ++overwritten_;
+    }
+    queue_.push_back(std::move(value));
+  }
+
+  std::size_t size() const { return queue_.size(); }
+  bool empty() const { return queue_.empty(); }
+  /// Number of values discarded by LatestValue overwrites (async-scheme
+  /// "stale messages dropped" statistic).
+  std::uint64_t overwritten() const { return overwritten_; }
+
+  /// Non-suspending receive: takes a queued value if present.
+  std::optional<T> try_recv() {
+    if (queue_.empty()) return std::nullopt;
+    std::optional<T> v{std::move(queue_.front())};
+    queue_.pop_front();
+    return v;
+  }
+
+ private:
+  struct WaitState {
+    std::optional<T> value;
+    std::coroutine_handle<> handle;
+    std::shared_ptr<bool> timer_alive;  // set false when delivered
+    bool registered = false;
+    typename std::list<WaitState*>::iterator where;
+  };
+
+  struct AwaiterCore {
+    Mailbox* mb;
+    Time timeout;  // < 0 means wait forever
+    WaitState state;
+
+    bool await_ready() {
+      if (!mb->queue_.empty()) {
+        state.value.emplace(std::move(mb->queue_.front()));
+        mb->queue_.pop_front();
+        return true;
+      }
+      return false;
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      state.handle = h;
+      state.registered = true;
+      state.where = mb->waiters_.insert(mb->waiters_.end(), &state);
+      if (timeout >= 0) {
+        state.timer_alive = std::make_shared<bool>(true);
+        Mailbox* m = mb;
+        WaitState* s = &state;
+        auto alive = state.timer_alive;
+        m->engine_->schedule_after(timeout, [m, s, h, alive] {
+          if (!*alive) return;  // value was delivered first
+          if (s->registered) {
+            m->waiters_.erase(s->where);
+            s->registered = false;
+          }
+          h.resume();  // state.value stays empty -> timeout
+        });
+      }
+    }
+  };
+
+ public:
+  /// Awaitable returned by recv(): resumes with the received value.
+  struct RecvOp : AwaiterCore {
+    T await_resume() {
+      assert(this->state.value.has_value());
+      return std::move(*this->state.value);
+    }
+  };
+
+  /// Awaitable returned by recv_for(): resumes with nullopt on timeout.
+  struct RecvForOp : AwaiterCore {
+    std::optional<T> await_resume() { return std::move(this->state.value); }
+  };
+
+  RecvOp recv() { return RecvOp{{this, Time{-1}, {}}}; }
+  RecvForOp recv_for(Time timeout) { return RecvForOp{{this, timeout, {}}}; }
+
+ private:
+  Engine* engine_;
+  MailboxPolicy policy_;
+  std::deque<T> queue_;
+  std::list<WaitState*> waiters_;
+  std::uint64_t overwritten_ = 0;
+};
+
+}  // namespace pdc::sim

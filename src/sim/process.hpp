@@ -1,0 +1,58 @@
+// Process: a top-level, fire-and-forget simulation actor coroutine.
+//
+// A Process is created by calling a coroutine function returning Process and
+// handing it to Engine::spawn(). The engine owns the coroutine frame from
+// that point on: it resumes it through events and reaps it at completion.
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <string>
+#include <utility>
+
+namespace pdc::sim {
+
+class Engine;
+
+class Process {
+ public:
+  struct promise_type;
+  using Handle = std::coroutine_handle<promise_type>;
+
+  struct promise_type {
+    Engine* engine = nullptr;
+    std::string name;
+    std::exception_ptr error;
+
+    Process get_return_object() { return Process{Handle::from_promise(*this)}; }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+
+    // At final suspension, hand the (suspended) frame back to the engine for
+    // deferred destruction; never destroy a frame from inside its own resume.
+    struct FinalAwaiter {
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(Handle h) noexcept;
+      void await_resume() const noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+    void return_void() noexcept {}
+    void unhandled_exception() noexcept { error = std::current_exception(); }
+  };
+
+  Process(Process&& other) noexcept : h_(std::exchange(other.h_, nullptr)) {}
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+  Process& operator=(Process&&) = delete;
+  ~Process() {
+    // A Process not given to Engine::spawn() owns its frame.
+    if (h_) h_.destroy();
+  }
+
+ private:
+  friend class Engine;
+  explicit Process(Handle h) : h_(h) {}
+  Handle release() { return std::exchange(h_, nullptr); }
+  Handle h_;
+};
+
+}  // namespace pdc::sim

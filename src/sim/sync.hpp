@@ -1,0 +1,68 @@
+// Synchronization primitives for simulation processes: Latch (count-down)
+// and Gate (one-shot broadcast event). Both are single-threaded simulation
+// objects; "waiting" means coroutine suspension, never OS blocking.
+#pragma once
+
+#include <coroutine>
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace pdc::sim {
+
+/// Count-down latch: processes co_await wait(); when the count reaches zero
+/// every waiter (present and future) resumes.
+class Latch {
+ public:
+  Latch(Engine& engine, int count) : engine_(&engine), count_(count) {}
+  Latch(const Latch&) = delete;
+  Latch& operator=(const Latch&) = delete;
+
+  void count_down(int n = 1) {
+    count_ -= n;
+    if (count_ <= 0) release_all();
+  }
+
+  /// Re-arms the latch. Must only be called while no process is waiting.
+  void reset(int count) {
+    count_ = count;
+  }
+
+  int pending() const { return count_; }
+  bool open() const { return count_ <= 0; }
+
+  struct Awaiter {
+    Latch* latch;
+    bool await_ready() const noexcept { return latch->open(); }
+    void await_suspend(std::coroutine_handle<> h) { latch->waiters_.push_back(h); }
+    void await_resume() const noexcept {}
+  };
+  Awaiter wait() { return Awaiter{this}; }
+
+ private:
+  void release_all() {
+    auto waiters = std::move(waiters_);
+    waiters_.clear();
+    for (auto h : waiters) engine_->post([h] { h.resume(); });
+  }
+
+  Engine* engine_;
+  int count_;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+/// One-shot gate: wait() suspends until open() is called once.
+class Gate {
+ public:
+  explicit Gate(Engine& engine) : latch_(engine, 1) {}
+  void open() {
+    if (!latch_.open()) latch_.count_down();
+  }
+  bool is_open() const { return latch_.open(); }
+  Latch::Awaiter wait() { return latch_.wait(); }
+
+ private:
+  Latch latch_;
+};
+
+}  // namespace pdc::sim

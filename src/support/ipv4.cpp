@@ -1,0 +1,61 @@
+#include "support/ipv4.hpp"
+
+#include <bit>
+#include <cstdlib>
+
+namespace pdc {
+
+std::optional<Ipv4> Ipv4::parse(const std::string& text) {
+  std::uint32_t bits = 0;
+  int octets = 0;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    if (octets == 4) return std::nullopt;
+    if (!std::isdigit(static_cast<unsigned char>(text[i]))) return std::nullopt;
+    std::uint32_t value = 0;
+    std::size_t digits = 0;
+    while (i < text.size() && std::isdigit(static_cast<unsigned char>(text[i]))) {
+      value = value * 10 + static_cast<std::uint32_t>(text[i] - '0');
+      ++digits;
+      ++i;
+      if (digits > 3 || value > 255) return std::nullopt;
+    }
+    bits = (bits << 8) | value;
+    ++octets;
+    if (i < text.size()) {
+      if (text[i] != '.') return std::nullopt;
+      ++i;
+      if (i == text.size()) return std::nullopt;  // trailing dot
+    }
+  }
+  if (octets != 4) return std::nullopt;
+  return Ipv4{bits};
+}
+
+std::string Ipv4::to_string() const {
+  std::string out;
+  out.reserve(15);
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    out += std::to_string((bits_ >> shift) & 0xFF);
+    if (shift > 0) out += '.';
+  }
+  return out;
+}
+
+int common_prefix_len(Ipv4 a, Ipv4 b) {
+  const std::uint32_t diff = a.bits() ^ b.bits();
+  return diff == 0 ? 32 : std::countl_zero(diff);
+}
+
+bool closer_to(Ipv4 ref, Ipv4 x, Ipv4 y) {
+  const int px = common_prefix_len(ref, x);
+  const int py = common_prefix_len(ref, y);
+  if (px != py) return px > py;
+  const auto dist = [&](Ipv4 v) {
+    return v.bits() > ref.bits() ? v.bits() - ref.bits() : ref.bits() - v.bits();
+  };
+  if (dist(x) != dist(y)) return dist(x) < dist(y);
+  return x.bits() < y.bits();
+}
+
+}  // namespace pdc

@@ -1,0 +1,46 @@
+// IPv4 addresses and the IP-based proximity metric of P2PDC (paper §III-A.2).
+//
+// The proximity between two nodes is the length of the longest common prefix
+// of their IPv4 addresses: local information only, no network probing.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace pdc {
+
+/// An IPv4 address stored in host byte order.
+class Ipv4 {
+ public:
+  constexpr Ipv4() = default;
+  constexpr explicit Ipv4(std::uint32_t bits) : bits_(bits) {}
+  constexpr Ipv4(std::uint8_t a, std::uint8_t b, std::uint8_t c, std::uint8_t d)
+      : bits_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+              (std::uint32_t{c} << 8) | std::uint32_t{d}) {}
+
+  /// Parses dotted-quad notation ("145.82.1.129"). Returns nullopt on
+  /// malformed input (wrong component count, out-of-range octet, junk).
+  static std::optional<Ipv4> parse(const std::string& text);
+
+  constexpr std::uint32_t bits() const { return bits_; }
+  std::string to_string() const;
+
+  friend constexpr auto operator<=>(Ipv4, Ipv4) = default;
+
+ private:
+  std::uint32_t bits_ = 0;
+};
+
+/// Longest common prefix length in bits, in [0, 32]. This is the P2PDC
+/// proximity metric: larger means closer. The paper's example: 145.82.1.1 vs
+/// 145.82.1.129 -> 24; 145.82.1.1 vs 145.83.56.74 -> 15.
+int common_prefix_len(Ipv4 a, Ipv4 b);
+
+/// Proximity comparison helper: true when `x` is strictly closer to `ref`
+/// than `y` is. Ties broken by smaller absolute IP distance, then by address,
+/// so orderings are total and deterministic.
+bool closer_to(Ipv4 ref, Ipv4 x, Ipv4 y);
+
+}  // namespace pdc

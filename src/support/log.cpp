@@ -1,0 +1,19 @@
+#include "support/log.hpp"
+
+#include <cstdio>
+
+namespace pdc {
+namespace {
+LogLevel g_level = LogLevel::Error;
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() { return g_level; }
+
+void log_line(LogLevel level, const std::string& msg) {
+  if (level > g_level) return;
+  const char* tag = level == LogLevel::Error ? "ERROR" : level == LogLevel::Info ? "INFO" : "DEBUG";
+  std::fprintf(stderr, "[%s] %s\n", tag, msg.c_str());
+}
+
+}  // namespace pdc

@@ -1,0 +1,31 @@
+// Minimal leveled logging. Off by default so tests and benches stay quiet;
+// examples turn on Info to narrate protocol activity.
+#pragma once
+
+#include <string>
+
+namespace pdc {
+
+enum class LogLevel { Off = 0, Error = 1, Info = 2, Debug = 3 };
+
+/// Sets the global log threshold. Not thread-safe by design: the simulator
+/// is single-threaded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Writes one line to stderr when `level` is at or below the threshold.
+void log_line(LogLevel level, const std::string& msg);
+
+}  // namespace pdc
+
+#define PDC_LOG_INFO(msg)                                    \
+  do {                                                       \
+    if (::pdc::log_level() >= ::pdc::LogLevel::Info)         \
+      ::pdc::log_line(::pdc::LogLevel::Info, (msg));         \
+  } while (0)
+
+#define PDC_LOG_DEBUG(msg)                                   \
+  do {                                                       \
+    if (::pdc::log_level() >= ::pdc::LogLevel::Debug)        \
+      ::pdc::log_line(::pdc::LogLevel::Debug, (msg));        \
+  } while (0)

@@ -1,0 +1,57 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic choices in the simulator (xDSL last-mile bandwidths, churn
+// schedules, property-test inputs) flow through this generator so that runs
+// are reproducible from a single seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace pdc {
+
+/// SplitMix64: tiny, fast, well-distributed; perfectly adequate for workload
+/// generation (not for cryptography).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) : state_(seed) {}
+
+  std::uint64_t next_u64() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(next_u64() % span);
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    const double u = static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+    return lo + u * (hi - lo);
+  }
+
+  bool bernoulli(double p) { return uniform(0.0, 1.0) < p; }
+
+  /// Fisher-Yates shuffle.
+  template <class T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(next_u64() % i);
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Derives an independent child stream (for per-actor determinism).
+  Rng split() { return Rng{next_u64() ^ 0xD1B54A32D192ED03ULL}; }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace pdc

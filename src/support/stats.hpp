@@ -1,0 +1,40 @@
+// Streaming statistics (Welford) and small summaries used by benchmarking,
+// block timing and the experiment harness.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace pdc {
+
+/// Single-pass mean/variance/min/max accumulator (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double total() const { return sum_; }
+
+  /// Merges another accumulator into this one (parallel-combine rule).
+  void merge(const RunningStats& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Returns the p-quantile (0 <= p <= 1) with linear interpolation.
+/// Sorts a copy; intended for small sample sets.
+double quantile(std::vector<double> samples, double p);
+
+}  // namespace pdc

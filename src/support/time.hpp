@@ -1,0 +1,44 @@
+// Simulated-time representation and unit helpers.
+//
+// Simulated time is a double counting *seconds* since the start of the
+// simulation (the SimGrid convention). dPerf traces, like the paper's, store
+// durations as integral nanoseconds; the helpers below convert between the
+// two representations.
+#pragma once
+
+#include <cstdint>
+
+namespace pdc {
+
+/// Simulated time in seconds. 0.0 is the start of the simulation.
+using Time = double;
+
+/// A duration that compares greater than any schedulable time.
+inline constexpr Time kTimeInfinity = 1e300;
+
+namespace units {
+inline constexpr Time ns = 1e-9;
+inline constexpr Time us = 1e-6;
+inline constexpr Time ms = 1e-3;
+inline constexpr Time sec = 1.0;
+inline constexpr Time minute = 60.0;
+
+/// Bandwidths are bytes/second throughout the code base.
+inline constexpr double Kbps = 1e3 / 8.0;
+inline constexpr double Mbps = 1e6 / 8.0;
+inline constexpr double Gbps = 1e9 / 8.0;
+
+inline constexpr double KiB = 1024.0;
+inline constexpr double MiB = 1024.0 * 1024.0;
+}  // namespace units
+
+/// Converts a duration in seconds to integral nanoseconds (round to nearest).
+/// Trace files store nanoseconds, as the paper's PAPI-based traces do.
+constexpr std::uint64_t to_ns(Time t) {
+  return t <= 0 ? 0 : static_cast<std::uint64_t>(t * 1e9 + 0.5);
+}
+
+/// Converts integral nanoseconds to seconds.
+constexpr Time from_ns(std::uint64_t n) { return static_cast<Time>(n) * 1e-9; }
+
+}  // namespace pdc

@@ -1,0 +1,323 @@
+#include "vm/vm.hpp"
+
+#include <cmath>
+
+#include "ir/lower.hpp"
+
+namespace pdc::vm {
+
+using ir::Instr;
+using ir::IrFunction;
+using ir::IrType;
+using ir::Op;
+
+CostModel CostModel::default_model() {
+  // Cycle costs in the spirit of the paper's 3 GHz Xeon EM64T (Netburst/
+  // early Core era): cheap int ALU, 3-5 cycle FP add/mul, ~20 cycle
+  // divisions, L1-hit memory ops, and a measurable PAPI read cost for the
+  // instrumentation markers.
+  CostModel m;
+  auto set = [&m](Op op, double c) { m.set_op_cost(op, c); };
+  set(Op::ConstI, 1);
+  set(Op::ConstF, 1);
+  set(Op::Mov, 1);
+  set(Op::AddI, 1);
+  set(Op::SubI, 1);
+  set(Op::MulI, 3);
+  set(Op::DivI, 22);
+  set(Op::ModI, 22);
+  set(Op::NegI, 1);
+  set(Op::AddF, 3);
+  set(Op::SubF, 3);
+  set(Op::MulF, 5);
+  set(Op::DivF, 22);
+  set(Op::NegF, 2);
+  set(Op::LtI, 1);
+  set(Op::LeI, 1);
+  set(Op::GtI, 1);
+  set(Op::GeI, 1);
+  set(Op::EqI, 1);
+  set(Op::NeI, 1);
+  set(Op::LtF, 2);
+  set(Op::LeF, 2);
+  set(Op::GtF, 2);
+  set(Op::GeF, 2);
+  set(Op::EqF, 2);
+  set(Op::NeF, 2);
+  set(Op::NotI, 1);
+  set(Op::BoolI, 1);
+  set(Op::I2F, 4);
+  set(Op::LoadVar, 3);
+  set(Op::StoreVar, 3);
+  set(Op::AllocArr, 0);  // cost charged via alloc_base/alloc_per_elem
+  set(Op::LoadIdx, 4);
+  set(Op::StoreIdx, 4);
+  set(Op::ArrLen, 1);
+  set(Op::Jump, 1);
+  set(Op::CJump, 2);
+  set(Op::Ret, 2);
+  set(Op::Call, 0);  // charged via call_overhead and builtin costs
+  set(Op::BlockBegin, 40);
+  set(Op::BlockEnd, 40);
+  set(Op::IterMark, 2);
+  m.builtin_cost_ = {
+      {"sqrt", 30}, {"fabs", 2},       {"fmax", 3},    {"fmin", 3},  {"floor", 3},
+      {"p2p_rank", 4}, {"p2p_nprocs", 4}, {"p2p_param", 4}, {"p2p_param_f", 4},
+      {"p2p_send", 400}, {"p2p_recv", 400}, {"p2p_allreduce_max", 400},
+  };
+  return m;
+}
+
+double CostModel::builtin_cost(const std::string& name) const {
+  auto it = builtin_cost_.find(name);
+  return it == builtin_cost_.end() ? 0.0 : it->second;
+}
+
+Vm::Vm(const ir::IrProgram& program, CostModel model)
+    : prog_(&program), model_(std::move(model)), hooks_(&default_hooks_) {
+  default_hooks_.vm_ = this;
+}
+
+void Vm::set_hooks(CommHooks* hooks) {
+  hooks_ = hooks != nullptr ? hooks : &default_hooks_;
+  hooks_->vm_ = this;
+}
+
+Value Vm::call(const std::string& name, const std::vector<Value>& args) {
+  const IrFunction* fn = prog_->find(name);
+  if (fn == nullptr) throw TrapError("call to unknown function '" + name + "'");
+  return exec(*fn, args, std::vector<std::shared_ptr<ArrayObj>>(
+                             static_cast<std::size_t>(fn->num_params), nullptr),
+              0);
+}
+
+long long Vm::run_main() { return call("main").i; }
+
+Value Vm::exec(const IrFunction& fn, std::vector<Value> scalar_args,
+               std::vector<std::shared_ptr<ArrayObj>> array_args, int depth) {
+  if (depth > 200) throw TrapError("call depth limit exceeded in '" + fn.name + "'");
+
+  std::vector<Value> regs(static_cast<std::size_t>(fn.num_regs));
+  std::vector<Value> vars(fn.var_slots.size());
+  std::vector<std::shared_ptr<ArrayObj>> arrays(fn.arr_slots.size());
+
+  // Scalar args land in registers 0..num_params-1 (lowering convention);
+  // array slots with a param index bind to the caller's objects.
+  for (std::size_t i = 0; i < scalar_args.size() && i < regs.size(); ++i)
+    regs[i] = scalar_args[i];
+  for (std::size_t s = 0; s < fn.arr_slots.size(); ++s) {
+    const auto& slot = fn.arr_slots[s];
+    if (slot.is_param) {
+      auto& bound = array_args[static_cast<std::size_t>(slot.param_index)];
+      if (!bound)
+        throw TrapError("array parameter '" + slot.name + "' of '" + fn.name +
+                        "' not bound");
+      arrays[s] = bound;
+    }
+  }
+
+  auto trap = [&](const std::string& msg) -> TrapError {
+    return TrapError("in '" + fn.name + "': " + msg);
+  };
+  auto array_at = [&](int slot) -> ArrayObj& {
+    auto& p = arrays[static_cast<std::size_t>(slot)];
+    if (!p) throw trap("use of unallocated array '" +
+                       fn.arr_slots[static_cast<std::size_t>(slot)].name + "'");
+    return *p;
+  };
+
+  int bi = 0;
+  std::size_t pc = 0;
+  while (true) {
+    const Instr& in = fn.blocks[static_cast<std::size_t>(bi)].instrs[pc];
+    cycles_ += model_.op_cost(in.op);
+    ++papi_.instructions;
+    if (cycles_ > cycle_limit_) throw trap("cycle limit exceeded");
+
+    switch (in.op) {
+      case Op::ConstI: regs[static_cast<std::size_t>(in.dst)].i = in.imm_i; break;
+      case Op::ConstF: regs[static_cast<std::size_t>(in.dst)].f = in.imm_f; break;
+      case Op::Mov: regs[static_cast<std::size_t>(in.dst)] = regs[static_cast<std::size_t>(in.a)]; break;
+
+#define RI(x) regs[static_cast<std::size_t>(x)].i
+#define RF(x) regs[static_cast<std::size_t>(x)].f
+      case Op::AddI: RI(in.dst) = RI(in.a) + RI(in.b); break;
+      case Op::SubI: RI(in.dst) = RI(in.a) - RI(in.b); break;
+      case Op::MulI: RI(in.dst) = RI(in.a) * RI(in.b); break;
+      case Op::DivI:
+        if (RI(in.b) == 0) throw trap("integer division by zero");
+        RI(in.dst) = RI(in.a) / RI(in.b);
+        break;
+      case Op::ModI:
+        if (RI(in.b) == 0) throw trap("integer modulo by zero");
+        RI(in.dst) = RI(in.a) % RI(in.b);
+        break;
+      case Op::NegI: RI(in.dst) = -RI(in.a); break;
+      case Op::AddF: RF(in.dst) = RF(in.a) + RF(in.b); break;
+      case Op::SubF: RF(in.dst) = RF(in.a) - RF(in.b); break;
+      case Op::MulF: RF(in.dst) = RF(in.a) * RF(in.b); break;
+      case Op::DivF: RF(in.dst) = RF(in.a) / RF(in.b); break;
+      case Op::NegF: RF(in.dst) = -RF(in.a); break;
+      case Op::LtI: RI(in.dst) = RI(in.a) < RI(in.b); break;
+      case Op::LeI: RI(in.dst) = RI(in.a) <= RI(in.b); break;
+      case Op::GtI: RI(in.dst) = RI(in.a) > RI(in.b); break;
+      case Op::GeI: RI(in.dst) = RI(in.a) >= RI(in.b); break;
+      case Op::EqI: RI(in.dst) = RI(in.a) == RI(in.b); break;
+      case Op::NeI: RI(in.dst) = RI(in.a) != RI(in.b); break;
+      case Op::LtF: RI(in.dst) = RF(in.a) < RF(in.b); break;
+      case Op::LeF: RI(in.dst) = RF(in.a) <= RF(in.b); break;
+      case Op::GtF: RI(in.dst) = RF(in.a) > RF(in.b); break;
+      case Op::GeF: RI(in.dst) = RF(in.a) >= RF(in.b); break;
+      case Op::EqF: RI(in.dst) = RF(in.a) == RF(in.b); break;
+      case Op::NeF: RI(in.dst) = RF(in.a) != RF(in.b); break;
+      case Op::NotI: RI(in.dst) = RI(in.a) == 0 ? 1 : 0; break;
+      case Op::BoolI: RI(in.dst) = RI(in.a) != 0 ? 1 : 0; break;
+      case Op::I2F: RF(in.dst) = static_cast<double>(RI(in.a)); break;
+
+      case Op::LoadVar: regs[static_cast<std::size_t>(in.dst)] = vars[static_cast<std::size_t>(in.slot)]; break;
+      case Op::StoreVar: vars[static_cast<std::size_t>(in.slot)] = regs[static_cast<std::size_t>(in.a)]; break;
+
+      case Op::AllocArr: {
+        const long long size = RI(in.a);
+        if (size < 0) throw trap("negative array size");
+        auto obj = std::make_shared<ArrayObj>();
+        obj->elem = in.type;
+        obj->data.assign(static_cast<std::size_t>(size), Value{});
+        arrays[static_cast<std::size_t>(in.slot)] = std::move(obj);
+        cycles_ += model_.alloc_base + model_.alloc_per_elem * static_cast<double>(size);
+        break;
+      }
+      case Op::LoadIdx: {
+        ArrayObj& arr = array_at(in.slot);
+        const long long idx = RI(in.a);
+        if (idx < 0 || idx >= static_cast<long long>(arr.data.size()))
+          throw trap("index " + std::to_string(idx) + " out of bounds for '" +
+                     fn.arr_slots[static_cast<std::size_t>(in.slot)].name + "' (size " +
+                     std::to_string(arr.data.size()) + ")");
+        regs[static_cast<std::size_t>(in.dst)] = arr.data[static_cast<std::size_t>(idx)];
+        break;
+      }
+      case Op::StoreIdx: {
+        ArrayObj& arr = array_at(in.slot);
+        const long long idx = RI(in.a);
+        if (idx < 0 || idx >= static_cast<long long>(arr.data.size()))
+          throw trap("index " + std::to_string(idx) + " out of bounds for '" +
+                     fn.arr_slots[static_cast<std::size_t>(in.slot)].name + "' (size " +
+                     std::to_string(arr.data.size()) + ")");
+        arr.data[static_cast<std::size_t>(idx)] = regs[static_cast<std::size_t>(in.b)];
+        break;
+      }
+      case Op::ArrLen:
+        RI(in.dst) = static_cast<long long>(array_at(in.slot).data.size());
+        break;
+
+      case Op::Jump:
+        bi = in.t1;
+        pc = 0;
+        continue;
+      case Op::CJump:
+        bi = RI(in.a) != 0 ? in.t1 : in.t2;
+        pc = 0;
+        continue;
+      case Op::Ret: {
+        if (!block_stack_.empty() && depth == 0) block_stack_.clear();
+        Value out;
+        if (in.a >= 0) out = regs[static_cast<std::size_t>(in.a)];
+        return out;
+      }
+
+      case Op::BlockBegin:
+        block_stack_.emplace_back(static_cast<int>(in.imm_i), cycles_);
+        break;
+      case Op::BlockEnd: {
+        if (block_stack_.empty() || block_stack_.back().first != in.imm_i)
+          throw trap("mismatched dperf_block_end(" + std::to_string(in.imm_i) + ")");
+        auto [id, start] = block_stack_.back();
+        block_stack_.pop_back();
+        auto& stat = papi_.blocks[id];
+        ++stat.executions;
+        stat.cycles += cycles_ - start;
+        break;
+      }
+      case Op::IterMark:
+        ++papi_.iter_marks;
+        hooks_->iter_mark(in.imm_i);
+        break;
+
+      case Op::Call: {
+        cycles_ += model_.call_overhead +
+                   model_.per_arg_cost * static_cast<double>(in.args.size());
+        const std::string& callee = in.sym;
+        auto scalar = [&](std::size_t i) { return regs[static_cast<std::size_t>(in.args[i])]; };
+        // Builtins first.
+        if (callee == "sqrt") {
+          RF(in.dst) = std::sqrt(scalar(0).f);
+          cycles_ += model_.builtin_cost(callee);
+        } else if (callee == "fabs") {
+          RF(in.dst) = std::fabs(scalar(0).f);
+          cycles_ += model_.builtin_cost(callee);
+        } else if (callee == "fmax") {
+          RF(in.dst) = std::fmax(scalar(0).f, scalar(1).f);
+          cycles_ += model_.builtin_cost(callee);
+        } else if (callee == "fmin") {
+          RF(in.dst) = std::fmin(scalar(0).f, scalar(1).f);
+          cycles_ += model_.builtin_cost(callee);
+        } else if (callee == "floor") {
+          RF(in.dst) = std::floor(scalar(0).f);
+          cycles_ += model_.builtin_cost(callee);
+        } else if (callee == "p2p_rank") {
+          RI(in.dst) = hooks_->rank();
+          cycles_ += model_.builtin_cost(callee);
+        } else if (callee == "p2p_nprocs") {
+          RI(in.dst) = hooks_->nprocs();
+          cycles_ += model_.builtin_cost(callee);
+        } else if (callee == "p2p_param") {
+          RI(in.dst) = hooks_->param(static_cast<int>(scalar(0).i));
+          cycles_ += model_.builtin_cost(callee);
+        } else if (callee == "p2p_param_f") {
+          RF(in.dst) = hooks_->param_f(static_cast<int>(scalar(0).i));
+          cycles_ += model_.builtin_cost(callee);
+        } else if (callee == "p2p_send" || callee == "p2p_recv") {
+          ArrayObj& arr = array_at(ir::decode_array_arg(in.args[2]));
+          const long long off = scalar(3).i;
+          const long long n = scalar(4).i;
+          if (off < 0 || n < 0 || off + n > static_cast<long long>(arr.data.size()))
+            throw trap("communication range [" + std::to_string(off) + ", " +
+                       std::to_string(off + n) + ") out of bounds");
+          cycles_ += model_.builtin_cost(callee);
+          if (callee == "p2p_send")
+            hooks_->send(static_cast<int>(scalar(0).i), static_cast<int>(scalar(1).i), arr,
+                         off, n);
+          else
+            hooks_->recv(static_cast<int>(scalar(0).i), static_cast<int>(scalar(1).i), arr,
+                         off, n);
+        } else if (callee == "p2p_allreduce_max") {
+          cycles_ += model_.builtin_cost(callee);
+          RF(in.dst) = hooks_->allreduce_max(scalar(0).f);
+        } else if (const IrFunction* target = prog_->find(callee)) {
+          std::vector<Value> call_args;
+          std::vector<std::shared_ptr<ArrayObj>> call_arrays(in.args.size());
+          for (std::size_t i = 0; i < in.args.size(); ++i) {
+            if (ir::is_array_arg(in.args[i])) {
+              call_args.push_back(Value{});
+              call_arrays[i] = arrays[static_cast<std::size_t>(ir::decode_array_arg(in.args[i]))];
+            } else {
+              call_args.push_back(regs[static_cast<std::size_t>(in.args[i])]);
+            }
+          }
+          const Value out = exec(*target, std::move(call_args), std::move(call_arrays),
+                                 depth + 1);
+          if (in.dst >= 0) regs[static_cast<std::size_t>(in.dst)] = out;
+        } else {
+          throw trap("call to unknown function '" + callee + "'");
+        }
+        break;
+      }
+#undef RI
+#undef RF
+    }
+    ++pc;
+  }
+}
+
+}  // namespace pdc::vm

@@ -1,0 +1,106 @@
+#include "alloc/groups.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "support/rng.hpp"
+
+namespace pdc::alloc {
+namespace {
+
+overlay::PeerRef peer(int node, Ipv4 ip, double cpu = 3e9) {
+  return overlay::PeerRef{node, ip, overlay::PeerResources{cpu, 1e9, 1e9}};
+}
+
+TEST(Groups, EmptyInputYieldsNoGroups) {
+  EXPECT_TRUE(form_groups({}).empty());
+}
+
+TEST(Groups, SingleGroupUnderCmax) {
+  std::vector<overlay::PeerRef> peers;
+  for (int i = 0; i < 10; ++i) peers.push_back(peer(i, Ipv4{10, 0, 0, static_cast<std::uint8_t>(i + 1)}));
+  const auto groups = form_groups(peers);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].members.size(), 10u);
+}
+
+TEST(Groups, SplitsAtCmaxBoundary) {
+  std::vector<overlay::PeerRef> peers;
+  for (int i = 0; i < 33; ++i)
+    peers.push_back(peer(i, Ipv4{10, 0, static_cast<std::uint8_t>(i / 8), static_cast<std::uint8_t>(i + 1)}));
+  const auto groups = form_groups(peers);  // Cmax = 32 -> split at a /24 gap
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0].members.size() + groups[1].members.size(), 33u);
+  for (const auto& g : groups) EXPECT_LE(g.members.size(), 32u);
+  // The split happens at a subnet boundary (multiple of 8 here), not at an
+  // arbitrary midpoint.
+  EXPECT_EQ(groups[0].members.size() % 8, 0u);
+}
+
+TEST(Groups, NeverExceedsCmax) {
+  Rng rng{5};
+  for (int n : {1, 31, 32, 33, 64, 65, 100, 129}) {
+    std::vector<overlay::PeerRef> peers;
+    for (int i = 0; i < n; ++i)
+      peers.push_back(peer(i, Ipv4{static_cast<std::uint32_t>(rng.next_u64())}));
+    const auto groups = form_groups(peers);
+    std::size_t total = 0;
+    for (const auto& g : groups) {
+      EXPECT_LE(g.members.size(), static_cast<std::size_t>(kCmax));
+      EXPECT_FALSE(g.members.empty());
+      total += g.members.size();
+    }
+    EXPECT_EQ(total, static_cast<std::size_t>(n));
+  }
+}
+
+TEST(Groups, GroupingIsByIpProximity) {
+  // Two IP clusters must not be interleaved across groups.
+  std::vector<overlay::PeerRef> peers;
+  for (int i = 0; i < 40; ++i) peers.push_back(peer(i, Ipv4{10, 0, 0, static_cast<std::uint8_t>(i + 1)}));
+  for (int i = 0; i < 40; ++i) peers.push_back(peer(100 + i, Ipv4{82, 5, 0, static_cast<std::uint8_t>(i + 1)}));
+  const auto groups = form_groups(peers);
+  for (const auto& g : groups) {
+    std::set<std::uint32_t> nets;
+    for (const auto& m : g.members) nets.insert(m.ip.bits() >> 24);
+    // 80 peers -> 3 groups of <=32; each group fits inside one /8.
+    EXPECT_EQ(nets.size(), 1u);
+  }
+}
+
+TEST(Groups, CoordinatorIsFastestMember) {
+  std::vector<overlay::PeerRef> peers;
+  peers.push_back(peer(0, Ipv4{10, 0, 0, 1}, 2e9));
+  peers.push_back(peer(1, Ipv4{10, 0, 0, 2}, 3.4e9));
+  peers.push_back(peer(2, Ipv4{10, 0, 0, 3}, 3e9));
+  const auto groups = form_groups(peers);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].coordinator_ref().node, 1);
+}
+
+TEST(Groups, CoordinatorTieBreaksByLowestIp) {
+  std::vector<overlay::PeerRef> peers;
+  peers.push_back(peer(7, Ipv4{10, 0, 0, 9}, 3e9));
+  peers.push_back(peer(3, Ipv4{10, 0, 0, 2}, 3e9));
+  peers.push_back(peer(5, Ipv4{10, 0, 0, 5}, 3e9));
+  const auto groups = form_groups(peers);
+  EXPECT_EQ(groups[0].coordinator_ref().node, 3);
+}
+
+TEST(Groups, MembersSortedByIpWithinGroup) {
+  Rng rng{11};
+  std::vector<overlay::PeerRef> peers;
+  for (int i = 0; i < 50; ++i)
+    peers.push_back(peer(i, Ipv4{static_cast<std::uint32_t>(rng.next_u64())}));
+  const auto groups = form_groups(peers, 8);
+  Ipv4 prev{0u};
+  for (const auto& g : groups)
+    for (const auto& m : g.members) {
+      EXPECT_GE(m.ip.bits(), prev.bits());
+      prev = m.ip;
+    }
+}
+
+}  // namespace
+}  // namespace pdc::alloc

@@ -1,0 +1,105 @@
+// Front-end property tests on randomly generated programs: the unparser is
+// a fixpoint, re-parsed programs still type-check, and dPerf's
+// instrumentation round trip (instrument -> unparse -> parse -> compile)
+// preserves program semantics at every optimization level.
+#include <gtest/gtest.h>
+
+#include "dperf/blocks.hpp"
+#include "ir/pipeline.hpp"
+#include "minic/parser.hpp"
+#include "minic/sema.hpp"
+#include "minic/unparse.hpp"
+#include "support/rng.hpp"
+#include "vm/vm.hpp"
+
+namespace pdc {
+namespace {
+
+/// Small random straight-line/loop/if generator (a lighter variant of the
+/// one in compiler_property_test.cpp, kept independent so the suites can
+/// evolve separately).
+std::string random_program(Rng& rng) {
+  std::string body;
+  auto line = [&](const std::string& s) { body += "  " + s + "\n"; };
+  line("int a = " + std::to_string(rng.uniform_int(-9, 9)) + ";");
+  line("int b = " + std::to_string(rng.uniform_int(1, 9)) + ";");
+  line("double x = " + std::to_string(rng.uniform_int(-3, 3)) + ".125;");
+  const int stmts = static_cast<int>(rng.uniform_int(3, 7));
+  for (int i = 0; i < stmts; ++i) {
+    switch (rng.uniform_int(0, 3)) {
+      case 0:
+        line("a = (a * " + std::to_string(rng.uniform_int(-3, 3)) + " + b) % 100;");
+        break;
+      case 1:
+        line("x = fabs(x * 0.5 - " + std::to_string(rng.uniform_int(0, 5)) + ".25);");
+        break;
+      case 2: {
+        const std::string iv = "k" + std::to_string(i);
+        line("for (int " + iv + " = 0; " + iv + " < " +
+             std::to_string(rng.uniform_int(0, 6)) + "; " + iv + " = " + iv + " + 1) { b = (b + " +
+             iv + ") % 50 + 1; }");
+        break;
+      }
+      default:
+        line("if (a < b && b != 0) { a = a + 1; } else { a = a - 1; }");
+        break;
+    }
+  }
+  line("int fx = 0;");
+  line("while (x >= 1.0 && fx < 100) { x = x - 1.0; fx = fx + 1; }");
+  line("return (a % 31 + 31) % 31 + b % 17 + fx;");
+  return "int main() {\n" + body + "}\n";
+}
+
+class FrontendProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(FrontendProperty, UnparseIsAFixpointAndPreservesMeaning) {
+  Rng rng{static_cast<std::uint64_t>(GetParam()) * 104729 + 7};
+  const std::string src = random_program(rng);
+  SCOPED_TRACE(src);
+
+  minic::Program p1 = minic::parse(src);
+  minic::check(p1);
+  const std::string s1 = minic::unparse(p1);
+  minic::Program p2 = minic::parse(s1);
+  EXPECT_NO_THROW(minic::check(p2));
+  EXPECT_EQ(minic::unparse(p2), s1) << "unparse must be a fixpoint";
+
+  // Original source and round-tripped source compute the same value.
+  const ir::IrProgram a = ir::compile_source(src, ir::OptLevel::O1);
+  const ir::IrProgram b = ir::compile_source(s1, ir::OptLevel::O1);
+  vm::Vm ma{a}, mb{b};
+  EXPECT_EQ(ma.run_main(), mb.run_main());
+}
+
+TEST_P(FrontendProperty, InstrumentationIsSemanticallyTransparent) {
+  Rng rng{static_cast<std::uint64_t>(GetParam()) * 31337 + 23};
+  const std::string src = random_program(rng);
+  SCOPED_TRACE(src);
+
+  long long reference = 0;
+  {
+    const ir::IrProgram prog = ir::compile_source(src, ir::OptLevel::O0);
+    vm::Vm m{prog};
+    reference = m.run_main();
+  }
+  // dPerf instrumentation + unparse + reparse + any optimization level:
+  // the program must still compute the same result (markers are pure
+  // bookkeeping).
+  minic::Program ast = minic::parse(src);
+  minic::check(ast);
+  const dperf::InstrumentedProgram inst = dperf::instrument(ast);
+  const std::string inst_src = minic::unparse(inst.program);
+  for (ir::OptLevel lvl : {ir::OptLevel::O0, ir::OptLevel::O2, ir::OptLevel::O3}) {
+    const ir::IrProgram prog = ir::compile_source(inst_src, lvl);
+    vm::Vm m{prog};
+    EXPECT_EQ(m.run_main(), reference) << ir::opt_level_name(lvl);
+    // Every entered block was exited.
+    for (const auto& [id, stat] : m.papi().blocks) EXPECT_GT(stat.executions, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomPrograms, FrontendProperty, ::testing::Range(0, 40));
+
+}  // namespace
+}  // namespace pdc

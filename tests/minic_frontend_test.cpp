@@ -1,0 +1,214 @@
+#include <gtest/gtest.h>
+
+#include "minic/builtins.hpp"
+#include "minic/parser.hpp"
+#include "minic/sema.hpp"
+#include "minic/token.hpp"
+#include "minic/unparse.hpp"
+
+namespace pdc::minic {
+namespace {
+
+TEST(Lexer, TokenizesOperatorsAndLiterals) {
+  const auto toks = lex("x1 = 3 + 4.5e2 <= 7; // comment\n/* block */ y != x && z");
+  ASSERT_GE(toks.size(), 12u);
+  EXPECT_EQ(toks[0].kind, Tok::Ident);
+  EXPECT_EQ(toks[1].kind, Tok::Assign);
+  EXPECT_EQ(toks[2].kind, Tok::IntLit);
+  EXPECT_EQ(toks[2].int_val, 3);
+  EXPECT_EQ(toks[3].kind, Tok::Plus);
+  EXPECT_EQ(toks[4].kind, Tok::FloatLit);
+  EXPECT_DOUBLE_EQ(toks[4].float_val, 450.0);
+  EXPECT_EQ(toks[5].kind, Tok::Le);
+}
+
+TEST(Lexer, TracksLineNumbers) {
+  const auto toks = lex("a\nbb\n  ccc");
+  EXPECT_EQ(toks[0].line, 1);
+  EXPECT_EQ(toks[1].line, 2);
+  EXPECT_EQ(toks[2].line, 3);
+  EXPECT_EQ(toks[2].col, 3);
+}
+
+TEST(Lexer, RejectsBadInput) {
+  EXPECT_THROW(lex("a $ b"), CompileError);
+  EXPECT_THROW(lex("a & b"), CompileError);
+  EXPECT_THROW(lex("/* unterminated"), CompileError);
+  EXPECT_THROW(lex("1e+"), CompileError);
+}
+
+const char* kValid = R"(
+double relax(double u[], int n, double omega) {
+  double acc = 0.0;
+  for (int i = 1; i < n - 1; i = i + 1) {
+    u[i] = (1.0 - omega) * u[i] + omega * 0.5 * (u[i - 1] + u[i + 1]);
+    acc = fmax(acc, fabs(u[i]));
+  }
+  return acc;
+}
+
+int main() {
+  int n = 32;
+  double u[n];
+  for (int i = 0; i < n; i = i + 1) { u[i] = 1.0 * i; }
+  double r = relax(u, n, 1.2);
+  if (r > 10.0 && n % 2 == 0) { return 1; } else { return 0; }
+}
+)";
+
+TEST(Parser, ParsesRepresentativeProgram) {
+  Program p = parse(kValid);
+  ASSERT_EQ(p.functions.size(), 2u);
+  EXPECT_EQ(p.functions[0].name, "relax");
+  EXPECT_EQ(p.functions[0].params.size(), 3u);
+  EXPECT_EQ(p.functions[0].params[0].type, Type::DoubleArray);
+  EXPECT_NE(p.find("main"), nullptr);
+}
+
+TEST(Parser, PrecedenceIsConventional) {
+  Program p = parse("int main() { int x = 1 + 2 * 3 < 7 == 1; return x; }");
+  // ((1 + (2*3)) < 7) == 1
+  const Expr& e = *p.functions[0].body[0]->init;
+  EXPECT_EQ(e.bin, BinOp::Eq);
+  EXPECT_EQ(e.kids[0]->bin, BinOp::Lt);
+  EXPECT_EQ(e.kids[0]->kids[0]->bin, BinOp::Add);
+  EXPECT_EQ(e.kids[0]->kids[0]->kids[1]->bin, BinOp::Mul);
+}
+
+TEST(Parser, ReportsErrorsWithLocation) {
+  try {
+    parse("int main() {\n  int x = ;\n}");
+    FAIL() << "expected CompileError";
+  } catch (const CompileError& e) {
+    EXPECT_EQ(e.line(), 2);
+  }
+  EXPECT_THROW(parse("int main( { }"), CompileError);
+  EXPECT_THROW(parse("int main() { 3 = x; }"), CompileError);
+  EXPECT_THROW(parse("int main() { return 1 }"), CompileError);
+}
+
+TEST(Sema, AcceptsValidProgram) {
+  Program p = parse(kValid);
+  EXPECT_NO_THROW(check(p));
+  // Types were annotated (body[3] is `double r = relax(u, n, 1.2);`).
+  ASSERT_EQ(p.functions[1].body[3]->kind, Stmt::Kind::Decl);
+  EXPECT_EQ(p.functions[1].body[3]->init->type, Type::Double);
+}
+
+TEST(Sema, RejectsUndeclaredVariable) {
+  Program p = parse("int main() { return missing; }");
+  EXPECT_THROW(check(p), CompileError);
+}
+
+TEST(Sema, RejectsRedeclarationInSameScope) {
+  Program p = parse("int main() { int a = 1; int a = 2; return a; }");
+  EXPECT_THROW(check(p), CompileError);
+}
+
+TEST(Sema, AllowsShadowingInNestedScope) {
+  Program p = parse("int main() { int a = 1; { int a = 2; a = 3; } return a; }");
+  EXPECT_NO_THROW(check(p));
+}
+
+TEST(Sema, RejectsDoubleToIntAssignment) {
+  Program p = parse("int main() { int a = 1.5; return a; }");
+  EXPECT_THROW(check(p), CompileError);
+}
+
+TEST(Sema, AllowsIntToDoublePromotion) {
+  Program p = parse("int main() { double d = 3; d = d + 1; return 0; }");
+  EXPECT_NO_THROW(check(p));
+}
+
+TEST(Sema, RejectsModOnDoubles) {
+  Program p = parse("int main() { double d = 1.0; double e = 2.0; int x = d % e; return x; }");
+  EXPECT_THROW(check(p), CompileError);
+}
+
+TEST(Sema, RejectsNonIntCondition) {
+  Program p = parse("int main() { if (1.5) { return 1; } return 0; }");
+  EXPECT_THROW(check(p), CompileError);
+}
+
+TEST(Sema, RejectsWrongArity) {
+  Program p = parse("int main() { double d = fmax(1.0); return 0; }");
+  EXPECT_THROW(check(p), CompileError);
+}
+
+TEST(Sema, RejectsBadArrayUsage) {
+  Program p1 = parse("int main() { int x = 3; return x[0]; }");
+  EXPECT_THROW(check(p1), CompileError);
+  Program p2 = parse("int main() { double a[4]; double b[4]; a = b; return 0; }");
+  EXPECT_THROW(check(p2), CompileError);
+  Program p3 = parse("int main() { double a[4]; return a[1.5]; }");
+  EXPECT_THROW(check(p3), CompileError);
+}
+
+TEST(Sema, RejectsCommBuiltinMisuse) {
+  Program p = parse("int main() { int a[3]; p2p_send(0, 1, a, 0, 3); return 0; }");
+  EXPECT_THROW(check(p), CompileError);  // int[] where double[] required
+}
+
+TEST(Sema, RejectsUnknownFunction) {
+  Program p = parse("int main() { return mystery(); }");
+  EXPECT_THROW(check(p), CompileError);
+}
+
+TEST(Sema, RejectsShadowingBuiltins) {
+  Program p = parse("double sqrt(double x) { return x; } int main() { return 0; }");
+  EXPECT_THROW(check(p), CompileError);
+}
+
+TEST(Sema, ChecksReturnTypes) {
+  Program p1 = parse("void f() { return 3; } int main() { return 0; }");
+  EXPECT_THROW(check(p1), CompileError);
+  Program p2 = parse("int f() { return; } int main() { return 0; }");
+  EXPECT_THROW(check(p2), CompileError);
+  Program p3 = parse("int f() { return 2.5; } int main() { return 0; }");
+  EXPECT_THROW(check(p3), CompileError);
+}
+
+TEST(Builtins, CommClassification) {
+  EXPECT_TRUE(is_comm_builtin("p2p_send"));
+  EXPECT_TRUE(is_comm_builtin("p2p_recv"));
+  EXPECT_TRUE(is_comm_builtin("p2p_allreduce_max"));
+  EXPECT_FALSE(is_comm_builtin("sqrt"));
+  EXPECT_FALSE(is_comm_builtin("p2p_rank"));
+  EXPECT_FALSE(is_comm_builtin("dperf_block_begin"));
+}
+
+TEST(Unparse, RoundTripIsAFixpoint) {
+  Program p1 = parse(kValid);
+  const std::string s1 = unparse(p1);
+  Program p2 = parse(s1);
+  const std::string s2 = unparse(p2);
+  EXPECT_EQ(s1, s2);
+  // And the reparsed program still type checks.
+  EXPECT_NO_THROW(check(p2));
+}
+
+TEST(Unparse, PreservesPrecedenceWithParentheses) {
+  Program p = parse("int main() { int x = (1 + 2) * 3; int y = -(4 + 5); return x + y; }");
+  const std::string s = unparse(p);
+  EXPECT_NE(s.find("(1 + 2) * 3"), std::string::npos);
+  EXPECT_NE(s.find("-(4 + 5)"), std::string::npos);
+}
+
+TEST(Unparse, FloatLiteralsStayFloats) {
+  Program p = parse("int main() { double d = 2.0; double e = 1.5e3; return 0; }");
+  const std::string s = unparse(p);
+  Program p2 = parse(s);
+  EXPECT_EQ(p2.functions[0].body[0]->init->kind, Expr::Kind::FloatLit);
+  EXPECT_DOUBLE_EQ(p2.functions[0].body[1]->init->float_lit, 1500.0);
+}
+
+TEST(Ast, CloneIsDeep) {
+  Program p = parse(kValid);
+  Program q = p.clone();
+  q.functions[0].body.clear();
+  EXPECT_FALSE(p.functions[0].body.empty());
+  EXPECT_EQ(unparse(p), unparse(parse(kValid)));
+}
+
+}  // namespace
+}  // namespace pdc::minic

@@ -1,0 +1,146 @@
+// Additional flow-model and topology edge cases: dynamic reshaping under
+// churn, daisy routing properties, star contention patterns.
+#include <gtest/gtest.h>
+
+#include "net/builders.hpp"
+#include "net/flow.hpp"
+#include "sim/process.hpp"
+#include "support/rng.hpp"
+#include "support/time.hpp"
+
+namespace pdc::net {
+namespace {
+
+using namespace pdc::units;
+
+TEST(FlowEdge, ThreeWayShareConvergesToThirds) {
+  Platform p;
+  const auto a = p.add_host("a", 1e9, Ipv4{10, 0, 0, 1});
+  const auto b = p.add_host("b", 1e9, Ipv4{10, 0, 0, 2});
+  const auto l = p.add_link("l", 3e6, 0);
+  p.connect(a, b, l);
+  sim::Engine eng;
+  FlowNet netw{eng, p};
+  std::vector<Time> done(3, -1);
+  for (int i = 0; i < 3; ++i)
+    netw.start_flow(a, b, 3e6, [&done, i, &eng] { done[static_cast<std::size_t>(i)] = eng.now(); });
+  eng.run();
+  for (Time t : done) EXPECT_NEAR(t, 3.0, 1e-9);  // each at 1 MB/s
+}
+
+TEST(FlowEdge, StaggeredArrivalsAndDeparturesReshareCorrectly) {
+  // One 2 MB/s link; flow A (4 MB) starts at t=0, flow B (1 MB) at t=1.
+  // A: 2 MB alone by t=1; shares 1 MB/s until B is done.
+  // B: 1 MB at 1 MB/s -> done at t=2. A: 1 MB left at full rate -> 2.5.
+  Platform p;
+  const auto a = p.add_host("a", 1e9, Ipv4{10, 0, 0, 1});
+  const auto b = p.add_host("b", 1e9, Ipv4{10, 0, 0, 2});
+  const auto l = p.add_link("l", 2e6, 0);
+  p.connect(a, b, l);
+  sim::Engine eng;
+  FlowNet netw{eng, p};
+  Time done_a = -1, done_b = -1;
+  netw.start_flow(a, b, 4e6, [&] { done_a = eng.now(); });
+  eng.schedule_at(1.0, [&] { netw.start_flow(a, b, 1e6, [&] { done_b = eng.now(); }); });
+  eng.run();
+  EXPECT_NEAR(done_b, 2.0, 1e-9);
+  EXPECT_NEAR(done_a, 2.5, 1e-9);
+}
+
+TEST(FlowEdge, RatesObservableMidTransfer) {
+  Platform p;
+  const auto a = p.add_host("a", 1e9, Ipv4{10, 0, 0, 1});
+  const auto b = p.add_host("b", 1e9, Ipv4{10, 0, 0, 2});
+  const auto l = p.add_link("l", 4e6, 0);
+  p.connect(a, b, l);
+  sim::Engine eng;
+  FlowNet netw{eng, p};
+  const FlowId f1 = netw.start_flow(a, b, 40e6, [] {});
+  const FlowId f2 = netw.start_flow(a, b, 40e6, [] {});
+  eng.run_until(0.5);
+  EXPECT_DOUBLE_EQ(netw.flow_rate(f1), 2e6);
+  EXPECT_DOUBLE_EQ(netw.flow_rate(f2), 2e6);
+}
+
+TEST(FlowEdge, LatencyPhaseConsumesNoBandwidth) {
+  // A flow still in its latency phase must not slow an active flow.
+  Platform p;
+  const auto a = p.add_host("a", 1e9, Ipv4{10, 0, 0, 1});
+  const auto b = p.add_host("b", 1e9, Ipv4{10, 0, 0, 2});
+  const auto fast = p.add_link("fast", 1e6, 0);
+  p.connect(a, b, fast);
+  const auto c = p.add_host("c", 1e9, Ipv4{10, 0, 0, 3});
+  const auto slow = p.add_link("slow", 1e6, 10.0);  // 10 s latency
+  p.connect(a, c, slow);
+  sim::Engine eng;
+  FlowNet netw{eng, p};
+  Time done = -1;
+  netw.start_flow(a, b, 1e6, [&] { done = eng.now(); });
+  netw.start_flow(a, c, 1e6, [] {});  // parked in latency for 10 s
+  eng.run_until(2.0);
+  EXPECT_NEAR(done, 1.0, 1e-9);  // full rate despite the second flow
+}
+
+TEST(FlowEdge, ManySmallControlMessagesDrainFast) {
+  sim::Engine eng;
+  Platform p = build_star(lan_spec(10));
+  FlowNet netw{eng, p};
+  int done = 0;
+  Rng rng{5};
+  for (int i = 0; i < 500; ++i) {
+    const int s = static_cast<int>(rng.uniform_int(0, 9));
+    int d = static_cast<int>(rng.uniform_int(0, 9));
+    if (d == s) d = (d + 1) % 10;
+    netw.start_flow(p.host(s), p.host(d), 256, [&] { ++done; });
+  }
+  eng.run();
+  EXPECT_EQ(done, 500);
+  // 256 B over >=100 Mbps takes ~20 us + ~900 us latency: the whole burst
+  // finishes within a simulated second even with contention.
+  EXPECT_LT(eng.now(), 1.0);
+}
+
+TEST(DaisyRouting, SameDslamIsShorterThanCrossPetal) {
+  DaisySpec spec;
+  Rng rng{42};
+  const Platform p = build_daisy(spec, rng);
+  // Hosts 0..28 share the first (oversized) DSLAM.
+  const auto& same = p.route(p.host(0), p.host(7));
+  EXPECT_EQ(same.hops.size(), 2u);  // two last-mile links through one DSLAM
+  // A cross-petal route needs last-mile + DSLAM uplink + petal hops + ring.
+  const auto& cross = p.route(p.host(0), p.host(600));
+  EXPECT_GT(cross.hops.size(), 6u);
+}
+
+TEST(DaisyRouting, RouteLatencyGrowsWithDistance) {
+  DaisySpec spec;
+  Rng rng{42};
+  const Platform p = build_daisy(spec, rng);
+  const auto& near = p.route(p.host(0), p.host(7));
+  const auto& far = p.route(p.host(0), p.host(600));
+  EXPECT_GT(far.latency, near.latency);
+  // Both ends pay the DSL line latency.
+  EXPECT_GE(near.latency, 2 * spec.last_mile_latency - 1e-12);
+}
+
+TEST(StarContention, BackboneBindsWhenManyPairsTalk) {
+  // 8 LAN hosts (100 Mbps NICs, 1 Gbps backbone): 8 disjoint pairs would
+  // need 8 x 100 Mbps = 800 Mbps < 1 Gbps -> NIC-bound. 16 pairs in the
+  // same direction exceed the backbone.
+  sim::Engine eng;
+  Platform p = build_star(lan_spec(32));
+  FlowNet netw{eng, p};
+  std::vector<Time> done(16, -1);
+  for (int i = 0; i < 16; ++i) {
+    netw.start_flow(p.host(i), p.host(16 + i), 12.5e6, [&done, i, &eng] {
+      done[static_cast<std::size_t>(i)] = eng.now();
+    });  // 12.5 MB = 1 s at NIC speed
+  }
+  eng.run();
+  // 16 flows x 100 Mbps demand = 1.6 Gbps > 1 Gbps backbone: every flow gets
+  // 1/16 of the backbone (62.5 Mbps) -> 1.6 s, not the NIC-bound 1.0 s.
+  for (Time t : done) EXPECT_NEAR(t, 1.6, 0.01);
+}
+
+}  // namespace
+}  // namespace pdc::net

@@ -1,0 +1,200 @@
+#include "net/flow.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/builders.hpp"
+#include "sim/process.hpp"
+#include "support/time.hpp"
+
+namespace pdc::net {
+namespace {
+
+using namespace pdc::units;
+
+/// Two hosts joined by one 1 MB/s link with 10 ms latency.
+Platform two_hosts(double bw = 1e6, Time lat = 10 * ms) {
+  Platform p;
+  const auto a = p.add_host("a", 1e9, Ipv4{10, 0, 0, 1});
+  const auto b = p.add_host("b", 1e9, Ipv4{10, 0, 0, 2});
+  const auto l = p.add_link("l", bw, lat);
+  p.connect(a, b, l);
+  return p;
+}
+
+TEST(FlowNet, SingleFlowTimeIsLatencyPlusBytesOverBandwidth) {
+  sim::Engine eng;
+  Platform p = two_hosts();
+  FlowNet netw{eng, p};
+  Time done = -1;
+  netw.start_flow(p.host(0), p.host(1), 1e6, [&] { done = eng.now(); });
+  eng.run();
+  EXPECT_NEAR(done, 0.010 + 1.0, 1e-9);  // 10 ms latency + 1 MB / 1 MB/s
+}
+
+TEST(FlowNet, ZeroByteFlowPaysOnlyLatency) {
+  sim::Engine eng;
+  Platform p = two_hosts();
+  FlowNet netw{eng, p};
+  Time done = -1;
+  netw.start_flow(p.host(0), p.host(1), 0, [&] { done = eng.now(); });
+  eng.run();
+  EXPECT_NEAR(done, 0.010, 1e-9);
+}
+
+TEST(FlowNet, LoopbackCompletesImmediately) {
+  sim::Engine eng;
+  Platform p = two_hosts();
+  FlowNet netw{eng, p};
+  Time done = -1;
+  netw.start_flow(p.host(0), p.host(0), 1e9, [&] { done = eng.now(); });
+  eng.run();
+  EXPECT_EQ(done, 0.0);
+}
+
+TEST(FlowNet, TwoFlowsShareBottleneckFairly) {
+  sim::Engine eng;
+  Platform p = two_hosts(1e6, 0);
+  FlowNet netw{eng, p};
+  std::vector<Time> done(2, -1);
+  netw.start_flow(p.host(0), p.host(1), 1e6, [&] { done[0] = eng.now(); });
+  netw.start_flow(p.host(0), p.host(1), 1e6, [&] { done[1] = eng.now(); });
+  eng.run();
+  // Each gets 0.5 MB/s while both are active: both finish at t=2.
+  EXPECT_NEAR(done[0], 2.0, 1e-9);
+  EXPECT_NEAR(done[1], 2.0, 1e-9);
+}
+
+TEST(FlowNet, ShorterFlowFinishesAndReleasesBandwidth) {
+  sim::Engine eng;
+  Platform p = two_hosts(1e6, 0);
+  FlowNet netw{eng, p};
+  std::vector<Time> done(2, -1);
+  netw.start_flow(p.host(0), p.host(1), 0.5e6, [&] { done[0] = eng.now(); });
+  netw.start_flow(p.host(0), p.host(1), 1.0e6, [&] { done[1] = eng.now(); });
+  eng.run();
+  // Phase 1: both at 0.5 MB/s; flow0 done at t=1. Phase 2: flow1 has
+  // 0.5 MB left at full 1 MB/s -> done at t=1.5.
+  EXPECT_NEAR(done[0], 1.0, 1e-9);
+  EXPECT_NEAR(done[1], 1.5, 1e-9);
+}
+
+TEST(FlowNet, OppositeDirectionsDoNotContend) {
+  sim::Engine eng;
+  Platform p = two_hosts(1e6, 0);
+  FlowNet netw{eng, p};
+  std::vector<Time> done(2, -1);
+  netw.start_flow(p.host(0), p.host(1), 1e6, [&] { done[0] = eng.now(); });
+  netw.start_flow(p.host(1), p.host(0), 1e6, [&] { done[1] = eng.now(); });
+  eng.run();
+  // Full duplex: both directions run at the full 1 MB/s.
+  EXPECT_NEAR(done[0], 1.0, 1e-9);
+  EXPECT_NEAR(done[1], 1.0, 1e-9);
+}
+
+TEST(FlowNet, LateFlowSlowsEarlyFlow) {
+  sim::Engine eng;
+  Platform p = two_hosts(1e6, 0);
+  FlowNet netw{eng, p};
+  Time done0 = -1, done1 = -1;
+  netw.start_flow(p.host(0), p.host(1), 1e6, [&] { done0 = eng.now(); });
+  eng.schedule_at(0.5, [&] {
+    netw.start_flow(p.host(0), p.host(1), 1e6, [&] { done1 = eng.now(); });
+  });
+  eng.run();
+  // Flow0: 0.5 MB alone, then shares: remaining 0.5 MB at 0.5 MB/s -> 1.5.
+  EXPECT_NEAR(done0, 1.5, 1e-9);
+  // Flow1: 0.5 MB at 0.5 MB/s (until 1.5), then 0.5 MB at 1 MB/s -> 2.0.
+  EXPECT_NEAR(done1, 2.0, 1e-9);
+}
+
+TEST(FlowNet, MaxMinUnevenBottlenecks) {
+  // Classic three-flow example: links L1 (1 MB/s) and L2 (2 MB/s) in series
+  // for flow A; flows B and C use only L1 / L2 respectively.
+  //   host0 --L1-- r --L2-- host1;  B: host0->r? use hosts at each point.
+  Platform p;
+  const auto h0 = p.add_host("h0", 1e9, Ipv4{10, 0, 0, 1});
+  const auto h1 = p.add_host("h1", 1e9, Ipv4{10, 0, 0, 2});
+  const auto hm = p.add_host("hm", 1e9, Ipv4{10, 0, 0, 3});  // host at the middle
+  const auto l1 = p.add_link("l1", 1e6, 0);
+  const auto l2 = p.add_link("l2", 2e6, 0);
+  p.connect(h0, hm, l1);
+  p.connect(hm, h1, l2);
+  sim::Engine eng;
+  FlowNet netw{eng, p};
+  // A: h0->h1 (l1+l2), B: h0->hm (l1), C: hm->h1 (l2). All 10 MB.
+  std::vector<Time> done(3, -1);
+  netw.start_flow(h0, h1, 10e6, [&] { done[0] = eng.now(); });
+  netw.start_flow(h0, hm, 10e6, [&] { done[1] = eng.now(); });
+  netw.start_flow(hm, h1, 10e6, [&] { done[2] = eng.now(); });
+  // Max-min: A and B constrained by l1 -> 0.5 each; C gets l2 leftovers:
+  // 2 - 0.5 = 1.5 MB/s.
+  eng.run_until(1.0);
+  // Check instantaneous rates indirectly through completion order below.
+  eng.run();
+  // C finishes first: 10/1.5 = 6.67 s. Then A is still limited by l1
+  // (shared with B): stays 0.5 until both hit l1 limit changes... A and B
+  // both at 0.5 MB/s; after C leaves, l2 no longer binds A (cap 2).
+  // A and B finish at 20 s.
+  EXPECT_NEAR(done[2], 10e6 / 1.5e6, 1e-6);
+  EXPECT_NEAR(done[0], 20.0, 1e-6);
+  EXPECT_NEAR(done[1], 20.0, 1e-6);
+}
+
+TEST(FlowNet, TransferAwaitableResumesProcess) {
+  sim::Engine eng;
+  Platform p = two_hosts(1e6, 10 * ms);
+  FlowNet netw{eng, p};
+  Time resumed = -1;
+  eng.spawn([](sim::Engine& e, FlowNet& n, Platform& plat, Time& out) -> sim::Process {
+    co_await n.transfer(plat.host(0), plat.host(1), 1e6);
+    out = e.now();
+  }(eng, netw, p, resumed));
+  eng.run();
+  EXPECT_NEAR(resumed, 1.010, 1e-9);
+}
+
+TEST(FlowNet, ClusterCrossTrafficSharesBackbone) {
+  // 4 hosts on the Stage-1 cluster; all send to host 0 simultaneously.
+  // Each NIC is 1 Gbps and the backbone 10 Gbps, but the *receiver's* NIC
+  // (1 Gbps, down direction) is the bottleneck shared by 3 flows.
+  sim::Engine eng;
+  Platform p = build_star(bordeplage_cluster_spec(4));
+  FlowNet netw{eng, p};
+  std::vector<Time> done(3, -1);
+  const double bytes = 125e6;  // 1 Gbit
+  for (int i = 1; i <= 3; ++i)
+    netw.start_flow(p.host(i), p.host(0), bytes, [&done, i, &eng] { done[static_cast<std::size_t>(i - 1)] = eng.now(); });
+  eng.run();
+  for (Time t : done) EXPECT_NEAR(t, 3.0 + 300e-6, 1e-3);  // 3 x 1 s serialized + latency
+}
+
+TEST(FlowNet, StatsAccumulate) {
+  sim::Engine eng;
+  Platform p = two_hosts(1e6, 0);
+  FlowNet netw{eng, p};
+  netw.start_flow(p.host(0), p.host(1), 1e6, [] {});
+  netw.start_flow(p.host(0), p.host(0), 5, [] {});
+  eng.run();
+  EXPECT_EQ(netw.stats().flows_started, 2u);
+  EXPECT_EQ(netw.stats().flows_completed, 2u);
+  EXPECT_DOUBLE_EQ(netw.stats().bytes_completed, 1e6 + 5);
+  EXPECT_EQ(netw.active_flows(), 0u);
+}
+
+TEST(FlowNet, ManyConcurrentFlowsDrainCompletely) {
+  sim::Engine eng;
+  Platform p = build_star(bordeplage_cluster_spec(16));
+  FlowNet netw{eng, p};
+  int completed = 0;
+  for (int i = 0; i < 16; ++i)
+    for (int j = 0; j < 16; ++j)
+      if (i != j) netw.start_flow(p.host(i), p.host(j), 1e5 * (1 + (i + j) % 7), [&] { ++completed; });
+  eng.run();
+  EXPECT_EQ(completed, 16 * 15);
+  EXPECT_EQ(netw.active_flows(), 0u);
+}
+
+}  // namespace
+}  // namespace pdc::net

@@ -1,0 +1,181 @@
+// Tests for peers collection (paper §III-B): local zone first, then the
+// local tracker list, then expansion through the farthest trackers.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "net/builders.hpp"
+#include "overlay/overlay.hpp"
+
+namespace pdc::overlay {
+namespace {
+
+struct CollectFixture {
+  CollectFixture(int hosts, OverlayConfig cfg = {})
+      : plat(net::build_star(net::bordeplage_cluster_spec(hosts))),
+        flownet(eng, plat),
+        overlay(eng, plat, flownet, cfg) {}
+
+  sim::Engine eng;
+  net::Platform plat;
+  net::FlowNet flownet;
+  Overlay overlay;
+
+  /// Runs collection on `submitter` after `warmup` sim-seconds.
+  std::vector<PeerRef> collect(PeerActor& submitter, int wanted, Requirements req = {},
+                               Time warmup = 15.0, std::uint64_t ticket = 1) {
+    std::vector<PeerRef> out;
+    bool done = false;
+    eng.schedule_at(warmup, [&, wanted, req, ticket] {
+      eng.spawn([](PeerActor& s, int w, Requirements r, std::uint64_t tk,
+                   std::vector<PeerRef>& o, bool& d) -> sim::Process {
+        o = co_await s.collect_peers(w, r, tk);
+        d = true;
+      }(submitter, wanted, req, ticket, out, done));
+    });
+    eng.run_until(warmup + 120.0);
+    EXPECT_TRUE(done) << "collection did not finish";
+    return out;
+  }
+};
+
+TEST(Collection, OwnZoneSufficesForSmallRequests) {
+  CollectFixture f{12};
+  f.overlay.create_server(f.plat.host(0));
+  f.overlay.create_tracker(f.plat.host(1), true);
+  f.overlay.finish_bootstrap();
+  PeerActor& sub = f.overlay.create_peer(f.plat.host(2), PeerResources{3e9, 1e9, 1e9});
+  for (int i = 3; i < 8; ++i)
+    f.overlay.create_peer(f.plat.host(i), PeerResources{3e9, 1e9, 1e9});
+  const auto peers = f.collect(sub, 3);
+  EXPECT_EQ(peers.size(), 3u);
+  // The submitter itself is never collected.
+  for (const PeerRef& p : peers) EXPECT_NE(p.node, sub.host());
+  // Reserved peers are flagged busy.
+  for (const PeerRef& p : peers) EXPECT_TRUE(f.overlay.peer_at(p.node)->busy());
+}
+
+TEST(Collection, SpansMultipleZones) {
+  CollectFixture f{20};
+  f.overlay.create_server(f.plat.host(0));
+  f.overlay.create_tracker(f.plat.host(1), true);
+  f.overlay.create_tracker(f.plat.host(10), true);
+  f.overlay.finish_bootstrap();
+  PeerActor& sub = f.overlay.create_peer(f.plat.host(2), PeerResources{3e9, 1e9, 1e9});
+  // 4 peers near tracker 1, 4 near tracker 10.
+  for (int i : {3, 4, 5, 6}) f.overlay.create_peer(f.plat.host(i), PeerResources{3e9, 1e9, 1e9});
+  for (int i : {11, 12, 13, 14})
+    f.overlay.create_peer(f.plat.host(i), PeerResources{3e9, 1e9, 1e9});
+  const auto peers = f.collect(sub, 7);
+  EXPECT_EQ(peers.size(), 7u);
+  std::set<NodeIdx> uniq;
+  for (const PeerRef& p : peers) uniq.insert(p.node);
+  EXPECT_EQ(uniq.size(), 7u);
+}
+
+TEST(Collection, ExpandsThroughFarthestTrackersOnNarrowLists) {
+  // Neighbour sets of size 2 (one per side): the submitter's local list
+  // cannot see distant zones, forcing the expanding-ring requests.
+  OverlayConfig cfg;
+  cfg.neighbor_set_size = 2;
+  CollectFixture f{40, cfg};
+  f.overlay.create_server(f.plat.host(0));
+  for (int i : {1, 9, 17, 25, 33}) f.overlay.create_tracker(f.plat.host(i), true);
+  f.overlay.finish_bootstrap();
+  PeerActor& sub = f.overlay.create_peer(f.plat.host(2), PeerResources{3e9, 1e9, 1e9});
+  // Two free peers per zone.
+  for (int base : {3, 10, 18, 26, 34}) {
+    f.overlay.create_peer(f.plat.host(base), PeerResources{3e9, 1e9, 1e9});
+    f.overlay.create_peer(f.plat.host(base + 1), PeerResources{3e9, 1e9, 1e9});
+  }
+  const auto peers = f.collect(sub, 9);
+  EXPECT_EQ(peers.size(), 9u);
+}
+
+TEST(Collection, RespectsResourceRequirements) {
+  CollectFixture f{12};
+  f.overlay.create_server(f.plat.host(0));
+  f.overlay.create_tracker(f.plat.host(1), true);
+  f.overlay.finish_bootstrap();
+  PeerActor& sub = f.overlay.create_peer(f.plat.host(2), PeerResources{3e9, 1e9, 1e9});
+  f.overlay.create_peer(f.plat.host(3), PeerResources{1e9, 1e9, 1e9});  // too slow
+  f.overlay.create_peer(f.plat.host(4), PeerResources{3e9, 1e9, 1e9});
+  f.overlay.create_peer(f.plat.host(5), PeerResources{2e9, 1e9, 1e9});  // too slow
+  f.overlay.create_peer(f.plat.host(6), PeerResources{3.2e9, 1e9, 1e9});
+  Requirements req;
+  req.min_cpu_hz = 2.5e9;
+  const auto peers = f.collect(sub, 4, req);
+  EXPECT_EQ(peers.size(), 2u);  // only the two fast ones qualify
+  for (const PeerRef& p : peers) EXPECT_GE(p.res.cpu_hz, 2.5e9);
+}
+
+TEST(Collection, BusyPeersAreNotDoubleReserved) {
+  CollectFixture f{12};
+  f.overlay.create_server(f.plat.host(0));
+  f.overlay.create_tracker(f.plat.host(1), true);
+  f.overlay.finish_bootstrap();
+  PeerActor& sub1 = f.overlay.create_peer(f.plat.host(2), PeerResources{3e9, 1e9, 1e9});
+  PeerActor& sub2 = f.overlay.create_peer(f.plat.host(3), PeerResources{3e9, 1e9, 1e9});
+  for (int i = 4; i < 10; ++i)
+    f.overlay.create_peer(f.plat.host(i), PeerResources{3e9, 1e9, 1e9});
+  // Two submitters compete for 4 peers each out of 6 candidates (sub1 and
+  // sub2 are mutual candidates too: 7 visible to each). No peer may be
+  // reserved twice.
+  std::vector<PeerRef> r1, r2;
+  bool d1 = false, d2 = false;
+  f.eng.schedule_at(15.0, [&] {
+    f.eng.spawn([](PeerActor& s, std::vector<PeerRef>& o, bool& d) -> sim::Process {
+      o = co_await s.collect_peers(4, Requirements{}, 101);
+      d = true;
+    }(sub1, r1, d1));
+    f.eng.spawn([](PeerActor& s, std::vector<PeerRef>& o, bool& d) -> sim::Process {
+      o = co_await s.collect_peers(4, Requirements{}, 202);
+      d = true;
+    }(sub2, r2, d2));
+  });
+  f.eng.run_until(200.0);
+  ASSERT_TRUE(d1 && d2);
+  std::set<NodeIdx> taken;
+  for (const PeerRef& p : r1) EXPECT_TRUE(taken.insert(p.node).second);
+  for (const PeerRef& p : r2) EXPECT_TRUE(taken.insert(p.node).second) << "double reservation";
+}
+
+TEST(Collection, ShortfallReturnsWhatExists) {
+  CollectFixture f{8};
+  f.overlay.create_server(f.plat.host(0));
+  f.overlay.create_tracker(f.plat.host(1), true);
+  f.overlay.finish_bootstrap();
+  PeerActor& sub = f.overlay.create_peer(f.plat.host(2), PeerResources{3e9, 1e9, 1e9});
+  f.overlay.create_peer(f.plat.host(3), PeerResources{3e9, 1e9, 1e9});
+  f.overlay.create_peer(f.plat.host(4), PeerResources{3e9, 1e9, 1e9});
+  const auto peers = f.collect(sub, 10);
+  EXPECT_EQ(peers.size(), 2u);
+}
+
+TEST(Collection, ReleaseMakesPeersCollectableAgain) {
+  CollectFixture f{10};
+  f.overlay.create_server(f.plat.host(0));
+  f.overlay.create_tracker(f.plat.host(1), true);
+  f.overlay.finish_bootstrap();
+  PeerActor& sub = f.overlay.create_peer(f.plat.host(2), PeerResources{3e9, 1e9, 1e9});
+  for (int i = 3; i < 7; ++i)
+    f.overlay.create_peer(f.plat.host(i), PeerResources{3e9, 1e9, 1e9});
+  const auto first = f.collect(sub, 4);
+  EXPECT_EQ(first.size(), 4u);
+  // Release everyone, let busy-notices propagate, collect again.
+  for (const PeerRef& p : first) f.overlay.peer_at(p.node)->release();
+  bool done = false;
+  std::vector<PeerRef> second;
+  f.eng.schedule_at(f.eng.now() + 10.0, [&] {
+    f.eng.spawn([](PeerActor& s, std::vector<PeerRef>& o, bool& d) -> sim::Process {
+      o = co_await s.collect_peers(4, Requirements{}, 2);
+      d = true;
+    }(sub, second, done));
+  });
+  f.eng.run_until(f.eng.now() + 120.0);
+  ASSERT_TRUE(done);
+  EXPECT_EQ(second.size(), 4u);
+}
+
+}  // namespace
+}  // namespace pdc::overlay

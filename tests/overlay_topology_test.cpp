@@ -1,0 +1,264 @@
+// Tests for the hybrid topology manager: tracker line maintenance, joins,
+// crash repair (paper Figs. 2-4), peer zone membership and failure handling.
+#include "overlay/overlay.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "net/builders.hpp"
+#include "support/rng.hpp"
+
+namespace pdc::overlay {
+namespace {
+
+struct Fixture {
+  explicit Fixture(int hosts, OverlayConfig cfg = {})
+      : plat(net::build_star([&] {
+          auto s = net::bordeplage_cluster_spec(hosts);
+          return s;
+        }())),
+        flownet(eng, plat),
+        overlay(eng, plat, flownet, cfg) {}
+
+  sim::Engine eng;
+  net::Platform plat;
+  net::FlowNet flownet;
+  Overlay overlay;
+};
+
+/// Sorted-by-IP list of alive trackers.
+std::vector<TrackerActor*> alive_trackers(Overlay& o) {
+  std::vector<TrackerActor*> out;
+  for (TrackerActor* t : o.trackers())
+    if (t->alive()) out.push_back(t);
+  std::sort(out.begin(), out.end(),
+            [](const TrackerActor* a, const TrackerActor* b) { return a->ip() < b->ip(); });
+  return out;
+}
+
+/// The line invariant: consecutive alive trackers are mutual direct
+/// neighbours (each keeps a connection to the closest tracker on each side).
+void expect_line_invariant(Overlay& o) {
+  auto ts = alive_trackers(o);
+  for (std::size_t i = 0; i + 1 < ts.size(); ++i) {
+    auto right = ts[i]->right_neighbor();
+    auto left = ts[i + 1]->left_neighbor();
+    ASSERT_TRUE(right.has_value()) << "tracker " << i << " lost its right neighbour";
+    ASSERT_TRUE(left.has_value()) << "tracker " << i + 1 << " lost its left neighbour";
+    EXPECT_EQ(right->node, ts[i + 1]->host()) << "line broken after tracker " << i;
+    EXPECT_EQ(left->node, ts[i]->host()) << "line broken before tracker " << i + 1;
+  }
+}
+
+TEST(Topology, BootstrapCoreTrackersFormLine) {
+  Fixture f{8};
+  f.overlay.create_server(f.plat.host(0));
+  for (int i = 1; i <= 5; ++i) f.overlay.create_tracker(f.plat.host(i), /*core=*/true);
+  f.overlay.finish_bootstrap();
+  f.eng.run_until(5.0);
+  expect_line_invariant(f.overlay);
+  EXPECT_EQ(f.overlay.server()->known_trackers().size(), 5u);
+  for (TrackerActor* t : f.overlay.trackers()) EXPECT_TRUE(t->joined());
+}
+
+TEST(Topology, NeighborSetsAreBalancedHalves) {
+  OverlayConfig cfg;
+  cfg.neighbor_set_size = 4;
+  Fixture f{12, cfg};
+  f.overlay.create_server(f.plat.host(0));
+  for (int i = 1; i <= 9; ++i) f.overlay.create_tracker(f.plat.host(i), true);
+  f.overlay.finish_bootstrap();
+  f.eng.run_until(2.0);
+  // A middle tracker keeps at most |N|/2 lower and |N|/2 higher trackers,
+  // and they are the *closest* ones.
+  auto ts = alive_trackers(f.overlay);
+  TrackerActor* mid = ts[4];
+  int below = 0, above = 0;
+  for (const TrackerRef& n : mid->neighbor_set()) (n.ip < mid->ip() ? below : above)++;
+  EXPECT_LE(below, 2);
+  EXPECT_LE(above, 2);
+  EXPECT_EQ(mid->neighbor_set().size(), 4u);
+  EXPECT_EQ(mid->left_neighbor()->node, ts[3]->host());
+  EXPECT_EQ(mid->right_neighbor()->node, ts[5]->host());
+}
+
+TEST(Topology, VolunteerTrackerJoinsAtCorrectLinePosition) {
+  // Paper Fig. 3: a new tracker T8 joins and is inserted between its
+  // IP-order neighbours; nearby trackers adjust their sets.
+  Fixture f{12};
+  f.overlay.create_server(f.plat.host(0));
+  // Cores on hosts 1,3,5,7,9 (leaving IP gaps).
+  for (int i = 1; i <= 9; i += 2) f.overlay.create_tracker(f.plat.host(i), true);
+  f.overlay.finish_bootstrap();
+  f.eng.run_until(2.0);
+  // Volunteer on host 6 joins through the protocol.
+  TrackerActor& t8 = f.overlay.create_tracker(f.plat.host(6), /*core=*/false);
+  f.eng.run_until(10.0);
+  EXPECT_TRUE(t8.joined());
+  expect_line_invariant(f.overlay);
+  // Its direct neighbours are the IP-adjacent cores on hosts 5 and 7.
+  ASSERT_TRUE(t8.left_neighbor().has_value());
+  ASSERT_TRUE(t8.right_neighbor().has_value());
+  EXPECT_EQ(t8.left_neighbor()->node, f.plat.host(5));
+  EXPECT_EQ(t8.right_neighbor()->node, f.plat.host(7));
+  // And the server learned about it.
+  const auto& reg = f.overlay.server()->known_trackers();
+  EXPECT_TRUE(std::any_of(reg.begin(), reg.end(),
+                          [&](const TrackerRef& t) { return t.node == t8.host(); }));
+}
+
+TEST(Topology, TrackerCrashIsRepairedByDirectNeighbors) {
+  // Paper Fig. 4: T4 crashes; T3 and T5 detect it, rebuild the line and
+  // inform their sides plus the server.
+  Fixture f{10};
+  f.overlay.create_server(f.plat.host(0));
+  for (int i = 1; i <= 5; ++i) f.overlay.create_tracker(f.plat.host(i), true);
+  f.overlay.finish_bootstrap();
+  f.eng.run_until(3.0);
+  TrackerActor* victim = f.overlay.tracker_at(f.plat.host(3));
+  ASSERT_NE(victim, nullptr);
+  victim->crash();
+  f.eng.run_until(30.0);  // > fail_timeout + heartbeat rounds
+  expect_line_invariant(f.overlay);
+  // Nobody keeps the dead tracker in their neighbour set.
+  for (TrackerActor* t : alive_trackers(f.overlay))
+    for (const TrackerRef& n : t->neighbor_set()) EXPECT_NE(n.node, victim->host());
+  // Server registry updated.
+  for (const TrackerRef& t : f.overlay.server()->known_trackers())
+    EXPECT_NE(t.node, victim->host());
+}
+
+TEST(Topology, PeerJoinsZoneOfClosestTracker) {
+  Fixture f{16};
+  f.overlay.create_server(f.plat.host(0));
+  for (int i : {2, 8, 14}) f.overlay.create_tracker(f.plat.host(i), true);
+  f.overlay.finish_bootstrap();
+  PeerActor& peer = f.overlay.create_peer(f.plat.host(9), PeerResources{3e9, 2e9, 80e9});
+  f.eng.run_until(10.0);
+  ASSERT_TRUE(peer.joined());
+  // Expected: the tracker whose IP is closest by the prefix metric.
+  const Ipv4 peer_ip = f.plat.node(f.plat.host(9)).ip;
+  NodeIdx expected = -1;
+  Ipv4 best;
+  for (int i : {2, 8, 14}) {
+    const Ipv4 tip = f.plat.node(f.plat.host(i)).ip;
+    if (expected < 0 || closer_to(peer_ip, tip, best)) {
+      expected = f.plat.host(i);
+      best = tip;
+    }
+  }
+  EXPECT_EQ(peer.tracker().node, expected);
+  TrackerActor* t = f.overlay.tracker_at(expected);
+  EXPECT_TRUE(t->zone().count(peer.host()));
+  // The peer published its resources.
+  EXPECT_DOUBLE_EQ(t->zone().at(peer.host()).peer.res.cpu_hz, 3e9);
+}
+
+TEST(Topology, PeerStateUpdatesKeepZoneEntryFresh) {
+  Fixture f{8};
+  f.overlay.create_server(f.plat.host(0));
+  f.overlay.create_tracker(f.plat.host(1), true);
+  f.overlay.finish_bootstrap();
+  PeerActor& peer = f.overlay.create_peer(f.plat.host(4), PeerResources{2e9, 1e9, 10e9});
+  f.eng.run_until(60.0);
+  ASSERT_TRUE(peer.joined());
+  TrackerActor* t = f.overlay.tracker_at(f.plat.host(1));
+  ASSERT_TRUE(t->zone().count(peer.host()));
+  // Fresh: last update within one update period + slack.
+  EXPECT_GT(t->zone().at(peer.host()).last_update, 60.0 - 2 * f.overlay.config().update_period - 1.0);
+}
+
+TEST(Topology, CrashedPeerExpiresFromZoneAfterTimeoutT) {
+  Fixture f{8};
+  f.overlay.create_server(f.plat.host(0));
+  f.overlay.create_tracker(f.plat.host(1), true);
+  f.overlay.finish_bootstrap();
+  PeerActor& peer = f.overlay.create_peer(f.plat.host(4), PeerResources{2e9, 1e9, 10e9});
+  f.eng.run_until(10.0);
+  TrackerActor* t = f.overlay.tracker_at(f.plat.host(1));
+  ASSERT_TRUE(t->zone().count(peer.host()));
+  peer.crash();
+  f.eng.run_until(30.0);  // > T
+  EXPECT_FALSE(t->zone().count(peer.host()));
+}
+
+TEST(Topology, PeersRejoinNeighborZoneWhenTrackerDies) {
+  Fixture f{12};
+  f.overlay.create_server(f.plat.host(0));
+  f.overlay.create_tracker(f.plat.host(2), true);
+  f.overlay.create_tracker(f.plat.host(8), true);
+  f.overlay.finish_bootstrap();
+  PeerActor& peer = f.overlay.create_peer(f.plat.host(3), PeerResources{2e9, 1e9, 10e9});
+  f.eng.run_until(10.0);
+  ASSERT_EQ(peer.tracker().node, f.plat.host(2));
+  f.overlay.tracker_at(f.plat.host(2))->crash();
+  f.eng.run_until(60.0);
+  // Paper §III-A.7: no answer after time T -> the peer joins a neighbour
+  // zone through its local tracker list.
+  EXPECT_EQ(peer.tracker().node, f.plat.host(8));
+  EXPECT_GE(peer.rejoin_count(), 1);
+  EXPECT_TRUE(f.overlay.tracker_at(f.plat.host(8))->zone().count(peer.host()));
+}
+
+TEST(Topology, SystemSurvivesServerCrash) {
+  // Paper §III-A.7: "when the server disconnects, the system continues
+  // working ... new peers can join through their tracker list".
+  Fixture f{12};
+  ServerActor& server = f.overlay.create_server(f.plat.host(0));
+  for (int i : {2, 6}) f.overlay.create_tracker(f.plat.host(i), true);
+  f.overlay.finish_bootstrap();
+  f.eng.run_until(5.0);
+  server.crash();
+  PeerActor& peer = f.overlay.create_peer(f.plat.host(7), PeerResources{1e9, 1e9, 1e9});
+  f.eng.run_until(30.0);
+  EXPECT_TRUE(peer.joined());
+  expect_line_invariant(f.overlay);
+}
+
+TEST(Topology, ZoneStatisticsReachServer) {
+  Fixture f{8};
+  f.overlay.create_server(f.plat.host(0));
+  f.overlay.create_tracker(f.plat.host(1), true);
+  f.overlay.finish_bootstrap();
+  f.overlay.create_peer(f.plat.host(3), PeerResources{3e9, 1e9, 1e9});
+  f.overlay.create_peer(f.plat.host(4), PeerResources{2e9, 1e9, 1e9});
+  f.eng.run_until(25.0);  // > stats_period
+  const auto& stats = f.overlay.server()->zone_stats();
+  ASSERT_TRUE(stats.count(f.plat.host(1)));
+  EXPECT_EQ(stats.at(f.plat.host(1)).peers, 2);
+  EXPECT_DOUBLE_EQ(stats.at(f.plat.host(1)).donated_cpu_hz, 5e9);
+}
+
+// Property test: the line survives random volunteer joins and crashes.
+TEST(Topology, LineInvariantHoldsUnderChurn) {
+  Rng rng{2024};
+  for (int round = 0; round < 3; ++round) {
+    Fixture f{24};
+    f.overlay.create_server(f.plat.host(0));
+    for (int i = 1; i <= 21; i += 4) f.overlay.create_tracker(f.plat.host(i), true);
+    f.overlay.finish_bootstrap();
+    f.eng.run_until(2.0);
+    // Volunteers join at random times.
+    std::vector<int> volunteers{3, 7, 11, 15, 19};
+    rng.shuffle(volunteers);
+    Time t = 2.0;
+    for (int v : volunteers) {
+      t += rng.uniform(0.5, 2.0);
+      const Time when = t;
+      f.eng.schedule_at(when, [&f, v] { f.overlay.create_tracker(f.plat.host(v), false); });
+    }
+    f.eng.run_until(t + 15.0);
+    expect_line_invariant(f.overlay);
+    // Crash two random non-adjacent trackers.
+    auto ts = alive_trackers(f.overlay);
+    const auto i1 = static_cast<std::size_t>(rng.uniform_int(1, static_cast<int>(ts.size()) - 2));
+    ts[i1]->crash();
+    ts[(i1 + 3) % ts.size()]->crash();
+    f.eng.run_until(t + 60.0);
+    expect_line_invariant(f.overlay);
+  }
+}
+
+}  // namespace
+}  // namespace pdc::overlay

@@ -1,0 +1,223 @@
+#include "p2psap/p2psap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/builders.hpp"
+#include "sim/process.hpp"
+#include "support/time.hpp"
+
+namespace pdc::p2psap {
+namespace {
+
+using namespace pdc::units;
+
+TEST(Adapt, SynchronousSchemesAreReliableAndOrdered) {
+  for (auto lc : {LinkClass::IntraZone, LinkClass::Lan, LinkClass::Wan}) {
+    const ChannelConfig cfg = adapt(Scheme::Synchronous, lc);
+    EXPECT_TRUE(cfg.reliable);
+    EXPECT_FALSE(cfg.latest_value);
+    EXPECT_GT(cfg.ack_bytes, 0);
+  }
+}
+
+TEST(Adapt, AsynchronousSchemesDropAcksAndKeepLatestOnly) {
+  for (auto lc : {LinkClass::IntraZone, LinkClass::Lan, LinkClass::Wan}) {
+    const ChannelConfig cfg = adapt(Scheme::Asynchronous, lc);
+    EXPECT_FALSE(cfg.reliable);
+    EXPECT_TRUE(cfg.latest_value);
+    EXPECT_EQ(cfg.ack_bytes, 0);
+  }
+}
+
+TEST(Adapt, WanProfilesCarryMoreOverheadThanIntraZone) {
+  EXPECT_GT(adapt(Scheme::Synchronous, LinkClass::Wan).header_bytes,
+            adapt(Scheme::Synchronous, LinkClass::IntraZone).header_bytes);
+  EXPECT_GT(adapt(Scheme::Asynchronous, LinkClass::Wan).header_bytes,
+            adapt(Scheme::Asynchronous, LinkClass::IntraZone).header_bytes);
+}
+
+TEST(Adapt, ProfilesAreNamedDistinctly) {
+  EXPECT_NE(adapt(Scheme::Synchronous, LinkClass::Lan).profile,
+            adapt(Scheme::Asynchronous, LinkClass::Lan).profile);
+  EXPECT_NE(adapt(Scheme::Synchronous, LinkClass::Lan).profile,
+            adapt(Scheme::Synchronous, LinkClass::Wan).profile);
+}
+
+TEST(Classify, UsesIpPrefixBuckets) {
+  EXPECT_EQ(classify(Ipv4{10, 0, 0, 1}, Ipv4{10, 0, 0, 1}), LinkClass::Loopback);
+  EXPECT_EQ(classify(Ipv4{10, 0, 0, 1}, Ipv4{10, 0, 0, 99}), LinkClass::IntraZone);
+  EXPECT_EQ(classify(Ipv4{10, 0, 1, 1}, Ipv4{10, 0, 200, 1}), LinkClass::Lan);
+  EXPECT_EQ(classify(Ipv4{10, 0, 0, 1}, Ipv4{82, 1, 0, 1}), LinkClass::Wan);
+}
+
+struct FabricFixture {
+  sim::Engine eng;
+  net::Platform plat = net::build_star(net::bordeplage_cluster_spec(4));
+  net::FlowNet flownet{eng, plat};
+  Fabric fabric{eng, flownet, plat};
+};
+
+TEST(Channel, SyncSendWaitsForDeliveryPlusAck) {
+  FabricFixture f;
+  auto& ch = f.fabric.channel(f.plat.host(0), f.plat.host(1), Scheme::Synchronous);
+  Time send_done = -1, recv_done = -1;
+  f.eng.spawn([](FabricFixture& fx, Channel& c, Time& out) -> sim::Process {
+    co_await c.send(fx.plat.host(0), /*tag=*/7, 8 * KiB);
+    out = fx.eng.now();
+  }(f, ch, send_done));
+  f.eng.spawn([](FabricFixture& fx, Channel& c, Time& out) -> sim::Process {
+    const Message m = co_await c.recv(fx.plat.host(1), 7);
+    EXPECT_EQ(m.payload_bytes, 8 * KiB);
+    EXPECT_EQ(m.src_host, fx.plat.host(0));
+    out = fx.eng.now();
+  }(f, ch, recv_done));
+  f.eng.run();
+  // Payload: 3 hops x 100us latency + (8K+64)/125MB/s on the 1Gbps NIC.
+  const double payload_t = 300 * us + (8 * KiB + 64) / (1 * Gbps);
+  const double ack_t = 300 * us + 64 / (1 * Gbps);
+  EXPECT_NEAR(recv_done, payload_t, 1e-9);
+  EXPECT_NEAR(send_done, payload_t + ack_t, 1e-9);
+}
+
+TEST(Channel, AsyncSendReturnsImmediately) {
+  FabricFixture f;
+  auto& ch = f.fabric.channel(f.plat.host(0), f.plat.host(1), Scheme::Asynchronous);
+  Time send_done = -1, recv_done = -1;
+  f.eng.spawn([](FabricFixture& fx, Channel& c, Time& s, Time& r) -> sim::Process {
+    co_await c.send(fx.plat.host(0), 1, 8 * KiB);
+    s = fx.eng.now();
+    const Message m = co_await c.recv(fx.plat.host(1), 1);
+    (void)m;
+    r = fx.eng.now();
+  }(f, ch, send_done, recv_done));
+  f.eng.run();
+  EXPECT_EQ(send_done, 0.0);  // fire and forget
+  EXPECT_GT(recv_done, 0.0);  // delivery still takes network time
+}
+
+TEST(Channel, SyncDeliveryPreservesFifoOrder) {
+  FabricFixture f;
+  auto& ch = f.fabric.channel(f.plat.host(0), f.plat.host(1), Scheme::Synchronous);
+  std::vector<int> got;
+  f.eng.spawn([](FabricFixture& fx, Channel& c) -> sim::Process {
+    for (int i = 0; i < 5; ++i)
+      co_await c.send(fx.plat.host(0), 3, 1024, std::make_shared<std::vector<double>>(1, i));
+  }(f, ch));
+  f.eng.spawn([](FabricFixture& fx, Channel& c, std::vector<int>& out) -> sim::Process {
+    for (int i = 0; i < 5; ++i) {
+      const Message m = co_await c.recv(fx.plat.host(1), 3);
+      out.push_back(static_cast<int>((*m.values)[0]));
+    }
+  }(f, ch, got));
+  f.eng.run();
+  EXPECT_EQ(got, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Channel, AsyncLatestValueOverwritesStaleData) {
+  FabricFixture f;
+  auto& ch = f.fabric.channel(f.plat.host(0), f.plat.host(1), Scheme::Asynchronous);
+  std::optional<Message> got;
+  f.eng.spawn([](FabricFixture& fx, Channel& c, std::optional<Message>& out) -> sim::Process {
+    for (int i = 0; i < 4; ++i)
+      co_await c.send(fx.plat.host(0), 3, 1024,
+                      std::make_shared<std::vector<double>>(1, i));
+    // Allow all deliveries to land, then read: only the newest remains.
+    co_await fx.eng.sleep(1.0);
+    out = c.try_recv(fx.plat.host(1), 3);
+    EXPECT_FALSE(c.try_recv(fx.plat.host(1), 3).has_value());
+  }(f, ch, got));
+  f.eng.run();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ((*got->values)[0], 3.0);
+  EXPECT_EQ(ch.stats().stale_dropped, 3u);
+}
+
+TEST(Channel, TagsAreIndependentStreams) {
+  FabricFixture f;
+  auto& ch = f.fabric.channel(f.plat.host(0), f.plat.host(1), Scheme::Synchronous);
+  std::vector<int> got;
+  f.eng.spawn([](FabricFixture& fx, Channel& c) -> sim::Process {
+    co_await c.send(fx.plat.host(0), 10, 64, std::make_shared<std::vector<double>>(1, 10.0));
+    co_await c.send(fx.plat.host(0), 20, 64, std::make_shared<std::vector<double>>(1, 20.0));
+  }(f, ch));
+  f.eng.spawn([](FabricFixture& fx, Channel& c, std::vector<int>& out) -> sim::Process {
+    // Read tag 20 first even though it was sent second.
+    const Message m20 = co_await c.recv(fx.plat.host(1), 20);
+    out.push_back(static_cast<int>((*m20.values)[0]));
+    const Message m10 = co_await c.recv(fx.plat.host(1), 10);
+    out.push_back(static_cast<int>((*m10.values)[0]));
+  }(f, ch, got));
+  f.eng.run();
+  EXPECT_EQ(got, (std::vector<int>{20, 10}));
+}
+
+TEST(Channel, BothDirectionsWorkOnOneChannel) {
+  FabricFixture f;
+  auto& ch = f.fabric.channel(f.plat.host(0), f.plat.host(1), Scheme::Synchronous);
+  int exchanged = 0;
+  f.eng.spawn([](FabricFixture& fx, Channel& c, int& n) -> sim::Process {
+    co_await c.send(fx.plat.host(0), 1, 128);
+    const Message m = co_await c.recv(fx.plat.host(0), 2);
+    (void)m;
+    ++n;
+  }(f, ch, exchanged));
+  f.eng.spawn([](FabricFixture& fx, Channel& c, int& n) -> sim::Process {
+    const Message m = co_await c.recv(fx.plat.host(1), 1);
+    (void)m;
+    co_await c.send(fx.plat.host(1), 2, 128);
+    ++n;
+  }(f, ch, exchanged));
+  f.eng.run();
+  EXPECT_EQ(exchanged, 2);
+}
+
+TEST(Channel, RecvForTimesOut) {
+  FabricFixture f;
+  auto& ch = f.fabric.channel(f.plat.host(0), f.plat.host(1), Scheme::Synchronous);
+  bool timed_out = false;
+  f.eng.spawn([](FabricFixture& fx, Channel& c, bool& out) -> sim::Process {
+    auto m = co_await c.recv_for(fx.plat.host(1), 9, 0.25);
+    out = !m.has_value();
+    EXPECT_DOUBLE_EQ(fx.eng.now(), 0.25);
+  }(f, ch, timed_out));
+  f.eng.run();
+  EXPECT_TRUE(timed_out);
+}
+
+TEST(Fabric, ChannelCachedPerPairAndScheme) {
+  FabricFixture f;
+  Channel& c1 = f.fabric.channel(f.plat.host(0), f.plat.host(1), Scheme::Synchronous);
+  Channel& c2 = f.fabric.channel(f.plat.host(1), f.plat.host(0), Scheme::Synchronous);
+  Channel& c3 = f.fabric.channel(f.plat.host(0), f.plat.host(1), Scheme::Asynchronous);
+  EXPECT_EQ(&c1, &c2);
+  EXPECT_NE(&c1, &c3);
+}
+
+TEST(Fabric, AdaptationUsesIpDerivedLinkClass) {
+  // Cluster hosts share a /24 -> IntraZone profile.
+  FabricFixture f;
+  Channel& c = f.fabric.channel(f.plat.host(0), f.plat.host(3), Scheme::Synchronous);
+  EXPECT_EQ(c.config().profile, "SYNC/TCP-intrazone");
+}
+
+TEST(Channel, StatsCountMessagesAndBytes) {
+  FabricFixture f;
+  auto& ch = f.fabric.channel(f.plat.host(0), f.plat.host(1), Scheme::Synchronous);
+  f.eng.spawn([](FabricFixture& fx, Channel& c) -> sim::Process {
+    co_await c.send(fx.plat.host(0), 1, 1000);
+    co_await c.send(fx.plat.host(0), 1, 2000);
+  }(f, ch));
+  f.eng.spawn([](FabricFixture& fx, Channel& c) -> sim::Process {
+    (void)co_await c.recv(fx.plat.host(1), 1);
+    (void)co_await c.recv(fx.plat.host(1), 1);
+  }(f, ch));
+  f.eng.run();
+  EXPECT_EQ(ch.stats().messages_sent, 2u);
+  EXPECT_DOUBLE_EQ(ch.stats().payload_bytes_sent, 3000.0);
+  EXPECT_EQ(ch.stats().acks_sent, 2u);
+}
+
+}  // namespace
+}  // namespace pdc::p2psap

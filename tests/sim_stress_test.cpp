@@ -1,0 +1,158 @@
+// Stress and edge-case coverage of the coroutine kernel: deep task chains,
+// fan-out/fan-in at scale, timer storms with cancellations, determinism of
+// full runs.
+#include <gtest/gtest.h>
+
+#include "sim/engine.hpp"
+#include "sim/mailbox.hpp"
+#include "sim/sync.hpp"
+#include "sim/task.hpp"
+#include "support/rng.hpp"
+
+namespace pdc::sim {
+namespace {
+
+Task<int> chain(Engine& eng, int depth) {
+  if (depth == 0) co_return 0;
+  co_await eng.sleep(0.001);
+  const int below = co_await chain(eng, depth - 1);
+  co_return below + 1;
+}
+
+TEST(SimStress, DeepTaskChains) {
+  Engine eng;
+  int result = 0;
+  eng.spawn([](Engine& e, int& out) -> Process { out = co_await chain(e, 150); }(eng, result));
+  eng.run();
+  EXPECT_EQ(result, 150);
+  EXPECT_NEAR(eng.now(), 0.150, 1e-9);
+}
+
+TEST(SimStress, ThousandProcessFanInViaLatch) {
+  Engine eng;
+  constexpr int kN = 1000;
+  Latch latch{eng, kN};
+  Time released = -1;
+  eng.spawn([](Engine& e, Latch& l, Time& out) -> Process {
+    co_await l.wait();
+    out = e.now();
+  }(eng, latch, released));
+  Rng rng{77};
+  Time latest = 0;
+  for (int i = 0; i < kN; ++i) {
+    const Time when = rng.uniform(0.0, 10.0);
+    latest = std::max(latest, when);
+    eng.schedule_at(when, [&latch] { latch.count_down(); });
+  }
+  eng.run();
+  EXPECT_DOUBLE_EQ(released, latest);
+}
+
+TEST(SimStress, TimerStormWithRandomCancellations) {
+  Engine eng;
+  Rng rng{123};
+  int fired = 0;
+  std::vector<TimerHandle> handles;
+  for (int i = 0; i < 2000; ++i)
+    handles.push_back(eng.schedule_cancellable(rng.uniform(0, 5), [&fired] { ++fired; }));
+  int cancelled = 0;
+  for (std::size_t i = 0; i < handles.size(); i += 3) {
+    handles[i].cancel();
+    ++cancelled;
+  }
+  eng.run();
+  EXPECT_EQ(fired, 2000 - cancelled);
+}
+
+TEST(SimStress, FullRunsAreDeterministic) {
+  auto run_once = [] {
+    Engine eng;
+    Mailbox<int> mb{eng};
+    Rng rng{9};
+    std::vector<int> order;
+    for (int p = 0; p < 8; ++p) {
+      eng.spawn([](Engine& e, Mailbox<int>& m, Rng seed, int id) -> Process {
+        Rng local = seed;
+        for (int k = 0; k < 20; ++k) {
+          co_await e.sleep(local.uniform(0.01, 0.5));
+          m.push(id * 100 + k);
+        }
+      }(eng, mb, rng.split(), p));
+    }
+    eng.spawn([](Mailbox<int>& m, std::vector<int>& out) -> Process {
+      for (int i = 0; i < 160; ++i) out.push_back(co_await m.recv());
+    }(mb, order));
+    eng.run();
+    return order;
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(a, b) << "identical seeds must give identical schedules";
+}
+
+TEST(SimStress, MailboxHandoffUnderManyWaitersAndBursts) {
+  Engine eng;
+  Mailbox<int> mb{eng};
+  int received = 0;
+  for (int w = 0; w < 50; ++w) {
+    eng.spawn([](Mailbox<int>& m, int& n) -> Process {
+      for (int k = 0; k < 4; ++k) {
+        (void)co_await m.recv();
+        ++n;
+      }
+    }(mb, received));
+  }
+  for (int burst = 0; burst < 10; ++burst) {
+    eng.schedule_at(burst * 1.0, [&mb] {
+      for (int i = 0; i < 20; ++i) mb.push(i);
+    });
+  }
+  eng.run();
+  EXPECT_EQ(received, 200);
+  EXPECT_TRUE(mb.empty());
+}
+
+TEST(SimStress, RecvForTimeoutStormLeavesNoDanglingWaiters) {
+  Engine eng;
+  Mailbox<int> mb{eng};
+  int timeouts = 0, values = 0;
+  for (int i = 0; i < 100; ++i) {
+    eng.spawn([](Engine& e, Mailbox<int>& m, int& to, int& vs, int id) -> Process {
+      for (int round = 0; round < 5; ++round) {
+        auto v = co_await m.recv_for(0.1 + (id % 7) * 0.01);
+        if (v)
+          ++vs;
+        else
+          ++to;
+        co_await e.sleep(0.05);
+      }
+    }(eng, mb, timeouts, values, i));
+  }
+  // Sparse pushes: most waits time out.
+  for (int k = 0; k < 40; ++k) eng.schedule_at(0.02 * k, [&mb, k] { mb.push(k); });
+  eng.run();
+  EXPECT_EQ(values + timeouts, 500);
+  EXPECT_EQ(values, 40 - static_cast<int>(mb.size()));
+}
+
+TEST(SimStress, GateReleasesLateAndEarlyWaitersAlike) {
+  Engine eng;
+  Gate gate{eng};
+  int released = 0;
+  eng.spawn([](Gate& g, int& n) -> Process {  // early waiter
+    co_await g.wait();
+    ++n;
+  }(gate, released));
+  eng.schedule_at(1.0, [&gate] { gate.open(); });
+  eng.schedule_at(2.0, [&] {
+    eng.spawn([](Gate& g, int& n) -> Process {  // late waiter: already open
+      co_await g.wait();
+      ++n;
+    }(gate, released));
+  });
+  eng.run();
+  EXPECT_EQ(released, 2);
+}
+
+}  // namespace
+}  // namespace pdc::sim

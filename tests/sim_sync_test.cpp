@@ -1,0 +1,90 @@
+#include "sim/sync.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace pdc::sim {
+namespace {
+
+TEST(Latch, OpensWhenCountReachesZero) {
+  Engine eng;
+  Latch latch{eng, 3};
+  std::vector<Time> resumed;
+  for (int i = 0; i < 2; ++i) {
+    eng.spawn([](Engine& e, Latch& l, std::vector<Time>& out) -> Process {
+      co_await l.wait();
+      out.push_back(e.now());
+    }(eng, latch, resumed));
+  }
+  eng.schedule_at(1.0, [&] { latch.count_down(); });
+  eng.schedule_at(2.0, [&] { latch.count_down(); });
+  eng.schedule_at(3.0, [&] { latch.count_down(); });
+  eng.run();
+  ASSERT_EQ(resumed.size(), 2u);
+  EXPECT_DOUBLE_EQ(resumed[0], 3.0);
+  EXPECT_DOUBLE_EQ(resumed[1], 3.0);
+  EXPECT_TRUE(latch.open());
+}
+
+TEST(Latch, WaitAfterOpenDoesNotSuspend) {
+  Engine eng;
+  Latch latch{eng, 0};
+  Time when = -1;
+  eng.spawn([](Engine& e, Latch& l, Time& w) -> Process {
+    co_await l.wait();
+    w = e.now();
+  }(eng, latch, when));
+  eng.run();
+  EXPECT_EQ(when, 0.0);
+}
+
+TEST(Latch, CountDownByMoreThanOne) {
+  Engine eng;
+  Latch latch{eng, 5};
+  bool resumed = false;
+  eng.spawn([](Latch& l, bool& r) -> Process {
+    co_await l.wait();
+    r = true;
+  }(latch, resumed));
+  eng.schedule_at(1.0, [&] { latch.count_down(5); });
+  eng.run();
+  EXPECT_TRUE(resumed);
+}
+
+TEST(Gate, OpenReleasesAllWaitersOnce) {
+  Engine eng;
+  Gate gate{eng};
+  int released = 0;
+  for (int i = 0; i < 4; ++i) {
+    eng.spawn([](Gate& g, int& n) -> Process {
+      co_await g.wait();
+      ++n;
+    }(gate, released));
+  }
+  eng.schedule_at(1.0, [&] { gate.open(); });
+  eng.schedule_at(2.0, [&] { gate.open(); });  // idempotent
+  eng.run();
+  EXPECT_EQ(released, 4);
+  EXPECT_TRUE(gate.is_open());
+}
+
+TEST(Gate, UsableAsCompletionSignalAcrossProcesses) {
+  Engine eng;
+  Gate done{eng};
+  std::vector<int> order;
+  eng.spawn([](Engine& e, Gate& g, std::vector<int>& ord) -> Process {
+    co_await e.sleep(5.0);
+    ord.push_back(1);
+    g.open();
+  }(eng, done, order));
+  eng.spawn([](Gate& g, std::vector<int>& ord) -> Process {
+    co_await g.wait();
+    ord.push_back(2);
+  }(done, order));
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+}  // namespace
+}  // namespace pdc::sim

@@ -1,0 +1,91 @@
+#include "support/ipv4.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace pdc {
+namespace {
+
+TEST(Ipv4, ParsesDottedQuad) {
+  auto a = Ipv4::parse("145.82.1.129");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->to_string(), "145.82.1.129");
+  EXPECT_EQ(a->bits(), (145u << 24) | (82u << 16) | (1u << 8) | 129u);
+}
+
+TEST(Ipv4, ParseRejectsMalformedInput) {
+  EXPECT_FALSE(Ipv4::parse("").has_value());
+  EXPECT_FALSE(Ipv4::parse("1.2.3").has_value());
+  EXPECT_FALSE(Ipv4::parse("1.2.3.4.5").has_value());
+  EXPECT_FALSE(Ipv4::parse("256.0.0.1").has_value());
+  EXPECT_FALSE(Ipv4::parse("1..2.3").has_value());
+  EXPECT_FALSE(Ipv4::parse("1.2.3.").has_value());
+  EXPECT_FALSE(Ipv4::parse("a.b.c.d").has_value());
+  EXPECT_FALSE(Ipv4::parse("1.2.3.4x").has_value());
+  EXPECT_FALSE(Ipv4::parse("1234.1.1.1").has_value());
+}
+
+TEST(Ipv4, ParseRoundTripsRandomAddresses) {
+  Rng rng{7};
+  for (int i = 0; i < 200; ++i) {
+    const Ipv4 a{static_cast<std::uint32_t>(rng.next_u64())};
+    auto parsed = Ipv4::parse(a.to_string());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, a);
+  }
+}
+
+// The worked example from the paper (section III-A.2): P1=145.82.1.1,
+// P2=145.82.1.129, P3=145.83.56.74; prefix(P1,P2)=24, prefix(P1,P3)=15.
+TEST(Proximity, PaperExample) {
+  const Ipv4 p1{145, 82, 1, 1};
+  const Ipv4 p2{145, 82, 1, 129};
+  const Ipv4 p3{145, 83, 56, 74};
+  EXPECT_EQ(common_prefix_len(p1, p2), 24);
+  EXPECT_EQ(common_prefix_len(p1, p3), 15);
+  EXPECT_TRUE(closer_to(p1, p2, p3));
+  EXPECT_FALSE(closer_to(p1, p3, p2));
+}
+
+TEST(Proximity, IdenticalAddressesShareFullPrefix) {
+  const Ipv4 a{10, 0, 0, 1};
+  EXPECT_EQ(common_prefix_len(a, a), 32);
+}
+
+TEST(Proximity, SymmetricMetric) {
+  Rng rng{11};
+  for (int i = 0; i < 200; ++i) {
+    const Ipv4 a{static_cast<std::uint32_t>(rng.next_u64())};
+    const Ipv4 b{static_cast<std::uint32_t>(rng.next_u64())};
+    EXPECT_EQ(common_prefix_len(a, b), common_prefix_len(b, a));
+  }
+}
+
+TEST(Proximity, PrefixBoundaries) {
+  EXPECT_EQ(common_prefix_len(Ipv4{0x00000000}, Ipv4{0x80000000}), 0);
+  EXPECT_EQ(common_prefix_len(Ipv4{0xFFFFFFFF}, Ipv4{0xFFFFFFFE}), 31);
+}
+
+// Property: closer_to induces a strict weak ordering usable for sorting
+// candidate neighbour lists deterministically.
+TEST(Proximity, InducesTotalOrderAroundReference) {
+  Rng rng{23};
+  const Ipv4 ref{static_cast<std::uint32_t>(rng.next_u64())};
+  std::vector<Ipv4> addrs;
+  for (int i = 0; i < 64; ++i) addrs.emplace_back(static_cast<std::uint32_t>(rng.next_u64()));
+  auto cmp = [&](Ipv4 x, Ipv4 y) { return closer_to(ref, x, y); };
+  std::sort(addrs.begin(), addrs.end(), cmp);
+  // Sorted by decreasing proximity: prefix lengths are non-increasing.
+  for (std::size_t i = 1; i < addrs.size(); ++i) {
+    EXPECT_GE(common_prefix_len(ref, addrs[i - 1]), common_prefix_len(ref, addrs[i]));
+  }
+  // Irreflexivity.
+  for (auto a : addrs) EXPECT_FALSE(closer_to(ref, a, a));
+}
+
+}  // namespace
+}  // namespace pdc

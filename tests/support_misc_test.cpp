@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "support/rng.hpp"
+#include "support/table.hpp"
+#include "support/time.hpp"
+
+namespace pdc {
+namespace {
+
+TEST(TimeUnits, Conversions) {
+  EXPECT_EQ(to_ns(1.0), 1000000000u);
+  EXPECT_EQ(to_ns(1.5 * units::us), 1500u);
+  EXPECT_EQ(to_ns(0.0), 0u);
+  EXPECT_EQ(to_ns(-1.0), 0u);  // clamped
+  EXPECT_DOUBLE_EQ(from_ns(2500), 2.5e-6);
+  EXPECT_DOUBLE_EQ(from_ns(to_ns(0.123456789)), 0.123456789);
+}
+
+TEST(TimeUnits, BandwidthConstants) {
+  EXPECT_DOUBLE_EQ(units::Gbps, 125.0e6);   // 1 Gbit/s = 125 MB/s
+  EXPECT_DOUBLE_EQ(units::Mbps, 125.0e3);
+  EXPECT_DOUBLE_EQ(8.0 * units::KiB, 8192.0);
+}
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a{42}, b{42};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, UniformIntStaysInRange) {
+  Rng rng{1};
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(5, 10);
+    EXPECT_GE(v, 5);
+    EXPECT_LE(v, 10);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 6u);  // all values hit
+}
+
+TEST(Rng, UniformDoubleStaysInRange) {
+  Rng rng{2};
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(5.0, 10.0);
+    EXPECT_GE(v, 5.0);
+    EXPECT_LT(v, 10.0);
+  }
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng{3};
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::vector<int> resorted = v;
+  std::sort(resorted.begin(), resorted.end());
+  EXPECT_EQ(resorted, sorted);
+}
+
+TEST(Rng, SplitStreamsDiverge) {
+  Rng a{9};
+  Rng child = a.split();
+  EXPECT_NE(a.next_u64(), child.next_u64());
+}
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t({"Peers", "Time [s]"});
+  t.add_row({"2", TextTable::num(42.123, 2)});
+  t.add_row({"32", TextTable::num(7.5, 2)});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| Peers | Time [s] |"), std::string::npos);
+  EXPECT_NE(out.find("| 2     | 42.12    |"), std::string::npos);
+  EXPECT_NE(out.find("| 32    | 7.50     |"), std::string::npos);
+}
+
+TEST(TextTable, PadsMissingCells) {
+  TextTable t({"a", "b", "c"});
+  t.add_row({"1"});
+  EXPECT_NE(t.render().find("| 1 |   |   |"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pdc
