@@ -1,0 +1,175 @@
+// Reshare-throughput microbench for the flow engine, seeding the perf
+// trajectory: with N long-lived flows holding the network, how many
+// start/complete reshares per wall-clock second can each engine sustain?
+//
+// Two topologies bracket the design space:
+//  * pairs — disjoint host pairs on private links: many independent sharing
+//    components, the incremental engine's O(affected) best case;
+//  * star  — every route crosses one backbone: a single giant component,
+//    isolating the dense-records-vs-std::map constant factor.
+//
+// Emits BENCH_flownet.json (pass a path as argv[1] to redirect). Reference
+// mode is skipped above --ref-cap flows (default 1000): the point of the
+// exercise is that the full recompute is unusable at that scale.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "net/builders.hpp"
+#include "net/flow.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace pdc;
+using net::FlowNet;
+using net::Platform;
+
+struct Result {
+  std::string topology;
+  int flows = 0;
+  const char* mode = "";
+  std::uint64_t churn_reshares = 0;
+  double wall_seconds = 0;
+  double reshares_per_sec = 0;
+  std::uint64_t reshares_partial = 0;
+  std::uint64_t flows_rescanned = 0;
+};
+
+Platform build_pairs(int pairs) {
+  Platform p;
+  for (int i = 0; i < 2 * pairs; ++i)
+    p.add_host("h" + std::to_string(i), 1e9,
+               Ipv4{10, static_cast<std::uint8_t>(i / 62500),
+                    static_cast<std::uint8_t>(i / 250 % 250), static_cast<std::uint8_t>(i % 250 + 1)});
+  for (int i = 0; i < pairs; ++i) {
+    const auto l = p.add_link("l" + std::to_string(i), 1e6, 0);
+    p.connect(p.host(2 * i), p.host(2 * i + 1), l);
+  }
+  return p;
+}
+
+/// Loads the network with `flows` never-completing base flows, then replays
+/// `churn` short flows (each one start + one completion reshare) and times
+/// that churn window.
+Result run_case(const std::string& topology, const Platform& plat, int flows, int churn,
+                FlowNet::Mode mode) {
+  sim::Engine eng;
+  FlowNet netw{eng, plat, mode};
+  Rng rng{42};
+  const int hosts = plat.host_count();
+  auto pick_pair = [&](int& s, int& d) {
+    if (topology == "pairs") {
+      const int pair = static_cast<int>(rng.uniform_int(0, hosts / 2 - 1));
+      s = 2 * pair;
+      d = 2 * pair + 1;
+    } else {
+      s = static_cast<int>(rng.uniform_int(0, hosts - 1));
+      d = static_cast<int>(rng.uniform_int(0, hosts - 1));
+      if (d == s) d = (d + 1) % hosts;
+    }
+  };
+  for (int i = 0; i < flows; ++i) {
+    int s, d;
+    pick_pair(s, d);
+    netw.start_flow(plat.host(s), plat.host(d), 1e15, [] {});  // outlives the bench
+  }
+  const Time kGap = 0.05;  // leaves room for each churn flow to drain
+  for (int i = 0; i < churn; ++i) {
+    int s, d;
+    pick_pair(s, d);
+    eng.schedule_at(1.0 + kGap * i, [&netw, &plat, s, d] {
+      netw.start_flow(plat.host(s), plat.host(d), 16.0, [] {});
+    });
+  }
+  eng.run_until(0.5);  // settle: every base flow reaches its transfer phase
+  const net::FlowNetStats before = netw.stats();
+  const auto t0 = std::chrono::steady_clock::now();
+  eng.run_until(1.0 + kGap * (churn + 1));
+  const auto t1 = std::chrono::steady_clock::now();
+  const net::FlowNetStats& after = netw.stats();
+
+  Result r;
+  r.topology = topology;
+  r.flows = flows;
+  r.mode = mode == FlowNet::Mode::Incremental ? "incremental" : "reference";
+  r.churn_reshares = after.reshares - before.reshares;
+  r.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  r.reshares_per_sec =
+      r.wall_seconds > 0 ? static_cast<double>(r.churn_reshares) / r.wall_seconds : 0;
+  r.reshares_partial = after.reshares_partial - before.reshares_partial;
+  r.flows_rescanned = after.flows_rescanned - before.flows_rescanned;
+  std::printf("%-5s  %5d flows  %-11s  %6llu reshares  %8.3f ms  %12.0f reshares/s\n",
+              topology.c_str(), flows, r.mode,
+              static_cast<unsigned long long>(r.churn_reshares), r.wall_seconds * 1e3,
+              r.reshares_per_sec);
+  std::fflush(stdout);
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* out_path = "BENCH_flownet.json";
+  int ref_cap = 1000;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--ref-cap=", 10) == 0)
+      ref_cap = std::atoi(argv[i] + 10);
+    else
+      out_path = argv[i];
+  }
+
+  const int kFlowCounts[] = {10, 100, 1000, 10000};
+  std::vector<Result> results;
+  for (const char* topology : {"pairs", "star"}) {
+    for (const int flows : kFlowCounts) {
+      const Platform plat = std::string(topology) == "pairs"
+                                ? build_pairs(std::max(2, flows / 8))
+                                : net::build_star(net::lan_spec(64));
+      const int churn = flows >= 10000 ? 50 : 200;
+      results.push_back(run_case(topology, plat, flows, churn, FlowNet::Mode::Incremental));
+      if (flows <= ref_cap)
+        results.push_back(run_case(topology, plat, flows, churn, FlowNet::Mode::Reference));
+    }
+  }
+
+  // Speedups at matched (topology, flows).
+  std::FILE* f = std::fopen(out_path, "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot write %s\n", out_path);
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"flownet_reshare_throughput\",\n  \"results\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const Result& r = results[i];
+    std::fprintf(f,
+                 "    {\"topology\": \"%s\", \"flows\": %d, \"mode\": \"%s\", "
+                 "\"churn_reshares\": %llu, \"wall_seconds\": %.6f, "
+                 "\"reshares_per_sec\": %.1f, \"reshares_partial\": %llu, "
+                 "\"flows_rescanned\": %llu}%s\n",
+                 r.topology.c_str(), r.flows, r.mode,
+                 static_cast<unsigned long long>(r.churn_reshares), r.wall_seconds,
+                 r.reshares_per_sec, static_cast<unsigned long long>(r.reshares_partial),
+                 static_cast<unsigned long long>(r.flows_rescanned),
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"speedup_incremental_over_reference\": {\n");
+  bool first = true;
+  for (const Result& inc : results) {
+    if (std::strcmp(inc.mode, "incremental") != 0) continue;
+    for (const Result& ref : results) {
+      if (std::strcmp(ref.mode, "reference") != 0 || ref.topology != inc.topology ||
+          ref.flows != inc.flows || ref.reshares_per_sec <= 0)
+        continue;
+      std::fprintf(f, "%s    \"%s_%d\": %.2f", first ? "" : ",\n", inc.topology.c_str(),
+                   inc.flows, inc.reshares_per_sec / ref.reshares_per_sec);
+      first = false;
+    }
+  }
+  std::fprintf(f, "\n  }\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path);
+  return 0;
+}

@@ -3,18 +3,72 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <map>
+#include <string>
+
+#include "support/log.hpp"
 
 namespace pdc::net {
 
 namespace {
 // Bytes below this are considered fully transferred (guards float drift).
 constexpr double kByteEpsilon = 1e-6;
-// Key for per-direction link usage.
-constexpr std::uint64_t dirkey(Hop h) {
-  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(h.link)) << 1) |
-         static_cast<std::uint32_t>(h.dir);
-}
+
+// Completion-tie window: flows whose projected completion lands within this
+// slack of the firing time complete together. A few ulps of relative slack
+// absorbs float drift between lazily-settled projections (arm time vs heap
+// key); it must stay >= 2 ulp so a rearm after a short pop always lands
+// strictly later, yet small enough that early-completed flows have far less
+// than kByteEpsilon bytes left at any realistic rate.
+constexpr Time completion_cutoff(Time now) { return now * (1.0 + 4e-16) + 1e-12; }
 }  // namespace
+
+FlowNet::FlowNet(sim::Engine& engine, const Platform& platform, Mode mode)
+    : engine_(&engine), platform_(&platform), mode_(mode) {
+  sync_linkdirs();
+  timer_slot_ = engine_->create_timer_slot([this] { on_completion_event(); });
+}
+
+FlowNet::~FlowNet() {
+  // Free the slot (and its captured `this`) so a queued completion event can
+  // never call into a dead FlowNet and the engine can recycle the id.
+  engine_->destroy_timer_slot(timer_slot_);
+}
+
+void FlowNet::sync_linkdirs() {
+  // The platform may gain links after construction; grow the dense mirrors.
+  const std::size_t want = platform_->linkdir_count();
+  while (linkdirs_.size() < want) {
+    LinkDir ld;
+    ld.capacity = platform_->link(static_cast<LinkIdx>(linkdirs_.size() / 2)).bandwidth_Bps;
+    linkdirs_.push_back(std::move(ld));
+  }
+  if (cap_.size() < want) {
+    cap_.resize(want, 0.0);
+    nun_.resize(want, 0);
+  }
+}
+
+FlowNet::Slot FlowNet::alloc_slot() {
+  if (!free_slots_.empty()) {
+    const Slot s = free_slots_.back();
+    free_slots_.pop_back();
+    return s;
+  }
+  flows_.emplace_back();
+  return static_cast<Slot>(flows_.size() - 1);
+}
+
+void FlowNet::release_slot(Slot slot) {
+  Flow& f = flows_[slot];
+  id_to_slot_.erase(f.id);
+  f.id = 0;
+  f.hops.clear();
+  f.link_pos.clear();
+  f.on_complete = nullptr;
+  free_slots_.push_back(slot);
+  --live_flows_;
+}
 
 FlowId FlowNet::start_flow(NodeIdx src, NodeIdx dst, double bytes,
                            std::function<void()> on_complete) {
@@ -27,19 +81,25 @@ FlowId FlowNet::start_flow(NodeIdx src, NodeIdx dst, double bytes,
     return id;
   }
   const Route& route = platform_->route(src, dst);
-  Flow f;
+  sync_linkdirs();
+  const Slot slot = alloc_slot();
+  Flow& f = flows_[slot];
   f.id = id;
   f.remaining = std::max(bytes, 0.0);
   f.total_bytes = f.remaining;
-  f.hops = route.hops;
-  f.on_complete = std::move(on_complete);
+  f.rate = 0;
   f.phase = Phase::Latency;
-  flows_.emplace(id, std::move(f));
+  f.starve_warned = false;
+  f.last_touched = engine_->now();
+  f.hops = route.hops;
+  f.link_pos.assign(f.hops.size(), 0);
+  f.on_complete = std::move(on_complete);
+  id_to_slot_.emplace(id, slot);
+  ++live_flows_;
   engine_->schedule_after(route.latency, [this, id] {
-    auto it = flows_.find(id);
-    if (it == flows_.end()) return;
-    it->second.phase = Phase::Transfer;
-    reshare();
+    auto it = id_to_slot_.find(id);
+    if (it == id_to_slot_.end()) return;
+    begin_transfer(it->second);
   });
   return id;
 }
@@ -51,32 +111,241 @@ sim::Task<void> FlowNet::transfer(NodeIdx src, NodeIdx dst, double bytes) {
 }
 
 double FlowNet::flow_rate(FlowId id) const {
-  auto it = flows_.find(id);
-  return it == flows_.end() ? 0.0 : it->second.rate;
+  auto it = id_to_slot_.find(id);
+  return it == id_to_slot_.end() ? 0.0 : flows_[it->second].rate;
 }
 
-void FlowNet::advance_progress() {
+void FlowNet::mark_dirty(std::size_t linkdir) {
+  LinkDir& ld = linkdirs_[linkdir];
+  if (!ld.dirty) {
+    ld.dirty = true;
+    dirty_linkdirs_.push_back(linkdir);
+  }
+}
+
+void FlowNet::begin_transfer(Slot slot) {
+  Flow& f = flows_[slot];
+  f.phase = Phase::Transfer;
+  f.last_touched = engine_->now();
+  ++transfer_flows_;
+  for (std::uint32_t i = 0; i < f.hops.size(); ++i) {
+    const std::size_t li = linkdir_index(f.hops[i]);
+    LinkDir& ld = linkdirs_[li];
+    f.link_pos[i] = static_cast<std::uint32_t>(ld.members.size());
+    ld.members.push_back(LinkMember{slot, i});
+    mark_dirty(li);
+  }
+  ++stats_.reshares;
+  if (mode_ == Mode::Reference)
+    reference_reshare();
+  else
+    resolve_dirty();
+}
+
+void FlowNet::remove_membership(Slot slot) {
+  Flow& f = flows_[slot];
+  --transfer_flows_;
+  for (std::uint32_t i = 0; i < f.hops.size(); ++i) {
+    const std::size_t li = linkdir_index(f.hops[i]);
+    LinkDir& ld = linkdirs_[li];
+    const std::uint32_t pos = f.link_pos[i];
+    const LinkMember moved = ld.members.back();
+    ld.members[pos] = moved;
+    ld.members.pop_back();
+    if (moved.slot != slot || moved.hop != i)
+      flows_[moved.slot].link_pos[moved.hop] = pos;
+    mark_dirty(li);
+  }
+}
+
+void FlowNet::settle(Flow& f, Time now) {
+  if (f.phase == Phase::Transfer && f.rate > 0 && now > f.last_touched)
+    f.remaining = std::max(0.0, f.remaining - f.rate * (now - f.last_touched));
+  f.last_touched = now;
+}
+
+Time FlowNet::projected_completion(const Flow& f, Time now) const {
+  if (f.remaining <= kByteEpsilon) return now;  // drains at the next event
+  if (f.rate <= 0) return kTimeInfinity;        // starved: never completes
+  return now + f.remaining / f.rate;
+}
+
+void FlowNet::warn_starved(Flow& f) {
+  f.starve_warned = true;
+  ++stats_.flows_starved;
+  PDC_LOG_WARN("FlowNet: flow " + std::to_string(f.id) + " starved (rate 0, " +
+               std::to_string(f.remaining) + " B left): it will never complete");
+}
+
+// ---------------------------------------------------------------------------
+// Incremental engine.
+
+void FlowNet::resolve_dirty() {
+  const Time now = engine_->now();
+  ++epoch_;
+  comp_links_.clear();
+  affected_.clear();
+  bfs_stack_.clear();
+
+  // Affected component: everything reachable from dirty linkdirs over the
+  // bipartite linkdir <-> flow graph. Flows outside it keep their rates,
+  // which is exact because max-min allocations decompose by component.
+  for (const std::size_t li : dirty_linkdirs_) {
+    LinkDir& ld = linkdirs_[li];
+    ld.dirty = false;
+    if (ld.visit_epoch != epoch_) {
+      ld.visit_epoch = epoch_;
+      comp_links_.push_back(li);
+      bfs_stack_.push_back(li);
+    }
+  }
+  dirty_linkdirs_.clear();
+  while (!bfs_stack_.empty()) {
+    const std::size_t li = bfs_stack_.back();
+    bfs_stack_.pop_back();
+    for (const LinkMember& m : linkdirs_[li].members) {
+      Flow& f = flows_[m.slot];
+      if (f.visit_epoch == epoch_) continue;
+      f.visit_epoch = epoch_;
+      affected_.push_back(m.slot);
+      for (const Hop& h : f.hops) {
+        const std::size_t hi = linkdir_index(h);
+        LinkDir& ld = linkdirs_[hi];
+        if (ld.visit_epoch != epoch_) {
+          ld.visit_epoch = epoch_;
+          comp_links_.push_back(hi);
+          bfs_stack_.push_back(hi);
+        }
+      }
+    }
+  }
+
+  stats_.flows_rescanned += affected_.size();
+  if (affected_.size() < transfer_flows_) ++stats_.reshares_partial;
+
+  // Settle progress under the outgoing rates, then re-solve the component by
+  // progressive filling (identical fixing rule to the reference oracle).
+  for (const Slot s : affected_) {
+    Flow& f = flows_[s];
+    settle(f, now);
+    f.rate = 0;
+  }
+  for (const std::size_t li : comp_links_) {
+    cap_[li] = linkdirs_[li].capacity;
+    nun_[li] = static_cast<int>(linkdirs_[li].members.size());
+  }
+  std::size_t unfixed = affected_.size();
+  while (unfixed > 0) {
+    double best = std::numeric_limits<double>::infinity();
+    for (const std::size_t li : comp_links_)
+      if (nun_[li] > 0) best = std::min(best, cap_[li] / nun_[li]);
+    if (!std::isfinite(best)) break;  // no constrained flows remain
+    bool fixed_any = false;
+    for (const std::size_t li : comp_links_) {
+      if (nun_[li] <= 0 || cap_[li] / nun_[li] > best * (1 + 1e-12)) continue;
+      for (const LinkMember& m : linkdirs_[li].members) {
+        Flow& f = flows_[m.slot];
+        if (f.fixed_epoch == epoch_) continue;
+        f.fixed_epoch = epoch_;
+        f.rate = best;
+        --unfixed;
+        fixed_any = true;
+        for (const Hop& h : f.hops) {
+          const std::size_t hi = linkdir_index(h);
+          cap_[hi] = std::max(0.0, cap_[hi] - best);
+          --nun_[hi];
+        }
+      }
+    }
+    if (!fixed_any) break;  // numeric safety
+  }
+
+  // Re-key only the affected flows; untouched components keep their absolute
+  // projected completion times.
+  for (const Slot s : affected_) {
+    Flow& f = flows_[s];
+    if (f.rate <= 0 && f.remaining > kByteEpsilon && !f.starve_warned) warn_starved(f);
+    completion_heap_.set(s, projected_completion(f, now));
+  }
+  rearm_completion_timer();
+}
+
+void FlowNet::rearm_completion_timer() {
+  const Time next = completion_heap_.empty() ? kTimeInfinity : completion_heap_.top_key();
+  if (next >= kTimeInfinity) {
+    if (armed_at_ < kTimeInfinity) {
+      engine_->cancel_timer_slot(timer_slot_);
+      armed_at_ = kTimeInfinity;
+    }
+    return;
+  }
+  if (armed_at_ == next && engine_->timer_slot_armed(timer_slot_)) return;
+  armed_at_ = next;
+  engine_->arm_timer_slot(timer_slot_, std::max(0.0, next - engine_->now()));
+}
+
+void FlowNet::on_completion_event() {
+  if (mode_ == Mode::Reference) {
+    reference_completion_event();
+    return;
+  }
+  const Time now = engine_->now();
+  armed_at_ = kTimeInfinity;  // the arm we are inside just fired
+  const Time cutoff = completion_cutoff(now);
+  done_scratch_.clear();
+  while (!completion_heap_.empty() && completion_heap_.top_key() <= cutoff) {
+    const Slot s = completion_heap_.top();
+    completion_heap_.pop();
+    settle(flows_[s], now);
+    done_scratch_.push_back(s);
+  }
+  // Ascending id = start order, matching the reference oracle's map order.
+  std::sort(done_scratch_.begin(), done_scratch_.end(),
+            [this](Slot a, Slot b) { return flows_[a].id < flows_[b].id; });
+  for (const Slot s : done_scratch_) remove_membership(s);
+  for (const Slot s : done_scratch_) {
+    Flow& f = flows_[s];
+    ++stats_.flows_completed;
+    stats_.bytes_completed += f.total_bytes;
+    engine_->post(std::move(f.on_complete));
+    release_slot(s);
+  }
+  ++stats_.reshares;
+  resolve_dirty();
+}
+
+// ---------------------------------------------------------------------------
+// Reference oracle: the original full recompute, now over the slot-map.
+
+void FlowNet::reference_reshare() {
+  reference_advance_progress();
+  reference_recompute_rates();
+  reference_schedule_next_completion();
+}
+
+void FlowNet::reference_advance_progress() {
   const Time dt = engine_->now() - last_update_;
   if (dt > 0) {
-    for (auto& [id, f] : flows_)
-      if (f.phase == Phase::Transfer && f.rate > 0)
+    for (Flow& f : flows_)
+      if (f.id && f.phase == Phase::Transfer && f.rate > 0)
         f.remaining = std::max(0.0, f.remaining - f.rate * dt);
   }
   last_update_ = engine_->now();
 }
 
-void FlowNet::recompute_rates() {
+void FlowNet::reference_recompute_rates() {
   // Progressive filling: repeatedly saturate the most constrained link.
-  std::map<std::uint64_t, double> capacity;
-  std::map<std::uint64_t, int> unfixed_count;
+  std::map<std::size_t, double> capacity;
+  std::map<std::size_t, int> unfixed_count;
   std::vector<Flow*> unfixed;
-  for (auto& [id, f] : flows_) {
+  for (Flow& f : flows_) {
+    if (!f.id) continue;
     f.rate = 0;
     if (f.phase != Phase::Transfer) continue;
     unfixed.push_back(&f);
     for (const Hop& h : f.hops) {
-      capacity.emplace(dirkey(h), platform_->link(h.link).bandwidth_Bps);
-      ++unfixed_count[dirkey(h)];
+      capacity.emplace(linkdir_index(h), platform_->link(h.link).bandwidth_Bps);
+      ++unfixed_count[linkdir_index(h)];
     }
   }
   while (!unfixed.empty()) {
@@ -91,7 +360,7 @@ void FlowNet::recompute_rates() {
     for (Flow* f : unfixed) {
       bool at_bottleneck = false;
       for (const Hop& h : f->hops) {
-        const auto key = dirkey(h);
+        const auto key = linkdir_index(h);
         if (unfixed_count[key] > 0 &&
             capacity[key] / unfixed_count[key] <= best_share * (1 + 1e-12)) {
           at_bottleneck = true;
@@ -101,7 +370,7 @@ void FlowNet::recompute_rates() {
       if (at_bottleneck) {
         f->rate = best_share;
         for (const Hop& h : f->hops) {
-          const auto key = dirkey(h);
+          const auto key = linkdir_index(h);
           capacity[key] = std::max(0.0, capacity[key] - best_share);
           --unfixed_count[key];
         }
@@ -112,50 +381,52 @@ void FlowNet::recompute_rates() {
     if (still_unfixed.size() == unfixed.size()) break;  // numeric safety
     unfixed.swap(still_unfixed);
   }
+  // The reference path bypasses the dirty queue entirely; drop any marks so
+  // they cannot pile up.
+  for (const std::size_t li : dirty_linkdirs_) linkdirs_[li].dirty = false;
+  dirty_linkdirs_.clear();
 }
 
-void FlowNet::schedule_next_completion() {
-  completion_timer_.cancel();
+void FlowNet::reference_schedule_next_completion() {
+  engine_->cancel_timer_slot(timer_slot_);
   Time earliest = kTimeInfinity;
-  for (const auto& [id, f] : flows_) {
-    if (f.phase != Phase::Transfer) continue;
+  for (Flow& f : flows_) {
+    if (!f.id || f.phase != Phase::Transfer) continue;
     if (f.remaining <= kByteEpsilon) {
       earliest = 0;
       break;
     }
-    if (f.rate > 0) earliest = std::min(earliest, f.remaining / f.rate);
+    if (f.rate > 0)
+      earliest = std::min(earliest, f.remaining / f.rate);
+    else if (!f.starve_warned)
+      warn_starved(f);
   }
   if (earliest >= kTimeInfinity) return;
-  completion_timer_ = engine_->schedule_cancellable(earliest, [this] { on_completion_event(); });
+  engine_->arm_timer_slot(timer_slot_, earliest);
 }
 
-void FlowNet::on_completion_event() {
-  advance_progress();
-  // Complete every flow that has drained (ties complete together).
-  std::vector<Flow> done;
-  for (auto it = flows_.begin(); it != flows_.end();) {
-    if (it->second.phase == Phase::Transfer && it->second.remaining <= kByteEpsilon) {
-      done.push_back(std::move(it->second));
-      it = flows_.erase(it);
-    } else {
-      ++it;
-    }
+void FlowNet::reference_completion_event() {
+  reference_advance_progress();
+  // Complete every flow that has drained (ties complete together), in id
+  // (= start) order for deterministic callback sequencing.
+  done_scratch_.clear();
+  for (Slot s = 0; s < flows_.size(); ++s) {
+    Flow& f = flows_[s];
+    if (f.id && f.phase == Phase::Transfer && f.remaining <= kByteEpsilon)
+      done_scratch_.push_back(s);
   }
-  for (Flow& f : done) {
+  std::sort(done_scratch_.begin(), done_scratch_.end(),
+            [this](Slot a, Slot b) { return flows_[a].id < flows_[b].id; });
+  for (const Slot s : done_scratch_) remove_membership(s);
+  for (const Slot s : done_scratch_) {
+    Flow& f = flows_[s];
     ++stats_.flows_completed;
     stats_.bytes_completed += f.total_bytes;
     engine_->post(std::move(f.on_complete));
+    release_slot(s);
   }
-  recompute_rates();
-  schedule_next_completion();
   ++stats_.reshares;
-}
-
-void FlowNet::reshare() {
-  advance_progress();
-  recompute_rates();
-  schedule_next_completion();
-  ++stats_.reshares;
+  reference_reshare();
 }
 
 }  // namespace pdc::net

@@ -7,17 +7,34 @@
 // first waits out the route's accumulated latency, then streams its bytes
 // at the allocated rate; allocations are recomputed whenever a flow enters
 // or leaves the transfer phase.
+//
+// Two sharing engines are provided:
+//
+//  * Mode::Incremental (default) — the production path. Link state lives in
+//    dense per-direction records (flat vector indexed by linkdir_index);
+//    a flow start/completion marks only its own links dirty, and the solver
+//    re-runs progressive filling over just the connected component of flows
+//    reachable from dirty links. Flow progress is settled lazily per flow
+//    (last_touched timestamp), and projected completion times sit in an
+//    indexed min-heap so a reshare re-keys only re-rated flows. Cost per
+//    reshare is O(affected component), not O(all flows × all links).
+//
+//  * Mode::Reference — the original full recompute over every flow per
+//    reshare, kept verbatim as the correctness oracle for differential
+//    tests and as the bench baseline.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
+#include <unordered_map>
+#include <vector>
 
 #include "net/platform.hpp"
 #include "sim/engine.hpp"
 #include "sim/sync.hpp"
 #include "sim/task.hpp"
+#include "support/indexed_heap.hpp"
 
 namespace pdc::net {
 
@@ -29,12 +46,23 @@ struct FlowNetStats {
   std::uint64_t flows_completed = 0;
   double bytes_completed = 0;
   std::uint64_t reshares = 0;
+  /// Reshares that re-solved a strict subset of the live transfer flows
+  /// (incremental mode only; the reference oracle always re-solves all).
+  std::uint64_t reshares_partial = 0;
+  /// Total flows whose rate was re-solved, summed over reshares. The ratio
+  /// flows_rescanned / reshares is the mean affected-component size.
+  std::uint64_t flows_rescanned = 0;
+  /// Transfer-phase flows observed stuck at rate 0 with bytes left (each is
+  /// warned once via support/log; such a flow can never complete).
+  std::uint64_t flows_starved = 0;
 };
 
 class FlowNet {
  public:
-  FlowNet(sim::Engine& engine, const Platform& platform)
-      : engine_(&engine), platform_(&platform) {}
+  enum class Mode { Incremental, Reference };
+
+  FlowNet(sim::Engine& engine, const Platform& platform, Mode mode = Mode::Incremental);
+  ~FlowNet();
   FlowNet(const FlowNet&) = delete;
   FlowNet& operator=(const FlowNet&) = delete;
 
@@ -47,8 +75,9 @@ class FlowNet {
   /// Awaitable wrapper around start_flow.
   sim::Task<void> transfer(NodeIdx src, NodeIdx dst, double bytes);
 
-  std::size_t active_flows() const { return flows_.size(); }
+  std::size_t active_flows() const { return live_flows_; }
   const FlowNetStats& stats() const { return stats_; }
+  Mode mode() const { return mode_; }
 
   /// Current max-min rate of an active flow (0 while in the latency phase);
   /// exposed for tests of the sharing model.
@@ -56,31 +85,90 @@ class FlowNet {
 
  private:
   enum class Phase { Latency, Transfer };
+  using Slot = std::uint32_t;
 
   struct Flow {
-    FlowId id = 0;
-    double remaining = 0;
+    FlowId id = 0;  // 0 = free slot
+    double remaining = 0;  // bytes left as of last_touched
     double total_bytes = 0;
     double rate = 0;
+    Time last_touched = 0;
     Phase phase = Phase::Latency;
+    bool starve_warned = false;
+    std::uint64_t visit_epoch = 0;  // scratch: in the current affected set
+    std::uint64_t fixed_epoch = 0;  // scratch: rate fixed in the current solve
     std::vector<Hop> hops;
+    std::vector<std::uint32_t> link_pos;  // per-hop index into LinkDir::members
     std::function<void()> on_complete;
   };
 
-  /// Advances remaining byte counts to `now`, recomputes max-min rates and
-  /// reschedules the next-completion event.
-  void reshare();
-  void advance_progress();
-  void recompute_rates();
-  void schedule_next_completion();
+  /// One crossing of a linkdir by a transfer-phase flow; `hop` is the index
+  /// into that flow's hops/link_pos, so swap-removal can fix back-pointers.
+  struct LinkMember {
+    Slot slot = 0;
+    std::uint32_t hop = 0;
+  };
+
+  /// Dense per-direction link record (index = linkdir_index(hop)).
+  struct LinkDir {
+    double capacity = 0;
+    std::vector<LinkMember> members;
+    bool dirty = false;
+    std::uint64_t visit_epoch = 0;  // scratch: in the current component
+  };
+
+  Slot alloc_slot();
+  void release_slot(Slot slot);
+  void sync_linkdirs();
+  void mark_dirty(std::size_t linkdir);
+  void begin_transfer(Slot slot);
+  void remove_membership(Slot slot);
+  void settle(Flow& f, Time now);
+  Time projected_completion(const Flow& f, Time now) const;
+  void warn_starved(Flow& f);
   void on_completion_event();
+
+  // Incremental engine: component-local re-solve of everything reachable
+  // from dirty linkdirs, then heap re-key of the affected flows.
+  void resolve_dirty();
+  void rearm_completion_timer();
+
+  // Reference oracle: the original O(flows × links) full recompute.
+  void reference_reshare();
+  void reference_advance_progress();
+  void reference_recompute_rates();
+  void reference_schedule_next_completion();
+  void reference_completion_event();
 
   sim::Engine* engine_;
   const Platform* platform_;
-  std::map<FlowId, Flow> flows_;  // ordered: deterministic iteration
+  Mode mode_;
+
+  std::vector<Flow> flows_;  // slot-map: stable slots, cache-linear iteration
+  std::vector<Slot> free_slots_;
+  std::unordered_map<FlowId, Slot> id_to_slot_;
+  std::size_t live_flows_ = 0;      // latency + transfer phase
+  std::size_t transfer_flows_ = 0;  // transfer phase only
   FlowId next_id_ = 1;
-  Time last_update_ = 0;
-  sim::TimerHandle completion_timer_;
+
+  std::vector<LinkDir> linkdirs_;
+  std::vector<std::size_t> dirty_linkdirs_;
+
+  // Solver scratch, persistent to avoid per-reshare allocation. cap_/nun_
+  // are linkdir-indexed and only valid for the current component.
+  std::uint64_t epoch_ = 0;
+  std::vector<double> cap_;
+  std::vector<int> nun_;
+  std::vector<std::size_t> comp_links_;
+  std::vector<Slot> affected_;
+  std::vector<std::size_t> bfs_stack_;
+  std::vector<Slot> done_scratch_;
+
+  IndexedMinHeap<Time, Slot> completion_heap_;  // key: absolute completion time
+  int timer_slot_ = -1;
+  Time armed_at_ = kTimeInfinity;  // absolute time the slot is armed for
+
+  Time last_update_ = 0;  // reference mode: global progress timestamp
   FlowNetStats stats_;
 };
 

@@ -8,6 +8,7 @@
 // NIC -> backbone -> NIC path of the paper's Stage-1/Stage-2B networks).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -46,6 +47,14 @@ struct Hop {
   friend bool operator==(const Hop&, const Hop&) = default;
 };
 
+/// Flat per-direction link index: link id × direction packed densely so the
+/// flow engine can keep per-direction records in a plain vector instead of a
+/// map keyed on (link, dir).
+constexpr std::size_t linkdir_index(const Hop& h) {
+  return (static_cast<std::size_t>(static_cast<std::uint32_t>(h.link)) << 1) |
+         static_cast<std::size_t>(h.dir & 1);
+}
+
 struct Route {
   std::vector<Hop> hops;
   Time latency = 0;  // sum of link latencies along the path
@@ -73,6 +82,8 @@ class Platform {
   const Link& link(LinkIdx l) const { return links_[static_cast<std::size_t>(l)]; }
   int node_count() const { return static_cast<int>(nodes_.size()); }
   int link_count() const { return static_cast<int>(links_.size()); }
+  /// Number of dense per-direction link slots (see linkdir_index).
+  std::size_t linkdir_count() const { return 2 * links_.size(); }
 
   /// Hosts in insertion order (stable rank -> host mapping for experiments).
   int host_count() const { return static_cast<int>(hosts_.size()); }

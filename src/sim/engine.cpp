@@ -12,11 +12,55 @@ void Engine::schedule_at(Time t, std::function<void()> fn) {
 }
 
 TimerHandle Engine::schedule_cancellable(Time dt, std::function<void()> fn) {
-  auto alive = std::make_shared<bool>(true);
-  schedule_after(dt, [alive, fn = std::move(fn)] {
-    if (*alive) fn();
+  // The shared state *is* the closure: cancel() nulls it out, dropping any
+  // captures immediately even though the (now empty) event stays queued.
+  auto shared = std::make_shared<std::function<void()>>(std::move(fn));
+  schedule_after(dt, [shared] {
+    if (!*shared) return;  // cancelled
+    auto f = std::move(*shared);
+    *shared = nullptr;  // mark fired so active() turns false
+    f();
   });
-  return TimerHandle{alive};
+  return TimerHandle{shared};
+}
+
+int Engine::create_timer_slot(std::function<void()> fn) {
+  if (!free_timer_slots_.empty()) {
+    const int slot = free_timer_slots_.back();
+    free_timer_slots_.pop_back();
+    auto& s = timer_slots_[static_cast<std::size_t>(slot)];
+    s.fn = std::move(fn);
+    ++s.gen;  // keeps growing so events from the previous owner stay stale
+    s.armed = false;
+    return slot;
+  }
+  timer_slots_.push_back(TimerSlot{std::move(fn), 0, false});
+  return static_cast<int>(timer_slots_.size()) - 1;
+}
+
+void Engine::arm_timer_slot(int slot, Time dt) {
+  auto& s = timer_slots_[static_cast<std::size_t>(slot)];
+  ++s.gen;  // invalidates any previously pending arm
+  s.armed = true;
+  Time t = now_ + dt;
+  if (t < now_) t = now_;
+  heap_.push_back(Event{t, seq_++, {}, slot, s.gen});
+  std::push_heap(heap_.begin(), heap_.end(),
+                 [](const Event& a, const Event& b) { return a > b; });
+}
+
+void Engine::cancel_timer_slot(int slot) {
+  auto& s = timer_slots_[static_cast<std::size_t>(slot)];
+  ++s.gen;
+  s.armed = false;
+}
+
+void Engine::destroy_timer_slot(int slot) {
+  auto& s = timer_slots_[static_cast<std::size_t>(slot)];
+  ++s.gen;
+  s.armed = false;
+  s.fn = nullptr;  // release the closure (and anything it captures) now
+  free_timer_slots_.push_back(slot);
 }
 
 void Engine::spawn(Process p, std::string name) {
@@ -49,7 +93,15 @@ void Engine::reap_zombies() {
 void Engine::dispatch(Event ev) {
   now_ = ev.t;
   ++dispatched_;
-  ev.fn();
+  if (ev.slot >= 0) {
+    auto& s = timer_slots_[static_cast<std::size_t>(ev.slot)];
+    if (s.armed && s.gen == ev.gen) {
+      s.armed = false;
+      s.fn();
+    }
+  } else {
+    ev.fn();
+  }
   reap_zombies();
   if (pending_error_) {
     auto e = pending_error_;

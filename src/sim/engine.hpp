@@ -8,6 +8,7 @@
 
 #include <coroutine>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <string>
@@ -19,18 +20,21 @@
 namespace pdc::sim {
 
 /// Cancellation token for a scheduled callback. Cheap to copy; cancelling an
-/// already-fired or empty handle is a no-op.
+/// already-fired or empty handle is a no-op. The shared state owns the
+/// callback itself, so cancel() frees the closure (and whatever it captures)
+/// eagerly instead of parking it in the event heap until its fire time.
 class TimerHandle {
  public:
   TimerHandle() = default;
-  explicit TimerHandle(std::shared_ptr<bool> alive) : alive_(std::move(alive)) {}
+  explicit TimerHandle(std::shared_ptr<std::function<void()>> fn) : fn_(std::move(fn)) {}
   void cancel() {
-    if (alive_) *alive_ = false;
+    if (fn_) *fn_ = nullptr;
   }
-  bool active() const { return alive_ && *alive_; }
+  /// True while the callback is still pending (not cancelled, not fired).
+  bool active() const { return fn_ && *fn_; }
 
  private:
-  std::shared_ptr<bool> alive_;
+  std::shared_ptr<std::function<void()>> fn_;
 };
 
 class Engine {
@@ -50,8 +54,24 @@ class Engine {
     schedule_at(now_ + dt, std::move(fn));
   }
   /// Like schedule_after, but returns a handle whose cancel() suppresses the
-  /// callback if it has not fired yet.
+  /// callback if it has not fired yet (and releases the closure eagerly).
   TimerHandle schedule_cancellable(Time dt, std::function<void()> fn);
+
+  /// Persistent timer slot: the callback is registered once, then arm/cancel
+  /// are allocation-free (events carry only the slot id and a generation).
+  /// Re-arming implicitly cancels the previous pending arm. Built for hot
+  /// one-timer-per-component users like FlowNet's completion timer.
+  int create_timer_slot(std::function<void()> fn);
+  void arm_timer_slot(int slot, Time dt);
+  void cancel_timer_slot(int slot);
+  /// Frees the slot's callback and recycles the id for a later
+  /// create_timer_slot. Must not be called from inside that slot's own
+  /// callback (the closure would be destroyed mid-execution).
+  void destroy_timer_slot(int slot);
+  bool timer_slot_armed(int slot) const {
+    return timer_slots_[static_cast<std::size_t>(slot)].armed;
+  }
+  std::size_t timer_slot_count() const { return timer_slots_.size(); }
 
   /// Takes ownership of a process coroutine and schedules its first resume
   /// at the current time.
@@ -88,10 +108,18 @@ class Engine {
   struct Event {
     Time t;
     std::uint64_t seq;
-    std::function<void()> fn;
+    std::function<void()> fn;  // empty for timer-slot events
+    std::int32_t slot = -1;    // >= 0: dispatch via timer_slots_[slot]
+    std::uint64_t gen = 0;     // must match the slot's generation to fire
     bool operator>(const Event& other) const {
       return t != other.t ? t > other.t : seq > other.seq;
     }
+  };
+
+  struct TimerSlot {
+    std::function<void()> fn;
+    std::uint64_t gen = 0;  // bumped on arm/cancel; stale events are skipped
+    bool armed = false;
   };
 
   void on_process_done(Process::Handle h);
@@ -99,6 +127,10 @@ class Engine {
   void dispatch(Event ev);
 
   std::vector<Event> heap_;  // min-heap via std::push_heap with greater
+  // deque: a slot callback may register new slots mid-dispatch; references
+  // into a deque survive push_back, vector references would not.
+  std::deque<TimerSlot> timer_slots_;
+  std::vector<int> free_timer_slots_;  // destroyed ids awaiting reuse
   Time now_ = 0.0;
   std::uint64_t seq_ = 0;
   std::uint64_t dispatched_ = 0;

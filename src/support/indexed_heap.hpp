@@ -1,0 +1,110 @@
+// Indexed binary min-heap: a priority queue over dense integer handles with
+// O(log n) insert/update/erase by handle (no search). Used by the flow
+// engine to keep projected completion times, where a reshare re-keys only
+// the flows whose rate actually changed.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pdc {
+
+template <typename Key, typename Handle = std::uint32_t>
+class IndexedMinHeap {
+ public:
+  bool empty() const { return entries_.empty(); }
+  std::size_t size() const { return entries_.size(); }
+
+  bool contains(Handle h) const {
+    return static_cast<std::size_t>(h) < pos_.size() && pos_[h] != kNone;
+  }
+  Key key_of(Handle h) const { return entries_[pos_[h]].key; }
+
+  Handle top() const { return entries_.front().handle; }
+  Key top_key() const { return entries_.front().key; }
+
+  /// Inserts `h` with `key`, or re-keys it if already present.
+  void set(Handle h, Key key) {
+    if (static_cast<std::size_t>(h) >= pos_.size()) pos_.resize(h + 1, kNone);
+    std::uint32_t i = pos_[h];
+    if (i == kNone) {
+      i = static_cast<std::uint32_t>(entries_.size());
+      entries_.push_back(Entry{key, h});
+      pos_[h] = i;
+      sift_up(i);
+    } else {
+      const Key old = entries_[i].key;
+      entries_[i].key = key;
+      if (key < old)
+        sift_up(i);
+      else
+        sift_down(i);
+    }
+  }
+
+  /// Removes `h` if present; no-op otherwise.
+  void erase(Handle h) {
+    if (!contains(h)) return;
+    const std::uint32_t i = pos_[h];
+    pos_[h] = kNone;
+    const std::uint32_t last = static_cast<std::uint32_t>(entries_.size()) - 1;
+    if (i != last) {
+      entries_[i] = entries_[last];
+      pos_[entries_[i].handle] = i;
+      entries_.pop_back();
+      sift_down(i);
+      sift_up(i);
+    } else {
+      entries_.pop_back();
+    }
+  }
+
+  void pop() { erase(top()); }
+
+  void clear() {
+    for (const Entry& e : entries_) pos_[e.handle] = kNone;
+    entries_.clear();
+  }
+
+ private:
+  struct Entry {
+    Key key;
+    Handle handle;
+  };
+  static constexpr std::uint32_t kNone = 0xffffffffu;
+
+  void sift_up(std::uint32_t i) {
+    Entry e = entries_[i];
+    while (i > 0) {
+      const std::uint32_t parent = (i - 1) / 2;
+      if (!(e.key < entries_[parent].key)) break;
+      entries_[i] = entries_[parent];
+      pos_[entries_[i].handle] = i;
+      i = parent;
+    }
+    entries_[i] = e;
+    pos_[e.handle] = i;
+  }
+
+  void sift_down(std::uint32_t i) {
+    Entry e = entries_[i];
+    const std::uint32_t n = static_cast<std::uint32_t>(entries_.size());
+    for (;;) {
+      std::uint32_t child = 2 * i + 1;
+      if (child >= n) break;
+      if (child + 1 < n && entries_[child + 1].key < entries_[child].key) ++child;
+      if (!(entries_[child].key < e.key)) break;
+      entries_[i] = entries_[child];
+      pos_[entries_[i].handle] = i;
+      i = child;
+    }
+    entries_[i] = e;
+    pos_[e.handle] = i;
+  }
+
+  std::vector<Entry> entries_;
+  std::vector<std::uint32_t> pos_;  // handle -> index in entries_, kNone if absent
+};
+
+}  // namespace pdc

@@ -4,7 +4,9 @@
 
 namespace pdc {
 namespace {
-LogLevel g_level = LogLevel::Error;
+// Warnings (e.g. starved flows) surface by default; Info/Debug stay opt-in
+// so tests and benches remain quiet.
+LogLevel g_level = LogLevel::Warn;
 }  // namespace
 
 void set_log_level(LogLevel level) { g_level = level; }
@@ -12,7 +14,10 @@ LogLevel log_level() { return g_level; }
 
 void log_line(LogLevel level, const std::string& msg) {
   if (level > g_level) return;
-  const char* tag = level == LogLevel::Error ? "ERROR" : level == LogLevel::Info ? "INFO" : "DEBUG";
+  const char* tag = level == LogLevel::Error  ? "ERROR"
+                    : level == LogLevel::Warn ? "WARN"
+                    : level == LogLevel::Info ? "INFO"
+                                              : "DEBUG";
   std::fprintf(stderr, "[%s] %s\n", tag, msg.c_str());
 }
 

@@ -6,7 +6,7 @@
 
 namespace pdc {
 
-enum class LogLevel { Off = 0, Error = 1, Info = 2, Debug = 3 };
+enum class LogLevel { Off = 0, Error = 1, Warn = 2, Info = 3, Debug = 4 };
 
 /// Sets the global log threshold. Not thread-safe by design: the simulator
 /// is single-threaded.
@@ -17,6 +17,12 @@ LogLevel log_level();
 void log_line(LogLevel level, const std::string& msg);
 
 }  // namespace pdc
+
+#define PDC_LOG_WARN(msg)                                    \
+  do {                                                       \
+    if (::pdc::log_level() >= ::pdc::LogLevel::Warn)         \
+      ::pdc::log_line(::pdc::LogLevel::Warn, (msg));         \
+  } while (0)
 
 #define PDC_LOG_INFO(msg)                                    \
   do {                                                       \

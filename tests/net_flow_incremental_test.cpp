@@ -1,0 +1,210 @@
+// Differential test for the incremental max-min flow engine: random
+// star/clique/churn scenarios replayed through both Mode::Incremental and
+// Mode::Reference must agree on every completion time and on rates sampled
+// mid-run, to 1e-9. Also checks the incremental engine actually does
+// partial reshares on component-disjoint workloads.
+#include "net/flow.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "net/builders.hpp"
+#include "support/rng.hpp"
+#include "support/time.hpp"
+
+namespace pdc::net {
+namespace {
+
+using namespace pdc::units;
+
+struct FlowEvent {
+  Time start = 0;
+  int src = 0;  // host rank
+  int dst = 0;
+  double bytes = 0;
+};
+
+struct RunResult {
+  std::vector<Time> done;                       // completion time per event
+  std::vector<std::vector<double>> rates;       // per probe: rate per event
+  FlowNetStats stats;
+  Time end_time = 0;
+};
+
+RunResult replay(const Platform& plat, const std::vector<FlowEvent>& events,
+                 const std::vector<Time>& probes, FlowNet::Mode mode) {
+  sim::Engine eng;
+  FlowNet netw{eng, plat, mode};
+  RunResult r;
+  r.done.assign(events.size(), -1);
+  r.rates.assign(probes.size(), std::vector<double>(events.size(), 0.0));
+  std::vector<FlowId> ids(events.size(), 0);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const FlowEvent& ev = events[i];
+    eng.schedule_at(ev.start, [&netw, &plat, &eng, &ids, &r, ev, i] {
+      ids[i] = netw.start_flow(plat.host(ev.src), plat.host(ev.dst), ev.bytes,
+                               [&r, &eng, i] { r.done[i] = eng.now(); });
+    });
+  }
+  for (std::size_t pi = 0; pi < probes.size(); ++pi) {
+    eng.schedule_at(probes[pi], [&netw, &ids, &r, pi] {
+      for (std::size_t i = 0; i < ids.size(); ++i)
+        r.rates[pi][i] = ids[i] ? netw.flow_rate(ids[i]) : 0.0;
+    });
+  }
+  eng.run();
+  r.stats = netw.stats();
+  r.end_time = eng.now();
+  EXPECT_EQ(netw.active_flows(), 0u);
+  return r;
+}
+
+void expect_equivalent(const Platform& plat, const std::vector<FlowEvent>& events,
+                       const std::vector<Time>& probes, const std::string& label) {
+  const RunResult inc = replay(plat, events, probes, FlowNet::Mode::Incremental);
+  const RunResult ref = replay(plat, events, probes, FlowNet::Mode::Reference);
+  ASSERT_EQ(inc.done.size(), ref.done.size());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_NEAR(inc.done[i], ref.done[i], 1e-9) << label << ": flow " << i;
+    EXPECT_GE(inc.done[i], 0.0) << label << ": flow " << i << " never completed";
+  }
+  for (std::size_t pi = 0; pi < probes.size(); ++pi)
+    for (std::size_t i = 0; i < events.size(); ++i)
+      EXPECT_NEAR(inc.rates[pi][i], ref.rates[pi][i], 1e-9)
+          << label << ": probe " << pi << " flow " << i;
+  EXPECT_EQ(inc.stats.flows_completed, ref.stats.flows_completed);
+  EXPECT_NEAR(inc.stats.bytes_completed, ref.stats.bytes_completed, 1e-6);
+  EXPECT_NEAR(inc.end_time, ref.end_time, 1e-9) << label;
+}
+
+std::vector<FlowEvent> random_events(Rng& rng, int n_flows, int n_hosts, Time horizon,
+                                     double max_bytes) {
+  std::vector<FlowEvent> events;
+  for (int i = 0; i < n_flows; ++i) {
+    FlowEvent ev;
+    ev.start = rng.uniform(0.0, horizon);
+    ev.src = static_cast<int>(rng.uniform_int(0, n_hosts - 1));
+    ev.dst = static_cast<int>(rng.uniform_int(0, n_hosts - 1));
+    if (ev.dst == ev.src) ev.dst = (ev.dst + 1) % n_hosts;
+    ev.bytes = rng.uniform(1e3, max_bytes);
+    events.push_back(ev);
+  }
+  return events;
+}
+
+std::vector<Time> spread_probes(Time horizon, int count) {
+  // Offsets chosen to dodge event timestamps (probes must not tie with
+  // starts/completions, whose relative order would then be ambiguous).
+  std::vector<Time> probes;
+  for (int i = 1; i <= count; ++i)
+    probes.push_back(horizon * static_cast<Time>(i) / (count + 1) + 1.2345e-4);
+  return probes;
+}
+
+/// Full mesh of direct links with randomized capacities: many independent
+/// sharing components, the incremental engine's best case.
+Platform random_clique(Rng& rng, int hosts) {
+  Platform p;
+  for (int i = 0; i < hosts; ++i)
+    p.add_host("h" + std::to_string(i), 1e9,
+               Ipv4{10, 1, static_cast<std::uint8_t>(i / 250), static_cast<std::uint8_t>(i % 250 + 1)});
+  for (int i = 0; i < hosts; ++i)
+    for (int j = i + 1; j < hosts; ++j) {
+      const auto l = p.add_link("l" + std::to_string(i) + "_" + std::to_string(j),
+                                rng.uniform(0.5e6, 8e6), rng.uniform(0.0, 2 * ms));
+      p.connect(p.host(i), p.host(j), l);
+    }
+  return p;
+}
+
+TEST(FlowIncremental, RandomStarScenariosMatchReference) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    Rng rng{seed};
+    const Platform plat = build_star(lan_spec(12));
+    const auto events = random_events(rng, 80, 12, 4.0, 4e6);
+    expect_equivalent(plat, events, spread_probes(8.0, 5),
+                      "star seed " + std::to_string(seed));
+  }
+}
+
+TEST(FlowIncremental, RandomCliqueScenariosMatchReference) {
+  for (std::uint64_t seed = 11; seed <= 14; ++seed) {
+    Rng rng{seed};
+    const Platform plat = random_clique(rng, 10);
+    const auto events = random_events(rng, 90, 10, 3.0, 3e6);
+    expect_equivalent(plat, events, spread_probes(6.0, 5),
+                      "clique seed " + std::to_string(seed));
+  }
+}
+
+TEST(FlowIncremental, ChurnHeavyScenarioMatchesReference) {
+  // Dense churn: many short flows constantly entering and leaving, so the
+  // sharing problem is re-solved hundreds of times.
+  Rng rng{77};
+  const Platform plat = build_star(bordeplage_cluster_spec(16));
+  const auto events = random_events(rng, 300, 16, 2.0, 2e6);
+  expect_equivalent(plat, events, spread_probes(2.5, 7), "churn");
+}
+
+TEST(FlowIncremental, CliqueWorkloadReshareIsMostlyPartial) {
+  // On a clique, disjoint host pairs form disjoint sharing components, so
+  // nearly every reshare should re-solve a strict subset of live flows.
+  Rng rng{5};
+  const Platform plat = random_clique(rng, 12);
+  sim::Engine eng;
+  FlowNet netw{eng, plat};
+  int completed = 0;
+  for (int i = 0; i < 12; ++i) {
+    const int j = (i + 6) % 12;
+    netw.start_flow(plat.host(i), plat.host(j), 5e6, [&] { ++completed; });
+  }
+  eng.run();
+  EXPECT_EQ(completed, 12);
+  const FlowNetStats& s = netw.stats();
+  EXPECT_GT(s.reshares_partial, 0u);
+  // Mean affected component must be far below the 12 concurrent flows.
+  EXPECT_LT(static_cast<double>(s.flows_rescanned),
+            0.5 * static_cast<double>(s.reshares) * 12.0);
+}
+
+TEST(FlowIncremental, ReferenceModeReportsNoPartialReshares) {
+  Platform p;
+  const auto a = p.add_host("a", 1e9, Ipv4{10, 0, 0, 1});
+  const auto b = p.add_host("b", 1e9, Ipv4{10, 0, 0, 2});
+  p.connect(a, b, p.add_link("l", 1e6, 0));
+  sim::Engine eng;
+  FlowNet netw{eng, p, FlowNet::Mode::Reference};
+  netw.start_flow(a, b, 1e6, [] {});
+  netw.start_flow(a, b, 2e6, [] {});
+  eng.run();
+  EXPECT_EQ(netw.stats().flows_completed, 2u);
+  EXPECT_EQ(netw.stats().reshares_partial, 0u);
+  EXPECT_EQ(netw.stats().flows_rescanned, 0u);
+}
+
+TEST(FlowIncremental, StarvedFlowIsCountedAndDoesNotStallOthers) {
+  // A zero-capacity link starves its flow; the healthy flow must still
+  // complete and the starved one must be counted (and warned once).
+  for (const auto mode : {FlowNet::Mode::Incremental, FlowNet::Mode::Reference}) {
+    Platform p;
+    const auto a = p.add_host("a", 1e9, Ipv4{10, 0, 0, 1});
+    const auto b = p.add_host("b", 1e9, Ipv4{10, 0, 0, 2});
+    const auto c = p.add_host("c", 1e9, Ipv4{10, 0, 0, 3});
+    p.connect(a, b, p.add_link("dead", 0.0, 0));
+    p.connect(a, c, p.add_link("live", 1e6, 0));
+    sim::Engine eng;
+    FlowNet netw{eng, p, mode};
+    Time done_live = -1;
+    netw.start_flow(a, b, 1e6, [] {});  // starved forever
+    netw.start_flow(a, c, 1e6, [&] { done_live = eng.now(); });
+    eng.run();
+    EXPECT_NEAR(done_live, 1.0, 1e-9);
+    EXPECT_EQ(netw.stats().flows_starved, 1u);
+    EXPECT_EQ(netw.active_flows(), 1u);  // the starved flow never drains
+  }
+}
+
+}  // namespace
+}  // namespace pdc::net

@@ -200,5 +200,38 @@ TEST(Engine, DispatchedEventCountGrows) {
   EXPECT_EQ(eng.dispatched_events(), 5u);
 }
 
+TEST(Engine, TimerSlotArmCancelRearm) {
+  Engine eng;
+  int fired = 0;
+  const int slot = eng.create_timer_slot([&] { ++fired; });
+  eng.arm_timer_slot(slot, 1.0);
+  eng.cancel_timer_slot(slot);
+  eng.run();
+  EXPECT_EQ(fired, 0);  // cancelled arm never fires
+  eng.arm_timer_slot(slot, 1.0);
+  eng.arm_timer_slot(slot, 2.0);  // re-arm supersedes the pending arm
+  eng.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(eng.now(), 3.0);
+}
+
+TEST(Engine, DestroyedTimerSlotsAreRecycled) {
+  Engine eng;
+  const int a = eng.create_timer_slot([] {});
+  const int b = eng.create_timer_slot([] {});
+  eng.arm_timer_slot(a, 1.0);
+  eng.destroy_timer_slot(a);  // pending arm must go stale, id becomes free
+  const int c = eng.create_timer_slot([] {});
+  EXPECT_EQ(c, a);
+  EXPECT_EQ(eng.timer_slot_count(), 2u);
+  int fired = 0;
+  const int d = eng.create_timer_slot([&] { ++fired; });
+  EXPECT_EQ(eng.timer_slot_count(), 3u);
+  eng.arm_timer_slot(d, 0.5);
+  eng.run();
+  EXPECT_EQ(fired, 1);  // recycling never fires the old owner's events
+  (void)b;
+}
+
 }  // namespace
 }  // namespace pdc::sim
