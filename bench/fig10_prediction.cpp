@@ -2,30 +2,34 @@
 // time against the dPerf prediction on the identical cluster platform, GCC
 // optimization level 3. The two curves must nearly coincide ("the reference
 // time and the prediction calculated with dPerf are very close").
+//
+// One scenario per peer count with mode=both: the Runner executes the
+// reference, replays the traces, and reports the error itself.
 #include <cmath>
 #include <cstdio>
 
 #include "experiments/harness.hpp"
+#include "scenario/runner.hpp"
 #include "support/table.hpp"
 
 int main() {
   using namespace pdc;
-  const auto setup = experiments::PaperSetup::from_env();
-  const ir::OptLevel lvl = ir::OptLevel::O3;
+  scenario::RunSpec base = scenario::RunSpec::from_env();
+  base.level = ir::OptLevel::O3;
+  base.mode = scenario::Mode::Both;
   std::printf("Fig. 10 -- Stage-1 reference vs dPerf prediction [s], optimization level 3\n\n");
 
   TextTable table({"Peers", "reference", "dPerf prediction", "error %"});
   double worst_err = 0;
   for (int peers : experiments::paper_peer_counts()) {
-    const double ref =
-        experiments::reference_seconds(experiments::Topology::Grid5000, peers, lvl, setup);
-    auto traces = experiments::traces_for(peers, lvl, setup);
-    const double pred = experiments::predicted_seconds(experiments::Topology::Grid5000,
-                                                       peers, lvl, setup, std::move(traces));
-    const double err = 100.0 * std::fabs(pred - ref) / ref;
+    scenario::RunSpec run = base;
+    run.peers = peers;
+    const scenario::Runner runner{{"fig10", scenario::PlatformSpec::grid5000(), run}};
+    const scenario::RunRecord rec = runner.run();
+    const double err = 100.0 * rec.prediction_error.value_or(0);
     worst_err = std::max(worst_err, err);
-    table.add_row({std::to_string(peers), TextTable::num(ref, 2), TextTable::num(pred, 2),
-                   TextTable::num(err, 1)});
+    table.add_row({std::to_string(peers), TextTable::num(rec.reference->solve_seconds, 2),
+                   TextTable::num(rec.predicted->solve_seconds, 2), TextTable::num(err, 1)});
     std::printf("  ... %d peers done\n", peers);
   }
   std::printf("\n%s\n", table.render().c_str());

@@ -8,29 +8,35 @@
 #include <cstdio>
 
 #include "experiments/harness.hpp"
+#include "scenario/runner.hpp"
 #include "support/table.hpp"
 
 int main() {
   using namespace pdc;
-  const auto setup = experiments::PaperSetup::from_env();
-  const ir::OptLevel lvl = ir::OptLevel::O0;
+  scenario::RunSpec base = scenario::RunSpec::from_env();
+  base.level = ir::OptLevel::O0;
   std::printf("Fig. 11 -- reference vs dPerf predictions [s], optimization level 0\n\n");
+
+  const scenario::PlatformSpec platforms[] = {scenario::PlatformSpec::grid5000(),
+                                              scenario::PlatformSpec::xdsl(),
+                                              scenario::PlatformSpec::lan()};
 
   TextTable table({"Peers", "reference", "dPerf Grid5000", "dPerf xDSL", "dPerf LAN"});
   for (int peers : experiments::paper_peer_counts()) {
-    const double ref =
-        experiments::reference_seconds(experiments::Topology::Grid5000, peers, lvl, setup);
+    scenario::RunSpec run = base;
+    run.peers = peers;
+    const scenario::Runner cluster{{"fig11", platforms[0], run}};
+    const double ref = cluster.run_reference().solve_seconds;
     // One set of traces per peer count, replayed on each platform
     // description -- exactly the paper's methodology.
-    const auto traces = experiments::traces_for(peers, lvl, setup);
-    const double g5k = experiments::predicted_seconds(experiments::Topology::Grid5000,
-                                                      peers, lvl, setup, traces);
-    const double xdsl = experiments::predicted_seconds(experiments::Topology::Xdsl, peers,
-                                                       lvl, setup, traces);
-    const double lan = experiments::predicted_seconds(experiments::Topology::Lan, peers,
-                                                      lvl, setup, traces);
-    table.add_row({std::to_string(peers), TextTable::num(ref, 2), TextTable::num(g5k, 2),
-                   TextTable::num(xdsl, 2), TextTable::num(lan, 2)});
+    const auto traces = cluster.traces();
+    std::vector<std::string> row{std::to_string(peers), TextTable::num(ref, 2)};
+    for (const auto& platform : platforms) {
+      const scenario::Runner runner{{"fig11", platform, run}};
+      row.push_back(TextTable::num(runner.run_predicted(traces).solve_seconds, 2));
+    }
+    // Paper column order: Grid5000, xDSL, LAN.
+    table.add_row({row[0], row[1], row[2], row[3], row[4]});
     std::printf("  ... %d peers done\n", peers);
   }
   std::printf("\n%s\n", table.render().c_str());

@@ -1,29 +1,34 @@
 // Fig. 9 (paper §IV-B.1): Stage-1 reference execution time of the obstacle
 // problem on the Bordeplage cluster for 2..32 peers at every GCC-equivalent
-// optimization level {0, 1, 2, 3, s}.
+// optimization level {0, 1, 2, 3, s}, driven as declarative scenarios.
 //
 // Expected shape: times fall monotonically with peers; the O0 curve is
 // roughly 3x the optimized ones; levels >= 1 are clustered together.
 #include <cstdio>
 
 #include "experiments/harness.hpp"
+#include "scenario/runner.hpp"
 #include "support/table.hpp"
 
 int main() {
   using namespace pdc;
-  const auto setup = experiments::PaperSetup::from_env();
+  const scenario::RunSpec base = scenario::RunSpec::from_env();
   std::printf("Fig. 9 -- Stage-1 reference execution time [s], obstacle problem %dx%d,\n"
               "%d iterations, P2PDC on the Bordeplage cluster model (1 Gbps NICs, 10 Gbps\n"
               "backbone, 3 GHz nodes)\n\n",
-              setup.grid_n, setup.grid_n, setup.iters);
+              base.grid_n, base.grid_n, base.iters);
 
   TextTable table({"Peers", "opt 0", "opt 1", "opt 2", "opt 3", "opt s"});
   for (int peers : experiments::paper_peer_counts()) {
     std::vector<std::string> row{std::to_string(peers)};
     for (ir::OptLevel lvl : ir::all_opt_levels()) {
-      const double t = experiments::reference_seconds(experiments::Topology::Grid5000,
-                                                      peers, lvl, setup);
-      row.push_back(TextTable::num(t, 2));
+      scenario::RunSpec run = base;
+      run.peers = peers;
+      run.level = lvl;
+      run.mode = scenario::Mode::Reference;
+      const scenario::Runner runner{
+          {"fig9", scenario::PlatformSpec::grid5000(), run}};
+      row.push_back(TextTable::num(runner.run_reference().solve_seconds, 2));
     }
     table.add_row(std::move(row));
     std::printf("  ... %d peers done\n", peers);
@@ -33,7 +38,7 @@ int main() {
   std::printf("Block-benchmark cost model (dPerf, ns per grid point):\n");
   TextTable costs({"Level", "init ns/pt", "iter ns/pt"});
   for (ir::OptLevel lvl : ir::all_opt_levels()) {
-    const auto& c = experiments::cost_profile(lvl, setup);
+    const auto& c = scenario::cost_profile(lvl, base);
     costs.add_row({ir::opt_level_name(lvl), TextTable::num(c.init_ns_per_point, 2),
                    TextTable::num(c.iter_ns_per_point, 2)});
   }

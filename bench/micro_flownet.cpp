@@ -19,6 +19,8 @@
 
 #include "net/builders.hpp"
 #include "net/flow.hpp"
+#include "support/env.hpp"
+#include "support/json.hpp"
 #include "support/rng.hpp"
 
 namespace {
@@ -113,7 +115,7 @@ Result run_case(const std::string& topology, const Platform& plat, int flows, in
 
 int main(int argc, char** argv) {
   const char* out_path = "BENCH_flownet.json";
-  int ref_cap = 1000;
+  int ref_cap = pdc::env_int("PDC_FLOWNET_REF_CAP", 1000);
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--ref-cap=", 10) == 0)
       ref_cap = std::atoi(argv[i] + 10);
@@ -135,40 +137,46 @@ int main(int argc, char** argv) {
     }
   }
 
-  // Speedups at matched (topology, flows).
-  std::FILE* f = std::fopen(out_path, "w");
-  if (!f) {
-    std::fprintf(stderr, "cannot write %s\n", out_path);
-    return 1;
+  // Speedups at matched (topology, flows), emitted through the shared
+  // support JSON writer like every other BENCH_*.json / RunRecord file.
+  pdc::JsonWriter w;
+  w.begin_object();
+  w.kv("bench", "flownet_reshare_throughput");
+  w.key("results").begin_array();
+  for (const Result& r : results) {
+    w.begin_object();
+    w.kv("topology", r.topology);
+    w.kv("flows", r.flows);
+    w.kv("mode", r.mode);
+    w.kv("churn_reshares", r.churn_reshares);
+    w.kv("wall_seconds", r.wall_seconds);
+    w.kv("reshares_per_sec", r.reshares_per_sec);
+    w.kv("reshares_partial", r.reshares_partial);
+    w.kv("flows_rescanned", r.flows_rescanned);
+    w.end_object();
   }
-  std::fprintf(f, "{\n  \"bench\": \"flownet_reshare_throughput\",\n  \"results\": [\n");
-  for (std::size_t i = 0; i < results.size(); ++i) {
-    const Result& r = results[i];
-    std::fprintf(f,
-                 "    {\"topology\": \"%s\", \"flows\": %d, \"mode\": \"%s\", "
-                 "\"churn_reshares\": %llu, \"wall_seconds\": %.6f, "
-                 "\"reshares_per_sec\": %.1f, \"reshares_partial\": %llu, "
-                 "\"flows_rescanned\": %llu}%s\n",
-                 r.topology.c_str(), r.flows, r.mode,
-                 static_cast<unsigned long long>(r.churn_reshares), r.wall_seconds,
-                 r.reshares_per_sec, static_cast<unsigned long long>(r.reshares_partial),
-                 static_cast<unsigned long long>(r.flows_rescanned),
-                 i + 1 < results.size() ? "," : "");
-  }
-  std::fprintf(f, "  ],\n  \"speedup_incremental_over_reference\": {\n");
-  bool first = true;
+  w.end_array();
+  w.key("speedup_incremental_over_reference").begin_object();
   for (const Result& inc : results) {
     if (std::strcmp(inc.mode, "incremental") != 0) continue;
     for (const Result& ref : results) {
       if (std::strcmp(ref.mode, "reference") != 0 || ref.topology != inc.topology ||
           ref.flows != inc.flows || ref.reshares_per_sec <= 0)
         continue;
-      std::fprintf(f, "%s    \"%s_%d\": %.2f", first ? "" : ",\n", inc.topology.c_str(),
-                   inc.flows, inc.reshares_per_sec / ref.reshares_per_sec);
-      first = false;
+      w.kv(inc.topology + "_" + std::to_string(inc.flows),
+           inc.reshares_per_sec / ref.reshares_per_sec);
     }
   }
-  std::fprintf(f, "\n  }\n}\n");
+  w.end_object();
+  w.end_object();
+
+  std::FILE* f = std::fopen(out_path, "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot write %s\n", out_path);
+    return 1;
+  }
+  std::fputs(w.str().c_str(), f);
+  std::fputs("\n", f);
   std::fclose(f);
   std::printf("wrote %s\n", out_path);
   return 0;

@@ -9,6 +9,7 @@
 #include <map>
 
 #include "experiments/harness.hpp"
+#include "scenario/runner.hpp"
 #include "support/table.hpp"
 
 namespace {
@@ -26,27 +27,41 @@ std::string classify(double p2p_seconds, double cluster_seconds) {
 
 int main() {
   using namespace pdc;
-  const auto setup = experiments::PaperSetup::from_env();
-  const ir::OptLevel lvl = ir::OptLevel::O0;
+  scenario::RunSpec base = scenario::RunSpec::from_env();
+  base.level = ir::OptLevel::O0;
   std::printf("Table I -- equivalent computing power, optimization level 0\n"
               "(classification by predicted-time ratio; the paper's wording:\n"
               " 'performance slightly lower than' = P2P config slightly slower)\n\n");
 
+  auto run_for = [&](int peers) {
+    scenario::RunSpec run = base;
+    run.peers = peers;
+    return run;
+  };
+
   // Reference cluster times at the peer counts the paper compares against.
   std::map<int, double> cluster;
   for (int peers : {2, 4, 8})
-    cluster[peers] =
-        experiments::reference_seconds(experiments::Topology::Grid5000, peers, lvl, setup);
+    cluster[peers] = scenario::Runner{{"table1", scenario::PlatformSpec::grid5000(),
+                                       run_for(peers)}}
+                         .run_reference()
+                         .solve_seconds;
 
   // Predicted desktop-grid times for the paper's configurations.
   std::map<std::pair<const char*, int>, double> p2p;
   for (int peers : {2, 4, 8, 32}) {
-    const auto traces = experiments::traces_for(peers, lvl, setup);
+    const scenario::Runner cluster_runner{
+        {"table1", scenario::PlatformSpec::grid5000(), run_for(peers)}};
+    const auto traces = cluster_runner.traces();
     if (peers == 4)
-      p2p[{"xDSL", peers}] = experiments::predicted_seconds(experiments::Topology::Xdsl,
-                                                            peers, lvl, setup, traces);
-    p2p[{"LAN", peers}] = experiments::predicted_seconds(experiments::Topology::Lan, peers,
-                                                         lvl, setup, traces);
+      p2p[{"xDSL", peers}] = scenario::Runner{{"table1", scenario::PlatformSpec::xdsl(),
+                                               run_for(peers)}}
+                                 .run_predicted(traces)
+                                 .solve_seconds;
+    p2p[{"LAN", peers}] = scenario::Runner{{"table1", scenario::PlatformSpec::lan(),
+                                            run_for(peers)}}
+                              .run_predicted(traces)
+                              .solve_seconds;
     std::printf("  ... %d peers done\n", peers);
   }
 

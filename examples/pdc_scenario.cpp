@@ -1,0 +1,131 @@
+// pdc_scenario: run any prediction experiment from a declarative scenario
+// file -- no recompiling, no per-experiment driver. See examples/scenarios/
+// for ready-made files and examples/README.md for the format.
+//
+//   $ ./example_pdc_scenario examples/scenarios/lan.scn
+//   $ ./example_pdc_scenario -o out.json --check examples/scenarios/wan.scn
+//   $ echo 'platform federation' | ./example_pdc_scenario -
+//
+// Options:
+//   -o <path>   RunRecord JSON output path (default RUN_<name>.json)
+//   --render    print the canonical spec text and exit (no run)
+//   --check     re-parse the emitted JSON with the support reader and fail
+//               loudly if it does not round-trip (used by the CI smoke job)
+//
+// PDC_QUICK=1 shrinks the default obstacle sizing for smoke runs; explicit
+// `grid` / `iters` lines in the file always win.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "scenario/runner.hpp"
+#include "support/json.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pdc;
+  const char* spec_path = nullptr;
+  const char* out_path = nullptr;
+  bool render_only = false;
+  bool check = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "-o") == 0 && i + 1 < argc) out_path = argv[++i];
+    else if (std::strcmp(argv[i], "--render") == 0) render_only = true;
+    else if (std::strcmp(argv[i], "--check") == 0) check = true;
+    else if (argv[i][0] == '-' && std::strcmp(argv[i], "-") != 0) {
+      std::fprintf(stderr, "unknown option '%s'\n", argv[i]);
+      return 2;
+    } else {
+      spec_path = argv[i];
+    }
+  }
+  if (spec_path == nullptr) {
+    std::fprintf(stderr,
+                 "usage: pdc_scenario [-o out.json] [--render] [--check] <spec-file|->\n");
+    return 2;
+  }
+
+  std::string text;
+  if (std::strcmp(spec_path, "-") == 0) {
+    std::stringstream buf;
+    buf << std::cin.rdbuf();
+    text = buf.str();
+  } else {
+    std::ifstream in(spec_path);
+    if (!in) {
+      std::fprintf(stderr, "cannot open scenario file '%s'\n", spec_path);
+      return 1;
+    }
+    std::stringstream buf;
+    buf << in.rdbuf();
+    text = buf.str();
+  }
+
+  scenario::ScenarioSpec spec;
+  try {
+    spec = scenario::parse_scenario(text, scenario::RunSpec::from_env());
+  } catch (const scenario::ScenarioError& e) {
+    std::fprintf(stderr, "%s: %s\n", spec_path, e.what());
+    return 1;
+  }
+
+  if (render_only) {
+    std::fputs(scenario::render_scenario(spec).c_str(), stdout);
+    return 0;
+  }
+
+  const scenario::Runner runner{spec};
+  std::printf("scenario %s: platform %s (%s), %d peers, %s, mode %s\n", spec.name.c_str(),
+              spec.platform.label.c_str(), spec.platform.kind(), spec.run.peers,
+              ir::opt_level_name(spec.run.level), scenario::mode_name(spec.run.mode));
+
+  scenario::RunRecord rec;
+  try {
+    rec = runner.run();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "scenario failed: %s\n", e.what());
+    return 1;
+  }
+
+  TextTable table({"Phase", "solve [s]", "total [s]", "peers", "groups"});
+  if (rec.reference)
+    table.add_row({"reference", TextTable::num(rec.reference->solve_seconds, 3),
+                   TextTable::num(rec.reference->total_seconds, 3),
+                   std::to_string(rec.reference->computation.peers),
+                   std::to_string(rec.reference->computation.groups)});
+  if (rec.predicted)
+    table.add_row({"predicted", TextTable::num(rec.predicted->solve_seconds, 3),
+                   TextTable::num(rec.predicted->total_seconds, 3),
+                   std::to_string(rec.predicted->computation.peers),
+                   std::to_string(rec.predicted->computation.groups)});
+  std::printf("%s", table.render().c_str());
+  if (rec.prediction_error)
+    std::printf("prediction error: %.2f%%\n", 100.0 * *rec.prediction_error);
+
+  const std::string json = rec.to_json();
+  const std::string path =
+      out_path != nullptr ? std::string(out_path) : "RUN_" + spec.name + ".json";
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write '%s'\n", path.c_str());
+    return 1;
+  }
+  out << json;
+  out.close();
+  std::printf("wrote %s (%d hosts modelled)\n", path.c_str(), rec.platform_hosts);
+
+  if (check) {
+    try {
+      const JsonValue doc = parse_json(json);
+      if (!doc.has("scenario") || !doc.has("platform") || !doc.has("run"))
+        throw JsonError(0, "RunRecord missing required keys");
+      std::printf("JSON check: ok\n");
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "JSON check FAILED: %s\n", e.what());
+      return 1;
+    }
+  }
+  return 0;
+}

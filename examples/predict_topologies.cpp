@@ -1,93 +1,74 @@
 // dPerf walkthrough: take the MiniC obstacle kernel, run the full pipeline
 // (instrument -> block benchmark -> traces -> trace-based simulation), and
-// predict how the same program would perform on three different platform
+// predict how the same program would perform on different platform
 // descriptions -- the paper's core use case of "properly choosing a peer to
 // peer computing system which can match the computing power of a cluster".
 //
 //   $ ./predict_topologies [platform-file]
 //
-// With a platform-file argument (see docs/sample_platform.plat), the
-// prediction additionally runs on your own topology.
+// The predictions are driven as declarative scenarios (scenario::Runner);
+// with a platform-file argument the same traces additionally replay on your
+// own topology via PlatformSpec::from_file.
 #include <cstdio>
-#include <fstream>
-#include <sstream>
 
-#include "experiments/harness.hpp"
-#include "net/platfile.hpp"
 #include "obstacle/minic_kernel.hpp"
+#include "scenario/runner.hpp"
 #include "support/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace pdc;
-  experiments::PaperSetup setup;
-  setup.grid_n = 514;  // laptop-friendly demo size
-  setup.iters = 200;
-  const int peers = 4;
-  const ir::OptLevel lvl = ir::OptLevel::O2;
+  scenario::RunSpec run;
+  run.grid_n = 514;  // laptop-friendly demo size
+  run.iters = 200;
+  run.peers = 4;
+  run.level = ir::OptLevel::O2;
+  run.mode = scenario::Mode::Predict;
 
-  // The dPerf pipeline, step by step.
+  // The dPerf pipeline, step by step (this is what Runner::traces() wraps).
   dperf::DperfOptions opt;
-  opt.level = lvl;
-  opt.chunk = setup.rcheck;
-  opt.sample_iters = 3 * setup.rcheck;
+  opt.level = run.level;
+  opt.chunk = run.rcheck;
+  opt.sample_iters = 3 * run.rcheck;
   const dperf::Dperf pipeline{obstacle::minic_kernel_source(), opt};
 
   std::printf("== dPerf static analysis ==\n");
   std::printf("instrumented %zu blocks, %d communication loop(s) marked\n",
               pipeline.instrumented().blocks.size(), pipeline.instrumented().iter_loops);
 
-  const auto workload = obstacle::kernel_workload(setup.problem(), setup.iters, setup.rcheck);
+  obstacle::ObstacleProblem problem;
+  problem.n = run.grid_n;
+  problem.omega = run.omega;
+  obstacle::ObstacleProblem bench = problem;
+  bench.n = run.bench_n;
   const dperf::BlockTimings timings = pipeline.benchmark(
-      obstacle::kernel_workload(setup.bench_problem(), setup.bench_iters, setup.bench_rcheck));
+      obstacle::kernel_workload(bench, run.bench_iters, run.bench_rcheck));
   std::printf("block benchmark (%s): one-off %.1f us, per-iteration %.1f us\n\n",
-              ir::opt_level_name(lvl), timings.once_ns() / 1e3,
+              ir::opt_level_name(run.level), timings.once_ns() / 1e3,
               timings.per_iteration_ns() / 1e3);
 
   std::printf("== trace generation (sampled %d of %d iterations, scaled up) ==\n",
-              opt.sample_iters, setup.iters);
-  auto traces = pipeline.traces(workload, peers);
+              opt.sample_iters, run.iters);
+  const auto traces =
+      scenario::Runner{{"walkthrough", scenario::PlatformSpec::grid5000(), run}}.traces();
   for (const auto& t : traces)
     std::printf("rank %d: %zu events, %.2f s compute, %zu sends\n", t.rank,
                 t.events.size(), t.total_compute_ns() / 1e9,
                 t.count(dperf::TraceEvent::Kind::Send));
 
   std::printf("\n== trace-based simulation on each platform description ==\n");
-  TextTable table({"Platform", "predicted solve [s]"});
-  for (auto topo : {experiments::Topology::Grid5000, experiments::Topology::Lan,
-                    experiments::Topology::Xdsl}) {
-    const double t = experiments::predicted_seconds(topo, peers, lvl, setup, traces);
-    table.add_row({experiments::topology_name(topo), TextTable::num(t, 2)});
-  }
+  std::vector<scenario::PlatformSpec> platforms{scenario::PlatformSpec::grid5000(),
+                                                scenario::PlatformSpec::lan(),
+                                                scenario::PlatformSpec::xdsl()};
+  if (argc > 1) platforms.push_back(scenario::PlatformSpec::from_file(argv[1]));
 
-  if (argc > 1) {
-    std::ifstream in(argv[1]);
-    if (!in) {
-      std::printf("cannot open platform file '%s'\n", argv[1]);
-      return 1;
-    }
-    std::stringstream buf;
-    buf << in.rdbuf();
+  TextTable table({"Platform", "predicted solve [s]"});
+  for (const auto& platform : platforms) {
     try {
-      const net::Platform plat = net::parse_platform(buf.str());
-      if (plat.host_count() < peers + 3) {
-        std::printf("platform '%s' needs at least %d hosts\n", argv[1], peers + 3);
-        return 1;
-      }
-      sim::Engine engine;
-      p2pdc::Environment env{engine, plat};
-      env.boot_server(plat.host(0));
-      env.boot_tracker(plat.host(1), true);
-      const net::NodeIdx submitter = plat.host(2);
-      for (int i = 2; i < plat.host_count() && i < peers + 3; ++i)
-        env.boot_peer(plat.host(i), overlay::PeerResources{3e9, 2e9, 80e9});
-      env.finish_bootstrap();
-      obstacle::DistributedConfig cfg;
-      cfg.problem = setup.problem();
-      const dperf::Prediction pred = dperf::replay_on(
-          env, submitter, obstacle::make_task_spec(cfg, peers), traces);
-      table.add_row({argv[1], TextTable::num(pred.solve_seconds, 2)});
-    } catch (const net::PlatFileError& e) {
-      std::printf("platform file error: %s\n", e.what());
+      const scenario::Runner runner{{platform.label, platform, run}};
+      table.add_row({platform.label,
+                     TextTable::num(runner.run_predicted(traces).solve_seconds, 2)});
+    } catch (const std::exception& e) {
+      std::printf("platform '%s' failed: %s\n", platform.label.c_str(), e.what());
       return 1;
     }
   }

@@ -1,34 +1,27 @@
-// Quickstart: boot a P2PDC deployment on a small simulated cluster, submit
-// the obstacle problem to 4 peers, and check the solution against the
-// sequential solver.
+// Quickstart: deploy a P2PDC overlay from a declarative PlatformSpec,
+// submit the obstacle problem to 4 peers, and check the solution against
+// the sequential solver.
 //
 //   $ ./quickstart
 #include <cstdio>
 
-#include "net/builders.hpp"
 #include "obstacle/distributed.hpp"
-#include "p2pdc/environment.hpp"
+#include "scenario/runner.hpp"
 
 int main() {
   using namespace pdc;
 
-  // 1. A simulated platform: 7 hosts on a Grid'5000-like cluster
-  //    (1 Gbps NICs, 10 Gbps backbone, 3 GHz nodes).
-  sim::Engine engine;
-  const net::Platform platform = net::build_star(net::bordeplage_cluster_spec(7));
+  // 1. A declarative platform + run: 7 hosts on a Grid'5000-like cluster
+  //    (1 Gbps NICs, 10 Gbps backbone, 3 GHz nodes), 4 worker peers. The
+  //    scenario deployment boots server, core tracker, submitter and
+  //    workers in one call.
+  scenario::RunSpec run;
+  run.peers = 4;
+  auto d = scenario::deploy(scenario::PlatformSpec::grid5000(), run);
 
-  // 2. The P2PDC environment: a bootstrap server, one core tracker, one
-  //    submitter peer and four worker peers join the overlay.
-  p2pdc::Environment env{engine, platform};
-  env.boot_server(platform.host(0));
-  env.boot_tracker(platform.host(1), /*core=*/true);
-  const net::NodeIdx submitter = platform.host(2);
-  for (int i = 2; i < 7; ++i)
-    env.boot_peer(platform.host(i), overlay::PeerResources{3e9, 2e9, 80e9});
-  env.finish_bootstrap();
-
-  // 3. Solve the obstacle problem on 4 peers with real values and early
-  //    stopping on the reduced residual.
+  // 2. Solve the obstacle problem on 4 peers with real values and early
+  //    stopping on the reduced residual. (Real-value solves live below the
+  //    scenario Runner, which drives the paper's Phantom/trace modes.)
   obstacle::DistributedConfig cfg;
   cfg.problem.n = 66;
   cfg.iters = 20000;
@@ -43,7 +36,7 @@ int main() {
   }());
 
   const obstacle::SolveReport report =
-      obstacle::run_distributed(env, submitter, cfg, /*peers=*/4);
+      obstacle::run_distributed(*d->env, d->submitter, cfg, /*peers=*/4);
   if (!report.ok) {
     std::printf("computation failed: %s\n", report.failure.c_str());
     return 1;
@@ -56,7 +49,7 @@ int main() {
   std::printf("  collection/alloc    : %.3f s / %.3f s\n",
               report.computation.collection_time(), report.computation.allocation_time());
 
-  // 4. Validate against the sequential solver.
+  // 3. Validate against the sequential solver.
   const obstacle::SequentialResult seq = obstacle::solve_sequential(cfg.problem, 20000, 1e-7);
   double worst = 0;
   for (int i = 1; i < cfg.problem.n - 1; ++i)

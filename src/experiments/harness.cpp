@@ -1,10 +1,6 @@
 #include "experiments/harness.hpp"
 
-#include <cstdlib>
-#include <map>
-
-#include "obstacle/minic_kernel.hpp"
-#include "support/rng.hpp"
+#include "support/env.hpp"
 
 namespace pdc::experiments {
 
@@ -22,10 +18,23 @@ obstacle::ObstacleProblem PaperSetup::bench_problem() const {
   return p;
 }
 
+scenario::RunSpec PaperSetup::run_spec(int peers, ir::OptLevel level) const {
+  scenario::RunSpec run;
+  run.peers = peers;
+  run.level = level;
+  run.grid_n = grid_n;
+  run.iters = iters;
+  run.rcheck = rcheck;
+  run.bench_n = bench_n;
+  run.bench_iters = bench_iters;
+  run.bench_rcheck = bench_rcheck;
+  run.omega = omega;
+  return run;
+}
+
 PaperSetup PaperSetup::from_env() {
   PaperSetup s;
-  const char* quick = std::getenv("PDC_QUICK");
-  if (quick != nullptr && quick[0] != '\0' && quick[0] != '0') {
+  if (env_flag("PDC_QUICK")) {
     s.grid_n = 258;
     s.iters = 100;
   }
@@ -41,118 +50,48 @@ const char* topology_name(Topology t) {
   return "?";
 }
 
+scenario::PlatformSpec topology_platform(Topology t) {
+  switch (t) {
+    case Topology::Grid5000: return scenario::PlatformSpec::grid5000();
+    case Topology::Lan: return scenario::PlatformSpec::lan();
+    case Topology::Xdsl: return scenario::PlatformSpec::xdsl();
+  }
+  return scenario::PlatformSpec::grid5000();
+}
+
 const std::vector<int>& paper_peer_counts() {
   static const std::vector<int> kCounts{2, 4, 8, 16, 32};
   return kCounts;
 }
 
 std::unique_ptr<Deployment> deploy(Topology topo, int workers) {
-  auto d = std::make_unique<Deployment>();
-  overlay::PeerResources res{3e9, 2e9, 80e9};  // Xeon EM64T 3 GHz nodes
-
-  if (topo == Topology::Xdsl) {
-    net::DaisySpec spec;
-    Rng rng{42};
-    d->platform = net::build_daisy(spec, rng);
-    const int hosts = d->platform.host_count();  // 1024
-    // Server and one tracker per petal (administrator cores, §III-A.3),
-    // placed at petal boundaries; submitter next to the server.
-    d->env = std::make_unique<p2pdc::Environment>(d->engine, d->platform);
-    d->env->boot_server(d->platform.host(0));
-    const int per_petal = hosts / spec.central_routers;
-    std::vector<int> used{0};
-    for (int p = 0; p < spec.central_routers; ++p) {
-      const int idx = p * per_petal + 1;
-      d->env->boot_tracker(d->platform.host(idx), /*core=*/true);
-      used.push_back(idx);
-    }
-    const int submitter_idx = 2;
-    used.push_back(submitter_idx);
-    d->submitter = d->platform.host(submitter_idx);
-    d->env->boot_peer(d->submitter, res);
-    // Workers: spread across the whole desktop grid, skipping used hosts.
-    const int stride = hosts / workers;
-    int placed = 0;
-    for (int k = 0; placed < workers && k < hosts; ++k) {
-      int idx = (3 + k * stride) % hosts;
-      while (std::find(used.begin(), used.end(), idx) != used.end()) idx = (idx + 1) % hosts;
-      used.push_back(idx);
-      const net::NodeIdx h = d->platform.host(idx);
-      d->env->boot_peer(h, res);
-      d->workers.push_back(h);
-      ++placed;
-    }
-    d->env->finish_bootstrap();
-    return d;
-  }
-
-  const int hosts = workers + 3;
-  d->platform = net::build_star(topo == Topology::Grid5000 ? net::bordeplage_cluster_spec(hosts)
-                                                           : net::lan_spec(hosts));
-  d->env = std::make_unique<p2pdc::Environment>(d->engine, d->platform);
-  d->env->boot_server(d->platform.host(0));
-  d->env->boot_tracker(d->platform.host(1), /*core=*/true);
-  d->submitter = d->platform.host(2);
-  d->env->boot_peer(d->submitter, res);
-  for (int i = 3; i < hosts; ++i) {
-    const net::NodeIdx h = d->platform.host(i);
-    d->env->boot_peer(h, res);
-    d->workers.push_back(h);
-  }
-  d->env->finish_bootstrap();
-  return d;
+  scenario::RunSpec run;
+  run.peers = workers;
+  return scenario::deploy(topology_platform(topo), run);
 }
 
 const obstacle::CostProfile& cost_profile(ir::OptLevel level, const PaperSetup& setup) {
-  static std::map<std::pair<int, int>, obstacle::CostProfile> cache;
-  const auto key = std::make_pair(static_cast<int>(level), setup.bench_n);
-  auto it = cache.find(key);
-  if (it == cache.end()) {
-    it = cache
-             .emplace(key, obstacle::derive_cost_profile(level, setup.bench_problem(),
-                                                         setup.bench_iters,
-                                                         setup.bench_rcheck))
-             .first;
-  }
-  return it->second;
+  return scenario::cost_profile(level, setup.run_spec(/*peers=*/2, level));
 }
 
 double reference_seconds(Topology topo, int peers, ir::OptLevel level,
                          const PaperSetup& setup) {
-  auto d = deploy(topo, peers);
-  obstacle::DistributedConfig cfg;
-  cfg.problem = setup.problem();
-  cfg.iters = setup.iters;
-  cfg.rcheck = setup.rcheck;
-  cfg.mode = obstacle::ValueMode::Phantom;
-  cfg.cost = cost_profile(level, setup);
-  const obstacle::SolveReport rep = obstacle::run_distributed(*d->env, d->submitter, cfg,
-                                                              peers);
-  if (!rep.ok) throw std::runtime_error("reference run failed: " + rep.failure);
-  return rep.solve_seconds;
+  scenario::ScenarioSpec spec{topology_name(topo), topology_platform(topo),
+                              setup.run_spec(peers, level)};
+  return scenario::Runner{std::move(spec)}.run_reference().solve_seconds;
 }
 
 std::vector<dperf::Trace> traces_for(int peers, ir::OptLevel level, const PaperSetup& setup) {
-  dperf::DperfOptions opt;
-  opt.level = level;
-  opt.chunk = setup.rcheck;
-  opt.sample_iters = 3 * setup.rcheck;
-  const dperf::Dperf pipeline{obstacle::minic_kernel_source(), opt};
-  return pipeline.traces(obstacle::kernel_workload(setup.problem(), setup.iters, setup.rcheck),
-                         peers);
+  scenario::ScenarioSpec spec{"traces", scenario::PlatformSpec::grid5000(),
+                              setup.run_spec(peers, level)};
+  return scenario::Runner{std::move(spec)}.traces();
 }
 
 double predicted_seconds(Topology topo, int peers, ir::OptLevel level,
                          const PaperSetup& setup, std::vector<dperf::Trace> traces) {
-  auto d = deploy(topo, peers);
-  obstacle::DistributedConfig cfg;
-  cfg.problem = setup.problem();
-  const dperf::Prediction pred = dperf::replay_on(
-      *d->env, d->submitter, obstacle::make_task_spec(cfg, peers), std::move(traces));
-  if (!pred.computation.ok)
-    throw std::runtime_error("prediction replay failed: " + pred.computation.failure);
-  (void)level;
-  return pred.solve_seconds;
+  scenario::ScenarioSpec spec{topology_name(topo), topology_platform(topo),
+                              setup.run_spec(peers, level)};
+  return scenario::Runner{std::move(spec)}.run_predicted(std::move(traces)).solve_seconds;
 }
 
 }  // namespace pdc::experiments

@@ -1,29 +1,29 @@
-// Shared experiment harness for reproducing the paper's evaluation (§IV).
+// Compatibility shim over the declarative scenario API (src/scenario/) for
+// reproducing the paper's evaluation (§IV).
 //
-// Stage-1: reference execution of the obstacle problem on the Bordeplage
-// cluster model, 2..32 peers, optimization levels {0,1,2,3,s} (Fig. 9), and
-// dPerf prediction on the identical platform (Fig. 10).
-// Stage-2: the same traces replayed on the Daisy-xDSL (Stage-2A) and LAN
-// (Stage-2B) platforms (Fig. 11), from which the equivalent-computing-power
-// table (Table I) is derived.
+// Historically this harness owned deployment and hand-rolled one driver per
+// figure; all of that now lives in scenario::Runner. The names below map
+// the paper's three fixed platforms and free functions onto ScenarioSpecs
+// so older call sites (ablation benches, external users) keep working —
+// new code should build ScenarioSpecs directly.
 #pragma once
 
 #include <memory>
 #include <string>
 #include <vector>
 
-#include "dperf/dperf.hpp"
-#include "ir/pipeline.hpp"
-#include "net/builders.hpp"
-#include "obstacle/distributed.hpp"
-#include "p2pdc/environment.hpp"
+#include "scenario/runner.hpp"
 
 namespace pdc::experiments {
+
+/// A deployed simulation: engine + platform + booted P2PDC overlay.
+/// (Subsumed by scenario::Deployment; alias kept for source compatibility.)
+using Deployment = scenario::Deployment;
 
 /// Problem sizing calibrated so the simulated times land in the paper's
 /// ranges (O0 on 2 peers ~= 42 s at 3 GHz with the measured ~84 ns/point
 /// block cost). PDC_QUICK=1 in the environment shrinks everything for smoke
-/// runs.
+/// runs (support::env_flag).
 struct PaperSetup {
   int grid_n = 1538;   // 1536x1536 interior
   int iters = 428;     // fixed iteration budget (also the trace target)
@@ -36,6 +36,9 @@ struct PaperSetup {
   obstacle::ObstacleProblem problem() const;
   obstacle::ObstacleProblem bench_problem() const;
 
+  /// The scenario RunSpec equivalent of this sizing.
+  scenario::RunSpec run_spec(int peers, ir::OptLevel level) const;
+
   /// Reads PDC_QUICK from the environment.
   static PaperSetup from_env();
 };
@@ -43,17 +46,8 @@ struct PaperSetup {
 enum class Topology { Grid5000, Lan, Xdsl };
 const char* topology_name(Topology t);
 
-/// A deployed simulation: engine + platform + booted P2PDC overlay.
-struct Deployment {
-  sim::Engine engine;
-  net::Platform platform;
-  std::unique_ptr<p2pdc::Environment> env;
-  net::NodeIdx submitter = -1;
-  std::vector<net::NodeIdx> workers;
-
-  Deployment() = default;
-  Deployment(const Deployment&) = delete;
-};
+/// The scenario PlatformSpec for one of the paper's platforms.
+scenario::PlatformSpec topology_platform(Topology t);
 
 /// Builds the platform for `topo`, boots server + tracker(s) + submitter +
 /// `workers` worker peers (for Xdsl, workers are spread across the 1024

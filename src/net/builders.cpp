@@ -138,4 +138,74 @@ Platform build_daisy(const DaisySpec& spec, Rng& rng) {
   return p;
 }
 
+int federation_host_count(const FederationSpec& spec) {
+  return spec.clusters * spec.hosts_per_cluster;
+}
+
+Platform build_federation(const FederationSpec& spec) {
+  Platform p;
+  const NodeIdx core = p.add_router("fed-core");
+  int host_counter = 0;
+  for (int site = 0; site < spec.clusters; ++site) {
+    const NodeIdx sw = p.add_router("site-" + std::to_string(site) + "-switch");
+    const LinkIdx uplink = p.add_link("site-" + std::to_string(site) + "-uplink",
+                                      spec.wan_bw_Bps, spec.wan_latency);
+    p.connect(sw, core, uplink);
+    const double speed = spec.site_speeds_hz.empty()
+                             ? 3e9
+                             : spec.site_speeds_hz[static_cast<std::size_t>(site) %
+                                                   spec.site_speeds_hz.size()];
+    for (int i = 0; i < spec.hosts_per_cluster; ++i) {
+      const Ipv4 ip{10, static_cast<std::uint8_t>(100 + site % 100),
+                    static_cast<std::uint8_t>(i / 250),
+                    static_cast<std::uint8_t>(i % 250 + 1)};
+      const NodeIdx h = p.add_host("site-" + std::to_string(site) + "-node-" +
+                                       std::to_string(i),
+                                   speed, ip);
+      const LinkIdx nic = p.add_link("fed-nic-" + std::to_string(host_counter++),
+                                     spec.nic_bw_Bps, spec.nic_latency);
+      p.connect(h, sw, nic);
+    }
+  }
+  return p;
+}
+
+Platform build_wan(const WanSpec& spec, Rng& rng) {
+  Platform p;
+  std::vector<NodeIdx> routers;
+  for (int r = 0; r < spec.routers; ++r)
+    routers.push_back(p.add_router("wan-r" + std::to_string(r)));
+  // Random spanning tree: router r >= 1 attaches to a random earlier router,
+  // so the core is always connected.
+  for (int r = 1; r < spec.routers; ++r) {
+    const int parent = static_cast<int>(rng.uniform_int(0, r - 1));
+    const Time lat = rng.uniform(spec.core_lat_min, spec.core_lat_max);
+    const LinkIdx l = p.add_link("wan-core-" + std::to_string(r), spec.core_bw_Bps, lat);
+    p.connect(routers[static_cast<std::size_t>(r)],
+              routers[static_cast<std::size_t>(parent)], l);
+  }
+  for (int e = 0; e < spec.extra_links && spec.routers > 2; ++e) {
+    const int a = static_cast<int>(rng.uniform_int(0, spec.routers - 1));
+    int b = static_cast<int>(rng.uniform_int(0, spec.routers - 1));
+    if (b == a) b = (b + 1) % spec.routers;
+    const Time lat = rng.uniform(spec.core_lat_min, spec.core_lat_max);
+    const LinkIdx l =
+        p.add_link("wan-shortcut-" + std::to_string(e), spec.core_bw_Bps, lat);
+    p.connect(routers[static_cast<std::size_t>(a)], routers[static_cast<std::size_t>(b)], l);
+  }
+  for (int i = 0; i < spec.hosts; ++i) {
+    const int at = static_cast<int>(rng.uniform_int(0, spec.routers - 1));
+    const double speed = rng.uniform(spec.speed_min_hz, spec.speed_max_hz);
+    const double bw = rng.uniform(spec.access_bw_min_Bps, spec.access_bw_max_Bps);
+    const Ipv4 ip{10, static_cast<std::uint8_t>(200 + i / 62500),
+                  static_cast<std::uint8_t>(i / 250 % 250),
+                  static_cast<std::uint8_t>(i % 250 + 1)};
+    const NodeIdx h = p.add_host("wan-node-" + std::to_string(i), speed, ip);
+    const LinkIdx l =
+        p.add_link("wan-access-" + std::to_string(i), bw, spec.access_latency);
+    p.connect(h, routers[static_cast<std::size_t>(at)], l);
+  }
+  return p;
+}
+
 }  // namespace pdc::net

@@ -61,4 +61,45 @@ Platform build_daisy(const DaisySpec& spec, Rng& rng);
 /// Total number of end hosts `build_daisy` creates for a spec.
 int daisy_host_count(const DaisySpec& spec);
 
+/// Heterogeneous two-tier cluster federation: `clusters` site-local stars
+/// (per-host NIC links into a site switch) whose switches hang off one WAN
+/// core router over long-haul uplinks. Per-site CPU speed cycles through
+/// `site_speeds_hz`, modelling federated sites of different hardware
+/// generations; intra-site traffic crosses two NICs, inter-site traffic
+/// additionally crosses both site uplinks (routes via BFS).
+struct FederationSpec {
+  int clusters = 3;
+  int hosts_per_cluster = 8;                          // total hosts = clusters * this
+  std::vector<double> site_speeds_hz{3e9, 2.4e9, 1.8e9};  // cycled across sites
+  double nic_bw_Bps = 1e9 / 8;                        // intra-site host NICs
+  Time nic_latency = 100 * 1e-6;
+  double wan_bw_Bps = 1e9 / 8;                        // site switch <-> core
+  Time wan_latency = 5 * 1e-3;
+};
+
+Platform build_federation(const FederationSpec& spec);
+int federation_host_count(const FederationSpec& spec);
+
+/// Random WAN with heterogeneous CPUs: `routers` core routers joined by a
+/// random spanning tree plus `extra_links` shortcut links, and `hosts` end
+/// hosts each hanging off a random router. Host CPU speed and access
+/// bandwidth are drawn uniformly from the given ranges, core link latency
+/// from [core_lat_min, core_lat_max] — an internet-like topology where both
+/// compute power and connectivity vary per peer. Deterministic given `rng`.
+struct WanSpec {
+  int hosts = 16;
+  int routers = 8;
+  int extra_links = 4;  // shortcuts beyond the spanning tree
+  double speed_min_hz = 1.5e9;
+  double speed_max_hz = 4e9;
+  double access_bw_min_Bps = 20e6 / 8;
+  double access_bw_max_Bps = 1e9 / 8;
+  Time access_latency = 500 * 1e-6;
+  double core_bw_Bps = 10e9 / 8;
+  Time core_lat_min = 1 * 1e-3;
+  Time core_lat_max = 20 * 1e-3;
+};
+
+Platform build_wan(const WanSpec& spec, Rng& rng);
+
 }  // namespace pdc::net

@@ -28,8 +28,8 @@ std::vector<std::string> tokenize(const std::string& line) {
 }
 
 /// Parses "<number><suffix>" with one of the given suffix multipliers.
-double parse_with_unit(const std::string& text, const std::map<std::string, double>& units,
-                       int line, const std::string& what) {
+double parse_unit_value(const std::string& text, const std::map<std::string, double>& units,
+                        const std::string& what) {
   std::size_t pos = 0;
   while (pos < text.size() &&
          (std::isdigit(static_cast<unsigned char>(text[pos])) || text[pos] == '.' ||
@@ -45,11 +45,22 @@ double parse_with_unit(const std::string& text, const std::map<std::string, doub
   }
   auto it = units.find(suffix);
   if (num.empty() || it == units.end())
-    throw PlatFileError(line, "bad " + what + " value '" + text + "'");
+    throw std::invalid_argument("bad " + what + " value '" + text + "'");
   try {
     return std::stod(num) * it->second;
+  } catch (const std::invalid_argument&) {
+    throw;
   } catch (const std::exception&) {
-    throw PlatFileError(line, "bad " + what + " value '" + text + "'");
+    throw std::invalid_argument("bad " + what + " value '" + text + "'");
+  }
+}
+
+double parse_with_unit(const std::string& text, const std::map<std::string, double>& units,
+                       int line, const std::string& what) {
+  try {
+    return parse_unit_value(text, units, what);
+  } catch (const std::invalid_argument& e) {
+    throw PlatFileError(line, e.what());
   }
 }
 
@@ -60,6 +71,18 @@ const std::map<std::string, double> kLatUnits{
     {"s", 1.0}, {"ms", 1e-3}, {"us", 1e-6}, {"ns", 1e-9}};
 
 }  // namespace
+
+double parse_speed_value(const std::string& text) {
+  return parse_unit_value(text, kSpeedUnits, "speed");
+}
+
+double parse_bandwidth_value(const std::string& text) {
+  return parse_unit_value(text, kBwUnits, "bandwidth");
+}
+
+double parse_latency_value(const std::string& text) {
+  return parse_unit_value(text, kLatUnits, "latency");
+}
 
 Platform parse_platform(const std::string& text) {
   Platform p;
@@ -111,15 +134,28 @@ Platform parse_platform(const std::string& text) {
       if (tok.size() < 4) throw PlatFileError(lineno, "expected: route <src> <dst> <links...>");
       const NodeIdx src = need_node(tok[1], lineno);
       const NodeIdx dst = need_node(tok[2], lineno);
-      // Walk the listed links from src, inferring hop directions.
+      // Walk the listed links from src, inferring hop directions. Links
+      // that participate in no edge are fabric links: they do not advance
+      // the walk and take their direction from the :fwd/:rev suffix.
       std::vector<Hop> hops;
       NodeIdx at = src;
       for (std::size_t i = 3; i < tok.size(); ++i) {
-        const LinkIdx l = need_link(tok[i], lineno);
+        std::string name = tok[i];
+        int annotated_dir = 0;
+        if (const auto colon = name.rfind(':'); colon != std::string::npos) {
+          const std::string suffix = name.substr(colon + 1);
+          if (suffix == "fwd") annotated_dir = 0;
+          else if (suffix == "rev") annotated_dir = 1;
+          else throw PlatFileError(lineno, "bad hop direction ':" + suffix + "'");
+          name.resize(colon);
+        }
+        const LinkIdx l = need_link(name, lineno);
         bool found = false;
+        bool link_has_edge = false;
         for (int e = 0; e < p.edge_count() && !found; ++e) {
           const auto& edge = p.edge(e);
           if (edge.link != l) continue;
+          link_has_edge = true;
           if (edge.a == at) {
             hops.push_back(Hop{l, 0});
             at = edge.b;
@@ -130,8 +166,11 @@ Platform parse_platform(const std::string& text) {
             found = true;
           }
         }
-        if (!found)
-          throw PlatFileError(lineno, "link '" + tok[i] + "' does not continue the path");
+        if (!found) {
+          if (link_has_edge)
+            throw PlatFileError(lineno, "link '" + name + "' does not continue the path");
+          hops.push_back(Hop{l, annotated_dir});  // fabric link, stay in place
+        }
       }
       if (at != dst) throw PlatFileError(lineno, "route does not end at '" + tok[2] + "'");
       p.set_route(src, dst, std::move(hops));
@@ -165,6 +204,36 @@ std::string render_platform(const Platform& p) {
     const auto& edge = p.edge(e);
     out << "edge " << p.node(edge.a).name << " " << p.node(edge.b).name << " "
         << p.link(edge.link).name << "\n";
+  }
+  // Explicit routes. A symmetric pair (the common case: set_route installs
+  // both directions) collapses to one line, skipping the mirrored entry.
+  // Fabric links (no edge) carry an explicit :fwd/:rev direction since the
+  // parser cannot infer one from the edge walk.
+  std::vector<bool> link_has_edge(static_cast<std::size_t>(p.link_count()), false);
+  for (int e = 0; e < p.edge_count(); ++e)
+    link_has_edge[static_cast<std::size_t>(p.edge(e).link)] = true;
+  const auto routes = p.explicit_route_list();
+  auto mirror_of = [](const Route& r) {
+    std::vector<Hop> rev;
+    for (auto it = r.hops.rbegin(); it != r.hops.rend(); ++it)
+      rev.push_back(Hop{it->link, 1 - it->dir});
+    return rev;
+  };
+  std::map<std::pair<NodeIdx, NodeIdx>, const Route*> by_pair;
+  for (const auto& er : routes) by_pair[{er.src, er.dst}] = er.route;
+  for (const auto& er : routes) {
+    if (er.src > er.dst) {
+      // Emit the reverse direction only when it is not the mirror of an
+      // already-emitted forward line.
+      const auto fwd = by_pair.find({er.dst, er.src});
+      if (fwd != by_pair.end() && fwd->second->hops == mirror_of(*er.route)) continue;
+    }
+    out << "route " << p.node(er.src).name << " " << p.node(er.dst).name;
+    for (const Hop& h : er.route->hops) {
+      out << " " << p.link(h.link).name;
+      if (!link_has_edge[static_cast<std::size_t>(h.link)] && h.dir != 0) out << ":rev";
+    }
+    out << "\n";
   }
   return out.str();
 }

@@ -7,11 +7,15 @@
 //   router <name>
 //   link   <name> bw <num><Gbps|Mbps|Kbps|bps> lat <num><s|ms|us|ns>
 //   edge   <nodeA> <nodeB> <link>
-//   route  <src> <dst> <link> [<link> ...]
+//   route  <src> <dst> <hop> [<hop> ...]
 //
-// `route` installs an explicit symmetric route; the listed links must form a
-// connected edge path from <src> to <dst> (hop directions are inferred from
-// edge orientation, and a malformed path is a parse error).
+// `route` installs an explicit symmetric route. Each <hop> is a link name:
+// links that appear in `edge` lines must form a connected edge path from
+// <src> to <dst> (hop directions are inferred from edge orientation, and a
+// malformed path is a parse error); a link with no edges is a *fabric* link
+// (e.g. the star builders' shared backbone, crossed by every route without
+// being part of the node graph) and takes an optional direction suffix
+// `<link>:fwd` / `<link>:rev` (default fwd).
 #pragma once
 
 #include <stdexcept>
@@ -36,9 +40,18 @@ class PlatFileError : public std::runtime_error {
 /// Parses a platform description from text. Throws PlatFileError.
 Platform parse_platform(const std::string& text);
 
-/// Serializes a Platform back to the text format (hosts, routers, links,
-/// edges; explicit routes are not exported). parse(render(p)) reproduces the
-/// same node/link/edge structure.
+/// Serializes a Platform back to the text format: hosts, routers, links,
+/// edges AND explicit routes, so parse(render(p)) reproduces node/link/edge
+/// structure and routing. A symmetric route pair becomes one `route` line
+/// (re-parsing reinstalls both directions); an asymmetric route installed
+/// with set_route(..., symmetric=false) is emitted as its forward line and
+/// becomes symmetric on re-parse (the grammar cannot express one-way routes).
 std::string render_platform(const Platform& p);
+
+/// Unit-suffixed value parsers shared with the scenario spec format.
+/// Throw std::invalid_argument on malformed input.
+double parse_speed_value(const std::string& text);      // "3GHz"   -> 3e9 Hz
+double parse_bandwidth_value(const std::string& text);  // "1Gbps"  -> 1.25e8 B/s
+double parse_latency_value(const std::string& text);    // "100us"  -> 1e-4 s
 
 }  // namespace pdc::net

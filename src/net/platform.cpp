@@ -94,6 +94,18 @@ Route Platform::compute_bfs_route(NodeIdx src, NodeIdx dst) const {
   return r;
 }
 
+std::vector<Platform::ExplicitRoute> Platform::explicit_route_list() const {
+  std::vector<ExplicitRoute> out;
+  out.reserve(explicit_routes_.size());
+  for (const auto& [key, route] : explicit_routes_)
+    out.push_back(ExplicitRoute{static_cast<NodeIdx>(key >> 32),
+                                static_cast<NodeIdx>(key & 0xffffffffu), &route});
+  std::sort(out.begin(), out.end(), [](const ExplicitRoute& a, const ExplicitRoute& b) {
+    return a.src != b.src ? a.src < b.src : a.dst < b.dst;
+  });
+  return out;
+}
+
 std::optional<NodeIdx> Platform::find_by_name(const std::string& name) const {
   for (std::size_t i = 0; i < nodes_.size(); ++i)
     if (nodes_[i].name == name) return static_cast<NodeIdx>(i);

@@ -99,6 +99,15 @@ class Platform {
   int edge_count() const { return static_cast<int>(edges_.size()); }
   const Edge& edge(int i) const { return edges_[static_cast<std::size_t>(i)]; }
 
+  /// One installed explicit route (as passed to set_route; symmetric
+  /// installation produces two entries, one per direction).
+  struct ExplicitRoute {
+    NodeIdx src, dst;
+    const Route* route;
+  };
+  /// All explicit routes, sorted by (src, dst) for deterministic output.
+  std::vector<ExplicitRoute> explicit_route_list() const;
+
  private:
 
   Route compute_bfs_route(NodeIdx src, NodeIdx dst) const;

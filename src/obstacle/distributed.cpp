@@ -46,6 +46,8 @@ p2pdc::TaskSpec make_task_spec(const DistributedConfig& cfg, int peers) {
   spec.name = "obstacle";
   spec.peers_needed = peers;
   spec.scheme = cfg.scheme;
+  spec.allocation = cfg.allocation;
+  spec.cmax = cfg.cmax;
   const Strip widest = strip_of(cfg.problem.n, 0, peers);
   // Subtask: initial strip of u plus the obstacle strip; result: the strip.
   spec.subtask_bytes = 2.0 * (widest.rows + 2) * cfg.problem.n * 8;

@@ -45,6 +45,8 @@ struct DistributedConfig {
   ValueMode mode = ValueMode::Phantom;
   CostProfile cost;
   p2psap::Scheme scheme = p2psap::Scheme::Synchronous;
+  p2pdc::AllocationMode allocation = p2pdc::AllocationMode::Hierarchical;
+  int cmax = alloc::kCmax;
   bool early_stop = false;  // Real mode only: stop when residual < tol
   double tol = 1e-6;
 };

@@ -1,0 +1,333 @@
+#include "scenario/runner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <tuple>
+
+#include "net/platfile.hpp"
+#include "obstacle/minic_kernel.hpp"
+#include "support/json.hpp"
+#include "support/rng.hpp"
+
+namespace pdc::scenario {
+
+namespace {
+
+obstacle::ObstacleProblem problem_of(const RunSpec& run) {
+  obstacle::ObstacleProblem p;
+  p.n = run.grid_n;
+  p.omega = run.omega;
+  return p;
+}
+
+obstacle::ObstacleProblem bench_problem_of(const RunSpec& run) {
+  obstacle::ObstacleProblem p;
+  p.n = run.bench_n;
+  p.omega = run.omega;
+  return p;
+}
+
+obstacle::DistributedConfig config_of(const RunSpec& run) {
+  obstacle::DistributedConfig cfg;
+  cfg.problem = problem_of(run);
+  cfg.iters = run.iters;
+  cfg.rcheck = run.rcheck;
+  cfg.mode = obstacle::ValueMode::Phantom;
+  cfg.scheme = run.scheme;
+  cfg.allocation = run.allocation;
+  cfg.cmax = run.cmax;
+  return cfg;
+}
+
+/// Worker CPU/memory/disk as published to the trackers: the host's modelled
+/// frequency (falling back to the paper's 3 GHz Xeon) with the paper-era
+/// memory/disk sizing.
+overlay::PeerResources resources_for(const net::Platform& platform, net::NodeIdx host) {
+  const double hz = platform.node(host).speed_hz;
+  return overlay::PeerResources{hz > 0 ? hz : 3e9, 2e9, 80e9};
+}
+
+/// Daisy deployment (paper Stage-2A): server and one tracker per petal at
+/// petal boundaries, submitter next to the server, workers spread across
+/// the whole desktop grid, seed-deterministic.
+void deploy_daisy(Deployment& d, const net::DaisySpec& spec, const RunSpec& run) {
+  const int hosts = d.platform.host_count();
+  d.env->boot_server(d.platform.host(0));
+  const int per_petal = hosts / spec.central_routers;
+  std::vector<int> used{0};
+  for (int p = 0; p < spec.central_routers; ++p) {
+    const int idx = p * per_petal + 1;
+    d.env->boot_tracker(d.platform.host(idx), /*core=*/true);
+    used.push_back(idx);
+  }
+  const int submitter_idx = 2;
+  used.push_back(submitter_idx);
+  d.submitter = d.platform.host(submitter_idx);
+  d.env->boot_peer(d.submitter, resources_for(d.platform, d.submitter));
+  const int stride = hosts / run.peers;
+  int placed = 0;
+  for (int k = 0; placed < run.peers && k < hosts; ++k) {
+    int idx = (3 + k * stride) % hosts;
+    while (std::find(used.begin(), used.end(), idx) != used.end()) idx = (idx + 1) % hosts;
+    used.push_back(idx);
+    const net::NodeIdx h = d.platform.host(idx);
+    d.env->boot_peer(h, resources_for(d.platform, h));
+    d.workers.push_back(h);
+    ++placed;
+  }
+}
+
+/// Federation deployment: administrator roles on the first three hosts
+/// (site-major order), workers round-robined across sites so a multi-site
+/// run actually crosses the WAN.
+void deploy_federation(Deployment& d, const net::FederationSpec& spec, const RunSpec& run) {
+  const int per_site = spec.hosts_per_cluster;
+  if (d.platform.host_count() < run.peers + 3)
+    throw std::runtime_error("federation platform has " +
+                             std::to_string(d.platform.host_count()) + " hosts, run needs " +
+                             std::to_string(run.peers + 3));
+  d.env->boot_server(d.platform.host(0));
+  d.env->boot_tracker(d.platform.host(1), /*core=*/true);
+  d.submitter = d.platform.host(2);
+  d.env->boot_peer(d.submitter, resources_for(d.platform, d.submitter));
+  // Per-site cursors start past the three admin hosts, which occupy global
+  // indices 0..2 and may spill across sites when sites are small.
+  std::vector<int> cursor(static_cast<std::size_t>(spec.clusters), 0);
+  for (int s = 0; s < spec.clusters; ++s)
+    cursor[static_cast<std::size_t>(s)] = std::clamp(3 - s * per_site, 0, per_site);
+  for (int placed = 0, site = 0; placed < run.peers;) {
+    const auto s = static_cast<std::size_t>(site);
+    if (cursor[s] < per_site) {
+      const int idx = site * per_site + cursor[s]++;
+      const net::NodeIdx h = d.platform.host(idx);
+      d.env->boot_peer(h, resources_for(d.platform, h));
+      d.workers.push_back(h);
+      ++placed;
+    } else if (std::all_of(cursor.begin(), cursor.end(),
+                           [&](int c) { return c >= per_site; })) {
+      throw std::runtime_error("federation platform too small for the run");
+    }
+    site = (site + 1) % spec.clusters;
+  }
+}
+
+/// Default deployment: hosts in order — server, tracker, submitter, workers.
+void deploy_sequential(Deployment& d, const RunSpec& run) {
+  const int needed = run.peers + 3;
+  if (d.platform.host_count() < needed)
+    throw std::runtime_error("platform has " + std::to_string(d.platform.host_count()) +
+                             " hosts, run needs " + std::to_string(needed));
+  d.env->boot_server(d.platform.host(0));
+  d.env->boot_tracker(d.platform.host(1), /*core=*/true);
+  d.submitter = d.platform.host(2);
+  d.env->boot_peer(d.submitter, resources_for(d.platform, d.submitter));
+  for (int i = 3; i < needed; ++i) {
+    const net::NodeIdx h = d.platform.host(i);
+    d.env->boot_peer(h, resources_for(d.platform, h));
+    d.workers.push_back(h);
+  }
+}
+
+/// Federation sizing shared by build_platform and deploy: auto-size sites
+/// so `peers` workers plus the three admin hosts fit.
+net::FederationSpec sized_federation(const net::FederationSpec& spec, const RunSpec& run) {
+  net::FederationSpec sized = spec;
+  if (sized.hosts_per_cluster <= 0)
+    sized.hosts_per_cluster = (run.peers + 3 + sized.clusters - 1) / sized.clusters;
+  return sized;
+}
+
+void phase_json(JsonWriter& w, const PhaseRecord& ph, bool with_iterations) {
+  w.begin_object();
+  w.kv("solve_seconds", ph.solve_seconds);
+  w.kv("total_seconds", ph.total_seconds);
+  if (with_iterations) w.kv("iterations", ph.iterations);
+  w.key("computation").begin_object();
+  w.kv("peers", ph.computation.peers);
+  w.kv("groups", ph.computation.groups);
+  w.kv("collection_seconds", ph.computation.collection_time());
+  w.kv("allocation_seconds", ph.computation.allocation_time());
+  w.kv("total_seconds", ph.computation.total_time());
+  w.end_object();
+  w.key("flownet").begin_object();
+  w.kv("flows_started", ph.net.flows_started);
+  w.kv("flows_completed", ph.net.flows_completed);
+  w.kv("bytes_completed", ph.net.bytes_completed);
+  w.kv("reshares", ph.net.reshares);
+  w.kv("reshares_partial", ph.net.reshares_partial);
+  w.kv("flows_rescanned", ph.net.flows_rescanned);
+  w.kv("flows_starved", ph.net.flows_starved);
+  w.end_object();
+  w.end_object();
+}
+
+}  // namespace
+
+net::Platform build_platform(const PlatformSpec& spec, const RunSpec& run) {
+  const int needed = run.peers + 3;
+  if (const auto* s = std::get_if<net::StarSpec>(&spec.spec)) {
+    net::StarSpec sized = *s;
+    if (sized.hosts <= 0) sized.hosts = needed;
+    return net::build_star(sized);
+  }
+  if (const auto* s = std::get_if<net::DaisySpec>(&spec.spec)) {
+    Rng rng{run.seed};
+    return net::build_daisy(*s, rng);
+  }
+  if (const auto* s = std::get_if<net::FederationSpec>(&spec.spec))
+    return net::build_federation(sized_federation(*s, run));
+  if (const auto* s = std::get_if<net::WanSpec>(&spec.spec)) {
+    net::WanSpec sized = *s;
+    if (sized.hosts <= 0) sized.hosts = needed;
+    Rng rng{run.seed};
+    return net::build_wan(sized, rng);
+  }
+  const auto& f = std::get<PlatformFileSpec>(spec.spec);
+  std::string text = f.text;
+  if (!f.path.empty()) {
+    std::ifstream in(f.path);
+    if (!in) throw std::runtime_error("cannot open platform file '" + f.path + "'");
+    std::stringstream buf;
+    buf << in.rdbuf();
+    text = buf.str();
+  }
+  return net::parse_platform(text);
+}
+
+std::unique_ptr<Deployment> deploy(const PlatformSpec& spec, const RunSpec& run) {
+  auto d = std::make_unique<Deployment>();
+  d->platform = build_platform(spec, run);
+  d->env = std::make_unique<p2pdc::Environment>(d->engine, d->platform);
+  if (const auto* daisy = std::get_if<net::DaisySpec>(&spec.spec)) {
+    deploy_daisy(*d, *daisy, run);
+  } else if (const auto* fed = std::get_if<net::FederationSpec>(&spec.spec)) {
+    deploy_federation(*d, sized_federation(*fed, run), run);
+  } else {
+    deploy_sequential(*d, run);
+  }
+  d->env->finish_bootstrap();
+  return d;
+}
+
+const obstacle::CostProfile& cost_profile(ir::OptLevel level, const RunSpec& run) {
+  static std::map<std::tuple<int, int, int, int>, obstacle::CostProfile> cache;
+  const auto key =
+      std::make_tuple(static_cast<int>(level), run.bench_n, run.bench_iters, run.bench_rcheck);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    it = cache
+             .emplace(key, obstacle::derive_cost_profile(level, bench_problem_of(run),
+                                                         run.bench_iters, run.bench_rcheck))
+             .first;
+  }
+  return it->second;
+}
+
+std::unique_ptr<Deployment> Runner::deploy() const {
+  return scenario::deploy(spec_.platform, spec_.run);
+}
+
+std::vector<dperf::Trace> Runner::traces() const {
+  const RunSpec& run = spec_.run;
+  dperf::DperfOptions opt;
+  opt.level = run.level;
+  opt.chunk = run.rcheck;
+  opt.sample_iters = 3 * run.rcheck;
+  const dperf::Dperf pipeline{obstacle::minic_kernel_source(), opt};
+  return pipeline.traces(obstacle::kernel_workload(problem_of(run), run.iters, run.rcheck),
+                         run.peers);
+}
+
+PhaseRecord Runner::run_reference() const {
+  auto d = deploy();
+  obstacle::DistributedConfig cfg = config_of(spec_.run);
+  cfg.cost = cost_profile(spec_.run.level, spec_.run);
+  const obstacle::SolveReport rep =
+      obstacle::run_distributed(*d->env, d->submitter, cfg, spec_.run.peers);
+  if (!rep.ok)
+    throw std::runtime_error("reference run failed (" + spec_.name + "): " + rep.failure);
+  PhaseRecord ph;
+  ph.solve_seconds = rep.solve_seconds;
+  ph.total_seconds = rep.computation.total_time();
+  ph.iterations = rep.iterations;
+  ph.platform_hosts = d->platform.host_count();
+  ph.computation = rep.computation;
+  ph.net = d->env->flownet().stats();
+  return ph;
+}
+
+PhaseRecord Runner::run_predicted(std::vector<dperf::Trace> traces) const {
+  auto d = deploy();
+  obstacle::DistributedConfig cfg = config_of(spec_.run);
+  const dperf::Prediction pred =
+      dperf::replay_on(*d->env, d->submitter,
+                       obstacle::make_task_spec(cfg, spec_.run.peers), std::move(traces));
+  if (!pred.computation.ok)
+    throw std::runtime_error("prediction replay failed (" + spec_.name +
+                             "): " + pred.computation.failure);
+  PhaseRecord ph;
+  ph.solve_seconds = pred.solve_seconds;
+  ph.total_seconds = pred.total_seconds;
+  ph.platform_hosts = d->platform.host_count();
+  ph.computation = pred.computation;
+  ph.net = d->env->flownet().stats();
+  return ph;
+}
+
+RunRecord Runner::run() const {
+  RunRecord rec;
+  rec.spec = spec_;
+  rec.platform_kind = spec_.platform.kind();
+  rec.platform_label = spec_.platform.label;
+  const Mode mode = spec_.run.mode;
+  if (mode == Mode::Reference || mode == Mode::Both) rec.reference = run_reference();
+  if (mode == Mode::Predict || mode == Mode::Both) rec.predicted = run_predicted(traces());
+  rec.platform_hosts = rec.reference ? rec.reference->platform_hosts
+                                     : rec.predicted->platform_hosts;
+  if (rec.reference && rec.predicted && rec.reference->solve_seconds > 0)
+    rec.prediction_error =
+        std::abs(rec.predicted->solve_seconds - rec.reference->solve_seconds) /
+        rec.reference->solve_seconds;
+  return rec;
+}
+
+std::string RunRecord::to_json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("scenario", spec.name);
+  w.key("platform").begin_object();
+  w.kv("kind", platform_kind);
+  w.kv("label", platform_label);
+  w.kv("hosts", platform_hosts);
+  w.end_object();
+  w.key("run").begin_object();
+  w.kv("peers", spec.run.peers);
+  w.kv("opt", ir::opt_level_name(spec.run.level));
+  w.kv("mode", mode_name(spec.run.mode));
+  w.kv("alloc", spec.run.allocation == p2pdc::AllocationMode::Hierarchical ? "hierarchical"
+                                                                           : "flat");
+  w.kv("scheme", spec.run.scheme == p2psap::Scheme::Synchronous ? "sync" : "async");
+  w.kv("seed", spec.run.seed);
+  w.kv("grid", spec.run.grid_n);
+  w.kv("iters", spec.run.iters);
+  w.kv("rcheck", spec.run.rcheck);
+  w.kv("omega", spec.run.omega);
+  w.end_object();
+  if (reference) {
+    w.key("reference");
+    phase_json(w, *reference, /*with_iterations=*/true);
+  }
+  if (predicted) {
+    w.key("predicted");
+    phase_json(w, *predicted, /*with_iterations=*/false);
+  }
+  if (prediction_error) w.kv("prediction_error", *prediction_error);
+  w.end_object();
+  return w.str() + "\n";
+}
+
+}  // namespace pdc::scenario

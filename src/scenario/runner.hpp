@@ -1,0 +1,106 @@
+// Executes declarative ScenarioSpecs: owns deployment (engine + platform +
+// booted p2pdc::Environment), drives the reference execution and/or the
+// dPerf prediction the spec asks for, and returns a structured RunRecord
+// that serializes to JSON through the shared support writer.
+//
+// This subsumes the old experiments::Deployment/free-function API: the
+// experiments harness is now a thin compatibility shim over this Runner,
+// and every bench/example drives scenarios instead of hand-rolled drivers.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "dperf/dperf.hpp"
+#include "obstacle/distributed.hpp"
+#include "p2pdc/environment.hpp"
+#include "scenario/spec.hpp"
+
+namespace pdc::scenario {
+
+/// A deployed simulation: engine + platform + booted P2PDC overlay. One
+/// deployment drives one simulated computation (simulation state is
+/// single-use); the Runner creates a fresh one per phase.
+struct Deployment {
+  sim::Engine engine;
+  net::Platform platform;
+  std::unique_ptr<p2pdc::Environment> env;
+  net::NodeIdx submitter = -1;
+  std::vector<net::NodeIdx> workers;
+
+  Deployment() = default;
+  Deployment(const Deployment&) = delete;
+};
+
+/// Builds the platform a spec describes, auto-sizing generators whose host
+/// count is 0 so `run.peers` workers plus server/tracker/submitter fit.
+/// Platform-file specs read their file here; throws on parse errors.
+net::Platform build_platform(const PlatformSpec& spec, const RunSpec& run);
+
+/// Builds the platform and boots server + tracker(s) + submitter + workers.
+/// Placement is platform-aware: Daisy spreads workers across the desktop
+/// grid (seed-deterministic), the federation round-robins workers over
+/// sites, everything else fills hosts in order. Throws std::runtime_error
+/// when the platform is too small for the run.
+std::unique_ptr<Deployment> deploy(const PlatformSpec& spec, const RunSpec& run);
+
+/// dPerf block-benchmark cost profile for a level (memoized per process,
+/// keyed on level + bench sizing).
+const obstacle::CostProfile& cost_profile(ir::OptLevel level, const RunSpec& run);
+
+/// One executed phase (reference or predicted).
+struct PhaseRecord {
+  double solve_seconds = 0;  // first rank start -> last rank end
+  double total_seconds = 0;  // including collection / allocation / gathering
+  int iterations = 0;        // reference only
+  int platform_hosts = 0;    // hosts modelled in this phase's deployment
+  p2pdc::ComputationResult computation;
+  net::FlowNetStats net;
+};
+
+/// The structured result of one scenario run.
+struct RunRecord {
+  ScenarioSpec spec;
+  std::string platform_kind;
+  std::string platform_label;
+  int platform_hosts = 0;
+  std::optional<PhaseRecord> reference;
+  std::optional<PhaseRecord> predicted;
+  /// |predicted - reference| / reference solve seconds; set when both ran.
+  std::optional<double> prediction_error;
+
+  /// Serializes through support::JsonWriter; parses back with
+  /// support::parse_json.
+  std::string to_json() const;
+};
+
+/// Executes ScenarioSpecs. Stateless apart from the spec: each phase
+/// deploys fresh, so a Runner can be re-run and phases can be driven
+/// individually (the benches reuse traces across platforms this way).
+class Runner {
+ public:
+  explicit Runner(ScenarioSpec spec) : spec_(std::move(spec)) {}
+
+  const ScenarioSpec& spec() const { return spec_; }
+
+  /// Fresh deployment for this scenario.
+  std::unique_ptr<Deployment> deploy() const;
+
+  /// Per-rank dPerf traces (sampled + scaled up) for the spec's workload.
+  std::vector<dperf::Trace> traces() const;
+
+  /// Reference execution (Phantom values: full event schedule, no numerics).
+  PhaseRecord run_reference() const;
+
+  /// Trace replay on this scenario's platform.
+  PhaseRecord run_predicted(std::vector<dperf::Trace> traces) const;
+
+  /// Executes the phases `spec().run.mode` asks for and assembles the record.
+  RunRecord run() const;
+
+ private:
+  ScenarioSpec spec_;
+};
+
+}  // namespace pdc::scenario

@@ -1,0 +1,405 @@
+#include "scenario/spec.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "net/platfile.hpp"
+#include "support/env.hpp"
+#include "support/json.hpp"
+
+namespace pdc::scenario {
+
+namespace {
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> out;
+  std::string tok;
+  for (char c : line) {
+    if (c == '#') break;
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      if (!tok.empty()) out.push_back(std::move(tok)), tok.clear();
+    } else {
+      tok += c;
+    }
+  }
+  if (!tok.empty()) out.push_back(std::move(tok));
+  return out;
+}
+
+// format_shortest (support/json): shortest round-tripping decimal.
+std::string fmt_speed(double hz) { return format_shortest(hz) + "Hz"; }
+std::string fmt_bw(double Bps) { return format_shortest(Bps * 8) + "bps"; }
+std::string fmt_lat(double s) { return format_shortest(s) + "s"; }
+
+int parse_int(const std::string& text, int line, const char* what) {
+  char* end = nullptr;
+  const long v = std::strtol(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0')
+    throw ScenarioError(line, std::string("bad ") + what + " '" + text + "'");
+  return static_cast<int>(v);
+}
+
+double parse_double(const std::string& text, int line, const char* what) {
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0')
+    throw ScenarioError(line, std::string("bad ") + what + " '" + text + "'");
+  return v;
+}
+
+/// key=value parameter map for one `platform <kind> ...` line.
+using Params = std::map<std::string, std::string>;
+
+Params parse_params(const std::vector<std::string>& tok, std::size_t first, int line) {
+  Params out;
+  for (std::size_t i = first; i < tok.size(); ++i) {
+    const auto eq = tok[i].find('=');
+    if (eq == std::string::npos || eq == 0)
+      throw ScenarioError(line, "expected key=value, got '" + tok[i] + "'");
+    out[tok[i].substr(0, eq)] = tok[i].substr(eq + 1);
+  }
+  return out;
+}
+
+/// Applies every recognized key; throws on unknown keys so typos surface.
+void apply_params(const Params& params, int line,
+                  const std::map<std::string, std::function<void(const std::string&)>>& keys) {
+  for (const auto& [key, value] : params) {
+    auto it = keys.find(key);
+    if (it == keys.end()) throw ScenarioError(line, "unknown platform key '" + key + "'");
+    try {
+      it->second(value);
+    } catch (const std::invalid_argument& e) {
+      throw ScenarioError(line, std::string(e.what()) + " (key '" + key + "')");
+    }
+  }
+}
+
+std::vector<double> parse_speed_list(const std::string& text) {
+  std::vector<double> out;
+  std::string item;
+  std::istringstream in(text);
+  while (std::getline(in, item, ','))
+    if (!item.empty()) out.push_back(net::parse_speed_value(item));
+  if (out.empty()) throw std::invalid_argument("empty speed list '" + text + "'");
+  return out;
+}
+
+PlatformSpec parse_platform_line(const std::vector<std::string>& tok, int line) {
+  const std::string& kind = tok[1];
+  // Presets first: the paper's named platforms.
+  if (kind == "grid5000" && tok.size() == 2) return PlatformSpec::grid5000();
+  if (kind == "lan" && tok.size() == 2) return PlatformSpec::lan();
+  if (kind == "xdsl" && tok.size() == 2) return PlatformSpec::xdsl();
+
+  PlatformSpec out;
+  out.label = kind;
+  if (kind == "star") {
+    net::StarSpec s;
+    s.hosts = 0;  // auto-size to the run's peer count unless given
+    const Params p = parse_params(tok, 2, line);
+    apply_params(p, line,
+                 {{"label", [&](const std::string& v) { out.label = v; }},
+                  {"hosts", [&](const std::string& v) { s.hosts = parse_int(v, line, "hosts"); }},
+                  {"speed", [&](const std::string& v) { s.host_speed_hz = net::parse_speed_value(v); }},
+                  {"nic_bw", [&](const std::string& v) { s.nic_bw_Bps = net::parse_bandwidth_value(v); }},
+                  {"nic_lat", [&](const std::string& v) { s.nic_latency = net::parse_latency_value(v); }},
+                  {"bb_bw", [&](const std::string& v) { s.backbone_bw_Bps = net::parse_bandwidth_value(v); }},
+                  {"bb_lat", [&](const std::string& v) { s.backbone_latency = net::parse_latency_value(v); }},
+                  {"prefix", [&](const std::string& v) { s.name_prefix = v; }},
+                  {"ip", [&](const std::string& v) {
+                     auto ip = Ipv4::parse(v);
+                     if (!ip) throw std::invalid_argument("bad ip '" + v + "'");
+                     s.base_ip = *ip;
+                   }}});
+    out.spec = s;
+  } else if (kind == "daisy") {
+    net::DaisySpec s;
+    const Params p = parse_params(tok, 2, line);
+    apply_params(p, line,
+                 {{"label", [&](const std::string& v) { out.label = v; }},
+                  {"petals", [&](const std::string& v) { s.central_routers = parse_int(v, line, "petals"); }},
+                  {"petal_routers", [&](const std::string& v) { s.routers_per_petal = parse_int(v, line, "petal_routers"); }},
+                  {"dslams", [&](const std::string& v) { s.dslams_per_router = parse_int(v, line, "dslams"); }},
+                  {"dslam_nodes", [&](const std::string& v) { s.nodes_per_dslam = parse_int(v, line, "dslam_nodes"); }},
+                  {"extra", [&](const std::string& v) { s.extra_nodes_on_one_dslam = parse_int(v, line, "extra"); }},
+                  {"speed", [&](const std::string& v) { s.host_speed_hz = net::parse_speed_value(v); }},
+                  {"ring_bw", [&](const std::string& v) { s.ring_bw_Bps = net::parse_bandwidth_value(v); }},
+                  {"petal_bw", [&](const std::string& v) { s.petal_bw_Bps = net::parse_bandwidth_value(v); }},
+                  {"up_bw", [&](const std::string& v) { s.dslam_up_bw_Bps = net::parse_bandwidth_value(v); }},
+                  {"lastmile_min", [&](const std::string& v) { s.last_mile_min_Bps = net::parse_bandwidth_value(v); }},
+                  {"lastmile_max", [&](const std::string& v) { s.last_mile_max_Bps = net::parse_bandwidth_value(v); }},
+                  {"router_lat", [&](const std::string& v) { s.router_latency = net::parse_latency_value(v); }},
+                  {"lastmile_lat", [&](const std::string& v) { s.last_mile_latency = net::parse_latency_value(v); }}});
+    out.spec = s;
+  } else if (kind == "federation") {
+    net::FederationSpec s;
+    const Params p = parse_params(tok, 2, line);
+    apply_params(p, line,
+                 {{"label", [&](const std::string& v) { out.label = v; }},
+                  {"clusters", [&](const std::string& v) { s.clusters = parse_int(v, line, "clusters"); }},
+                  {"hosts", [&](const std::string& v) { s.hosts_per_cluster = parse_int(v, line, "hosts"); }},
+                  {"speeds", [&](const std::string& v) { s.site_speeds_hz = parse_speed_list(v); }},
+                  {"nic_bw", [&](const std::string& v) { s.nic_bw_Bps = net::parse_bandwidth_value(v); }},
+                  {"nic_lat", [&](const std::string& v) { s.nic_latency = net::parse_latency_value(v); }},
+                  {"wan_bw", [&](const std::string& v) { s.wan_bw_Bps = net::parse_bandwidth_value(v); }},
+                  {"wan_lat", [&](const std::string& v) { s.wan_latency = net::parse_latency_value(v); }}});
+    out.spec = s;
+  } else if (kind == "wan") {
+    net::WanSpec s;
+    const Params p = parse_params(tok, 2, line);
+    apply_params(p, line,
+                 {{"label", [&](const std::string& v) { out.label = v; }},
+                  {"hosts", [&](const std::string& v) { s.hosts = parse_int(v, line, "hosts"); }},
+                  {"routers", [&](const std::string& v) { s.routers = parse_int(v, line, "routers"); }},
+                  {"extra_links", [&](const std::string& v) { s.extra_links = parse_int(v, line, "extra_links"); }},
+                  {"speed_min", [&](const std::string& v) { s.speed_min_hz = net::parse_speed_value(v); }},
+                  {"speed_max", [&](const std::string& v) { s.speed_max_hz = net::parse_speed_value(v); }},
+                  {"access_min", [&](const std::string& v) { s.access_bw_min_Bps = net::parse_bandwidth_value(v); }},
+                  {"access_max", [&](const std::string& v) { s.access_bw_max_Bps = net::parse_bandwidth_value(v); }},
+                  {"access_lat", [&](const std::string& v) { s.access_latency = net::parse_latency_value(v); }},
+                  {"core_bw", [&](const std::string& v) { s.core_bw_Bps = net::parse_bandwidth_value(v); }},
+                  {"core_lat_min", [&](const std::string& v) { s.core_lat_min = net::parse_latency_value(v); }},
+                  {"core_lat_max", [&](const std::string& v) { s.core_lat_max = net::parse_latency_value(v); }}});
+    out.spec = s;
+  } else if (kind == "file") {
+    if (tok.size() != 3) throw ScenarioError(line, "expected: platform file <path>");
+    return PlatformSpec::from_file(tok[2]);
+  } else {
+    throw ScenarioError(line, "unknown platform kind '" + kind + "'");
+  }
+  return out;
+}
+
+std::string render_platform_line(const PlatformSpec& p) {
+  std::ostringstream out;
+  out << "platform " << p.kind() << " label=" << p.label;
+  if (const auto* s = std::get_if<net::StarSpec>(&p.spec)) {
+    out << " hosts=" << s->hosts << " speed=" << fmt_speed(s->host_speed_hz)
+        << " nic_bw=" << fmt_bw(s->nic_bw_Bps) << " nic_lat=" << fmt_lat(s->nic_latency)
+        << " bb_bw=" << fmt_bw(s->backbone_bw_Bps)
+        << " bb_lat=" << fmt_lat(s->backbone_latency) << " prefix=" << s->name_prefix
+        << " ip=" << s->base_ip.to_string();
+  } else if (const auto* s = std::get_if<net::DaisySpec>(&p.spec)) {
+    out << " petals=" << s->central_routers << " petal_routers=" << s->routers_per_petal
+        << " dslams=" << s->dslams_per_router << " dslam_nodes=" << s->nodes_per_dslam
+        << " extra=" << s->extra_nodes_on_one_dslam
+        << " speed=" << fmt_speed(s->host_speed_hz) << " ring_bw=" << fmt_bw(s->ring_bw_Bps)
+        << " petal_bw=" << fmt_bw(s->petal_bw_Bps) << " up_bw=" << fmt_bw(s->dslam_up_bw_Bps)
+        << " lastmile_min=" << fmt_bw(s->last_mile_min_Bps)
+        << " lastmile_max=" << fmt_bw(s->last_mile_max_Bps)
+        << " router_lat=" << fmt_lat(s->router_latency)
+        << " lastmile_lat=" << fmt_lat(s->last_mile_latency);
+  } else if (const auto* s = std::get_if<net::FederationSpec>(&p.spec)) {
+    out << " clusters=" << s->clusters << " hosts=" << s->hosts_per_cluster << " speeds=";
+    for (std::size_t i = 0; i < s->site_speeds_hz.size(); ++i)
+      out << (i > 0 ? "," : "") << fmt_speed(s->site_speeds_hz[i]);
+    out << " nic_bw=" << fmt_bw(s->nic_bw_Bps) << " nic_lat=" << fmt_lat(s->nic_latency)
+        << " wan_bw=" << fmt_bw(s->wan_bw_Bps) << " wan_lat=" << fmt_lat(s->wan_latency);
+  } else if (const auto* s = std::get_if<net::WanSpec>(&p.spec)) {
+    out << " hosts=" << s->hosts << " routers=" << s->routers
+        << " extra_links=" << s->extra_links << " speed_min=" << fmt_speed(s->speed_min_hz)
+        << " speed_max=" << fmt_speed(s->speed_max_hz)
+        << " access_min=" << fmt_bw(s->access_bw_min_Bps)
+        << " access_max=" << fmt_bw(s->access_bw_max_Bps)
+        << " access_lat=" << fmt_lat(s->access_latency)
+        << " core_bw=" << fmt_bw(s->core_bw_Bps)
+        << " core_lat_min=" << fmt_lat(s->core_lat_min)
+        << " core_lat_max=" << fmt_lat(s->core_lat_max);
+  }
+  return out.str();
+}
+
+}  // namespace
+
+const char* PlatformSpec::kind() const {
+  struct Visitor {
+    const char* operator()(const net::StarSpec&) const { return "star"; }
+    const char* operator()(const net::DaisySpec&) const { return "daisy"; }
+    const char* operator()(const PlatformFileSpec&) const { return "file"; }
+    const char* operator()(const net::FederationSpec&) const { return "federation"; }
+    const char* operator()(const net::WanSpec&) const { return "wan"; }
+  };
+  return std::visit(Visitor{}, spec);
+}
+
+PlatformSpec PlatformSpec::grid5000() {
+  net::StarSpec s = net::bordeplage_cluster_spec(0);  // hosts auto-sized at deploy
+  return PlatformSpec{"grid5000", s};
+}
+
+PlatformSpec PlatformSpec::lan() {
+  net::StarSpec s = net::lan_spec(0);
+  return PlatformSpec{"lan", s};
+}
+
+PlatformSpec PlatformSpec::xdsl() { return PlatformSpec{"xdsl", net::DaisySpec{}}; }
+
+PlatformSpec PlatformSpec::federation() {
+  return PlatformSpec{"federation", net::FederationSpec{}};
+}
+
+PlatformSpec PlatformSpec::wan() { return PlatformSpec{"wan", net::WanSpec{}}; }
+
+PlatformSpec PlatformSpec::from_file(std::string path) {
+  return PlatformSpec{"file:" + path, PlatformFileSpec{std::move(path), ""}};
+}
+
+PlatformSpec PlatformSpec::from_text(std::string platfile_text) {
+  return PlatformSpec{"inline", PlatformFileSpec{"", std::move(platfile_text)}};
+}
+
+const char* mode_name(Mode m) {
+  switch (m) {
+    case Mode::Reference: return "reference";
+    case Mode::Predict: return "predict";
+    case Mode::Both: return "both";
+  }
+  return "?";
+}
+
+RunSpec RunSpec::from_env() {
+  RunSpec s;
+  if (env_flag("PDC_QUICK")) {
+    s.grid_n = 258;
+    s.iters = 100;
+  }
+  return s;
+}
+
+ScenarioSpec parse_scenario(const std::string& text, const RunSpec& base) {
+  ScenarioSpec spec;
+  spec.run = base;
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto tok = tokenize(line);
+    if (tok.empty()) continue;
+    const std::string& kw = tok[0];
+    auto need = [&](std::size_t n, const char* usage) {
+      if (tok.size() != n) throw ScenarioError(lineno, std::string("expected: ") + usage);
+    };
+    if (kw == "scenario") {
+      need(2, "scenario <name>");
+      spec.name = tok[1];
+    } else if (kw == "platform") {
+      if (tok.size() < 2) throw ScenarioError(lineno, "expected: platform <kind> ...");
+      if (tok[1] == "inline") {
+        // Raw platfile lines until a lone `end`.
+        std::string body;
+        const int start = lineno;
+        bool closed = false;
+        while (std::getline(in, line)) {
+          ++lineno;
+          const auto inner = tokenize(line);
+          if (inner.size() == 1 && inner[0] == "end") {
+            closed = true;
+            break;
+          }
+          body += line;
+          body += '\n';
+        }
+        if (!closed) throw ScenarioError(start, "'platform inline' without closing 'end'");
+        spec.platform = PlatformSpec::from_text(std::move(body));
+      } else {
+        spec.platform = parse_platform_line(tok, lineno);
+      }
+    } else if (kw == "peers") {
+      need(2, "peers <n>");
+      spec.run.peers = parse_int(tok[1], lineno, "peers");
+    } else if (kw == "opt") {
+      need(2, "opt <0|1|2|3|s>");
+      try {
+        spec.run.level = ir::parse_opt_level(tok[1]);
+      } catch (const std::invalid_argument& e) {
+        throw ScenarioError(lineno, e.what());
+      }
+    } else if (kw == "mode") {
+      need(2, "mode <reference|predict|both>");
+      if (tok[1] == "reference") spec.run.mode = Mode::Reference;
+      else if (tok[1] == "predict") spec.run.mode = Mode::Predict;
+      else if (tok[1] == "both") spec.run.mode = Mode::Both;
+      else throw ScenarioError(lineno, "unknown mode '" + tok[1] + "'");
+    } else if (kw == "alloc") {
+      need(2, "alloc <hierarchical|flat>");
+      if (tok[1] == "hierarchical") spec.run.allocation = p2pdc::AllocationMode::Hierarchical;
+      else if (tok[1] == "flat") spec.run.allocation = p2pdc::AllocationMode::Flat;
+      else throw ScenarioError(lineno, "unknown allocation '" + tok[1] + "'");
+    } else if (kw == "scheme") {
+      need(2, "scheme <sync|async>");
+      if (tok[1] == "sync") spec.run.scheme = p2psap::Scheme::Synchronous;
+      else if (tok[1] == "async") spec.run.scheme = p2psap::Scheme::Asynchronous;
+      else throw ScenarioError(lineno, "unknown scheme '" + tok[1] + "'");
+    } else if (kw == "seed") {
+      need(2, "seed <n>");
+      char* end = nullptr;
+      spec.run.seed = std::strtoull(tok[1].c_str(), &end, 10);
+      if (end == tok[1].c_str() || *end != '\0')
+        throw ScenarioError(lineno, "bad seed '" + tok[1] + "'");
+    } else if (kw == "grid") {
+      need(2, "grid <n>");
+      spec.run.grid_n = parse_int(tok[1], lineno, "grid");
+    } else if (kw == "iters") {
+      need(2, "iters <n>");
+      spec.run.iters = parse_int(tok[1], lineno, "iters");
+    } else if (kw == "rcheck") {
+      need(2, "rcheck <n>");
+      spec.run.rcheck = parse_int(tok[1], lineno, "rcheck");
+    } else if (kw == "bench") {
+      need(4, "bench <n> <iters> <rcheck>");
+      spec.run.bench_n = parse_int(tok[1], lineno, "bench n");
+      spec.run.bench_iters = parse_int(tok[2], lineno, "bench iters");
+      spec.run.bench_rcheck = parse_int(tok[3], lineno, "bench rcheck");
+    } else if (kw == "omega") {
+      need(2, "omega <x>");
+      spec.run.omega = parse_double(tok[1], lineno, "omega");
+    } else if (kw == "cmax") {
+      need(2, "cmax <n>");
+      spec.run.cmax = parse_int(tok[1], lineno, "cmax");
+    } else {
+      throw ScenarioError(lineno, "unknown keyword '" + kw + "'");
+    }
+  }
+  return spec;
+}
+
+std::string render_scenario(const ScenarioSpec& spec) {
+  std::ostringstream out;
+  out << "scenario " << spec.name << "\n";
+  if (const auto* f = std::get_if<PlatformFileSpec>(&spec.platform.spec)) {
+    if (!f->path.empty()) {
+      out << "platform file " << f->path << "\n";
+    } else {
+      out << "platform inline\n" << f->text;
+      if (!f->text.empty() && f->text.back() != '\n') out << "\n";
+      out << "end\n";
+    }
+  } else {
+    out << render_platform_line(spec.platform) << "\n";
+  }
+  const RunSpec& r = spec.run;
+  out << "peers " << r.peers << "\n";
+  out << "opt " << ir::opt_level_name(r.level) << "\n";
+  out << "mode " << mode_name(r.mode) << "\n";
+  out << "alloc "
+      << (r.allocation == p2pdc::AllocationMode::Hierarchical ? "hierarchical" : "flat")
+      << "\n";
+  out << "scheme " << (r.scheme == p2psap::Scheme::Synchronous ? "sync" : "async") << "\n";
+  out << "seed " << r.seed << "\n";
+  out << "grid " << r.grid_n << "\n";
+  out << "iters " << r.iters << "\n";
+  out << "rcheck " << r.rcheck << "\n";
+  out << "bench " << r.bench_n << " " << r.bench_iters << " " << r.bench_rcheck << "\n";
+  out << "omega " << format_shortest(r.omega) << "\n";
+  out << "cmax " << r.cmax << "\n";
+  return out.str();
+}
+
+}  // namespace pdc::scenario

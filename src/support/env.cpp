@@ -1,0 +1,32 @@
+#include "support/env.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace pdc {
+
+bool env_flag(const char* name, bool fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return fallback;
+  return v[0] != '\0' && v[0] != '0';
+}
+
+int env_int(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || v[0] == '\0') return fallback;
+  char* end = nullptr;
+  const long parsed = std::strtol(v, &end, 10);
+  if (end == v || *end != '\0') return fallback;
+  return static_cast<int>(parsed);
+}
+
+double env_double(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || v[0] == '\0') return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(v, &end);
+  if (end == v || *end != '\0') return fallback;
+  return parsed;
+}
+
+}  // namespace pdc

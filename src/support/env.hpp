@@ -1,0 +1,18 @@
+// Process-environment configuration knobs, in one place instead of scattered
+// std::getenv calls. Every knob the project reads is documented in
+// ROADMAP.md ("Environment knobs").
+#pragma once
+
+namespace pdc {
+
+/// True when `name` is set to anything but "" or a string starting with '0'
+/// (so PDC_QUICK=1, PDC_QUICK=yes enable; PDC_QUICK=0 and unset disable).
+bool env_flag(const char* name, bool fallback = false);
+
+/// Integer value of `name`, or `fallback` when unset or not a number.
+int env_int(const char* name, int fallback);
+
+/// Double value of `name`, or `fallback` when unset or not a number.
+double env_double(const char* name, double fallback);
+
+}  // namespace pdc

@@ -1,0 +1,322 @@
+#include "support/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace pdc {
+
+// --- writer ----------------------------------------------------------------
+
+void JsonWriter::separate() {
+  if (key_pending_) {
+    key_pending_ = false;
+    return;  // value follows its key on the same line
+  }
+  if (stack_.empty()) return;
+  if (stack_.back().has_items) out_ += ',';
+  out_ += '\n';
+  indent();
+  stack_.back().has_items = true;
+}
+
+void JsonWriter::indent() {
+  out_.append(2 * stack_.size(), ' ');
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  separate();
+  out_ += '{';
+  stack_.push_back({'{'});
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  const bool had_items = stack_.back().has_items;
+  stack_.pop_back();
+  if (had_items) {
+    out_ += '\n';
+    indent();
+  }
+  out_ += '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  separate();
+  out_ += '[';
+  stack_.push_back({'['});
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  const bool had_items = stack_.back().has_items;
+  stack_.pop_back();
+  if (had_items) {
+    out_ += '\n';
+    indent();
+  }
+  out_ += ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  separate();
+  out_ += json_escape(k);
+  out_ += ": ";
+  key_pending_ = true;
+  return *this;
+}
+
+std::string format_shortest(double v) {
+  char buf[40];
+  for (int prec = 1; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof buf, "%.*g", prec, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  if (!std::isfinite(v)) return null();  // JSON has no inf/nan
+  separate();
+  out_ += format_shortest(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  separate();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  separate();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  separate();
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view s) {
+  separate();
+  out_ += json_escape(s);
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  separate();
+  out_ += "null";
+  return *this;
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out = "\"";
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+// --- reader ----------------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonValue document() {
+    JsonValue v = value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing content after document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) { throw JsonError(pos_, what); }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_word(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  JsonValue value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return JsonValue{string()};
+      case 't':
+        if (!consume_word("true")) fail("bad literal");
+        return JsonValue{true};
+      case 'f':
+        if (!consume_word("false")) fail("bad literal");
+        return JsonValue{false};
+      case 'n':
+        if (!consume_word("null")) fail("bad literal");
+        return JsonValue{nullptr};
+      default: return JsonValue{number()};
+    }
+  }
+
+  JsonValue object() {
+    expect('{');
+    JsonObject out;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return JsonValue{std::move(out)};
+    }
+    while (true) {
+      skip_ws();
+      std::string k = string();
+      skip_ws();
+      expect(':');
+      out[std::move(k)] = value();
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return JsonValue{std::move(out)};
+    }
+  }
+
+  JsonValue array() {
+    expect('[');
+    JsonArray out;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return JsonValue{std::move(out)};
+    }
+    while (true) {
+      out.push_back(value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return JsonValue{std::move(out)};
+    }
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("bad \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad \\u escape");
+          }
+          // Emit UTF-8 (surrogate pairs are not resolved; the writer never
+          // emits them either -- escapes above 0x1f stay literal).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xc0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3f));
+          } else {
+            out += static_cast<char>(0xe0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (code & 0x3f));
+          }
+          break;
+        }
+        default: fail("bad escape");
+      }
+    }
+  }
+
+  double number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+            text_[pos_] == '-'))
+      ++pos_;
+    const std::string num(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double v = std::strtod(num.c_str(), &end);
+    if (end == num.c_str() || *end != '\0') {
+      pos_ = start;
+      fail("bad number '" + num + "'");
+    }
+    return v;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue parse_json(std::string_view text) { return Parser(text).document(); }
+
+}  // namespace pdc

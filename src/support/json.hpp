@@ -1,0 +1,111 @@
+// Shared JSON support: a streaming writer (the one implementation behind
+// every BENCH_*.json / RunRecord file the project emits) and a small
+// recursive-descent reader used to validate and inspect those files in
+// tests and the pdc_scenario CLI.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace pdc {
+
+/// Streaming JSON writer with 2-space pretty printing. Usage:
+///
+///   JsonWriter w;
+///   w.begin_object().kv("bench", "flownet").key("results").begin_array();
+///   ... w.end_array().end_object();
+///   std::string doc = w.str();
+///
+/// Doubles are written with enough digits to round-trip (%.17g, trimmed);
+/// non-finite doubles become null (JSON has no inf/nan).
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(double v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(bool v);
+  JsonWriter& value(std::string_view s);
+  JsonWriter& value(const char* s) { return value(std::string_view(s)); }
+  JsonWriter& null();
+
+  template <class T>
+  JsonWriter& kv(std::string_view k, T v) {
+    key(k);
+    return value(v);
+  }
+
+  /// The document so far; complete once every begin_* is matched.
+  const std::string& str() const { return out_; }
+
+ private:
+  void separate();
+  void indent();
+
+  std::string out_;
+  struct Frame {
+    char kind;        // '{' or '['
+    bool has_items = false;
+  };
+  std::vector<Frame> stack_;
+  bool key_pending_ = false;
+};
+
+/// Escapes `s` as a JSON string literal including the quotes.
+std::string json_escape(std::string_view s);
+
+/// Shortest decimal representation that strtod round-trips to the same
+/// double (what JsonWriter::value(double) and the scenario renderer emit).
+/// Non-finite values format as %g would ("inf", "nan").
+std::string format_shortest(double v);
+
+class JsonError : public std::runtime_error {
+ public:
+  JsonError(std::size_t offset, const std::string& what)
+      : std::runtime_error("json offset " + std::to_string(offset) + ": " + what),
+        offset_(offset) {}
+  std::size_t offset() const { return offset_; }
+
+ private:
+  std::size_t offset_;
+};
+
+struct JsonValue;
+using JsonArray = std::vector<JsonValue>;
+using JsonObject = std::map<std::string, JsonValue>;
+
+struct JsonValue {
+  std::variant<std::nullptr_t, bool, double, std::string, JsonArray, JsonObject> v =
+      nullptr;
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(v); }
+  bool is_object() const { return std::holds_alternative<JsonObject>(v); }
+  bool is_array() const { return std::holds_alternative<JsonArray>(v); }
+  double as_double() const { return std::get<double>(v); }
+  bool as_bool() const { return std::get<bool>(v); }
+  const std::string& as_string() const { return std::get<std::string>(v); }
+  const JsonArray& as_array() const { return std::get<JsonArray>(v); }
+  const JsonObject& as_object() const { return std::get<JsonObject>(v); }
+  /// Object member access; throws std::out_of_range when missing.
+  const JsonValue& at(const std::string& key) const { return as_object().at(key); }
+  bool has(const std::string& key) const {
+    return is_object() && as_object().count(key) > 0;
+  }
+};
+
+/// Parses one JSON document (trailing whitespace allowed, nothing else).
+/// Throws JsonError on malformed input.
+JsonValue parse_json(std::string_view text);
+
+}  // namespace pdc

@@ -107,6 +107,64 @@ TEST(PlatFile, RenderParseRoundTrip) {
     EXPECT_EQ(reparsed.node(reparsed.host(h)).ip, original.node(original.host(h)).ip);
 }
 
+// Regression: render_platform used to drop explicit routes, so a
+// re-parsed star platform silently fell back to BFS paths that skip the
+// shared backbone. Routing must survive the round trip.
+TEST(PlatFile, RenderParseRoundTripPreservesRoutes) {
+  const Platform original = build_star(bordeplage_cluster_spec(4));
+  const std::string text = render_platform(original);
+  EXPECT_NE(text.find("route "), std::string::npos);
+  const Platform reparsed = parse_platform(text);
+  for (int a = 0; a < original.host_count(); ++a) {
+    for (int b = 0; b < original.host_count(); ++b) {
+      if (a == b) continue;
+      const Route& want = original.route(original.host(a), original.host(b));
+      const Route& got = reparsed.route(reparsed.host(a), reparsed.host(b));
+      ASSERT_EQ(got.hops.size(), want.hops.size()) << a << "->" << b;
+      for (std::size_t i = 0; i < want.hops.size(); ++i) {
+        EXPECT_EQ(reparsed.link(got.hops[i].link).name, original.link(want.hops[i].link).name)
+            << a << "->" << b << " hop " << i;
+        EXPECT_EQ(got.hops[i].dir, want.hops[i].dir) << a << "->" << b << " hop " << i;
+      }
+      EXPECT_NEAR(got.latency, want.latency, 1e-12);
+    }
+  }
+  // Idempotent: rendering the reparsed platform gives the same text.
+  EXPECT_EQ(render_platform(reparsed), text);
+}
+
+// Fabric links (no edge) carry their direction in the route line.
+TEST(PlatFile, FabricLinkRouteRoundTrip) {
+  const char* text = R"(
+host a speed 1GHz ip 10.0.0.1
+host b speed 1GHz ip 10.0.0.2
+router r
+link l1 bw 1Mbps lat 1us
+link l2 bw 1Mbps lat 1us
+link fabric bw 10Mbps lat 5us
+edge a r l1
+edge r b l2
+route a b l1 fabric:fwd l2
+)";
+  const Platform p = parse_platform(text);
+  const auto a = *p.find_by_name("a");
+  const auto b = *p.find_by_name("b");
+  ASSERT_EQ(p.route(a, b).hops.size(), 3u);
+  EXPECT_EQ(p.route(a, b).hops[1].dir, 0);
+  EXPECT_EQ(p.route(b, a).hops[1].dir, 1);  // symmetric install flips the fabric hop
+  const Platform back = parse_platform(render_platform(p));
+  EXPECT_EQ(render_platform(back), render_platform(p));
+  EXPECT_EQ(back.route(*back.find_by_name("b"), *back.find_by_name("a")).hops[1].dir, 1);
+}
+
+TEST(PlatFile, UnitValueParsers) {
+  EXPECT_DOUBLE_EQ(parse_speed_value("2.5GHz"), 2.5e9);
+  EXPECT_DOUBLE_EQ(parse_bandwidth_value("1Gbps"), 1e9 / 8);
+  EXPECT_DOUBLE_EQ(parse_latency_value("100us"), 100e-6);
+  EXPECT_THROW(parse_speed_value("fast"), std::invalid_argument);
+  EXPECT_THROW(parse_bandwidth_value("1Gb"), std::invalid_argument);
+}
+
 TEST(PlatFile, CommentsAndBlankLinesIgnored)
 {
   const Platform p = parse_platform("# nothing\n\n   \nrouter r # trailing\n");

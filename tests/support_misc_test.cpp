@@ -1,13 +1,77 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <set>
 
+#include "support/env.hpp"
+#include "support/json.hpp"
 #include "support/rng.hpp"
 #include "support/table.hpp"
 #include "support/time.hpp"
 
 namespace pdc {
 namespace {
+
+TEST(Json, WriterProducesParseableDocument) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("name", "a \"quoted\"\nstring");
+  w.kv("count", 42);
+  w.kv("pi", 3.141592653589793);
+  w.kv("big", std::uint64_t{1} << 60);
+  w.kv("flag", true);
+  w.key("items").begin_array().value(1).value("two").null().end_array();
+  w.key("empty_obj").begin_object().end_object();
+  w.key("empty_arr").begin_array().end_array();
+  w.end_object();
+  const JsonValue doc = parse_json(w.str());
+  EXPECT_EQ(doc.at("name").as_string(), "a \"quoted\"\nstring");
+  EXPECT_DOUBLE_EQ(doc.at("count").as_double(), 42.0);
+  EXPECT_DOUBLE_EQ(doc.at("pi").as_double(), 3.141592653589793);
+  EXPECT_TRUE(doc.at("flag").as_bool());
+  ASSERT_EQ(doc.at("items").as_array().size(), 3u);
+  EXPECT_TRUE(doc.at("items").as_array()[2].is_null());
+  EXPECT_TRUE(doc.at("empty_obj").as_object().empty());
+  EXPECT_TRUE(doc.at("empty_arr").as_array().empty());
+}
+
+TEST(Json, DoublesRoundTripExactly) {
+  for (double v : {0.0, -1.5, 1.0 / 3.0, 1e-300, 123456789.123456789, 2.5e9}) {
+    JsonWriter w;
+    w.begin_array().value(v).end_array();
+    EXPECT_EQ(parse_json(w.str()).as_array()[0].as_double(), v);
+  }
+  JsonWriter w;
+  w.begin_array().value(std::nan("")).end_array();  // non-finite -> null
+  EXPECT_TRUE(parse_json(w.str()).as_array()[0].is_null());
+}
+
+TEST(Json, ParserRejectsMalformedInput) {
+  EXPECT_THROW(parse_json("{"), JsonError);
+  EXPECT_THROW(parse_json("{\"a\": }"), JsonError);
+  EXPECT_THROW(parse_json("[1,]"), JsonError);
+  EXPECT_THROW(parse_json("[1] trailing"), JsonError);
+  EXPECT_THROW(parse_json("\"unterminated"), JsonError);
+  EXPECT_THROW(parse_json("tru"), JsonError);
+}
+
+TEST(Env, FlagIntAndDouble) {
+  ::setenv("PDC_TEST_KNOB", "1", 1);
+  EXPECT_TRUE(env_flag("PDC_TEST_KNOB"));
+  ::setenv("PDC_TEST_KNOB", "0", 1);
+  EXPECT_FALSE(env_flag("PDC_TEST_KNOB"));
+  ::unsetenv("PDC_TEST_KNOB");
+  EXPECT_FALSE(env_flag("PDC_TEST_KNOB"));
+  EXPECT_TRUE(env_flag("PDC_TEST_KNOB", true));
+  EXPECT_EQ(env_int("PDC_TEST_KNOB", 7), 7);
+  ::setenv("PDC_TEST_KNOB", "123", 1);
+  EXPECT_EQ(env_int("PDC_TEST_KNOB", 7), 123);
+  ::setenv("PDC_TEST_KNOB", "12x", 1);
+  EXPECT_EQ(env_int("PDC_TEST_KNOB", 7), 7);  // malformed -> fallback
+  ::setenv("PDC_TEST_KNOB", "2.5", 1);
+  EXPECT_DOUBLE_EQ(env_double("PDC_TEST_KNOB", 1.0), 2.5);
+  ::unsetenv("PDC_TEST_KNOB");
+}
 
 TEST(TimeUnits, Conversions) {
   EXPECT_EQ(to_ns(1.0), 1000000000u);
