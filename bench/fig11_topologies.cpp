@@ -1,43 +1,82 @@
 // Fig. 11 (paper §IV-B.4): reference time compared to dPerf predictions for
 // the Grid5000 cluster, the Daisy xDSL desktop grid (Stage-2A) and the LAN
-// (Stage-2B), all at optimization level 0.
+// (Stage-2B), all at optimization level 0 — two campaigns: one reference
+// sweep on the cluster, one prediction sweep with a platform axis. dPerf
+// traces depend only on the run spec (never on the platform) and are
+// memoized in Runner::traces(), so all three platform cells of a peer
+// count replay the same trace set — exactly the paper's methodology.
 //
 // Expected shape: the xDSL curve sits far above the others (communication
 // dominates; adding peers does not pay), the LAN curve tracks the cluster
 // within a modest factor.
 #include <cstdio>
+#include <map>
+#include <string>
 
+#include "campaign/executor.hpp"
 #include "experiments/harness.hpp"
-#include "scenario/runner.hpp"
+#include "support/env.hpp"
 #include "support/table.hpp"
 
 int main() {
   using namespace pdc;
-  scenario::RunSpec base = scenario::RunSpec::from_env();
-  base.level = ir::OptLevel::O0;
   std::printf("Fig. 11 -- reference vs dPerf predictions [s], optimization level 0\n\n");
 
-  const scenario::PlatformSpec platforms[] = {scenario::PlatformSpec::grid5000(),
-                                              scenario::PlatformSpec::xdsl(),
-                                              scenario::PlatformSpec::lan()};
+  scenario::RunSpec base = scenario::RunSpec::from_env();
+  base.level = ir::OptLevel::O0;
+
+  campaign::ExecutorOptions opts;
+  opts.jobs = env_int("PDC_CAMPAIGN_JOBS", 1);
+  opts.progress = true;
+
+  // Campaign 1: the cluster reference curve.
+  campaign::CampaignSpec ref;
+  ref.name = "fig11-ref";
+  ref.base.name = "fig11-ref";
+  ref.base.platform = scenario::PlatformSpec::grid5000();
+  ref.base.run = base;
+  ref.base.run.mode = scenario::Mode::Reference;
+  ref.peers = experiments::paper_peer_counts();
+  campaign::Executor ref_executor{ref, opts};
+  ref_executor.execute();
+
+  // Campaign 2: predictions across the platform axis.
+  campaign::CampaignSpec pred;
+  pred.name = "fig11";
+  pred.base.name = "fig11";
+  pred.base.run = base;
+  pred.base.run.mode = scenario::Mode::Predict;
+  pred.platforms = {scenario::PlatformSpec::grid5000(), scenario::PlatformSpec::xdsl(),
+                    scenario::PlatformSpec::lan()};
+  pred.peers = experiments::paper_peer_counts();
+  campaign::Executor pred_executor{pred, opts};
+  pred_executor.execute();
+
+  std::map<int, double> reference;
+  for (const campaign::Outcome& out : ref_executor.outcomes()) {
+    if (!out.ok()) {
+      std::fprintf(stderr, "run %s failed: %s\n", out.run.key.c_str(), out.error.c_str());
+      return 1;
+    }
+    reference[out.run.spec.run.peers] = out.metrics.at("reference_solve_seconds");
+  }
+  std::map<std::pair<std::string, int>, double> predicted;
+  for (const campaign::Outcome& out : pred_executor.outcomes()) {
+    if (!out.ok()) {
+      std::fprintf(stderr, "run %s failed: %s\n", out.run.key.c_str(), out.error.c_str());
+      return 1;
+    }
+    predicted[{out.run.spec.platform.label, out.run.spec.run.peers}] =
+        out.metrics.at("predicted_solve_seconds");
+  }
 
   TextTable table({"Peers", "reference", "dPerf Grid5000", "dPerf xDSL", "dPerf LAN"});
   for (int peers : experiments::paper_peer_counts()) {
-    scenario::RunSpec run = base;
-    run.peers = peers;
-    const scenario::Runner cluster{{"fig11", platforms[0], run}};
-    const double ref = cluster.run_reference().solve_seconds;
-    // One set of traces per peer count, replayed on each platform
-    // description -- exactly the paper's methodology.
-    const auto traces = cluster.traces();
-    std::vector<std::string> row{std::to_string(peers), TextTable::num(ref, 2)};
-    for (const auto& platform : platforms) {
-      const scenario::Runner runner{{"fig11", platform, run}};
-      row.push_back(TextTable::num(runner.run_predicted(traces).solve_seconds, 2));
-    }
     // Paper column order: Grid5000, xDSL, LAN.
-    table.add_row({row[0], row[1], row[2], row[3], row[4]});
-    std::printf("  ... %d peers done\n", peers);
+    table.add_row({std::to_string(peers), TextTable::num(reference.at(peers), 2),
+                   TextTable::num(predicted.at({"grid5000", peers}), 2),
+                   TextTable::num(predicted.at({"xdsl", peers}), 2),
+                   TextTable::num(predicted.at({"lan", peers}), 2)});
   }
   std::printf("\n%s\n", table.render().c_str());
   return 0;

@@ -1,13 +1,18 @@
 // Fig. 9 (paper §IV-B.1): Stage-1 reference execution time of the obstacle
 // problem on the Bordeplage cluster for 2..32 peers at every GCC-equivalent
-// optimization level {0, 1, 2, 3, s}, driven as declarative scenarios.
+// optimization level {0, 1, 2, 3, s}, driven as one declarative campaign
+// (peers x opt sweep) instead of a hand-rolled loop. PDC_CAMPAIGN_JOBS runs
+// grid cells concurrently; the table is identical at any job count because
+// every run is an independent deterministic simulation.
 //
 // Expected shape: times fall monotonically with peers; the O0 curve is
 // roughly 3x the optimized ones; levels >= 1 are clustered together.
 #include <cstdio>
+#include <map>
 
+#include "campaign/executor.hpp"
 #include "experiments/harness.hpp"
-#include "scenario/runner.hpp"
+#include "support/env.hpp"
 #include "support/table.hpp"
 
 int main() {
@@ -18,20 +23,37 @@ int main() {
               "backbone, 3 GHz nodes)\n\n",
               base.grid_n, base.grid_n, base.iters);
 
+  campaign::CampaignSpec camp;
+  camp.name = "fig9";
+  camp.base.name = "fig9";
+  camp.base.platform = scenario::PlatformSpec::grid5000();
+  camp.base.run = base;
+  camp.base.run.mode = scenario::Mode::Reference;
+  camp.peers = experiments::paper_peer_counts();
+  camp.levels = ir::all_opt_levels();
+
+  campaign::ExecutorOptions opts;
+  opts.jobs = env_int("PDC_CAMPAIGN_JOBS", 1);
+  opts.progress = true;
+  campaign::Executor executor{camp, opts};
+  executor.execute();
+
+  std::map<std::pair<int, int>, double> solve;
+  for (const campaign::Outcome& out : executor.outcomes()) {
+    if (!out.ok()) {
+      std::fprintf(stderr, "run %s failed: %s\n", out.run.key.c_str(), out.error.c_str());
+      return 1;
+    }
+    solve[{out.run.spec.run.peers, static_cast<int>(out.run.spec.run.level)}] =
+        out.metrics.at("reference_solve_seconds");
+  }
+
   TextTable table({"Peers", "opt 0", "opt 1", "opt 2", "opt 3", "opt s"});
   for (int peers : experiments::paper_peer_counts()) {
     std::vector<std::string> row{std::to_string(peers)};
-    for (ir::OptLevel lvl : ir::all_opt_levels()) {
-      scenario::RunSpec run = base;
-      run.peers = peers;
-      run.level = lvl;
-      run.mode = scenario::Mode::Reference;
-      const scenario::Runner runner{
-          {"fig9", scenario::PlatformSpec::grid5000(), run}};
-      row.push_back(TextTable::num(runner.run_reference().solve_seconds, 2));
-    }
+    for (ir::OptLevel lvl : ir::all_opt_levels())
+      row.push_back(TextTable::num(solve.at({peers, static_cast<int>(lvl)}), 2));
     table.add_row(std::move(row));
-    std::printf("  ... %d peers done\n", peers);
   }
   std::printf("\n%s\n", table.render().c_str());
 

@@ -3,13 +3,15 @@
 // comparisons, the predicted P2P desktop-grid time is matched against the
 // cluster reference and classified the way the paper words it
 // ("slightly lower than" = the P2P configuration performs slightly worse,
-// "same as" = equivalent computing power).
+// "same as" = equivalent computing power). Three campaigns replace the
+// hand-rolled loops: cluster references, LAN predictions, one xDSL point.
 #include <cmath>
 #include <cstdio>
 #include <map>
 
+#include "campaign/executor.hpp"
 #include "experiments/harness.hpp"
-#include "scenario/runner.hpp"
+#include "support/env.hpp"
 #include "support/table.hpp"
 
 namespace {
@@ -33,37 +35,54 @@ int main() {
               "(classification by predicted-time ratio; the paper's wording:\n"
               " 'performance slightly lower than' = P2P config slightly slower)\n\n");
 
-  auto run_for = [&](int peers) {
-    scenario::RunSpec run = base;
-    run.peers = peers;
-    return run;
+  campaign::ExecutorOptions opts;
+  opts.jobs = env_int("PDC_CAMPAIGN_JOBS", 1);
+  opts.progress = true;
+
+  auto make = [&base](const char* name, scenario::PlatformSpec platform,
+                      scenario::Mode mode, std::vector<int> peers) {
+    campaign::CampaignSpec c;
+    c.name = name;
+    c.base.name = name;
+    c.base.platform = std::move(platform);
+    c.base.run = base;
+    c.base.run.mode = mode;
+    c.peers = std::move(peers);
+    return c;
   };
 
-  // Reference cluster times at the peer counts the paper compares against.
-  std::map<int, double> cluster;
-  for (int peers : {2, 4, 8})
-    cluster[peers] = scenario::Runner{{"table1", scenario::PlatformSpec::grid5000(),
-                                       run_for(peers)}}
-                         .run_reference()
-                         .solve_seconds;
+  // Reference cluster times at the peer counts the paper compares against,
+  // and predicted desktop-grid times for the paper's configurations.
+  campaign::Executor cluster_executor{
+      make("table1-ref", scenario::PlatformSpec::grid5000(), scenario::Mode::Reference,
+           {2, 4, 8}),
+      opts};
+  campaign::Executor lan_executor{make("table1-lan", scenario::PlatformSpec::lan(),
+                                       scenario::Mode::Predict, {2, 4, 8, 32}),
+                                  opts};
+  campaign::Executor xdsl_executor{make("table1-xdsl", scenario::PlatformSpec::xdsl(),
+                                        scenario::Mode::Predict, {4}),
+                                   opts};
 
-  // Predicted desktop-grid times for the paper's configurations.
+  std::map<int, double> cluster;
   std::map<std::pair<const char*, int>, double> p2p;
-  for (int peers : {2, 4, 8, 32}) {
-    const scenario::Runner cluster_runner{
-        {"table1", scenario::PlatformSpec::grid5000(), run_for(peers)}};
-    const auto traces = cluster_runner.traces();
-    if (peers == 4)
-      p2p[{"xDSL", peers}] = scenario::Runner{{"table1", scenario::PlatformSpec::xdsl(),
-                                               run_for(peers)}}
-                                 .run_predicted(traces)
-                                 .solve_seconds;
-    p2p[{"LAN", peers}] = scenario::Runner{{"table1", scenario::PlatformSpec::lan(),
-                                            run_for(peers)}}
-                              .run_predicted(traces)
-                              .solve_seconds;
-    std::printf("  ... %d peers done\n", peers);
-  }
+  auto collect = [](campaign::Executor& ex, const char* metric, auto&& sink) {
+    ex.execute();
+    for (const campaign::Outcome& out : ex.outcomes()) {
+      if (!out.ok()) {
+        std::fprintf(stderr, "run %s failed: %s\n", out.run.key.c_str(),
+                     out.error.c_str());
+        std::exit(1);
+      }
+      sink(out.run.spec.run.peers, out.metrics.at(metric));
+    }
+  };
+  collect(cluster_executor, "reference_solve_seconds",
+          [&](int peers, double t) { cluster[peers] = t; });
+  collect(lan_executor, "predicted_solve_seconds",
+          [&](int peers, double t) { p2p[{"LAN", peers}] = t; });
+  collect(xdsl_executor, "predicted_solve_seconds",
+          [&](int peers, double t) { p2p[{"xDSL", peers}] = t; });
 
   struct Row {
     int p2p_peers;

@@ -1,0 +1,160 @@
+// pdc_campaign: expand and execute a parameter-sweep campaign from a
+// declarative .cmp file — the batch sibling of pdc_scenario. See
+// examples/campaigns/ for ready-made files and examples/README.md for the
+// format, resume semantics and CSV columns.
+//
+//   $ ./example_pdc_campaign examples/campaigns/smoke.cmp
+//   $ ./example_pdc_campaign -j 4 -o out examples/campaigns/fig9.cmp
+//   $ printf 'sweep peers 2,4\n' | PDC_QUICK=1 ./example_pdc_campaign -
+//
+// Options:
+//   -j <n>       run up to n grid cells concurrently (default 1)
+//   -o <dir>     output directory (default CAMPAIGN_<name>); holds
+//                runs/<key>.json per run plus report.json / report.csv
+//   --render     print the canonical campaign text and exit (no run)
+//   --list       print the expanded run matrix and exit (no run)
+//   --no-resume  re-execute runs even when their record already exists
+//   --check      re-parse the emitted report JSON + CSV and fail loudly on
+//                a mismatch (used by the CI campaign-smoke job)
+//
+// Completed runs found in <dir>/runs are skipped on restart, so an
+// interrupted campaign continues where it stopped. The final summary line
+// (`campaign done: ...`) is stable for scripting.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "campaign/executor.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pdc;
+  const char* spec_path = nullptr;
+  const char* out_dir = nullptr;
+  int jobs = 1;
+  bool render_only = false;
+  bool list_only = false;
+  bool resume = true;
+  bool check = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "-j") == 0 && i + 1 < argc) jobs = std::atoi(argv[++i]);
+    else if (std::strcmp(argv[i], "-o") == 0 && i + 1 < argc) out_dir = argv[++i];
+    else if (std::strcmp(argv[i], "--render") == 0) render_only = true;
+    else if (std::strcmp(argv[i], "--list") == 0) list_only = true;
+    else if (std::strcmp(argv[i], "--no-resume") == 0) resume = false;
+    else if (std::strcmp(argv[i], "--check") == 0) check = true;
+    else if (argv[i][0] == '-' && std::strcmp(argv[i], "-") != 0) {
+      std::fprintf(stderr, "unknown option '%s'\n", argv[i]);
+      return 2;
+    } else {
+      spec_path = argv[i];
+    }
+  }
+  if (spec_path == nullptr) {
+    std::fprintf(stderr,
+                 "usage: pdc_campaign [-j n] [-o dir] [--render] [--list] [--no-resume] "
+                 "[--check] <campaign-file|->\n");
+    return 2;
+  }
+  if (jobs < 1) {
+    std::fprintf(stderr, "-j wants a positive job count\n");
+    return 2;
+  }
+
+  std::string text;
+  if (std::strcmp(spec_path, "-") == 0) {
+    std::stringstream buf;
+    buf << std::cin.rdbuf();
+    text = buf.str();
+  } else {
+    std::ifstream in(spec_path);
+    if (!in) {
+      std::fprintf(stderr, "cannot open campaign file '%s'\n", spec_path);
+      return 1;
+    }
+    std::stringstream buf;
+    buf << in.rdbuf();
+    text = buf.str();
+  }
+
+  campaign::CampaignSpec spec;
+  try {
+    spec = campaign::parse_campaign(text, scenario::RunSpec::from_env());
+  } catch (const scenario::ScenarioError& e) {
+    std::fprintf(stderr, "%s: %s\n", spec_path, e.what());
+    return 1;
+  }
+
+  if (render_only) {
+    std::fputs(campaign::render_campaign(spec).c_str(), stdout);
+    return 0;
+  }
+
+  campaign::ExecutorOptions opts;
+  opts.jobs = jobs;
+  opts.resume = resume;
+  opts.progress = true;
+  opts.out_dir = out_dir != nullptr ? out_dir : "CAMPAIGN_" + spec.name;
+  campaign::Executor executor{std::move(spec), opts};
+
+  if (list_only) {
+    for (const campaign::CampaignRun& run : executor.runs())
+      std::printf("%4zu  %s\n", run.index, run.key.c_str());
+    std::printf("%zu runs\n", executor.runs().size());
+    return 0;
+  }
+
+  campaign::CampaignReport report;
+  try {
+    report = executor.execute();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "campaign failed: %s\n", e.what());
+    return 1;
+  }
+
+  TextTable table({"Point", "reps", "err", "metric", "mean", "stddev", "min", "max"});
+  for (const campaign::PointReport& p : report.points) {
+    // One headline metric per point keeps the console readable; the full
+    // metric set is in report.json / report.csv.
+    const char* headline = p.metrics.count("reference_solve_seconds")
+                               ? "reference_solve_seconds"
+                               : "predicted_solve_seconds";
+    auto it = p.metrics.find(headline);
+    if (it == p.metrics.end()) {
+      table.add_row({p.key, std::to_string(p.repetitions), std::to_string(p.errors), "-",
+                     "-", "-", "-", "-"});
+      continue;
+    }
+    const Summary& s = it->second;
+    table.add_row({p.key, std::to_string(p.repetitions), std::to_string(p.errors),
+                   headline, TextTable::num(s.mean, 3), TextTable::num(s.stddev, 3),
+                   TextTable::num(s.min, 3), TextTable::num(s.max, 3)});
+  }
+  std::printf("%s", table.render().c_str());
+
+  if (check) {
+    try {
+      const JsonValue doc = parse_json(report.to_json());
+      if (!doc.has("campaign") || !doc.has("points"))
+        throw JsonError(0, "report missing required keys");
+      if (static_cast<std::size_t>(doc.at("total_runs").as_double()) != report.total)
+        throw JsonError(0, "total_runs mismatch");
+      const std::string csv = report.to_csv();
+      if (csv.find("campaign,point,platform") != 0)
+        throw std::runtime_error("csv header mismatch");
+      std::printf("report check: ok\n");
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "report check FAILED: %s\n", e.what());
+      return 1;
+    }
+  }
+
+  std::printf("wrote %s/report.json and report.csv\n", opts.out_dir.c_str());
+  std::printf("campaign done: total=%zu executed=%zu skipped=%zu errors=%zu wall=%.2fs\n",
+              report.total, report.executed, report.skipped, report.errors,
+              report.wall_seconds);
+  return report.errors == 0 ? 0 : 3;
+}

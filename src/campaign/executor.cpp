@@ -1,0 +1,313 @@
+#include "campaign/executor.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <tuple>
+
+#include "support/csv.hpp"
+#include "support/log.hpp"
+#include "support/thread_pool.hpp"
+
+namespace pdc::campaign {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/// Temp-write + rename so a killed campaign never leaves a truncated file
+/// that a later resume would trust.
+void write_file_atomic(const fs::path& path, const std::string& content) {
+  const fs::path tmp = path.string() + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw std::runtime_error("cannot write '" + tmp.string() + "'");
+    out << content;
+    if (!out) throw std::runtime_error("short write to '" + tmp.string() + "'");
+  }
+  fs::rename(tmp, path);
+}
+
+void metric_json(JsonWriter& w, const Summary& s) {
+  w.begin_object();
+  w.kv("n", static_cast<std::int64_t>(s.n));
+  w.kv("mean", s.mean);
+  w.kv("stddev", s.stddev);
+  w.kv("min", s.min);
+  w.kv("max", s.max);
+  w.kv("p50", s.p50);
+  w.kv("p95", s.p95);
+  w.kv("ci95_half", s.ci95_half);
+  w.end_object();
+}
+
+}  // namespace
+
+std::map<std::string, double> record_metrics(const JsonValue& record) {
+  std::map<std::string, double> m;
+  auto phase = [&m, &record](const char* key, const char* prefix) {
+    if (!record.has(key)) return;
+    const JsonValue& ph = record.at(key);
+    m[std::string(prefix) + "_solve_seconds"] = ph.at("solve_seconds").as_double();
+    m[std::string(prefix) + "_total_seconds"] = ph.at("total_seconds").as_double();
+  };
+  phase("reference", "reference");
+  phase("predicted", "predicted");
+  if (record.has("prediction_error"))
+    m["prediction_error"] = record.at("prediction_error").as_double();
+  return m;
+}
+
+Executor::Executor(CampaignSpec spec, ExecutorOptions opts)
+    : spec_(std::move(spec)), opts_(std::move(opts)), runs_(expand(spec_)) {}
+
+std::string Executor::record_path(const CampaignRun& run) const {
+  return (fs::path(opts_.out_dir) / "runs" / (run.key + ".json")).string();
+}
+
+bool Executor::try_resume(const CampaignRun& run, Outcome& out) const {
+  if (opts_.out_dir.empty() || !opts_.resume) return false;
+  std::ifstream in(record_path(run), std::ios::binary);
+  if (!in) return false;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+  try {
+    const JsonValue doc = parse_json(text);
+    // Only a complete, matching, successful record counts as done; failed
+    // or foreign records are re-executed.
+    if (!doc.has("scenario") || doc.at("scenario").as_string() != run.spec.name)
+      return false;
+    if (doc.has("error")) return false;
+    // The run name encodes axis values but not the base scenario, so an
+    // edited .cmp (different grid/iters/mode, changed variant parameters,
+    // edited inline platform text, ...) must not silently resume stale
+    // records: the record's canonical spec text must match this run's
+    // exactly. Older records without the field are re-executed.
+    if (!doc.has("spec") ||
+        doc.at("spec").as_string() != scenario::render_scenario(run.spec))
+      return false;
+    // Extract before committing any state: a record whose metrics do not
+    // parse (older format) is re-executed, not half-loaded.
+    auto metrics = record_metrics(doc);
+    out.skipped = true;
+    out.record_json = text;
+    out.metrics = std::move(metrics);
+    return true;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+void Executor::execute_one(const CampaignRun& run, Outcome& out) const {
+  const auto t0 = std::chrono::steady_clock::now();
+  // Warnings this run emits (starved flows, ...) carry its key even when
+  // eight workers interleave on stderr.
+  LogRunTag tag(run.key);
+  const scenario::Runner runner{run.spec};
+  scenario::RunRecord rec = runner.try_run();
+  out.error = rec.error;
+  out.record_json = rec.to_json();
+  // Nothing may escape a pooled worker (an uncaught exception would
+  // std::terminate the whole campaign): record persistence or metric
+  // extraction failures become this run's structured error, same as a
+  // failed simulation.
+  try {
+    if (!opts_.out_dir.empty()) write_file_atomic(record_path(run), out.record_json);
+    if (rec.ok()) out.metrics = record_metrics(parse_json(out.record_json));
+  } catch (const std::exception& e) {
+    out.error = e.what();
+    out.metrics.clear();
+  }
+  out.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+CampaignReport Executor::execute() {
+  const auto t0 = std::chrono::steady_clock::now();
+  if (!opts_.out_dir.empty()) fs::create_directories(fs::path(opts_.out_dir) / "runs");
+
+  outcomes_.clear();
+  outcomes_.resize(runs_.size());
+  std::vector<std::size_t> pending;
+  for (std::size_t i = 0; i < runs_.size(); ++i) {
+    outcomes_[i].run = runs_[i];
+    if (!try_resume(runs_[i], outcomes_[i])) pending.push_back(i);
+  }
+
+  // Derive everything the grid needs from the process-wide memos (dPerf
+  // cost profiles for reference runs, trace sets for predictions) before
+  // fanning out, so workers only hit the mutex-guarded cached paths
+  // instead of serializing on first touch. The warmed-key tuples mirror
+  // the memo keys in scenario/runner.cpp.
+  std::set<std::tuple<int, int, int, int>> warmed_costs;
+  std::set<std::tuple<int, int, int, int, int, double>> warmed_traces;
+  for (std::size_t idx : pending) {
+    const scenario::RunSpec& r = runs_[idx].spec.run;
+    if (r.mode != scenario::Mode::Predict &&
+        warmed_costs
+            .emplace(static_cast<int>(r.level), r.bench_n, r.bench_iters, r.bench_rcheck)
+            .second)
+      scenario::cost_profile(r.level, r);
+    if (r.mode != scenario::Mode::Reference &&
+        warmed_traces
+            .emplace(static_cast<int>(r.level), r.rcheck, r.grid_n, r.iters, r.peers,
+                     r.omega)
+            .second)
+      scenario::Runner{runs_[idx].spec}.traces();
+  }
+
+  std::mutex progress_mutex;
+  std::size_t finished = 0;
+  if (opts_.progress)
+    std::fprintf(stderr, "campaign %s: %zu runs (%zu resumed), jobs=%d\n",
+                 spec_.name.c_str(), runs_.size(), runs_.size() - pending.size(),
+                 opts_.jobs);
+  auto work = [&](std::size_t idx) {
+    try {
+      execute_one(runs_[idx], outcomes_[idx]);
+    } catch (const std::exception& e) {  // belt and braces: see execute_one
+      outcomes_[idx].error = e.what();
+    } catch (...) {
+      outcomes_[idx].error = "unknown error";
+    }
+    if (!opts_.progress) return;
+    const Outcome& out = outcomes_[idx];
+    std::lock_guard<std::mutex> lock(progress_mutex);
+    ++finished;
+    std::fprintf(stderr, "[%zu/%zu] %s: %s (%.2fs)\n", finished, pending.size(),
+                 runs_[idx].key.c_str(),
+                 out.ok() ? "ok" : ("ERROR " + out.error).c_str(), out.wall_seconds);
+  };
+
+  if (opts_.jobs <= 1) {
+    // Inline sequential execution: no pool, no thread — bit-for-bit the
+    // same behaviour as driving the Runner directly in a loop.
+    for (std::size_t idx : pending) work(idx);
+  } else {
+    ThreadPool pool(opts_.jobs);
+    for (std::size_t idx : pending) pool.submit([&work, idx] { work(idx); });
+    pool.wait_idle();
+  }
+
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  CampaignReport report = aggregate(wall);
+  report.executed = pending.size();
+  if (!opts_.out_dir.empty()) {
+    write_file_atomic(fs::path(opts_.out_dir) / "report.json", report.to_json());
+    write_file_atomic(fs::path(opts_.out_dir) / "report.csv", report.to_csv());
+  }
+  return report;
+}
+
+CampaignReport Executor::aggregate(double wall_seconds) const {
+  CampaignReport report;
+  report.name = spec_.name;
+  report.jobs = opts_.jobs;
+  report.total = runs_.size();
+  report.wall_seconds = wall_seconds;
+
+  // Grid points in first-appearance (expansion) order; repetitions are the
+  // innermost expansion axis, so samples group naturally.
+  std::map<std::string, std::size_t> point_index;
+  std::vector<std::map<std::string, std::vector<double>>> samples;
+  for (const Outcome& out : outcomes_) {
+    if (out.skipped) ++report.skipped;
+    auto it = point_index.find(out.run.point_key);
+    if (it == point_index.end()) {
+      it = point_index.emplace(out.run.point_key, report.points.size()).first;
+      const scenario::ScenarioSpec& s = out.run.spec;
+      PointReport p;
+      p.key = out.run.point_key;
+      p.platform_label = s.platform.label;
+      p.platform_kind = s.platform.kind();
+      p.peers = s.run.peers;
+      p.opt = ir::opt_level_name(s.run.level);
+      p.scheme = s.run.scheme == p2psap::Scheme::Synchronous ? "sync" : "async";
+      p.alloc = s.run.allocation == p2pdc::AllocationMode::Hierarchical ? "hierarchical"
+                                                                        : "flat";
+      p.seed = s.run.seed;
+      report.points.push_back(std::move(p));
+      samples.emplace_back();
+    }
+    PointReport& point = report.points[it->second];
+    if (!out.ok()) {
+      ++point.errors;
+      ++report.errors;
+      continue;
+    }
+    ++point.repetitions;
+    for (const auto& [name, value] : out.metrics) samples[it->second][name].push_back(value);
+  }
+  for (std::size_t i = 0; i < report.points.size(); ++i)
+    for (const auto& [name, values] : samples[i])
+      report.points[i].metrics[name] = summarize(values);
+  return report;
+}
+
+std::string CampaignReport::to_json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("campaign", name);
+  w.kv("jobs", jobs);
+  w.kv("total_runs", static_cast<std::int64_t>(total));
+  w.kv("executed", static_cast<std::int64_t>(executed));
+  w.kv("skipped", static_cast<std::int64_t>(skipped));
+  w.kv("errors", static_cast<std::int64_t>(errors));
+  w.kv("wall_seconds", wall_seconds);
+  w.key("points").begin_array();
+  for (const PointReport& p : points) {
+    w.begin_object();
+    w.kv("point", p.key);
+    w.key("platform").begin_object();
+    w.kv("label", p.platform_label);
+    w.kv("kind", p.platform_kind);
+    w.end_object();
+    w.kv("peers", p.peers);
+    w.kv("opt", p.opt);
+    w.kv("scheme", p.scheme);
+    w.kv("alloc", p.alloc);
+    w.kv("seed", p.seed);
+    w.kv("repetitions", p.repetitions);
+    w.kv("errors", p.errors);
+    w.key("metrics").begin_object();
+    for (const auto& [metric, summary] : p.metrics) {
+      w.key(metric);
+      metric_json(w, summary);
+    }
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str() + "\n";
+}
+
+std::string CampaignReport::to_csv() const {
+  CsvWriter csv({"campaign", "point", "platform", "kind", "peers", "opt", "scheme",
+                 "alloc", "seed", "repetitions", "errors", "metric", "n", "mean",
+                 "stddev", "min", "max", "p50", "p95", "ci95_half"});
+  for (const PointReport& p : points) {
+    auto row = [&](const std::string& metric, const Summary& s) {
+      csv.row({name, p.key, p.platform_label, p.platform_kind, std::to_string(p.peers),
+               p.opt, p.scheme, p.alloc, std::to_string(p.seed),
+               std::to_string(p.repetitions), std::to_string(p.errors), metric,
+               std::to_string(s.n), format_shortest(s.mean), format_shortest(s.stddev),
+               format_shortest(s.min), format_shortest(s.max), format_shortest(s.p50),
+               format_shortest(s.p95), format_shortest(s.ci95_half)});
+    };
+    // A point whose every repetition failed has no metrics; emit one
+    // placeholder row so its errors stay visible in the CSV.
+    if (p.metrics.empty()) row("-", Summary{});
+    for (const auto& [metric, s] : p.metrics) row(metric, s);
+  }
+  return csv.str();
+}
+
+}  // namespace pdc::campaign

@@ -1,0 +1,306 @@
+#include "campaign/spec.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace pdc::campaign {
+
+namespace {
+
+using scenario::PlatformSpec;
+using scenario::ScenarioError;
+
+int parse_int(const std::string& text, int line, const char* what) {
+  char* end = nullptr;
+  const long v = std::strtol(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0')
+    throw ScenarioError(line, std::string("bad ") + what + " '" + text + "'");
+  return static_cast<int>(v);
+}
+
+std::uint64_t parse_u64(const std::string& text, int line, const char* what) {
+  char* end = nullptr;
+  const std::uint64_t v = std::strtoull(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0')
+    throw ScenarioError(line, std::string("bad ") + what + " '" + text + "'");
+  return v;
+}
+
+/// Sweep values may be comma- and/or space-separated; flatten both.
+std::vector<std::string> sweep_values(const std::vector<std::string>& tok,
+                                      std::size_t first, int line) {
+  std::vector<std::string> out;
+  for (std::size_t i = first; i < tok.size(); ++i) {
+    std::string item;
+    std::istringstream in(tok[i]);
+    while (std::getline(in, item, ','))
+      if (!item.empty()) out.push_back(item);
+  }
+  if (out.empty()) throw ScenarioError(line, "sweep axis with no values");
+  return out;
+}
+
+PlatformSpec preset_platform(const std::string& name, int line) {
+  if (name == "grid5000") return PlatformSpec::grid5000();
+  if (name == "lan") return PlatformSpec::lan();
+  if (name == "xdsl") return PlatformSpec::xdsl();
+  if (name == "federation") return PlatformSpec::federation();
+  if (name == "wan") return PlatformSpec::wan();
+  throw ScenarioError(line, "unknown platform preset '" + name +
+                                "' (use a `variant` line for parameterized platforms)");
+}
+
+/// Keys name run-record files: keep [A-Za-z0-9._-], map the rest to '_'.
+std::string sanitize_key(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    const bool ok = std::isalnum(static_cast<unsigned char>(c)) || c == '.' ||
+                    c == '_' || c == '-';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+const char* scheme_key(p2psap::Scheme s) {
+  return s == p2psap::Scheme::Synchronous ? "sync" : "async";
+}
+
+const char* alloc_key(p2pdc::AllocationMode a) {
+  return a == p2pdc::AllocationMode::Hierarchical ? "hier" : "flat";
+}
+
+}  // namespace
+
+std::size_t CampaignSpec::total_runs() const {
+  auto axis = [](std::size_t n) { return n == 0 ? std::size_t{1} : n; };
+  return axis(platforms.size()) * axis(peers.size()) * axis(levels.size()) *
+         axis(schemes.size()) * axis(allocations.size()) * axis(seeds.size()) *
+         static_cast<std::size_t>(repetitions < 1 ? 0 : repetitions);
+}
+
+std::vector<CampaignRun> expand(const CampaignSpec& spec) {
+  if (spec.repetitions < 1)
+    throw std::invalid_argument("campaign '" + spec.name + "': repetitions < 1");
+
+  // Repeated values on one axis (e.g. `sweep seed 42,42`) would expand to
+  // runs with the identical key — same record file, racing temp writes at
+  // -j>1, double-counted aggregation. They carry no information
+  // (`repetitions` is the way to repeat a point), so collapse them,
+  // keeping first-occurrence order.
+  auto dedup = [](auto values) {
+    auto out = values;
+    out.clear();
+    for (const auto& v : values)
+      if (std::find(out.begin(), out.end(), v) == out.end()) out.push_back(v);
+    return out;
+  };
+
+  // Empty axes collapse to the base scenario's value.
+  const std::vector<PlatformSpec> platforms =
+      spec.platforms.empty() ? std::vector<PlatformSpec>{spec.base.platform}
+                             : spec.platforms;
+  const std::vector<int> peers =
+      spec.peers.empty() ? std::vector<int>{spec.base.run.peers} : dedup(spec.peers);
+  const std::vector<ir::OptLevel> levels =
+      spec.levels.empty() ? std::vector<ir::OptLevel>{spec.base.run.level}
+                          : dedup(spec.levels);
+  const std::vector<p2psap::Scheme> schemes =
+      spec.schemes.empty() ? std::vector<p2psap::Scheme>{spec.base.run.scheme}
+                           : dedup(spec.schemes);
+  const std::vector<p2pdc::AllocationMode> allocations =
+      spec.allocations.empty()
+          ? std::vector<p2pdc::AllocationMode>{spec.base.run.allocation}
+          : dedup(spec.allocations);
+  const std::vector<std::uint64_t> seeds =
+      spec.seeds.empty() ? std::vector<std::uint64_t>{spec.base.run.seed}
+                         : dedup(spec.seeds);
+
+  // Platform key components must be unique per axis value: two `variant
+  // star ...` lines without explicit labels would otherwise collide into
+  // one grid point (same record file, merged aggregation, wrong resume).
+  // First-come keeps the plain label; later duplicates grow a "v<index>"
+  // suffix until unique (covering labels that themselves look suffixed).
+  std::vector<std::string> platform_keys;
+  platform_keys.reserve(platforms.size());
+  {
+    std::set<std::string> used;
+    for (std::size_t i = 0; i < platforms.size(); ++i) {
+      std::string key = sanitize_key(platforms[i].label);
+      while (!used.insert(key).second) key += "v" + std::to_string(i);
+      platform_keys.push_back(std::move(key));
+    }
+  }
+
+  std::vector<CampaignRun> runs;
+  runs.reserve(spec.total_runs());
+  for (std::size_t plat = 0; plat < platforms.size(); ++plat)
+    for (int p : peers)
+      for (ir::OptLevel level : levels)
+        for (p2psap::Scheme scheme : schemes)
+          for (p2pdc::AllocationMode alloc : allocations)
+            for (std::uint64_t seed : seeds)
+              for (int rep = 0; rep < spec.repetitions; ++rep) {
+                const PlatformSpec& platform = platforms[plat];
+                CampaignRun run;
+                run.index = runs.size();
+                run.repetition = rep;
+                run.point_key = platform_keys[plat] + "-p" + std::to_string(p) +
+                                "-" + ir::opt_level_name(level) + "-" +
+                                scheme_key(scheme) + "-" + alloc_key(alloc) + "-s" +
+                                std::to_string(seed);
+                run.key = run.point_key + "-r" + std::to_string(rep);
+                run.spec = spec.base;
+                run.spec.name = spec.name + "/" + run.key;
+                run.spec.platform = platform;
+                run.spec.run.peers = p;
+                run.spec.run.level = level;
+                run.spec.run.scheme = scheme;
+                run.spec.run.allocation = alloc;
+                run.spec.run.seed = seed;
+                runs.push_back(std::move(run));
+              }
+  return runs;
+}
+
+CampaignSpec parse_campaign(const std::string& text, const scenario::RunSpec& base) {
+  CampaignSpec spec;
+  bool named = false;       // saw a `campaign <name>` line
+  bool base_named = false;  // saw an explicit `scenario <name>` line
+
+  // Campaign keywords are consumed here; every other line is forwarded to
+  // the scenario parser verbatim. Consumed lines are replaced with blank
+  // lines so ScenarioError line numbers match the original .cmp text.
+  std::string scenario_text;
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  bool in_inline = false;  // inside a `platform inline ... end` block
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto tok = scenario::tokenize_spec_line(line);
+    if (in_inline) {
+      scenario_text += line;
+      scenario_text += '\n';
+      if (tok.size() == 1 && tok[0] == "end") in_inline = false;
+      continue;
+    }
+    if (tok.size() >= 2 && tok[0] == "platform" && tok[1] == "inline") in_inline = true;
+
+    const std::string kw = tok.empty() ? "" : tok[0];
+    if (kw == "campaign") {
+      if (tok.size() != 2) throw ScenarioError(lineno, "expected: campaign <name>");
+      spec.name = tok[1];
+      named = true;
+    } else if (kw == "repetitions") {
+      if (tok.size() != 2) throw ScenarioError(lineno, "expected: repetitions <n>");
+      spec.repetitions = parse_int(tok[1], lineno, "repetitions");
+      if (spec.repetitions < 1) throw ScenarioError(lineno, "repetitions < 1");
+    } else if (kw == "sweep") {
+      if (tok.size() < 3) throw ScenarioError(lineno, "expected: sweep <axis> <values>");
+      const std::string& axis = tok[1];
+      const auto values = sweep_values(tok, 2, lineno);
+      if (axis == "peers") {
+        for (const auto& v : values)
+          spec.peers.push_back(parse_int(v, lineno, "peers"));
+      } else if (axis == "opt") {
+        for (const auto& v : values) {
+          try {
+            spec.levels.push_back(ir::parse_opt_level(v));
+          } catch (const std::invalid_argument& e) {
+            throw ScenarioError(lineno, e.what());
+          }
+        }
+      } else if (axis == "scheme") {
+        for (const auto& v : values) {
+          if (v == "sync") spec.schemes.push_back(p2psap::Scheme::Synchronous);
+          else if (v == "async") spec.schemes.push_back(p2psap::Scheme::Asynchronous);
+          else throw ScenarioError(lineno, "unknown scheme '" + v + "'");
+        }
+      } else if (axis == "alloc") {
+        for (const auto& v : values) {
+          if (v == "hierarchical")
+            spec.allocations.push_back(p2pdc::AllocationMode::Hierarchical);
+          else if (v == "flat") spec.allocations.push_back(p2pdc::AllocationMode::Flat);
+          else throw ScenarioError(lineno, "unknown allocation '" + v + "'");
+        }
+      } else if (axis == "seed") {
+        for (const auto& v : values)
+          spec.seeds.push_back(parse_u64(v, lineno, "seed"));
+      } else if (axis == "platform") {
+        for (const auto& v : values)
+          spec.platforms.push_back(preset_platform(v, lineno));
+      } else {
+        throw ScenarioError(lineno, "unknown sweep axis '" + axis + "'");
+      }
+    } else if (kw == "variant") {
+      if (tok.size() < 2)
+        throw ScenarioError(lineno, "expected: variant <platform-kind> [key=value ...]");
+      if (tok[1] == "inline")
+        throw ScenarioError(lineno, "inline platforms cannot be campaign variants");
+      // A variant line is a `platform ...` line naming one axis value.
+      std::vector<std::string> platform_tok = tok;
+      platform_tok[0] = "platform";
+      spec.platforms.push_back(scenario::parse_platform_tokens(platform_tok, lineno));
+    } else {
+      if (kw == "scenario") base_named = true;
+      scenario_text += line;
+      scenario_text += '\n';
+      continue;
+    }
+    scenario_text += '\n';  // consumed: keep line numbers aligned
+  }
+
+  spec.base = scenario::parse_scenario(scenario_text, base);
+  if (named && !base_named) spec.base.name = spec.name;
+  return spec;
+}
+
+std::string render_campaign(const CampaignSpec& spec) {
+  std::ostringstream out;
+  out << "campaign " << spec.name << "\n";
+  out << scenario::render_scenario(spec.base);
+  for (const PlatformSpec& p : spec.platforms) {
+    if (const auto* f = std::get_if<scenario::PlatformFileSpec>(&p.spec)) {
+      if (f->path.empty())
+        throw std::invalid_argument("inline platform variants have no text form");
+      out << "variant file " << f->path << "\n";
+    } else {
+      // render_platform_line emits "platform <kind> ..."; a variant line is
+      // the same description under the `variant` keyword.
+      const std::string line = scenario::render_platform_line(p);
+      out << "variant" << line.substr(std::string("platform").size()) << "\n";
+    }
+  }
+  auto join = [&out](const char* axis, const std::vector<std::string>& values) {
+    if (values.empty()) return;
+    out << "sweep " << axis << " ";
+    for (std::size_t i = 0; i < values.size(); ++i)
+      out << (i > 0 ? "," : "") << values[i];
+    out << "\n";
+  };
+  std::vector<std::string> v;
+  for (int p : spec.peers) v.push_back(std::to_string(p));
+  join("peers", v);
+  v.clear();
+  for (ir::OptLevel l : spec.levels) v.push_back(ir::opt_level_name(l));
+  join("opt", v);
+  v.clear();
+  for (p2psap::Scheme s : spec.schemes) v.push_back(scheme_key(s));
+  join("scheme", v);
+  v.clear();
+  for (p2pdc::AllocationMode a : spec.allocations)
+    v.push_back(a == p2pdc::AllocationMode::Hierarchical ? "hierarchical" : "flat");
+  join("alloc", v);
+  v.clear();
+  for (std::uint64_t s : spec.seeds) v.push_back(std::to_string(s));
+  join("seed", v);
+  out << "repetitions " << spec.repetitions << "\n";
+  return out.str();
+}
+
+}  // namespace pdc::campaign

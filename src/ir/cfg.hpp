@@ -26,7 +26,12 @@ struct Loop {
   std::vector<int> blocks;       // includes the header
   std::vector<bool> contains;    // membership bitset
 
-  bool has(int b) const { return contains[static_cast<std::size_t>(b)]; }
+  /// Blocks created after loop discovery (hoisting preheaders) lie past the
+  /// bitset and are by construction outside every previously found loop.
+  bool has(int b) const {
+    return static_cast<std::size_t>(b) < contains.size() &&
+           contains[static_cast<std::size_t>(b)];
+  }
 };
 
 /// Finds all natural loops (one per back edge; loops sharing a header are

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <fstream>
 #include <map>
+#include <mutex>
 #include <sstream>
 #include <stdexcept>
 #include <tuple>
@@ -214,9 +215,17 @@ std::unique_ptr<Deployment> deploy(const PlatformSpec& spec, const RunSpec& run)
 }
 
 const obstacle::CostProfile& cost_profile(ir::OptLevel level, const RunSpec& run) {
+  // Process-wide memo shared by every concurrent campaign run; the mutex
+  // covers lookup and derivation (map references stay valid across inserts,
+  // so returning by reference is safe after unlocking). Derivation is
+  // deterministic, so serializing first-touch cannot change any result;
+  // campaign::Executor pre-warms the profiles its grid needs before fanning
+  // out so workers only ever hit the cached path.
+  static std::mutex mutex;
   static std::map<std::tuple<int, int, int, int>, obstacle::CostProfile> cache;
   const auto key =
       std::make_tuple(static_cast<int>(level), run.bench_n, run.bench_iters, run.bench_rcheck);
+  std::lock_guard<std::mutex> lock(mutex);
   auto it = cache.find(key);
   if (it == cache.end()) {
     it = cache
@@ -232,14 +241,33 @@ std::unique_ptr<Deployment> Runner::deploy() const {
 }
 
 std::vector<dperf::Trace> Runner::traces() const {
+  // Traces depend only on these run fields — never on the platform — so a
+  // campaign replaying one workload across a platform axis reuses one trace
+  // set instead of re-running the dPerf pipeline per grid cell. Memoized
+  // like cost_profile above: mutex-guarded, deterministic derivation;
+  // campaign::Executor pre-warms the keys its grid needs (mirroring this
+  // tuple) so pooled workers never serialize on a derivation.
   const RunSpec& run = spec_.run;
-  dperf::DperfOptions opt;
-  opt.level = run.level;
-  opt.chunk = run.rcheck;
-  opt.sample_iters = 3 * run.rcheck;
-  const dperf::Dperf pipeline{obstacle::minic_kernel_source(), opt};
-  return pipeline.traces(obstacle::kernel_workload(problem_of(run), run.iters, run.rcheck),
-                         run.peers);
+  static std::mutex mutex;
+  static std::map<std::tuple<int, int, int, int, int, double>, std::vector<dperf::Trace>>
+      cache;
+  const auto key = std::make_tuple(static_cast<int>(run.level), run.rcheck, run.grid_n,
+                                   run.iters, run.peers, run.omega);
+  std::lock_guard<std::mutex> lock(mutex);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    dperf::DperfOptions opt;
+    opt.level = run.level;
+    opt.chunk = run.rcheck;
+    opt.sample_iters = 3 * run.rcheck;
+    const dperf::Dperf pipeline{obstacle::minic_kernel_source(), opt};
+    it = cache
+             .emplace(key, pipeline.traces(obstacle::kernel_workload(problem_of(run),
+                                                                     run.iters, run.rcheck),
+                                           run.peers))
+             .first;
+  }
+  return it->second;
 }
 
 PhaseRecord Runner::run_reference() const {
@@ -295,10 +323,36 @@ RunRecord Runner::run() const {
   return rec;
 }
 
+RunRecord Runner::try_run() const noexcept {
+  try {
+    return run();
+  } catch (const std::exception& e) {
+    RunRecord rec;
+    rec.spec = spec_;
+    rec.platform_kind = spec_.platform.kind();
+    rec.platform_label = spec_.platform.label;
+    rec.error = e.what();
+    return rec;
+  } catch (...) {
+    RunRecord rec;
+    rec.spec = spec_;
+    rec.platform_kind = spec_.platform.kind();
+    rec.platform_label = spec_.platform.label;
+    rec.error = "unknown error";
+    return rec;
+  }
+}
+
 std::string RunRecord::to_json() const {
   JsonWriter w;
   w.begin_object();
   w.kv("scenario", spec.name);
+  // The complete canonical spec text: the record's identity. Campaign
+  // resume compares it against the expected spec, so editing *any* base
+  // parameter — including a variant's platform key=values or inline
+  // platform text — invalidates old records. (Platform files are
+  // identified by path; edits to the file's contents are not detected.)
+  w.kv("spec", render_scenario(spec));
   w.key("platform").begin_object();
   w.kv("kind", platform_kind);
   w.kv("label", platform_label);
@@ -315,7 +369,11 @@ std::string RunRecord::to_json() const {
   w.kv("grid", spec.run.grid_n);
   w.kv("iters", spec.run.iters);
   w.kv("rcheck", spec.run.rcheck);
+  w.kv("bench_n", spec.run.bench_n);
+  w.kv("bench_iters", spec.run.bench_iters);
+  w.kv("bench_rcheck", spec.run.bench_rcheck);
   w.kv("omega", spec.run.omega);
+  w.kv("cmax", spec.run.cmax);
   w.end_object();
   if (reference) {
     w.key("reference");
@@ -326,6 +384,7 @@ std::string RunRecord::to_json() const {
     phase_json(w, *predicted, /*with_iterations=*/false);
   }
   if (prediction_error) w.kv("prediction_error", *prediction_error);
+  if (!error.empty()) w.kv("error", error);
   w.end_object();
   return w.str() + "\n";
 }

@@ -69,6 +69,13 @@ struct RunRecord {
   std::optional<PhaseRecord> predicted;
   /// |predicted - reference| / reference solve seconds; set when both ran.
   std::optional<double> prediction_error;
+  /// Empty on success; the failure message when the run could not complete
+  /// (platform file parse error, platform too small, solve failure, ...).
+  /// Failed records keep the spec identification fields so a campaign can
+  /// report which grid point failed.
+  std::string error;
+
+  bool ok() const { return error.empty(); }
 
   /// Serializes through support::JsonWriter; parses back with
   /// support::parse_json.
@@ -88,6 +95,9 @@ class Runner {
   std::unique_ptr<Deployment> deploy() const;
 
   /// Per-rank dPerf traces (sampled + scaled up) for the spec's workload.
+  /// Platform-independent and memoized per process (mutex-guarded, like
+  /// cost_profile), so replaying one workload across many platforms runs
+  /// the dPerf pipeline once.
   std::vector<dperf::Trace> traces() const;
 
   /// Reference execution (Phantom values: full event schedule, no numerics).
@@ -97,7 +107,13 @@ class Runner {
   PhaseRecord run_predicted(std::vector<dperf::Trace> traces) const;
 
   /// Executes the phases `spec().run.mode` asks for and assembles the record.
+  /// Throws on failure (bad platform file, platform too small, ...).
   RunRecord run() const;
+
+  /// Like run(), but never throws out of the call: any failure comes back as
+  /// a record with the `error` field set (and the spec identification intact)
+  /// so one bad grid point cannot kill a campaign worker.
+  RunRecord try_run() const noexcept;
 
  private:
   ScenarioSpec spec_;

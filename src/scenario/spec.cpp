@@ -14,9 +14,7 @@
 
 namespace pdc::scenario {
 
-namespace {
-
-std::vector<std::string> tokenize(const std::string& line) {
+std::vector<std::string> tokenize_spec_line(const std::string& line) {
   std::vector<std::string> out;
   std::string tok;
   for (char c : line) {
@@ -30,6 +28,8 @@ std::vector<std::string> tokenize(const std::string& line) {
   if (!tok.empty()) out.push_back(std::move(tok));
   return out;
 }
+
+namespace {
 
 // format_shortest (support/json): shortest round-tripping decimal.
 std::string fmt_speed(double hz) { return format_shortest(hz) + "Hz"; }
@@ -90,7 +90,9 @@ std::vector<double> parse_speed_list(const std::string& text) {
   return out;
 }
 
-PlatformSpec parse_platform_line(const std::vector<std::string>& tok, int line) {
+}  // namespace
+
+PlatformSpec parse_platform_tokens(const std::vector<std::string>& tok, int line) {
   const std::string& kind = tok[1];
   // Presets first: the paper's named platforms.
   if (kind == "grid5000" && tok.size() == 2) return PlatformSpec::grid5000();
@@ -177,6 +179,8 @@ PlatformSpec parse_platform_line(const std::vector<std::string>& tok, int line) 
 }
 
 std::string render_platform_line(const PlatformSpec& p) {
+  if (std::holds_alternative<PlatformFileSpec>(p.spec))
+    throw std::invalid_argument("platform-file specs have no one-line form");
   std::ostringstream out;
   out << "platform " << p.kind() << " label=" << p.label;
   if (const auto* s = std::get_if<net::StarSpec>(&p.spec)) {
@@ -214,8 +218,6 @@ std::string render_platform_line(const PlatformSpec& p) {
   }
   return out.str();
 }
-
-}  // namespace
 
 const char* PlatformSpec::kind() const {
   struct Visitor {
@@ -280,7 +282,7 @@ ScenarioSpec parse_scenario(const std::string& text, const RunSpec& base) {
   int lineno = 0;
   while (std::getline(in, line)) {
     ++lineno;
-    const auto tok = tokenize(line);
+    const auto tok = tokenize_spec_line(line);
     if (tok.empty()) continue;
     const std::string& kw = tok[0];
     auto need = [&](std::size_t n, const char* usage) {
@@ -298,7 +300,7 @@ ScenarioSpec parse_scenario(const std::string& text, const RunSpec& base) {
         bool closed = false;
         while (std::getline(in, line)) {
           ++lineno;
-          const auto inner = tokenize(line);
+          const auto inner = tokenize_spec_line(line);
           if (inner.size() == 1 && inner[0] == "end") {
             closed = true;
             break;
@@ -309,7 +311,7 @@ ScenarioSpec parse_scenario(const std::string& text, const RunSpec& base) {
         if (!closed) throw ScenarioError(start, "'platform inline' without closing 'end'");
         spec.platform = PlatformSpec::from_text(std::move(body));
       } else {
-        spec.platform = parse_platform_line(tok, lineno);
+        spec.platform = parse_platform_tokens(tok, lineno);
       }
     } else if (kw == "peers") {
       need(2, "peers <n>");

@@ -34,6 +34,7 @@
 #include <stdexcept>
 #include <string>
 #include <variant>
+#include <vector>
 
 #include "alloc/groups.hpp"
 #include "ir/pipeline.hpp"
@@ -130,5 +131,21 @@ ScenarioSpec parse_scenario(const std::string& text, const RunSpec& base = RunSp
 /// Renders a scenario back to the text format; parse(render(s)) reproduces
 /// the same spec (platform-file paths stay paths, inline text stays inline).
 std::string render_scenario(const ScenarioSpec& spec);
+
+// Building blocks shared with the campaign format (src/campaign/), which
+// embeds scenario lines and platform descriptions in its own files.
+
+/// Splits one spec line into whitespace-separated tokens; '#' starts a
+/// comment that runs to the end of the line.
+std::vector<std::string> tokenize_spec_line(const std::string& line);
+
+/// Parses one tokenized `platform <kind> [key=value ...]` line
+/// (tokens[0] == "platform"); handles presets and every generator kind
+/// except `inline`. Throws ScenarioError with `line`.
+PlatformSpec parse_platform_tokens(const std::vector<std::string>& tokens, int line);
+
+/// Renders a non-file platform spec as its one-line text form (the inverse
+/// of parse_platform_tokens).
+std::string render_platform_line(const PlatformSpec& spec);
 
 }  // namespace pdc::scenario

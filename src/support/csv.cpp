@@ -1,0 +1,41 @@
+#include "support/csv.hpp"
+
+#include <stdexcept>
+
+namespace pdc {
+
+std::string csv_escape(std::string_view cell) {
+  const bool needs_quotes =
+      cell.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quotes) return std::string(cell);
+  std::string out;
+  out.reserve(cell.size() + 2);
+  out += '"';
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+CsvWriter::CsvWriter(std::vector<std::string> header) : columns_(header.size()) {
+  write_line(header);
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  if (cells.size() != columns_)
+    throw std::invalid_argument("csv row has " + std::to_string(cells.size()) +
+                                " cells, header has " + std::to_string(columns_));
+  write_line(cells);
+}
+
+void CsvWriter::write_line(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) out_ += ',';
+    out_ += csv_escape(cells[i]);
+  }
+  out_ += '\n';
+}
+
+}  // namespace pdc

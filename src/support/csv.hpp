@@ -1,0 +1,37 @@
+// Minimal RFC-4180-style CSV writer: the tabular sibling of support/json,
+// used for campaign reports that feed spreadsheets / pandas directly.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pdc {
+
+/// Quotes `cell` when it contains a comma, quote, or newline (quotes are
+/// doubled); returns it unchanged otherwise.
+std::string csv_escape(std::string_view cell);
+
+/// Accumulates rows against a fixed header; every row must have exactly as
+/// many cells as the header. Numeric cells should be pre-formatted with
+/// format_shortest so values round-trip.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  /// Appends one row; throws std::invalid_argument on a column-count mismatch.
+  void row(const std::vector<std::string>& cells);
+
+  std::size_t columns() const { return columns_; }
+
+  /// The document: header line plus every row, '\n' line endings.
+  const std::string& str() const { return out_; }
+
+ private:
+  void write_line(const std::vector<std::string>& cells);
+
+  std::size_t columns_;
+  std::string out_;
+};
+
+}  // namespace pdc

@@ -1,24 +1,50 @@
 #include "support/log.hpp"
 
+#include <atomic>
 #include <cstdio>
+#include <mutex>
 
 namespace pdc {
 namespace {
 // Warnings (e.g. starved flows) surface by default; Info/Debug stay opt-in
 // so tests and benches remain quiet.
-LogLevel g_level = LogLevel::Warn;
+std::atomic<LogLevel> g_level{LogLevel::Warn};
+std::mutex g_sink_mutex;
+thread_local std::string t_run_tag;
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level = level; }
-LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
 void log_line(LogLevel level, const std::string& msg) {
-  if (level > g_level) return;
+  if (level > log_level()) return;
   const char* tag = level == LogLevel::Error  ? "ERROR"
                     : level == LogLevel::Warn ? "WARN"
                     : level == LogLevel::Info ? "INFO"
                                               : "DEBUG";
-  std::fprintf(stderr, "[%s] %s\n", tag, msg.c_str());
+  // One formatted line, one write, one lock: concurrent campaign runs
+  // cannot shear each other's output.
+  std::string line = "[";
+  line += tag;
+  line += ']';
+  if (!t_run_tag.empty()) {
+    line += '[';
+    line += t_run_tag;
+    line += ']';
+  }
+  line += ' ';
+  line += msg;
+  line += '\n';
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  std::fwrite(line.data(), 1, line.size(), stderr);
 }
+
+const std::string& log_run_tag() { return t_run_tag; }
+
+LogRunTag::LogRunTag(std::string tag) : previous_(std::move(t_run_tag)) {
+  t_run_tag = std::move(tag);
+}
+
+LogRunTag::~LogRunTag() { t_run_tag = std::move(previous_); }
 
 }  // namespace pdc

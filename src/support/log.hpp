@@ -1,5 +1,11 @@
 // Minimal leveled logging. Off by default so tests and benches stay quiet;
 // examples turn on Info to narrate protocol activity.
+//
+// Thread-safety: the level is atomic and each log_line is written to stderr
+// as one uninterruptible line under a process-wide mutex, so concurrent
+// campaign runs cannot interleave partial lines. A worker thread executing
+// a run installs a LogRunTag; every line it emits is then prefixed with the
+// run's name so interleaved campaign output stays attributable.
 #pragma once
 
 #include <string>
@@ -8,13 +14,30 @@ namespace pdc {
 
 enum class LogLevel { Off = 0, Error = 1, Warn = 2, Info = 3, Debug = 4 };
 
-/// Sets the global log threshold. Not thread-safe by design: the simulator
-/// is single-threaded.
+/// Sets the global log threshold (atomic; safe from any thread).
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
 /// Writes one line to stderr when `level` is at or below the threshold.
+/// Serialized: lines from concurrent threads never interleave.
 void log_line(LogLevel level, const std::string& msg);
+
+/// The calling thread's current run tag ("" when none is installed).
+const std::string& log_run_tag();
+
+/// RAII: tags every log_line the current thread emits with `tag`
+/// ("[WARN][tag] msg"). Nests; restores the previous tag on destruction.
+class LogRunTag {
+ public:
+  explicit LogRunTag(std::string tag);
+  ~LogRunTag();
+
+  LogRunTag(const LogRunTag&) = delete;
+  LogRunTag& operator=(const LogRunTag&) = delete;
+
+ private:
+  std::string previous_;
+};
 
 }  // namespace pdc
 

@@ -44,6 +44,34 @@ void RunningStats::merge(const RunningStats& other) {
   max_ = std::max(max_, other.max_);
 }
 
+Summary summarize(const std::vector<double>& samples) {
+  Summary s;
+  if (samples.empty()) return s;
+  RunningStats acc;
+  for (double x : samples) acc.add(x);
+  s.n = acc.count();
+  s.mean = acc.mean();
+  s.stddev = acc.stddev();
+  s.min = acc.min();
+  s.max = acc.max();
+  s.p50 = quantile(samples, 0.5);
+  s.p95 = quantile(samples, 0.95);
+  if (s.n >= 2)
+    s.ci95_half = student_t_95(s.n - 1) * s.stddev / std::sqrt(static_cast<double>(s.n));
+  return s;
+}
+
+double student_t_95(std::size_t df) {
+  // Two-sided alpha = 0.05 critical values, df = 1..30.
+  static const double kTable[30] = {
+      12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+      2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+      2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042};
+  if (df == 0) return 0.0;
+  if (df <= 30) return kTable[df - 1];
+  return 1.960;
+}
+
 double quantile(std::vector<double> samples, double p) {
   if (samples.empty()) return 0.0;
   std::sort(samples.begin(), samples.end());

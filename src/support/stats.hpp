@@ -37,4 +37,28 @@ class RunningStats {
 /// Sorts a copy; intended for small sample sets.
 double quantile(std::vector<double> samples, double p);
 
+/// Aggregate of one metric over a sample set (campaign grid-point
+/// aggregation over repetitions). Degenerate inputs are well-defined:
+/// n == 0 leaves every field 0; n == 1 has stddev == ci95_half == 0 and
+/// min == max == p50 == p95 == mean; constant samples have stddev == 0.
+struct Summary {
+  std::size_t n = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  // sample stddev (n-1 denominator)
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  /// Half-width of the 95% confidence interval on the mean
+  /// (Student-t critical value x stddev / sqrt(n)); 0 for n < 2.
+  double ci95_half = 0.0;
+};
+
+/// Single-pass + quantile aggregation of `samples`.
+Summary summarize(const std::vector<double>& samples);
+
+/// Two-sided 95% Student-t critical value for `df` degrees of freedom
+/// (exact table for df <= 30, the normal 1.96 beyond). df == 0 returns 0.
+double student_t_95(std::size_t df);
+
 }  // namespace pdc

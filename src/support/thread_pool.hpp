@@ -1,0 +1,48 @@
+// Fixed-size worker pool for embarrassingly-parallel jobs (one campaign run
+// per task). Deliberately minimal: submit fire-and-forget closures, wait for
+// the queue to drain. Tasks must not throw — callers that can fail catch
+// inside the closure and record the failure (see campaign::Executor).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pdc {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (clamped to at least 1).
+  explicit ThreadPool(int threads);
+
+  /// Drains the queue, then joins every worker.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues one task; runs as soon as a worker is free.
+  void submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and no task is executing.
+  void wait_idle();
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // queue non-empty or shutting down
+  std::condition_variable idle_cv_;  // queue empty and nothing running
+  std::size_t active_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace pdc

@@ -1,0 +1,97 @@
+// Campaign determinism across parallelism: the same CampaignSpec with fixed
+// seeds must produce identical RunRecords at -j1 and -j8, compared
+// field-by-field through the JSON round-trip. This is the contract that
+// makes `-j` safe for the figure benches: concurrency may only change
+// wall-clock, never a single recorded value.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "campaign/executor.hpp"
+
+namespace pdc::campaign {
+namespace {
+
+/// Recursive field-by-field comparison; paths make mismatches debuggable.
+void expect_json_equal(const JsonValue& a, const JsonValue& b, const std::string& path) {
+  ASSERT_EQ(a.v.index(), b.v.index()) << "type mismatch at " << path;
+  if (a.is_object()) {
+    const JsonObject& ao = a.as_object();
+    const JsonObject& bo = b.as_object();
+    ASSERT_EQ(ao.size(), bo.size()) << "key count mismatch at " << path;
+    for (const auto& [key, value] : ao) {
+      ASSERT_TRUE(bo.count(key)) << "missing key " << path << "." << key;
+      expect_json_equal(value, bo.at(key), path + "." + key);
+    }
+  } else if (a.is_array()) {
+    const JsonArray& aa = a.as_array();
+    const JsonArray& ba = b.as_array();
+    ASSERT_EQ(aa.size(), ba.size()) << "array length mismatch at " << path;
+    for (std::size_t i = 0; i < aa.size(); ++i)
+      expect_json_equal(aa[i], ba[i], path + "[" + std::to_string(i) + "]");
+  } else if (std::holds_alternative<double>(a.v)) {
+    // Bit-for-bit: the writer emits shortest round-tripping decimals, so
+    // equal doubles serialize identically and unequal ones never compare ==.
+    EXPECT_EQ(a.as_double(), b.as_double()) << "value mismatch at " << path;
+  } else if (std::holds_alternative<std::string>(a.v)) {
+    EXPECT_EQ(a.as_string(), b.as_string()) << "value mismatch at " << path;
+  } else if (std::holds_alternative<bool>(a.v)) {
+    EXPECT_EQ(a.as_bool(), b.as_bool()) << "value mismatch at " << path;
+  }
+}
+
+TEST(CampaignDeterminism, SameRecordsAtJ1AndJ8) {
+  CampaignSpec spec;
+  spec.name = "det";
+  spec.base.name = "det";
+  spec.base.platform = scenario::PlatformSpec::lan();
+  spec.base.run.mode = scenario::Mode::Both;  // reference + traces + replay
+  spec.base.run.grid_n = 34;
+  spec.base.run.iters = 6;
+  spec.base.run.bench_n = 18;
+  spec.base.run.bench_iters = 3;
+  spec.base.run.bench_rcheck = 2;
+  spec.peers = {2, 3};
+  spec.seeds = {1, 2};
+  spec.schemes = {p2psap::Scheme::Synchronous, p2psap::Scheme::Asynchronous};
+  spec.repetitions = 2;  // 2 x 2 x 2 x 2 = 16 runs
+
+  ExecutorOptions sequential;
+  sequential.jobs = 1;
+  Executor j1{spec, sequential};
+  const CampaignReport r1 = j1.execute();
+
+  ExecutorOptions parallel;
+  parallel.jobs = 8;
+  Executor j8{spec, parallel};
+  const CampaignReport r8 = j8.execute();
+
+  ASSERT_EQ(j1.outcomes().size(), 16u);
+  ASSERT_EQ(j8.outcomes().size(), j1.outcomes().size());
+  for (std::size_t i = 0; i < j1.outcomes().size(); ++i) {
+    const Outcome& a = j1.outcomes()[i];
+    const Outcome& b = j8.outcomes()[i];
+    ASSERT_EQ(a.run.key, b.run.key);
+    EXPECT_TRUE(a.ok()) << a.error;
+    EXPECT_TRUE(b.ok()) << b.error;
+    expect_json_equal(parse_json(a.record_json), parse_json(b.record_json), a.run.key);
+    // The serialized documents are byte-identical too.
+    EXPECT_EQ(a.record_json, b.record_json) << a.run.key;
+  }
+
+  // Aggregates therefore agree exactly as well.
+  ASSERT_EQ(r1.points.size(), r8.points.size());
+  for (std::size_t i = 0; i < r1.points.size(); ++i) {
+    EXPECT_EQ(r1.points[i].key, r8.points[i].key);
+    for (const auto& [metric, s] : r1.points[i].metrics) {
+      const Summary& t = r8.points[i].metrics.at(metric);
+      EXPECT_EQ(s.mean, t.mean) << r1.points[i].key << "." << metric;
+      EXPECT_EQ(s.stddev, t.stddev);
+      EXPECT_EQ(s.min, t.min);
+      EXPECT_EQ(s.max, t.max);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pdc::campaign

@@ -1,0 +1,222 @@
+// Campaign spec: grid expansion, the .cmp text format, render round-trip,
+// and error reporting with original-file line numbers.
+#include "campaign/spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace pdc::campaign {
+namespace {
+
+using scenario::ScenarioError;
+
+TEST(CampaignExpand, FullGridInDeterministicOrder) {
+  CampaignSpec spec;
+  spec.name = "grid";
+  spec.platforms = {scenario::PlatformSpec::grid5000(), scenario::PlatformSpec::lan()};
+  spec.peers = {2, 4};
+  spec.levels = {ir::OptLevel::O0, ir::OptLevel::O3};
+  spec.repetitions = 2;
+  EXPECT_EQ(spec.total_runs(), 16u);
+
+  const auto runs = expand(spec);
+  ASSERT_EQ(runs.size(), 16u);
+  std::set<std::string> keys;
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    EXPECT_EQ(runs[i].index, i);
+    keys.insert(runs[i].key);
+    EXPECT_EQ(runs[i].spec.name, "grid/" + runs[i].key);
+  }
+  EXPECT_EQ(keys.size(), 16u) << "run keys must be unique";
+  // Repetitions are innermost; platform is outermost.
+  EXPECT_EQ(runs[0].repetition, 0);
+  EXPECT_EQ(runs[1].repetition, 1);
+  EXPECT_EQ(runs[0].point_key, runs[1].point_key);
+  EXPECT_EQ(runs[0].spec.platform.label, "grid5000");
+  EXPECT_EQ(runs[8].spec.platform.label, "lan");
+  // Overridden axis values land in the scenario spec.
+  EXPECT_EQ(runs[0].spec.run.peers, 2);
+  EXPECT_EQ(runs[0].spec.run.level, ir::OptLevel::O0);
+  EXPECT_EQ(runs[2].spec.run.level, ir::OptLevel::O3);
+  EXPECT_EQ(runs[4].spec.run.peers, 4);
+}
+
+TEST(CampaignExpand, EmptyAxesCollapseToBase) {
+  CampaignSpec spec;
+  spec.base.run.peers = 7;
+  spec.base.run.seed = 99;
+  const auto runs = expand(spec);
+  ASSERT_EQ(runs.size(), 1u);
+  EXPECT_EQ(runs[0].spec.run.peers, 7);
+  EXPECT_EQ(runs[0].spec.run.seed, 99u);
+  EXPECT_EQ(runs[0].key, "grid5000-p7-O0-sync-hier-s99-r0");
+}
+
+TEST(CampaignExpand, SameKindVariantsWithoutLabelsGetUniqueKeys) {
+  // Two parameterized star variants with no explicit label= must not
+  // collide into one grid point (same record file, merged aggregation).
+  const CampaignSpec spec = parse_campaign(R"(
+campaign dup
+variant star hosts=4
+variant star hosts=16
+)");
+  const auto runs = expand(spec);
+  ASSERT_EQ(runs.size(), 2u);
+  EXPECT_NE(runs[0].key, runs[1].key);
+  EXPECT_NE(runs[0].point_key, runs[1].point_key);
+  // Suffixing stays collision-free even when a literal label looks like a
+  // suffixed duplicate of another.
+  CampaignSpec tricky;
+  tricky.platforms = {scenario::PlatformSpec::lan(), scenario::PlatformSpec::lan(),
+                      scenario::PlatformSpec::lan()};
+  tricky.platforms[2].label = "lanv1";
+  const auto truns = expand(tricky);
+  std::set<std::string> tkeys;
+  for (const auto& r : truns) tkeys.insert(r.point_key);
+  EXPECT_EQ(tkeys.size(), truns.size()) << "platform keys must stay unique";
+  // Distinctly labelled variants keep their plain labels.
+  CampaignSpec labelled;
+  labelled.platforms = {scenario::PlatformSpec::grid5000(), scenario::PlatformSpec::lan()};
+  const auto lruns = expand(labelled);
+  EXPECT_EQ(lruns[0].point_key.rfind("grid5000-", 0), 0u) << lruns[0].point_key;
+  EXPECT_EQ(lruns[1].point_key.rfind("lan-", 0), 0u) << lruns[1].point_key;
+}
+
+TEST(CampaignExpand, DuplicateAxisValuesCollapse) {
+  // `sweep seed 42,42` must not create two runs with the same key (same
+  // record file, racing temp writes, double-counted aggregation).
+  CampaignSpec spec;
+  spec.peers = {2, 4, 2};
+  spec.seeds = {42, 42};
+  spec.levels = {ir::OptLevel::O0, ir::OptLevel::O0};
+  const auto runs = expand(spec);
+  ASSERT_EQ(runs.size(), 2u);  // peers {2,4} x seed {42} x opt {O0}
+  EXPECT_EQ(runs[0].spec.run.peers, 2);
+  EXPECT_EQ(runs[1].spec.run.peers, 4);
+  EXPECT_GE(spec.total_runs(), runs.size()) << "total_runs is an upper bound";
+}
+
+TEST(CampaignExpand, RejectsNonPositiveRepetitions) {
+  CampaignSpec spec;
+  spec.repetitions = 0;
+  EXPECT_THROW(expand(spec), std::invalid_argument);
+}
+
+TEST(CampaignParse, SweepsAndBaseKeys) {
+  const CampaignSpec spec = parse_campaign(R"(# sweep grid
+campaign my-campaign
+platform lan
+grid 130
+iters 40
+mode both
+sweep peers 2,4 8
+sweep opt 0,3
+sweep scheme sync,async
+sweep alloc hierarchical,flat
+sweep seed 41,42,43
+repetitions 3
+)");
+  EXPECT_EQ(spec.name, "my-campaign");
+  EXPECT_EQ(spec.base.platform.label, "lan");
+  EXPECT_EQ(spec.base.run.grid_n, 130);
+  EXPECT_EQ(spec.base.run.iters, 40);
+  EXPECT_EQ(spec.base.run.mode, scenario::Mode::Both);
+  EXPECT_EQ(spec.peers, (std::vector<int>{2, 4, 8}));
+  EXPECT_EQ(spec.levels, (std::vector<ir::OptLevel>{ir::OptLevel::O0, ir::OptLevel::O3}));
+  EXPECT_EQ(spec.schemes.size(), 2u);
+  EXPECT_EQ(spec.allocations.size(), 2u);
+  EXPECT_EQ(spec.seeds, (std::vector<std::uint64_t>{41, 42, 43}));
+  EXPECT_EQ(spec.repetitions, 3);
+  EXPECT_EQ(spec.total_runs(), 3u * 2u * 2u * 2u * 3u * 3u);
+}
+
+TEST(CampaignParse, PlatformPresetsAndVariants) {
+  const CampaignSpec spec = parse_campaign(R"(
+campaign plats
+sweep platform grid5000 lan,xdsl
+variant star hosts=8 speed=2GHz
+variant federation clusters=2 hosts=3
+)");
+  ASSERT_EQ(spec.platforms.size(), 5u);
+  EXPECT_EQ(spec.platforms[0].label, "grid5000");
+  EXPECT_EQ(spec.platforms[1].label, "lan");
+  EXPECT_EQ(spec.platforms[2].label, "xdsl");
+  EXPECT_STREQ(spec.platforms[3].kind(), "star");
+  const auto& star = std::get<net::StarSpec>(spec.platforms[3].spec);
+  EXPECT_EQ(star.hosts, 8);
+  EXPECT_DOUBLE_EQ(star.host_speed_hz, 2e9);
+  EXPECT_STREQ(spec.platforms[4].kind(), "federation");
+}
+
+TEST(CampaignParse, InlinePlatformBlockPassesThrough) {
+  const CampaignSpec spec = parse_campaign(R"(
+campaign inline-base
+platform inline
+  host a speed 3GHz ip 10.0.0.1
+  host b speed 3GHz ip 10.0.0.2
+end
+sweep peers 2,4
+)");
+  EXPECT_STREQ(spec.base.platform.kind(), "file");
+  EXPECT_EQ(spec.peers, (std::vector<int>{2, 4}));
+}
+
+TEST(CampaignParse, ErrorsReportOriginalLineNumbers) {
+  // The bad scenario keyword sits on line 4 of the .cmp file; campaign
+  // lines before it must not shift the reported number.
+  const std::string text = "campaign c\nsweep peers 2,4\nplatform lan\nbogus 1\n";
+  try {
+    parse_campaign(text);
+    FAIL() << "expected ScenarioError";
+  } catch (const ScenarioError& e) {
+    EXPECT_EQ(e.line(), 4) << e.what();
+  }
+}
+
+TEST(CampaignParse, RejectsBadCampaignLines) {
+  EXPECT_THROW(parse_campaign("sweep peers\n"), ScenarioError);
+  EXPECT_THROW(parse_campaign("sweep bogus 1,2\n"), ScenarioError);
+  EXPECT_THROW(parse_campaign("sweep opt 9\n"), ScenarioError);
+  EXPECT_THROW(parse_campaign("sweep scheme sometimes\n"), ScenarioError);
+  EXPECT_THROW(parse_campaign("sweep platform star\n"), ScenarioError);  // not a preset
+  EXPECT_THROW(parse_campaign("repetitions 0\n"), ScenarioError);
+  EXPECT_THROW(parse_campaign("variant inline\n"), ScenarioError);
+  EXPECT_THROW(parse_campaign("campaign\n"), ScenarioError);
+}
+
+TEST(CampaignRender, RoundTripsToFixpoint) {
+  CampaignSpec spec;
+  spec.name = "rt";
+  spec.base.run.grid_n = 130;
+  spec.base.run.iters = 40;
+  spec.platforms = {scenario::PlatformSpec::lan(), scenario::PlatformSpec::xdsl()};
+  spec.peers = {2, 8};
+  spec.levels = {ir::OptLevel::O2, ir::OptLevel::Os};
+  spec.schemes = {p2psap::Scheme::Asynchronous};
+  spec.allocations = {p2pdc::AllocationMode::Flat};
+  spec.seeds = {7, 8};
+  spec.repetitions = 4;
+
+  const std::string text = render_campaign(spec);
+  const CampaignSpec reparsed = parse_campaign(text);
+  EXPECT_EQ(render_campaign(reparsed), text);
+  EXPECT_EQ(reparsed.name, spec.name);
+  EXPECT_EQ(reparsed.peers, spec.peers);
+  EXPECT_EQ(reparsed.levels, spec.levels);
+  EXPECT_EQ(reparsed.seeds, spec.seeds);
+  EXPECT_EQ(reparsed.repetitions, spec.repetitions);
+  ASSERT_EQ(reparsed.platforms.size(), 2u);
+  EXPECT_EQ(reparsed.platforms[0].label, "lan");
+  // Expansion of the reparsed campaign matches the original cell-for-cell.
+  const auto a = expand(spec);
+  const auto b = expand(reparsed);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].key, b[i].key);
+    EXPECT_EQ(scenario::render_scenario(a[i].spec), scenario::render_scenario(b[i].spec));
+  }
+}
+
+}  // namespace
+}  // namespace pdc::campaign

@@ -3,8 +3,10 @@
 #include <cmath>
 #include <set>
 
+#include "support/csv.hpp"
 #include "support/env.hpp"
 #include "support/json.hpp"
+#include "support/log.hpp"
 #include "support/rng.hpp"
 #include "support/table.hpp"
 #include "support/time.hpp"
@@ -144,6 +146,36 @@ TEST(TextTable, PadsMissingCells) {
   TextTable t({"a", "b", "c"});
   t.add_row({"1"});
   EXPECT_NE(t.render().find("| 1 |   |   |"), std::string::npos);
+}
+
+TEST(Csv, EscapesOnlyWhenNeeded) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("1.25"), "1.25");
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("two\nlines"), "\"two\nlines\"");
+}
+
+TEST(Csv, WriterEnforcesColumnCount) {
+  CsvWriter csv({"name", "value"});
+  csv.row({"x", "1"});
+  csv.row({"with,comma", "2"});
+  EXPECT_EQ(csv.str(), "name,value\nx,1\n\"with,comma\",2\n");
+  EXPECT_THROW(csv.row({"too", "many", "cells"}), std::invalid_argument);
+}
+
+TEST(LogRunTag, NestsAndRestores) {
+  EXPECT_EQ(log_run_tag(), "");
+  {
+    LogRunTag outer{"outer-run"};
+    EXPECT_EQ(log_run_tag(), "outer-run");
+    {
+      LogRunTag inner{"inner-run"};
+      EXPECT_EQ(log_run_tag(), "inner-run");
+    }
+    EXPECT_EQ(log_run_tag(), "outer-run");
+  }
+  EXPECT_EQ(log_run_tag(), "");
 }
 
 }  // namespace

@@ -77,5 +77,62 @@ TEST(Quantile, HandlesDegenerateInputs) {
   EXPECT_EQ(quantile({7.0}, 0.99), 7.0);
 }
 
+TEST(Summary, EmptyIsAllZero) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.n, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+  EXPECT_EQ(s.stddev, 0.0);
+  EXPECT_EQ(s.min, 0.0);
+  EXPECT_EQ(s.max, 0.0);
+  EXPECT_EQ(s.p50, 0.0);
+  EXPECT_EQ(s.p95, 0.0);
+  EXPECT_EQ(s.ci95_half, 0.0);
+}
+
+TEST(Summary, SingleSampleHasNoSpread) {
+  const Summary s = summarize({4.25});
+  EXPECT_EQ(s.n, 1u);
+  EXPECT_DOUBLE_EQ(s.mean, 4.25);
+  EXPECT_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.min, 4.25);
+  EXPECT_DOUBLE_EQ(s.max, 4.25);
+  EXPECT_DOUBLE_EQ(s.p50, 4.25);
+  EXPECT_DOUBLE_EQ(s.p95, 4.25);
+  EXPECT_EQ(s.ci95_half, 0.0) << "no confidence interval from one sample";
+}
+
+TEST(Summary, ConstantSamplesHaveZeroSpread) {
+  const Summary s = summarize({3.0, 3.0, 3.0, 3.0, 3.0});
+  EXPECT_EQ(s.n, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.min, 3.0);
+  EXPECT_DOUBLE_EQ(s.max, 3.0);
+  EXPECT_DOUBLE_EQ(s.p50, 3.0);
+  EXPECT_DOUBLE_EQ(s.p95, 3.0);
+  EXPECT_EQ(s.ci95_half, 0.0);
+}
+
+TEST(Summary, KnownSample) {
+  const Summary s = summarize({1.0, 2.0, 3.0, 4.0, 5.0});
+  EXPECT_EQ(s.n, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(2.5), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.p50, 3.0);
+  EXPECT_DOUBLE_EQ(s.p95, 4.8);
+  // Student-t, df = 4: 2.776 * s / sqrt(5).
+  EXPECT_NEAR(s.ci95_half, 2.776 * std::sqrt(2.5) / std::sqrt(5.0), 1e-9);
+}
+
+TEST(Summary, StudentTTable) {
+  EXPECT_EQ(student_t_95(0), 0.0);
+  EXPECT_DOUBLE_EQ(student_t_95(1), 12.706);
+  EXPECT_DOUBLE_EQ(student_t_95(4), 2.776);
+  EXPECT_DOUBLE_EQ(student_t_95(30), 2.042);
+  EXPECT_DOUBLE_EQ(student_t_95(1000), 1.960);
+}
+
 }  // namespace
 }  // namespace pdc

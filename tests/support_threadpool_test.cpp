@@ -1,0 +1,77 @@
+// support/thread_pool: completion, reuse after wait_idle, destructor
+// draining, and observable concurrency.
+#include "support/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+namespace pdc {
+namespace {
+
+TEST(ThreadPool, RunsEveryTask) {
+  std::atomic<int> count{0};
+  ThreadPool pool{4};
+  for (int i = 0; i < 1000; ++i)
+    pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 1000);
+}
+
+TEST(ThreadPool, ReusableAfterWaitIdle) {
+  std::atomic<int> count{0};
+  ThreadPool pool{2};
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 50; ++i)
+      pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+    pool.wait_idle();
+    EXPECT_EQ(count.load(), 50 * (round + 1));
+  }
+}
+
+TEST(ThreadPool, DestructorDrainsQueue) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool{2};
+    for (int i = 0; i < 64; ++i)
+      pool.submit([&count] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        count.fetch_add(1, std::memory_order_relaxed);
+      });
+  }
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ThreadPool, ClampsToAtLeastOneWorker) {
+  ThreadPool pool{0};
+  EXPECT_EQ(pool.size(), 1);
+  std::atomic<bool> ran{false};
+  pool.submit([&ran] { ran = true; });
+  pool.wait_idle();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPool, TasksOverlapUpToPoolSize) {
+  // Sleeping tasks overlap even on a single core; the high-water mark of
+  // in-flight tasks must reach beyond 1 and never exceed the pool size.
+  std::atomic<int> in_flight{0};
+  std::atomic<int> high_water{0};
+  ThreadPool pool{4};
+  for (int i = 0; i < 16; ++i)
+    pool.submit([&in_flight, &high_water] {
+      const int now = in_flight.fetch_add(1) + 1;
+      int seen = high_water.load();
+      while (seen < now && !high_water.compare_exchange_weak(seen, now)) {
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      in_flight.fetch_sub(1);
+    });
+  pool.wait_idle();
+  EXPECT_GE(high_water.load(), 2);
+  EXPECT_LE(high_water.load(), 4);
+}
+
+}  // namespace
+}  // namespace pdc
