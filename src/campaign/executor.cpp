@@ -55,6 +55,14 @@ std::map<std::string, double> record_metrics(const JsonValue& record) {
     const JsonValue& ph = record.at(key);
     m[std::string(prefix) + "_solve_seconds"] = ph.at("solve_seconds").as_double();
     m[std::string(prefix) + "_total_seconds"] = ph.at("total_seconds").as_double();
+    // Churn observability (present only for churn-enabled runs): lets a
+    // volatility sweep tabulate re-allocations and failovers per grid point
+    // next to the prediction error.
+    if (!ph.has("churn")) return;
+    const JsonValue& c = ph.at("churn");
+    m[std::string(prefix) + "_churn_events"] = c.at("events_applied").as_double();
+    m[std::string(prefix) + "_churn_attempts"] = c.at("attempts").as_double();
+    m[std::string(prefix) + "_churn_rejoins"] = c.at("rejoins").as_double();
   };
   phase("reference", "reference");
   phase("predicted", "predicted");

@@ -7,6 +7,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "support/json.hpp"
+
 namespace pdc::campaign {
 
 namespace {
@@ -80,6 +82,7 @@ std::size_t CampaignSpec::total_runs() const {
   auto axis = [](std::size_t n) { return n == 0 ? std::size_t{1} : n; };
   return axis(platforms.size()) * axis(peers.size()) * axis(levels.size()) *
          axis(schemes.size()) * axis(allocations.size()) * axis(seeds.size()) *
+         axis(churn_rates.size()) * axis(churn_seeds.size()) *
          static_cast<std::size_t>(repetitions < 1 ? 0 : repetitions);
 }
 
@@ -119,6 +122,16 @@ std::vector<CampaignRun> expand(const CampaignSpec& spec) {
   const std::vector<std::uint64_t> seeds =
       spec.seeds.empty() ? std::vector<std::uint64_t>{spec.base.run.seed}
                          : dedup(spec.seeds);
+  // Churn axes contribute key segments only when actually swept, so
+  // churn-free campaigns keep their pre-churn run keys and resume records.
+  const bool sweep_churn_rate = !spec.churn_rates.empty();
+  const bool sweep_churn_seed = !spec.churn_seeds.empty();
+  const std::vector<double> churn_rates =
+      sweep_churn_rate ? dedup(spec.churn_rates)
+                       : std::vector<double>{spec.base.run.churn.peer_crash_rate};
+  const std::vector<std::uint64_t> churn_seeds =
+      sweep_churn_seed ? dedup(spec.churn_seeds)
+                       : std::vector<std::uint64_t>{spec.base.run.churn.seed};
 
   // Platform key components must be unique per axis value: two `variant
   // star ...` lines without explicit labels would otherwise collide into
@@ -144,26 +157,34 @@ std::vector<CampaignRun> expand(const CampaignSpec& spec) {
         for (p2psap::Scheme scheme : schemes)
           for (p2pdc::AllocationMode alloc : allocations)
             for (std::uint64_t seed : seeds)
-              for (int rep = 0; rep < spec.repetitions; ++rep) {
-                const PlatformSpec& platform = platforms[plat];
-                CampaignRun run;
-                run.index = runs.size();
-                run.repetition = rep;
-                run.point_key = platform_keys[plat] + "-p" + std::to_string(p) +
-                                "-" + ir::opt_level_name(level) + "-" +
-                                scheme_key(scheme) + "-" + alloc_key(alloc) + "-s" +
-                                std::to_string(seed);
-                run.key = run.point_key + "-r" + std::to_string(rep);
-                run.spec = spec.base;
-                run.spec.name = spec.name + "/" + run.key;
-                run.spec.platform = platform;
-                run.spec.run.peers = p;
-                run.spec.run.level = level;
-                run.spec.run.scheme = scheme;
-                run.spec.run.allocation = alloc;
-                run.spec.run.seed = seed;
-                runs.push_back(std::move(run));
-              }
+              for (double churn_rate : churn_rates)
+                for (std::uint64_t churn_seed : churn_seeds)
+                  for (int rep = 0; rep < spec.repetitions; ++rep) {
+                    const PlatformSpec& platform = platforms[plat];
+                    CampaignRun run;
+                    run.index = runs.size();
+                    run.repetition = rep;
+                    run.point_key = platform_keys[plat] + "-p" + std::to_string(p) +
+                                    "-" + ir::opt_level_name(level) + "-" +
+                                    scheme_key(scheme) + "-" + alloc_key(alloc) +
+                                    "-s" + std::to_string(seed);
+                    if (sweep_churn_rate)
+                      run.point_key += "-cr" + sanitize_key(format_shortest(churn_rate));
+                    if (sweep_churn_seed)
+                      run.point_key += "-cs" + std::to_string(churn_seed);
+                    run.key = run.point_key + "-r" + std::to_string(rep);
+                    run.spec = spec.base;
+                    run.spec.name = spec.name + "/" + run.key;
+                    run.spec.platform = platform;
+                    run.spec.run.peers = p;
+                    run.spec.run.level = level;
+                    run.spec.run.scheme = scheme;
+                    run.spec.run.allocation = alloc;
+                    run.spec.run.seed = seed;
+                    run.spec.run.churn.peer_crash_rate = churn_rate;
+                    run.spec.run.churn.seed = churn_seed;
+                    runs.push_back(std::move(run));
+                  }
   return runs;
 }
 
@@ -231,6 +252,19 @@ CampaignSpec parse_campaign(const std::string& text, const scenario::RunSpec& ba
       } else if (axis == "seed") {
         for (const auto& v : values)
           spec.seeds.push_back(parse_u64(v, lineno, "seed"));
+      } else if (axis == "churn_rate") {
+        for (const auto& v : values) {
+          char* end = nullptr;
+          const double rate = std::strtod(v.c_str(), &end);
+          // !(rate >= 0) also rejects NaN, which would otherwise key a
+          // grid point "-crnan".
+          if (end == v.c_str() || *end != '\0' || !(rate >= 0))
+            throw ScenarioError(lineno, "bad churn_rate '" + v + "'");
+          spec.churn_rates.push_back(rate);
+        }
+      } else if (axis == "churn_seed") {
+        for (const auto& v : values)
+          spec.churn_seeds.push_back(parse_u64(v, lineno, "churn_seed"));
       } else if (axis == "platform") {
         for (const auto& v : values)
           spec.platforms.push_back(preset_platform(v, lineno));
@@ -299,6 +333,12 @@ std::string render_campaign(const CampaignSpec& spec) {
   v.clear();
   for (std::uint64_t s : spec.seeds) v.push_back(std::to_string(s));
   join("seed", v);
+  v.clear();
+  for (double r : spec.churn_rates) v.push_back(format_shortest(r));
+  join("churn_rate", v);
+  v.clear();
+  for (std::uint64_t s : spec.churn_seeds) v.push_back(std::to_string(s));
+  join("churn_seed", v);
   out << "repetitions " << spec.repetitions << "\n";
   return out.str();
 }

@@ -17,6 +17,9 @@
 //   sweep scheme sync,async         # axis: P2PSAP schemes
 //   sweep alloc hierarchical,flat   # axis: allocation modes
 //   sweep seed 41,42,43             # axis: workload seeds
+//   sweep churn_rate 0,0.002,0.01   # axis: peer crash rates (/s/worker);
+//                                   #   overrides the base `churn rate`
+//   sweep churn_seed 1,2,3          # axis: churn event-stream seeds
 //   sweep platform grid5000 lan     # axis: platform presets (grid5000 |
 //                                   #   lan | xdsl | federation | wan)
 //   variant star hosts=8 speed=2GHz # axis: one parameterized platform
@@ -49,6 +52,12 @@ struct CampaignSpec {
   std::vector<p2psap::Scheme> schemes;
   std::vector<p2pdc::AllocationMode> allocations;
   std::vector<std::uint64_t> seeds;
+  /// Churn axes: values override the base scenario's `churn rate` / `churn
+  /// seed`, so prediction error can be tabulated as a function of
+  /// volatility. Swept axes add "-cr<rate>" / "-cs<seed>" key segments;
+  /// unswept campaigns keep their pre-churn keys (stable resume).
+  std::vector<double> churn_rates;
+  std::vector<std::uint64_t> churn_seeds;
   int repetitions = 1;
 
   /// The grid size: product of axis sizes (empty axes count 1), including

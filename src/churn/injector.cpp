@@ -1,0 +1,158 @@
+#include "churn/injector.hpp"
+
+#include <algorithm>
+
+#include "support/log.hpp"
+
+namespace pdc::churn {
+
+Injector::Injector(p2pdc::Environment& env, std::vector<net::NodeIdx> workers,
+                   std::vector<net::NodeIdx> crashable_trackers,
+                   std::vector<net::NodeIdx> spare_hosts,
+                   std::vector<ChurnEvent> timeline, std::uint64_t seed)
+    : env_(&env),
+      workers_(std::move(workers)),
+      crashable_trackers_(std::move(crashable_trackers)),
+      spare_hosts_(std::move(spare_hosts)),
+      timeline_(std::move(timeline)),
+      rng_(seed) {}
+
+void Injector::arm() {
+  sim::Engine& engine = env_->engine();
+  for (const ChurnEvent& ev : timeline_)
+    engine.schedule_at(engine.now() + ev.at, [this, ev] { apply(ev); });
+}
+
+void Injector::apply(const ChurnEvent& ev) {
+  switch (ev.kind) {
+    case ChurnEvent::Kind::PeerCrash: crash_peer(ev); break;
+    case ChurnEvent::Kind::PeerJoin: join_peer(); break;
+    case ChurnEvent::Kind::TrackerCrash: crash_tracker(ev); break;
+    case ChurnEvent::Kind::LinkDegrade: degrade_link(ev); break;
+    case ChurnEvent::Kind::LinkRestore: restore_link(ev); break;
+  }
+}
+
+void Injector::crash_peer(const ChurnEvent& ev) {
+  net::NodeIdx host = -1;
+  if (ev.target >= 0) {
+    if (ev.target < static_cast<int>(workers_.size()))
+      host = workers_[static_cast<std::size_t>(ev.target)];
+    const overlay::PeerActor* actor = host >= 0 ? env_->over().peer_at(host) : nullptr;
+    if (actor == nullptr || !actor->alive()) host = -1;  // already gone
+  } else {
+    std::vector<net::NodeIdx> alive;
+    for (const net::NodeIdx w : workers_) {
+      const overlay::PeerActor* actor = env_->over().peer_at(w);
+      if (actor != nullptr && actor->alive()) alive.push_back(w);
+    }
+    if (!alive.empty())
+      host = alive[static_cast<std::size_t>(rng_.uniform_int(
+          0, static_cast<std::int64_t>(alive.size()) - 1))];
+  }
+  if (host < 0) {
+    ++stats_.events_skipped;
+    return;
+  }
+  PDC_LOG_INFO("churn: crash-peer " + env_->platform().node(host).name + " at t=" +
+               std::to_string(env_->engine().now()));
+  env_->crash_host(host);
+  ++stats_.peer_crashes;
+  ++stats_.events_applied;
+}
+
+void Injector::join_peer() {
+  if (next_spare_ >= spare_hosts_.size()) {
+    ++stats_.events_skipped;  // no replacement capacity left on this platform
+    return;
+  }
+  const net::NodeIdx host = spare_hosts_[next_spare_++];
+  PDC_LOG_INFO("churn: join " + env_->platform().node(host).name + " at t=" +
+               std::to_string(env_->engine().now()));
+  // The shared deployment policy, so replacements satisfy the same
+  // requirement matching as the original workers.
+  env_->boot_peer(host, p2pdc::worker_resources(env_->platform(), host));
+  ++stats_.peer_joins;
+  ++stats_.events_applied;
+}
+
+void Injector::crash_tracker(const ChurnEvent& ev) {
+  // Keep the overlay submittable: only ever crash down to one alive tracker.
+  int alive_total = 0;
+  for (const overlay::TrackerActor* t : env_->over().trackers())
+    if (t->alive()) ++alive_total;
+  net::NodeIdx host = -1;
+  if (alive_total > 1) {
+    std::vector<net::NodeIdx> alive;
+    for (const net::NodeIdx h : crashable_trackers_) {
+      const overlay::TrackerActor* t = env_->over().tracker_at(h);
+      if (t != nullptr && t->alive()) alive.push_back(h);
+    }
+    if (ev.target >= 0) {
+      if (ev.target < static_cast<int>(crashable_trackers_.size())) {
+        const net::NodeIdx h = crashable_trackers_[static_cast<std::size_t>(ev.target)];
+        if (std::find(alive.begin(), alive.end(), h) != alive.end()) host = h;
+      }
+    } else if (!alive.empty()) {
+      host = alive[static_cast<std::size_t>(rng_.uniform_int(
+          0, static_cast<std::int64_t>(alive.size()) - 1))];
+    }
+  }
+  if (host < 0) {
+    ++stats_.events_skipped;
+    return;
+  }
+  PDC_LOG_INFO("churn: crash-tracker " + env_->platform().node(host).name + " at t=" +
+               std::to_string(env_->engine().now()));
+  env_->crash_host(host);
+  ++stats_.tracker_crashes;
+  ++stats_.events_applied;
+}
+
+void Injector::degrade_link(const ChurnEvent& ev) {
+  const int links = env_->platform().link_count();
+  if (links == 0) {
+    ++stats_.events_skipped;
+    return;
+  }
+  net::LinkIdx link;
+  if (ev.target >= 0) {
+    if (ev.target >= links) {
+      ++stats_.events_skipped;
+      return;
+    }
+    link = ev.target;
+  } else {
+    link = static_cast<net::LinkIdx>(rng_.uniform_int(0, links - 1));
+  }
+  env_->flownet().set_link_scale(link, ev.scale);
+  degraded_.push_back(link);
+  ++stats_.link_degrades;
+  ++stats_.events_applied;
+}
+
+void Injector::restore_link(const ChurnEvent& ev) {
+  net::LinkIdx link;
+  if (ev.target >= 0) {
+    if (ev.target >= env_->platform().link_count()) {
+      ++stats_.events_skipped;
+      return;
+    }
+    link = ev.target;
+    const auto it = std::find(degraded_.begin(), degraded_.end(), link);
+    if (it != degraded_.end()) degraded_.erase(it);
+  } else {
+    // Model-generated restores heal the longest-degraded link first.
+    if (degraded_.empty()) {
+      ++stats_.events_skipped;
+      return;
+    }
+    link = degraded_.front();
+    degraded_.pop_front();
+  }
+  env_->flownet().set_link_scale(link, 1.0);
+  ++stats_.link_restores;
+  ++stats_.events_applied;
+}
+
+}  // namespace pdc::churn

@@ -1,0 +1,67 @@
+// Drives a churn timeline into a live deployment: events are scheduled on
+// the simulation engine's timer queue, so they interleave deterministically
+// with the overlay protocols and the computation itself.
+//
+//  * crash-peer     -> p2pdc::Environment::crash_host on a worker: the
+//                      overlay actor fail-stops (messages dropped, resources
+//                      expire from its zone) and any computation that placed
+//                      a rank there aborts so the submitter can re-allocate.
+//  * join           -> boots a fresh peer on the next spare host through the
+//                      ordinary overlay join protocol (replacement capacity).
+//  * crash-tracker  -> fail-stops a failover tracker; neighbours repair the
+//                      line and orphaned peers re-join a neighbour zone
+//                      (PeerActor::rejoin_count observes it).
+//  * degrade/restore-> FlowNet::set_link_scale on a platform link, reshaping
+//                      every affected flow in either sharing mode.
+//
+// The injector never crashes the submitter or the last alive tracker (a
+// skipped event is counted, not applied): the paper's volatility model is
+// peer churn around a task that must remain submittable.
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "churn/spec.hpp"
+#include "p2pdc/environment.hpp"
+#include "support/rng.hpp"
+
+namespace pdc::churn {
+
+class Injector {
+ public:
+  /// `workers` are the crash-eligible hosts (never the submitter),
+  /// `crashable_trackers` the failover trackers booted for this run, and
+  /// `spare_hosts` pre-sized, not-yet-booted hosts that join events consume
+  /// in order. `seed` feeds the target=-1 picks (see injection_seed).
+  Injector(p2pdc::Environment& env, std::vector<net::NodeIdx> workers,
+           std::vector<net::NodeIdx> crashable_trackers,
+           std::vector<net::NodeIdx> spare_hosts, std::vector<ChurnEvent> timeline,
+           std::uint64_t seed);
+
+  /// Schedules every timeline event at (now + event.at). Call once, after
+  /// the deployment finished bootstrapping.
+  void arm();
+
+  const ChurnStats& stats() const { return stats_; }
+
+ private:
+  void apply(const ChurnEvent& ev);
+  void crash_peer(const ChurnEvent& ev);
+  void join_peer();
+  void crash_tracker(const ChurnEvent& ev);
+  void degrade_link(const ChurnEvent& ev);
+  void restore_link(const ChurnEvent& ev);
+
+  p2pdc::Environment* env_;
+  std::vector<net::NodeIdx> workers_;
+  std::vector<net::NodeIdx> crashable_trackers_;
+  std::vector<net::NodeIdx> spare_hosts_;
+  std::vector<ChurnEvent> timeline_;
+  Rng rng_;
+  std::size_t next_spare_ = 0;
+  std::deque<net::LinkIdx> degraded_;  // FIFO for target=-1 restores
+  ChurnStats stats_;
+};
+
+}  // namespace pdc::churn

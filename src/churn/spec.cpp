@@ -1,0 +1,252 @@
+#include "churn/spec.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "support/json.hpp"
+#include "support/rng.hpp"
+
+namespace pdc::churn {
+
+namespace {
+
+/// Independent per-purpose stream: SplitMix64 decorrelates even adjacent
+/// seeds, so mixing a purpose constant is enough for disjoint streams.
+Rng stream(std::uint64_t seed, std::uint64_t purpose) {
+  return Rng{seed ^ (0x9E3779B97F4A7C15ULL * (purpose + 1))};
+}
+
+/// Inverse-CDF exponential draw with the given rate (events per second).
+double exponential(Rng& rng, double rate) {
+  return -std::log(1.0 - rng.uniform(0.0, 1.0)) / rate;
+}
+
+double parse_number(const std::string& text, const char* what) {
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  // Non-finite values are never meaningful here: `horizon inf` would make
+  // model expansion unbounded and `at=nan` would break the engine's event
+  // ordering, so reject them at parse time with a diagnostic.
+  if (end == text.c_str() || *end != '\0' || !std::isfinite(v))
+    throw std::invalid_argument(std::string("bad churn ") + what + " '" + text + "'");
+  return v;
+}
+
+int parse_index(const std::string& text, const char* what) {
+  const double v = parse_number(text, what);
+  // The range check also keeps the cast below defined (double -> int
+  // overflow is UB).
+  if (v != std::floor(v) || std::abs(v) > 2147483647.0)
+    throw std::invalid_argument(std::string("bad churn ") + what + " '" + text + "'");
+  return static_cast<int>(v);
+}
+
+/// key=value map for one `churn event <kind> ...` line; throws on dupes and
+/// malformed pairs so typos surface instead of silently applying defaults.
+std::map<std::string, std::string> event_params(const std::vector<std::string>& tok,
+                                                std::size_t first) {
+  std::map<std::string, std::string> out;
+  for (std::size_t i = first; i < tok.size(); ++i) {
+    const auto eq = tok[i].find('=');
+    if (eq == std::string::npos || eq == 0)
+      throw std::invalid_argument("expected key=value, got '" + tok[i] + "'");
+    if (!out.emplace(tok[i].substr(0, eq), tok[i].substr(eq + 1)).second)
+      throw std::invalid_argument("duplicate event key '" + tok[i].substr(0, eq) + "'");
+  }
+  return out;
+}
+
+ChurnEvent parse_event(const std::vector<std::string>& tok) {
+  if (tok.size() < 3)
+    throw std::invalid_argument(
+        "expected: churn event <crash-peer|join|crash-tracker|degrade|restore> "
+        "at=<s> ...");
+  const std::string& kind = tok[2];
+  ChurnEvent ev;
+  const char* target_key = nullptr;
+  bool with_scale = false;
+  if (kind == "crash-peer") {
+    ev.kind = ChurnEvent::Kind::PeerCrash;
+    target_key = "peer";
+  } else if (kind == "join") {
+    ev.kind = ChurnEvent::Kind::PeerJoin;
+  } else if (kind == "crash-tracker") {
+    ev.kind = ChurnEvent::Kind::TrackerCrash;
+    target_key = "tracker";
+  } else if (kind == "degrade") {
+    ev.kind = ChurnEvent::Kind::LinkDegrade;
+    target_key = "link";
+    with_scale = true;
+    ev.scale = 0.5;  // halve by default, like ChurnSpec::link_degrade_scale
+  } else if (kind == "restore") {
+    ev.kind = ChurnEvent::Kind::LinkRestore;
+    target_key = "link";
+  } else {
+    throw std::invalid_argument("unknown churn event kind '" + kind + "'");
+  }
+  bool saw_at = false;
+  for (const auto& [key, value] : event_params(tok, 3)) {
+    if (key == "at") {
+      ev.at = parse_number(value, "event time");
+      if (ev.at < 0) throw std::invalid_argument("churn event time must be >= 0");
+      saw_at = true;
+    } else if (target_key != nullptr && key == target_key) {
+      ev.target = parse_index(value, target_key);
+      if (ev.target < 0) throw std::invalid_argument("churn event target must be >= 0");
+    } else if (with_scale && key == "scale") {
+      ev.scale = parse_number(value, "scale");
+      if (ev.scale <= 0 || ev.scale > 1)
+        throw std::invalid_argument("churn degrade scale must be in (0, 1]");
+    } else {
+      throw std::invalid_argument("unknown churn event key '" + key + "' for '" + kind +
+                                  "'");
+    }
+  }
+  if (!saw_at) throw std::invalid_argument("churn event needs at=<seconds>");
+  return ev;
+}
+
+std::string render_event(const ChurnEvent& ev) {
+  std::ostringstream out;
+  out << "churn event " << churn_event_kind_name(ev.kind)
+      << " at=" << format_shortest(ev.at);
+  switch (ev.kind) {
+    case ChurnEvent::Kind::PeerCrash:
+      if (ev.target >= 0) out << " peer=" << ev.target;
+      break;
+    case ChurnEvent::Kind::PeerJoin:
+      break;
+    case ChurnEvent::Kind::TrackerCrash:
+      if (ev.target >= 0) out << " tracker=" << ev.target;
+      break;
+    case ChurnEvent::Kind::LinkDegrade:
+      if (ev.target >= 0) out << " link=" << ev.target;
+      out << " scale=" << format_shortest(ev.scale);
+      break;
+    case ChurnEvent::Kind::LinkRestore:
+      if (ev.target >= 0) out << " link=" << ev.target;
+      break;
+  }
+  return out.str();
+}
+
+}  // namespace
+
+const char* churn_event_kind_name(ChurnEvent::Kind k) {
+  switch (k) {
+    case ChurnEvent::Kind::PeerCrash: return "crash-peer";
+    case ChurnEvent::Kind::PeerJoin: return "join";
+    case ChurnEvent::Kind::TrackerCrash: return "crash-tracker";
+    case ChurnEvent::Kind::LinkDegrade: return "degrade";
+    case ChurnEvent::Kind::LinkRestore: return "restore";
+  }
+  return "?";
+}
+
+std::uint64_t injection_seed(const ChurnSpec& spec, std::uint64_t run_seed) {
+  return (spec.seed != 0 ? spec.seed : run_seed) ^ 0xC45C3A1EULL;
+}
+
+std::vector<ChurnEvent> expand_events(const ChurnSpec& spec, int peers,
+                                      std::uint64_t run_seed) {
+  std::vector<ChurnEvent> out = spec.events;
+  const std::uint64_t seed = spec.seed != 0 ? spec.seed : run_seed;
+
+  if (spec.peer_crash_rate > 0) {
+    // One independent stream per worker slot: the timeline of worker i does
+    // not shift when `peers` (or any other axis) changes.
+    for (int i = 0; i < peers; ++i) {
+      Rng rng = stream(seed, 0x100 + static_cast<std::uint64_t>(i));
+      const double lifetime = exponential(rng, spec.peer_crash_rate);
+      if (lifetime >= spec.horizon) continue;
+      out.push_back({ChurnEvent::Kind::PeerCrash, lifetime, i, 1.0});
+      if (spec.mean_downtime > 0) {
+        const double downtime = exponential(rng, 1.0 / spec.mean_downtime);
+        out.push_back({ChurnEvent::Kind::PeerJoin, lifetime + downtime, -1, 1.0});
+      }
+    }
+  }
+
+  if (spec.link_degrade_rate > 0) {
+    Rng rng = stream(seed, 0x200);
+    for (double t = exponential(rng, spec.link_degrade_rate); t < spec.horizon;
+         t += exponential(rng, spec.link_degrade_rate)) {
+      out.push_back({ChurnEvent::Kind::LinkDegrade, t, -1, spec.link_degrade_scale});
+      if (spec.mean_degrade_time > 0) {
+        const double hold = exponential(rng, 1.0 / spec.mean_degrade_time);
+        out.push_back({ChurnEvent::Kind::LinkRestore, t + hold, -1, 1.0});
+      }
+    }
+  }
+
+  // Time order; explicit listing order breaks ties (stable sort).
+  std::stable_sort(out.begin(), out.end(),
+                   [](const ChurnEvent& a, const ChurnEvent& b) { return a.at < b.at; });
+  return out;
+}
+
+void parse_churn_tokens(const std::vector<std::string>& tok, ChurnSpec& spec) {
+  if (tok.size() < 2)
+    throw std::invalid_argument("expected: churn <key> <value ...>");
+  const std::string& key = tok[1];
+  if (key == "event") {
+    spec.events.push_back(parse_event(tok));
+    return;
+  }
+  if (tok.size() != 3)
+    throw std::invalid_argument("expected: churn " + key + " <value>");
+  const std::string& value = tok[2];
+  if (key == "rate") {
+    spec.peer_crash_rate = parse_number(value, "rate");
+    if (spec.peer_crash_rate < 0) throw std::invalid_argument("churn rate must be >= 0");
+  } else if (key == "downtime") {
+    spec.mean_downtime = parse_number(value, "downtime");
+    if (spec.mean_downtime < 0) throw std::invalid_argument("churn downtime must be >= 0");
+  } else if (key == "link_rate") {
+    spec.link_degrade_rate = parse_number(value, "link_rate");
+    if (spec.link_degrade_rate < 0)
+      throw std::invalid_argument("churn link_rate must be >= 0");
+  } else if (key == "link_scale") {
+    spec.link_degrade_scale = parse_number(value, "link_scale");
+    if (spec.link_degrade_scale <= 0 || spec.link_degrade_scale > 1)
+      throw std::invalid_argument("churn link_scale must be in (0, 1]");
+  } else if (key == "link_time") {
+    spec.mean_degrade_time = parse_number(value, "link_time");
+    if (spec.mean_degrade_time < 0)
+      throw std::invalid_argument("churn link_time must be >= 0");
+  } else if (key == "horizon") {
+    spec.horizon = parse_number(value, "horizon");
+    if (spec.horizon < 0) throw std::invalid_argument("churn horizon must be >= 0");
+  } else if (key == "seed") {
+    char* end = nullptr;
+    spec.seed = std::strtoull(value.c_str(), &end, 10);
+    if (end == value.c_str() || *end != '\0')
+      throw std::invalid_argument("bad churn seed '" + value + "'");
+  } else if (key == "attempts") {
+    spec.max_attempts = parse_index(value, "attempts");
+    if (spec.max_attempts < 1) throw std::invalid_argument("churn attempts must be >= 1");
+  } else {
+    throw std::invalid_argument("unknown churn key '" + key + "'");
+  }
+}
+
+std::string render_churn_lines(const ChurnSpec& spec) {
+  if (spec == ChurnSpec{}) return "";
+  std::ostringstream out;
+  out << "churn rate " << format_shortest(spec.peer_crash_rate) << "\n";
+  out << "churn downtime " << format_shortest(spec.mean_downtime) << "\n";
+  out << "churn link_rate " << format_shortest(spec.link_degrade_rate) << "\n";
+  out << "churn link_scale " << format_shortest(spec.link_degrade_scale) << "\n";
+  out << "churn link_time " << format_shortest(spec.mean_degrade_time) << "\n";
+  out << "churn horizon " << format_shortest(spec.horizon) << "\n";
+  out << "churn seed " << spec.seed << "\n";
+  out << "churn attempts " << spec.max_attempts << "\n";
+  for (const ChurnEvent& ev : spec.events) out << render_event(ev) << "\n";
+  return out.str();
+}
+
+}  // namespace pdc::churn

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 #include <map>
+#include <stdexcept>
 #include <string>
 
 #include "support/log.hpp"
@@ -38,15 +39,42 @@ FlowNet::~FlowNet() {
 void FlowNet::sync_linkdirs() {
   // The platform may gain links after construction; grow the dense mirrors.
   const std::size_t want = platform_->linkdir_count();
+  link_scales_.resize(want / 2, 1.0);
   while (linkdirs_.size() < want) {
+    const auto link = static_cast<LinkIdx>(linkdirs_.size() / 2);
     LinkDir ld;
-    ld.capacity = platform_->link(static_cast<LinkIdx>(linkdirs_.size() / 2)).bandwidth_Bps;
+    ld.capacity = platform_->link(link).bandwidth_Bps *
+                  link_scales_[static_cast<std::size_t>(link)];
     linkdirs_.push_back(std::move(ld));
   }
   if (cap_.size() < want) {
     cap_.resize(want, 0.0);
     nun_.resize(want, 0);
   }
+}
+
+void FlowNet::set_link_scale(LinkIdx link, double scale) {
+  if (!(scale > 0))
+    throw std::invalid_argument("FlowNet::set_link_scale: scale must be > 0");
+  sync_linkdirs();
+  link_scales_[static_cast<std::size_t>(link)] = scale;
+  const double capacity = platform_->link(link).bandwidth_Bps * scale;
+  for (int dir = 0; dir < 2; ++dir) {
+    const std::size_t li = linkdir_index(Hop{link, dir});
+    linkdirs_[li].capacity = capacity;
+    mark_dirty(li);
+  }
+  ++stats_.link_rescales;
+  ++stats_.reshares;
+  if (mode_ == Mode::Reference)
+    reference_reshare();
+  else
+    resolve_dirty();
+}
+
+double FlowNet::link_scale(LinkIdx link) const {
+  const auto i = static_cast<std::size_t>(link);
+  return i < link_scales_.size() ? link_scales_[i] : 1.0;
 }
 
 FlowNet::Slot FlowNet::alloc_slot() {
@@ -344,7 +372,9 @@ void FlowNet::reference_recompute_rates() {
     if (f.phase != Phase::Transfer) continue;
     unfixed.push_back(&f);
     for (const Hop& h : f.hops) {
-      capacity.emplace(linkdir_index(h), platform_->link(h.link).bandwidth_Bps);
+      // Dense records carry the (possibly churn-rescaled) capacity; they are
+      // synced for every hop a live flow crosses.
+      capacity.emplace(linkdir_index(h), linkdirs_[linkdir_index(h)].capacity);
       ++unfixed_count[linkdir_index(h)];
     }
   }

@@ -55,6 +55,9 @@ struct FlowNetStats {
   /// Transfer-phase flows observed stuck at rate 0 with bytes left (each is
   /// warned once via support/log; such a flow can never complete).
   std::uint64_t flows_starved = 0;
+  /// Link capacity rescale events applied (churn link degradation/restore);
+  /// each one also counts as a reshare.
+  std::uint64_t link_rescales = 0;
 };
 
 class FlowNet {
@@ -82,6 +85,14 @@ class FlowNet {
   /// Current max-min rate of an active flow (0 while in the latency phase);
   /// exposed for tests of the sharing model.
   double flow_rate(FlowId id) const;
+
+  /// Rescales a link's usable bandwidth (both directions) to `scale` x the
+  /// platform's modelled capacity and re-solves the affected flows — the
+  /// churn subsystem's link degradation/restoration hook. Works identically
+  /// in both modes, so the differential oracle covers degraded networks.
+  /// `scale` must be > 0 (a dead link would starve its flows forever).
+  void set_link_scale(LinkIdx link, double scale);
+  double link_scale(LinkIdx link) const;
 
  private:
   enum class Phase { Latency, Transfer };
@@ -152,6 +163,7 @@ class FlowNet {
   FlowId next_id_ = 1;
 
   std::vector<LinkDir> linkdirs_;
+  std::vector<double> link_scales_;  // per link (not per direction), default 1
   std::vector<std::size_t> dirty_linkdirs_;
 
   // Solver scratch, persistent to avoid per-reshare allocation. cap_/nun_

@@ -49,13 +49,15 @@ void unpack_results(const std::vector<double>& packed,
 /// Shared state of one running computation.
 struct Computation {
   Computation(Environment& environment, TaskSpec task_spec, NodeIdx submitter_host,
-              std::vector<alloc::Group> peer_groups)
+              std::vector<alloc::Group> peer_groups, std::uint64_t ticket_id)
       : env(&environment),
         spec(std::move(task_spec)),
         submitter(submitter_host),
+        ticket(ticket_id),
         groups(std::move(peer_groups)),
         subtask_latch(environment.engine(), 0),
-        done_latch(environment.engine(), 0) {
+        done_latch(environment.engine(), 0),
+        halt(environment.engine()) {
     for (std::size_t g = 0; g < groups.size(); ++g) {
       for (std::size_t m = 0; m < groups[g].members.size(); ++m) {
         if (m == groups[g].coordinator)
@@ -80,18 +82,55 @@ struct Computation {
     return env->fabric().channel(a, b, p2psap::Scheme::Synchronous);
   }
 
+  /// Scopes a tag to this computation. Channels (and their mailboxes) are
+  /// cached per host pair, so after a churn abort the parked receivers of a
+  /// failed attempt still listen on the same channels as the re-allocated
+  /// attempt that follows; ticket-scoped tags keep the attempts' message
+  /// streams fully disjoint. The 2^12 span bounds every user (>= 0) and
+  /// internal (> -4096) tag — enforced here, since a tag outside it would
+  /// alias into another ticket's scope. (Tickets wrap at 1024; two attempts
+  /// 1024 submissions apart on one deployment share a scope, far beyond the
+  /// churn retry budget.)
+  int scoped(int tag) const {
+    assert(tag < (1 << 12) && tag > -(1 << 12) && "tag outside the scoped span");
+    const int off = static_cast<int>(ticket % 1024) * (1 << 12);
+    return tag >= 0 ? tag + off : tag - off;
+  }
+
+  /// Fail-stop abort (a rank's host crashed): submit() resumes with the
+  /// failure, surviving ranks park forever at their next communication or
+  /// compute call instead of burning simulated bandwidth.
+  void fail(std::string why) {
+    if (failed || finished) return;
+    failed = true;
+    failure_reason = std::move(why);
+    done_latch.force_open();
+  }
+
+  bool involves(NodeIdx host) const {
+    if (host == submitter) return true;
+    for (const auto& r : ranks)
+      if (r.node == host) return true;
+    return false;
+  }
+
   sim::Task<double> allreduce_max(int rank, double value);
   sim::Task<void> broadcast_value(int from_rank, int tag, double value, bool to_coordinators);
 
   Environment* env;
   TaskSpec spec;
   NodeIdx submitter;
+  std::uint64_t ticket;
+  bool failed = false;
+  bool finished = false;
+  std::string failure_reason;
   std::vector<alloc::Group> groups;
   std::vector<overlay::PeerRef> ranks;
   std::vector<int> group_of;
   std::vector<int> coord_rank;
   sim::Latch subtask_latch;
   sim::Latch done_latch;
+  sim::Gate halt;  // never opened: parking spot for ranks of an aborted attempt
   Time t_allocated = 0;
   std::map<int, std::vector<double>> results;             // gathered at submitter
   std::map<int, std::vector<double>> rank_result_values;  // set by PeerContext
@@ -106,34 +145,48 @@ double PeerContext::host_speed_hz() const {
 }
 Time PeerContext::now() const { return comp_->env->engine().now(); }
 
+// Every PeerContext operation is a cancellation point: once the computation
+// failed (a rank's host crashed), the calling rank parks on the never-opened
+// halt gate instead of proceeding, so an aborted attempt stops spending
+// simulated time and bandwidth at its next step. Messages already restored
+// into flight drain normally (deterministically) before the park.
+
 sim::Task<void> PeerContext::send(int to_rank, int tag, double bytes,
                                   std::shared_ptr<const std::vector<double>> values) {
   assert(tag >= 0 && "user tags must be non-negative");
+  if (comp_->failed) co_await comp_->halt.wait();
   co_await comp_->data_channel(rank_, to_rank)
-      .send(comp_->host_of(rank_), tag, bytes, std::move(values));
+      .send(comp_->host_of(rank_), comp_->scoped(tag), bytes, std::move(values));
 }
 
 sim::Task<p2psap::Message> PeerContext::recv(int from_rank, int tag) {
-  auto m = co_await comp_->data_channel(from_rank, rank_).recv(comp_->host_of(rank_), tag);
+  if (comp_->failed) co_await comp_->halt.wait();
+  auto m = co_await comp_->data_channel(from_rank, rank_)
+               .recv(comp_->host_of(rank_), comp_->scoped(tag));
   co_return m;
 }
 
 sim::Task<std::optional<p2psap::Message>> PeerContext::recv_for(int from_rank, int tag,
                                                                 Time timeout) {
+  if (comp_->failed) co_await comp_->halt.wait();
   auto m = co_await comp_->data_channel(from_rank, rank_)
-               .recv_for(comp_->host_of(rank_), tag, timeout);
+               .recv_for(comp_->host_of(rank_), comp_->scoped(tag), timeout);
   co_return m;
 }
 
 std::optional<p2psap::Message> PeerContext::try_recv(int from_rank, int tag) {
-  return comp_->data_channel(from_rank, rank_).try_recv(comp_->host_of(rank_), tag);
+  if (comp_->failed) return std::nullopt;  // non-suspending: cannot park
+  return comp_->data_channel(from_rank, rank_)
+      .try_recv(comp_->host_of(rank_), comp_->scoped(tag));
 }
 
 sim::Task<void> PeerContext::compute(Time dt) {
+  if (comp_->failed) co_await comp_->halt.wait();
   co_await comp_->env->engine().sleep(dt);
 }
 
 sim::Task<double> PeerContext::allreduce_max(double value) {
+  if (comp_->failed) co_await comp_->halt.wait();
   double r = co_await comp_->allreduce_max(rank_, value);
   co_return r;
 }
@@ -164,7 +217,7 @@ sim::Task<void> Computation::broadcast_value(int from_rank, int tag, double valu
     env->engine().spawn([](Computation& c, NodeIdx from, NodeIdx dest, int t, double v,
                            std::shared_ptr<sim::Latch> l) -> sim::Process {
       co_await c.ctrl_channel(from, dest)
-          .send(from, t, 16, std::make_shared<std::vector<double>>(1, v));
+          .send(from, c.scoped(t), 16, std::make_shared<std::vector<double>>(1, v));
       l->count_down();
     }(*this, my_host, to, tag, value, latch));
   }
@@ -181,9 +234,9 @@ sim::Task<double> Computation::allreduce_max(int rank, double value) {
   if (rank != my_coord) {
     // Leaf: send to the group coordinator, wait for the broadcast.
     auto& ch = ctrl_channel(my_host, host_of(my_coord));
-    co_await ch.send(my_host, kTagReduceUp, kReduceBytes,
+    co_await ch.send(my_host, scoped(kTagReduceUp), kReduceBytes,
                      std::make_shared<std::vector<double>>(1, value));
-    const auto m = co_await ch.recv(my_host, kTagReduceDown);
+    const auto m = co_await ch.recv(my_host, scoped(kTagReduceDown));
     co_return (*m.values)[0];
   }
 
@@ -193,23 +246,24 @@ sim::Task<double> Computation::allreduce_max(int rank, double value) {
   for (std::size_t m = 0; m < group.members.size(); ++m) {
     if (m == group.coordinator) continue;
     const NodeIdx member = group.members[m].node;
-    const auto msg = co_await ctrl_channel(my_host, member).recv(my_host, kTagReduceUp);
+    const auto msg =
+        co_await ctrl_channel(my_host, member).recv(my_host, scoped(kTagReduceUp));
     acc = std::max(acc, (*msg.values)[0]);
   }
   double global = acc;
   if (rank != root) {
     // Second level: coordinators reduce at the root coordinator.
     auto& ch = ctrl_channel(my_host, host_of(root));
-    co_await ch.send(my_host, kTagReduceMid, kReduceBytes,
+    co_await ch.send(my_host, scoped(kTagReduceMid), kReduceBytes,
                      std::make_shared<std::vector<double>>(1, acc));
-    const auto m = co_await ch.recv(my_host, kTagReduceMidDown);
+    const auto m = co_await ch.recv(my_host, scoped(kTagReduceMidDown));
     global = (*m.values)[0];
   } else {
     for (std::size_t og = 0; og < groups.size(); ++og) {
       const int other = coord_rank[og];
       if (other == root) continue;
-      const auto msg =
-          co_await ctrl_channel(my_host, host_of(other)).recv(my_host, kTagReduceMid);
+      const auto msg = co_await ctrl_channel(my_host, host_of(other))
+                           .recv(my_host, scoped(kTagReduceMid));
       global = std::max(global, (*msg.values)[0]);
     }
     co_await broadcast_value(rank, kTagReduceMidDown, global, /*to_coordinators=*/true);
@@ -218,6 +272,11 @@ sim::Task<double> Computation::allreduce_max(int rank, double value) {
   // pipelines these instead of waiting for each ack in turn).
   co_await broadcast_value(rank, kTagReduceDown, global, /*to_coordinators=*/false);
   co_return global;
+}
+
+overlay::PeerResources worker_resources(const net::Platform& platform, NodeIdx host) {
+  const double hz = platform.node(host).speed_hz;
+  return overlay::PeerResources{hz > 0 ? hz : 3e9, 2e9, 80e9};
 }
 
 // --- Environment ----------------------------------------------------------------
@@ -238,20 +297,22 @@ sim::Process Environment::rank_body(std::shared_ptr<Computation> comp, int rank,
   const NodeIdx feeder = flat ? comp->submitter
                               : comp->host_of(comp->coord_rank[static_cast<std::size_t>(g)]);
   auto& feed_ch = comp->ctrl_channel(feeder, my_host);
-  (void)co_await feed_ch.recv(my_host, kTagSubtask);
+  (void)co_await feed_ch.recv(my_host, comp->scoped(kTagSubtask));
   comp->subtask_latch.count_down();
   if (comp->subtask_latch.open() && comp->t_allocated == 0)
     comp->t_allocated = engine_->now();
 
   PeerContext ctx{*comp, rank};
   co_await main(ctx);
+  if (comp->failed) co_await comp->halt.wait();  // aborted: no result to ship
 
   // Ship the result up: to the coordinator (hierarchical) or straight to
   // the submitter (flat baseline).
   auto it = comp->rank_result_values.find(rank);
   auto values = std::make_shared<std::vector<double>>(
       it == comp->rank_result_values.end() ? std::vector<double>{} : it->second);
-  co_await feed_ch.send(my_host, kTagResultUp, comp->spec.result_bytes, std::move(values));
+  co_await feed_ch.send(my_host, comp->scoped(kTagResultUp), comp->spec.result_bytes,
+                        std::move(values));
 }
 
 sim::Process Environment::coordinator_body(std::shared_ptr<Computation> comp, int group) {
@@ -261,7 +322,7 @@ sim::Process Environment::coordinator_body(std::shared_ptr<Computation> comp, in
   const double per_ref = 16;
 
   // 1. Group assignment from the submitter (peers list of the group).
-  (void)co_await sub_ch.recv(me, kTagGroupAssign);
+  (void)co_await sub_ch.recv(me, comp->scoped(kTagGroupAssign));
 
   // 2. Connect to every member: the "reverse" message (paper §III-C),
   //    sent in parallel.
@@ -270,7 +331,7 @@ sim::Process Environment::coordinator_body(std::shared_ptr<Computation> comp, in
     for (const auto& member : g.members) {
       engine_->spawn([](Computation& c, NodeIdx from, NodeIdx to,
                         std::shared_ptr<sim::Latch> l) -> sim::Process {
-        co_await c.ctrl_channel(from, to).send(from, kTagReverse, 64);
+        co_await c.ctrl_channel(from, to).send(from, c.scoped(kTagReverse), 64);
         l->count_down();
       }(*comp, me, member.node, latch));
     }
@@ -278,13 +339,14 @@ sim::Process Environment::coordinator_body(std::shared_ptr<Computation> comp, in
   }
 
   // 3. Subtask bundle from the submitter, then parallel forwarding.
-  (void)co_await sub_ch.recv(me, kTagSubtask);
+  (void)co_await sub_ch.recv(me, comp->scoped(kTagSubtask));
   {
     auto latch = std::make_shared<sim::Latch>(*engine_, static_cast<int>(g.members.size()));
     for (const auto& member : g.members) {
       engine_->spawn([](Computation& c, NodeIdx from, NodeIdx to,
                         std::shared_ptr<sim::Latch> l) -> sim::Process {
-        co_await c.ctrl_channel(from, to).send(from, kTagSubtask, c.spec.subtask_bytes);
+        co_await c.ctrl_channel(from, to).send(from, c.scoped(kTagSubtask),
+                                               c.spec.subtask_bytes);
         l->count_down();
       }(*comp, me, member.node, latch));
     }
@@ -298,7 +360,8 @@ sim::Process Environment::coordinator_body(std::shared_ptr<Computation> comp, in
     base_rank += static_cast<int>(comp->groups[static_cast<std::size_t>(og)].members.size());
   for (std::size_t m = 0; m < g.members.size(); ++m) {
     const NodeIdx member = g.members[m].node;
-    const auto msg = co_await comp->ctrl_channel(me, member).recv(me, kTagResultUp);
+    const auto msg =
+        co_await comp->ctrl_channel(me, member).recv(me, comp->scoped(kTagResultUp));
     // Identify the sender's rank from its position in the group.
     int member_rank = base_rank;
     for (std::size_t k = 0; k < g.members.size(); ++k)
@@ -306,7 +369,7 @@ sim::Process Environment::coordinator_body(std::shared_ptr<Computation> comp, in
     group_results[member_rank] = msg.values ? *msg.values : std::vector<double>{};
   }
   const auto packed = std::make_shared<std::vector<double>>(pack_results(group_results));
-  co_await sub_ch.send(me, kTagResultBundle,
+  co_await sub_ch.send(me, comp->scoped(kTagResultBundle),
                        comp->spec.result_bytes * static_cast<double>(g.members.size()) +
                            per_ref * static_cast<double>(g.members.size()),
                        packed);
@@ -337,17 +400,30 @@ sim::Task<ComputationResult> Environment::submit(NodeIdx submitter_host, TaskSpe
 
   // 2. Proximity grouping with coordinators (paper §III-C).
   auto comp = std::make_shared<Computation>(*this, spec, submitter_host,
-                                            alloc::form_groups(peers, spec.cmax));
+                                            alloc::form_groups(peers, spec.cmax), ticket);
   res.groups = static_cast<int>(comp->groups.size());
   comp->subtask_latch.reset(comp->nprocs());
   const bool flat = spec.allocation == AllocationMode::Flat;
   comp->done_latch.reset(flat ? comp->nprocs() : static_cast<int>(comp->groups.size()));
 
-  // 3. Spawn compute ranks (they wait for their subtask first).
-  for (int r = 0; r < comp->nprocs(); ++r)
+  // Visible to crash_host from here on; prune entries of finished runs.
+  std::erase_if(active_, [](const std::weak_ptr<Computation>& w) { return w.expired(); });
+  active_.push_back(comp);
+  // A reserved peer may have crashed between its ReserveAck and now (the
+  // collection RPCs above suspend): fail before allocating onto a dead host.
+  for (const auto& p : comp->ranks) {
+    const overlay::PeerActor* actor = overlay_.peer_at(p.node);
+    if (actor == nullptr || !actor->alive())
+      comp->fail("peer on host " + platform_->node(p.node).name + " crashed before allocation");
+  }
+
+  // 3. Spawn compute ranks (they wait for their subtask first). An already-
+  // failed computation spawns nothing: submit returns the failure right away.
+  for (int r = 0; r < comp->nprocs() && !comp->failed; ++r)
     engine_->spawn(rank_body(comp, r, main), spec.name + "/rank" + std::to_string(r));
 
-  if (!flat) {
+  if (comp->failed) {
+  } else if (!flat) {
     // Coordinator protocol per group + submitter-side distribution.
     for (int g = 0; g < static_cast<int>(comp->groups.size()); ++g)
       engine_->spawn(coordinator_body(comp, g), spec.name + "/coord" + std::to_string(g));
@@ -358,11 +434,11 @@ sim::Task<ComputationResult> Environment::submit(NodeIdx submitter_host, TaskSpe
         const NodeIdx coord = grp.coordinator_ref().node;
         auto& ch = c->ctrl_channel(c->submitter, coord);
         const double assign_bytes = 64 + 16.0 * static_cast<double>(grp.members.size());
-        co_await ch.send(c->submitter, kTagGroupAssign, assign_bytes);
-        co_await ch.send(c->submitter, kTagSubtask,
+        co_await ch.send(c->submitter, c->scoped(kTagGroupAssign), assign_bytes);
+        co_await ch.send(c->submitter, c->scoped(kTagSubtask),
                          c->spec.subtask_bytes * static_cast<double>(grp.members.size()));
         // Await this group's result bundle.
-        const auto msg = co_await ch.recv(c->submitter, kTagResultBundle);
+        const auto msg = co_await ch.recv(c->submitter, c->scoped(kTagResultBundle));
         if (msg.values) unpack_results(*msg.values, c->results);
         c->done_latch.count_down();
         (void)env;
@@ -374,22 +450,34 @@ sim::Task<ComputationResult> Environment::submit(NodeIdx submitter_host, TaskSpe
     engine_->spawn([](std::shared_ptr<Computation> c) -> sim::Process {
       for (int r = 0; r < c->nprocs(); ++r) {
         auto& ch = c->ctrl_channel(c->submitter, c->host_of(r));
-        co_await ch.send(c->submitter, kTagReverse, 64);
-        co_await ch.send(c->submitter, kTagSubtask, c->spec.subtask_bytes);
+        co_await ch.send(c->submitter, c->scoped(kTagReverse), 64);
+        co_await ch.send(c->submitter, c->scoped(kTagSubtask), c->spec.subtask_bytes);
       }
     }(comp));
     for (int r = 0; r < comp->nprocs(); ++r) {
       engine_->spawn([](std::shared_ptr<Computation> c, int rank) -> sim::Process {
         auto& ch = c->ctrl_channel(c->submitter, c->host_of(rank));
-        const auto msg = co_await ch.recv(c->submitter, kTagResultUp);
+        const auto msg = co_await ch.recv(c->submitter, c->scoped(kTagResultUp));
         if (msg.values) c->results[rank] = *msg.values;
         c->done_latch.count_down();
       }(comp, r));
     }
   }
 
-  // 4. Wait for completion, then free the peers.
+  // 4. Wait for completion (or a churn abort), then free the peers.
   co_await comp->done_latch.wait();
+  comp->finished = true;
+  if (comp->failed) {
+    // Release the surviving reserved peers so a re-submission can collect
+    // them again; messages to crashed hosts are dropped by the overlay.
+    for (const auto& p : comp->ranks) {
+      const overlay::PeerActor* actor = overlay_.peer_at(p.node);
+      if (actor != nullptr && actor->alive())
+        overlay_.send_ctrl(submitter_host, p.node, overlay::ReleaseReq{submitter_host});
+    }
+    res.failure = comp->failure_reason;
+    co_return res;
+  }
   res.t_allocated = comp->t_allocated;
   res.t_finished = engine_->now();
   res.results = comp->results;
@@ -397,6 +485,22 @@ sim::Task<ComputationResult> Environment::submit(NodeIdx submitter_host, TaskSpe
   for (const auto& p : comp->ranks)
     overlay_.send_ctrl(submitter_host, p.node, overlay::ReleaseReq{submitter_host});
   co_return res;
+}
+
+void Environment::crash_host(NodeIdx host) {
+  if (overlay::PeerActor* p = overlay_.peer_at(host)) {
+    p->crash();
+  } else if (overlay::TrackerActor* t = overlay_.tracker_at(host)) {
+    t->crash();
+  } else if (overlay_.server() != nullptr && overlay_.server_host() == host) {
+    overlay_.server()->crash();
+  }
+  for (const auto& weak : active_) {
+    const auto comp = weak.lock();
+    if (!comp || comp->finished || comp->failed) continue;
+    if (comp->involves(host))
+      comp->fail("peer on host " + platform_->node(host).name + " crashed mid-computation");
+  }
 }
 
 ComputationResult Environment::run_computation(NodeIdx submitter_host, TaskSpec spec,

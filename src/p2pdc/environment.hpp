@@ -38,6 +38,13 @@ using net::NodeIdx;
 
 enum class AllocationMode { Hierarchical, Flat };
 
+/// Worker CPU/memory/disk as published to the trackers: the host's modelled
+/// frequency (falling back to the paper's 3 GHz Xeon) with the paper-era
+/// memory/disk sizing. The one policy for original workers (scenario
+/// deployment) and churn-joined replacements alike, so replacements satisfy
+/// the same requirement matching during peers collection.
+overlay::PeerResources worker_resources(const net::Platform& platform, NodeIdx host);
+
 struct TaskSpec {
   std::string name = "task";
   int peers_needed = 2;
@@ -127,6 +134,13 @@ class Environment {
   void boot_peer(NodeIdx host, overlay::PeerResources res) { overlay_.create_peer(host, res); }
   void finish_bootstrap() { overlay_.finish_bootstrap(); }
 
+  /// Fail-stop crash of the actor running on `host` (peer, tracker or
+  /// server): the overlay actor stops and drops queued/future messages, and
+  /// every active computation that placed a rank (or its submitter) on the
+  /// host aborts — its submit() resumes with ok=false so the caller can
+  /// re-collect peers and re-allocate. The churn injector's crash hook.
+  void crash_host(NodeIdx host);
+
   /// Submits a task from `submitter_host` (which must run a peer actor).
   /// Awaitable from a simulation process.
   sim::Task<ComputationResult> submit(NodeIdx submitter_host, TaskSpec spec, PeerMain main);
@@ -146,6 +160,9 @@ class Environment {
   p2psap::Fabric fabric_;
   overlay::Overlay overlay_;
   std::uint64_t next_ticket_ = 1;
+  /// Computations currently in flight, so crash_host can abort the ones that
+  /// lost a rank. Weak: the coroutines own the computation's lifetime.
+  std::vector<std::weak_ptr<Computation>> active_;
 };
 
 }  // namespace pdc::p2pdc

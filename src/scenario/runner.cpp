@@ -7,8 +7,10 @@
 #include <mutex>
 #include <sstream>
 #include <stdexcept>
+#include <system_error>
 #include <tuple>
 
+#include "churn/injector.hpp"
 #include "net/platfile.hpp"
 #include "obstacle/minic_kernel.hpp"
 #include "support/json.hpp"
@@ -17,6 +19,10 @@
 namespace pdc::scenario {
 
 namespace {
+
+// The one worker-resource policy, shared with the churn injector's
+// replacement peers (see p2pdc/environment.hpp).
+using p2pdc::worker_resources;
 
 obstacle::ObstacleProblem problem_of(const RunSpec& run) {
   obstacle::ObstacleProblem p;
@@ -44,14 +50,6 @@ obstacle::DistributedConfig config_of(const RunSpec& run) {
   return cfg;
 }
 
-/// Worker CPU/memory/disk as published to the trackers: the host's modelled
-/// frequency (falling back to the paper's 3 GHz Xeon) with the paper-era
-/// memory/disk sizing.
-overlay::PeerResources resources_for(const net::Platform& platform, net::NodeIdx host) {
-  const double hz = platform.node(host).speed_hz;
-  return overlay::PeerResources{hz > 0 ? hz : 3e9, 2e9, 80e9};
-}
-
 /// Daisy deployment (paper Stage-2A): server and one tracker per petal at
 /// petal boundaries, submitter next to the server, workers spread across
 /// the whole desktop grid, seed-deterministic.
@@ -68,7 +66,7 @@ void deploy_daisy(Deployment& d, const net::DaisySpec& spec, const RunSpec& run)
   const int submitter_idx = 2;
   used.push_back(submitter_idx);
   d.submitter = d.platform.host(submitter_idx);
-  d.env->boot_peer(d.submitter, resources_for(d.platform, d.submitter));
+  d.env->boot_peer(d.submitter, worker_resources(d.platform, d.submitter));
   const int stride = hosts / run.peers;
   int placed = 0;
   for (int k = 0; placed < run.peers && k < hosts; ++k) {
@@ -76,7 +74,7 @@ void deploy_daisy(Deployment& d, const net::DaisySpec& spec, const RunSpec& run)
     while (std::find(used.begin(), used.end(), idx) != used.end()) idx = (idx + 1) % hosts;
     used.push_back(idx);
     const net::NodeIdx h = d.platform.host(idx);
-    d.env->boot_peer(h, resources_for(d.platform, h));
+    d.env->boot_peer(h, worker_resources(d.platform, h));
     d.workers.push_back(h);
     ++placed;
   }
@@ -94,7 +92,7 @@ void deploy_federation(Deployment& d, const net::FederationSpec& spec, const Run
   d.env->boot_server(d.platform.host(0));
   d.env->boot_tracker(d.platform.host(1), /*core=*/true);
   d.submitter = d.platform.host(2);
-  d.env->boot_peer(d.submitter, resources_for(d.platform, d.submitter));
+  d.env->boot_peer(d.submitter, worker_resources(d.platform, d.submitter));
   // Per-site cursors start past the three admin hosts, which occupy global
   // indices 0..2 and may spill across sites when sites are small.
   std::vector<int> cursor(static_cast<std::size_t>(spec.clusters), 0);
@@ -105,7 +103,7 @@ void deploy_federation(Deployment& d, const net::FederationSpec& spec, const Run
     if (cursor[s] < per_site) {
       const int idx = site * per_site + cursor[s]++;
       const net::NodeIdx h = d.platform.host(idx);
-      d.env->boot_peer(h, resources_for(d.platform, h));
+      d.env->boot_peer(h, worker_resources(d.platform, h));
       d.workers.push_back(h);
       ++placed;
     } else if (std::all_of(cursor.begin(), cursor.end(),
@@ -125,21 +123,39 @@ void deploy_sequential(Deployment& d, const RunSpec& run) {
   d.env->boot_server(d.platform.host(0));
   d.env->boot_tracker(d.platform.host(1), /*core=*/true);
   d.submitter = d.platform.host(2);
-  d.env->boot_peer(d.submitter, resources_for(d.platform, d.submitter));
+  d.env->boot_peer(d.submitter, worker_resources(d.platform, d.submitter));
   for (int i = 3; i < needed; ++i) {
     const net::NodeIdx h = d.platform.host(i);
-    d.env->boot_peer(h, resources_for(d.platform, h));
+    d.env->boot_peer(h, worker_resources(d.platform, h));
     d.workers.push_back(h);
   }
 }
 
 /// Federation sizing shared by build_platform and deploy: auto-size sites
-/// so `peers` workers plus the three admin hosts fit.
-net::FederationSpec sized_federation(const net::FederationSpec& spec, const RunSpec& run) {
+/// so `peers` workers plus the three admin hosts (and churn provisioning)
+/// fit.
+net::FederationSpec sized_federation(const net::FederationSpec& spec, const RunSpec& run,
+                                     int extra_hosts = 0) {
   net::FederationSpec sized = spec;
   if (sized.hosts_per_cluster <= 0)
-    sized.hosts_per_cluster = (run.peers + 3 + sized.clusters - 1) / sized.clusters;
+    sized.hosts_per_cluster =
+        (run.peers + 3 + extra_hosts + sized.clusters - 1) / sized.clusters;
   return sized;
+}
+
+/// Failover trackers booted alongside the paper deployment when churn is
+/// enabled, so peers orphaned by a tracker crash have neighbour zones to
+/// re-join (and the injector has crashable trackers that never take the
+/// overlay below one).
+constexpr int kChurnFailoverTrackers = 2;
+
+/// Churn host provisioning for one run: failover trackers plus one spare
+/// host per join event in the expanded timeline.
+int churn_extra_hosts(const std::vector<churn::ChurnEvent>& timeline) {
+  int joins = 0;
+  for (const churn::ChurnEvent& ev : timeline)
+    if (ev.kind == churn::ChurnEvent::Kind::PeerJoin) ++joins;
+  return kChurnFailoverTrackers + joins;
 }
 
 void phase_json(JsonWriter& w, const PhaseRecord& ph, bool with_iterations) {
@@ -162,14 +178,52 @@ void phase_json(JsonWriter& w, const PhaseRecord& ph, bool with_iterations) {
   w.kv("reshares_partial", ph.net.reshares_partial);
   w.kv("flows_rescanned", ph.net.flows_rescanned);
   w.kv("flows_starved", ph.net.flows_starved);
+  w.kv("link_rescales", ph.net.link_rescales);
   w.end_object();
+  if (ph.churn) {
+    const ChurnPhaseRecord& c = *ph.churn;
+    w.key("churn").begin_object();
+    w.kv("events_applied", c.stats.events_applied);
+    w.kv("events_skipped", c.stats.events_skipped);
+    w.kv("peer_crashes", c.stats.peer_crashes);
+    w.kv("peer_joins", c.stats.peer_joins);
+    w.kv("tracker_crashes", c.stats.tracker_crashes);
+    w.kv("link_degrades", c.stats.link_degrades);
+    w.kv("link_restores", c.stats.link_restores);
+    w.kv("attempts", c.attempts);
+    w.kv("reallocations", c.reallocations());
+    w.kv("rejoins", c.rejoins);
+    w.end_object();
+  }
   w.end_object();
+}
+
+/// Fault injector over a fresh deployment when the spec churns. The caller
+/// must arm() it from its final storage: arming registers engine callbacks
+/// that capture the injector's address.
+std::optional<churn::Injector> make_injector(Deployment& d, const RunSpec& run) {
+  if (!run.churn.enabled()) return std::nullopt;
+  return churn::Injector(*d.env, d.workers, d.crashable_trackers, d.spare_hosts,
+                         d.churn_timeline, churn::injection_seed(run.churn, run.seed));
+}
+
+/// Post-phase churn observability: injector counters, submissions used, and
+/// the zone failovers the overlay performed.
+ChurnPhaseRecord churn_phase_record(const Deployment& d, const churn::Injector& injector,
+                                    int attempts) {
+  ChurnPhaseRecord rec;
+  rec.stats = injector.stats();
+  rec.attempts = attempts;
+  for (const overlay::PeerActor* p : d.env->over().peers())
+    rec.rejoins += p->rejoin_count();
+  return rec;
 }
 
 }  // namespace
 
-net::Platform build_platform(const PlatformSpec& spec, const RunSpec& run) {
-  const int needed = run.peers + 3;
+net::Platform build_platform(const PlatformSpec& spec, const RunSpec& run,
+                             int extra_hosts) {
+  const int needed = run.peers + 3 + extra_hosts;
   if (const auto* s = std::get_if<net::StarSpec>(&spec.spec)) {
     net::StarSpec sized = *s;
     if (sized.hosts <= 0) sized.hosts = needed;
@@ -180,7 +234,7 @@ net::Platform build_platform(const PlatformSpec& spec, const RunSpec& run) {
     return net::build_daisy(*s, rng);
   }
   if (const auto* s = std::get_if<net::FederationSpec>(&spec.spec))
-    return net::build_federation(sized_federation(*s, run));
+    return net::build_federation(sized_federation(*s, run, extra_hosts));
   if (const auto* s = std::get_if<net::WanSpec>(&spec.spec)) {
     net::WanSpec sized = *s;
     if (sized.hosts <= 0) sized.hosts = needed;
@@ -201,14 +255,50 @@ net::Platform build_platform(const PlatformSpec& spec, const RunSpec& run) {
 
 std::unique_ptr<Deployment> deploy(const PlatformSpec& spec, const RunSpec& run) {
   auto d = std::make_unique<Deployment>();
-  d->platform = build_platform(spec, run);
+  int extra_hosts = 0;
+  if (run.churn.enabled()) {
+    d->churn_timeline = churn::expand_events(run.churn, run.peers, run.seed);
+    extra_hosts = churn_extra_hosts(d->churn_timeline);
+  }
+  d->platform = build_platform(spec, run, extra_hosts);
   d->env = std::make_unique<p2pdc::Environment>(d->engine, d->platform);
   if (const auto* daisy = std::get_if<net::DaisySpec>(&spec.spec)) {
     deploy_daisy(*d, *daisy, run);
   } else if (const auto* fed = std::get_if<net::FederationSpec>(&spec.spec)) {
-    deploy_federation(*d, sized_federation(*fed, run), run);
+    deploy_federation(*d, sized_federation(*fed, run, extra_hosts), run);
   } else {
     deploy_sequential(*d, run);
+  }
+  if (run.churn.enabled()) {
+    // The primary tracker(s) the paper deployment booted are crashable —
+    // crashing one is the interesting failover case, since the zone peers
+    // must re-join elsewhere.
+    overlay::Overlay& over = d->env->over();
+    for (const overlay::TrackerActor* t : over.trackers())
+      d->crashable_trackers.push_back(t->host());
+    // Churn provisioning on the hosts the paper deployment left untouched
+    // (ascending index, deterministic): failover trackers join the core
+    // line so orphaned peers can fail over, remaining hosts stay unbooted
+    // as replacement capacity for join events. Fixed-size platforms may
+    // provision less than the timeline could use; the injector then skips
+    // (and counts) the events it cannot apply.
+    const int joins = extra_hosts - kChurnFailoverTrackers;
+    int failover_trackers = 0;
+    for (int i = 0; i < d->platform.host_count(); ++i) {
+      const net::NodeIdx h = d->platform.host(i);
+      if (over.peer_at(h) != nullptr || over.tracker_at(h) != nullptr ||
+          over.server_host() == h)
+        continue;
+      if (failover_trackers < kChurnFailoverTrackers) {
+        d->env->boot_tracker(h, /*core=*/true);
+        d->crashable_trackers.push_back(h);
+        ++failover_trackers;
+      } else if (static_cast<int>(d->spare_hosts.size()) < joins) {
+        d->spare_hosts.push_back(h);
+      } else {
+        break;
+      }
+    }
   }
   d->env->finish_bootstrap();
   return d;
@@ -271,13 +361,26 @@ std::vector<dperf::Trace> Runner::traces() const {
 }
 
 PhaseRecord Runner::run_reference() const {
+  const RunSpec& run = spec_.run;
   auto d = deploy();
-  obstacle::DistributedConfig cfg = config_of(spec_.run);
-  cfg.cost = cost_profile(spec_.run.level, spec_.run);
-  const obstacle::SolveReport rep =
-      obstacle::run_distributed(*d->env, d->submitter, cfg, spec_.run.peers);
+  std::optional<churn::Injector> injector = make_injector(*d, run);
+  if (injector) injector->arm();
+  obstacle::DistributedConfig cfg = config_of(run);
+  cfg.cost = cost_profile(run.level, run);
+  // Under churn a submission can abort (a rank's host crashed) or find too
+  // few peers (crashed ones expired, replacements still joining): re-submit
+  // on the same deployment — the overlay heals, released survivors and
+  // joined replacements are collected again — up to the spec's budget.
+  const int max_attempts = run.churn.enabled() ? std::max(1, run.churn.max_attempts) : 1;
+  obstacle::SolveReport rep;
+  int attempts = 0;
+  do {
+    ++attempts;
+    rep = obstacle::run_distributed(*d->env, d->submitter, cfg, run.peers);
+  } while (!rep.ok && attempts < max_attempts);
   if (!rep.ok)
-    throw std::runtime_error("reference run failed (" + spec_.name + "): " + rep.failure);
+    throw std::runtime_error("reference run failed (" + spec_.name + ") after " +
+                             std::to_string(attempts) + " attempt(s): " + rep.failure);
   PhaseRecord ph;
   ph.solve_seconds = rep.solve_seconds;
   ph.total_seconds = rep.computation.total_time();
@@ -285,35 +388,65 @@ PhaseRecord Runner::run_reference() const {
   ph.platform_hosts = d->platform.host_count();
   ph.computation = rep.computation;
   ph.net = d->env->flownet().stats();
+  if (injector) ph.churn = churn_phase_record(*d, *injector, attempts);
   return ph;
 }
 
 PhaseRecord Runner::run_predicted(std::vector<dperf::Trace> traces) const {
+  const RunSpec& run = spec_.run;
   auto d = deploy();
-  obstacle::DistributedConfig cfg = config_of(spec_.run);
-  const dperf::Prediction pred =
-      dperf::replay_on(*d->env, d->submitter,
-                       obstacle::make_task_spec(cfg, spec_.run.peers), std::move(traces));
+  // The prediction replays under the *identical* expanded event stream as
+  // the reference (same timeline, same injection seed), so mode=both
+  // measures prediction accuracy under churn, not under different luck.
+  std::optional<churn::Injector> injector = make_injector(*d, run);
+  if (injector) injector->arm();
+  obstacle::DistributedConfig cfg = config_of(run);
+  const int max_attempts = run.churn.enabled() ? std::max(1, run.churn.max_attempts) : 1;
+  dperf::Prediction pred;
+  int attempts = 0;
+  do {
+    ++attempts;
+    // Copy the traces only while a retry might still need them; the final
+    // permitted attempt (the only one, without churn) moves them.
+    if (attempts >= max_attempts)
+      pred = dperf::replay_on(*d->env, d->submitter,
+                              obstacle::make_task_spec(cfg, run.peers),
+                              std::move(traces));
+    else
+      pred = dperf::replay_on(*d->env, d->submitter,
+                              obstacle::make_task_spec(cfg, run.peers), traces);
+  } while (!pred.computation.ok && attempts < max_attempts);
   if (!pred.computation.ok)
-    throw std::runtime_error("prediction replay failed (" + spec_.name +
-                             "): " + pred.computation.failure);
+    throw std::runtime_error("prediction replay failed (" + spec_.name + ") after " +
+                             std::to_string(attempts) +
+                             " attempt(s): " + pred.computation.failure);
   PhaseRecord ph;
   ph.solve_seconds = pred.solve_seconds;
   ph.total_seconds = pred.total_seconds;
   ph.platform_hosts = d->platform.host_count();
   ph.computation = pred.computation;
   ph.net = d->env->flownet().stats();
+  if (injector) ph.churn = churn_phase_record(*d, *injector, attempts);
   return ph;
 }
 
-RunRecord Runner::run() const {
+RunRecord Runner::run_phases(const char*& phase) const {
   RunRecord rec;
   rec.spec = spec_;
   rec.platform_kind = spec_.platform.kind();
   rec.platform_label = spec_.platform.label;
   const Mode mode = spec_.run.mode;
-  if (mode == Mode::Reference || mode == Mode::Both) rec.reference = run_reference();
-  if (mode == Mode::Predict || mode == Mode::Both) rec.predicted = run_predicted(traces());
+  if (mode == Mode::Reference || mode == Mode::Both) {
+    phase = "reference";
+    rec.reference = run_reference();
+  }
+  if (mode == Mode::Predict || mode == Mode::Both) {
+    phase = "traces";
+    std::vector<dperf::Trace> tr = traces();
+    phase = "predicted";
+    rec.predicted = run_predicted(std::move(tr));
+  }
+  phase = "record";
   rec.platform_hosts = rec.reference ? rec.reference->platform_hosts
                                      : rec.predicted->platform_hosts;
   if (rec.reference && rec.predicted && rec.reference->solve_seconds > 0)
@@ -323,22 +456,36 @@ RunRecord Runner::run() const {
   return rec;
 }
 
+RunRecord Runner::run() const {
+  const char* phase = "setup";
+  return run_phases(phase);
+}
+
 RunRecord Runner::try_run() const noexcept {
+  // Phases run one at a time so the error can name the one that failed —
+  // and resource-exhaustion escapes (std::bad_alloc from a huge platform,
+  // std::system_error from the OS) are captured as text like any other
+  // failure: a churn-induced mid-run abort must yield a record, never a
+  // dead campaign worker.
+  const char* phase = "setup";
   try {
-    return run();
-  } catch (const std::exception& e) {
-    RunRecord rec;
-    rec.spec = spec_;
-    rec.platform_kind = spec_.platform.kind();
-    rec.platform_label = spec_.platform.label;
-    rec.error = e.what();
-    return rec;
+    return run_phases(phase);
   } catch (...) {
     RunRecord rec;
     rec.spec = spec_;
     rec.platform_kind = spec_.platform.kind();
     rec.platform_label = spec_.platform.label;
-    rec.error = "unknown error";
+    try {
+      throw;
+    } catch (const std::bad_alloc&) {
+      rec.error = std::string("[") + phase + "] out of memory (std::bad_alloc)";
+    } catch (const std::system_error& e) {
+      rec.error = std::string("[") + phase + "] system error: " + e.what();
+    } catch (const std::exception& e) {
+      rec.error = std::string("[") + phase + "] " + e.what();
+    } catch (...) {
+      rec.error = std::string("[") + phase + "] unknown error";
+    }
     return rec;
   }
 }

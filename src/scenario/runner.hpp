@@ -12,6 +12,7 @@
 #include <optional>
 #include <vector>
 
+#include "churn/spec.hpp"
 #include "dperf/dperf.hpp"
 #include "obstacle/distributed.hpp"
 #include "p2pdc/environment.hpp"
@@ -28,15 +29,25 @@ struct Deployment {
   std::unique_ptr<p2pdc::Environment> env;
   net::NodeIdx submitter = -1;
   std::vector<net::NodeIdx> workers;
+  /// Churn provisioning (empty without a churn spec): trackers the injector
+  /// may crash — the deployment's primary tracker(s) first, then the extra
+  /// failover trackers booted so orphaned peers keep a zone to re-join —
+  /// unbooted hosts that absorb join events, and the expanded event stream
+  /// shared by every phase of this scenario.
+  std::vector<net::NodeIdx> crashable_trackers;
+  std::vector<net::NodeIdx> spare_hosts;
+  std::vector<churn::ChurnEvent> churn_timeline;
 
   Deployment() = default;
   Deployment(const Deployment&) = delete;
 };
 
 /// Builds the platform a spec describes, auto-sizing generators whose host
-/// count is 0 so `run.peers` workers plus server/tracker/submitter fit.
-/// Platform-file specs read their file here; throws on parse errors.
-net::Platform build_platform(const PlatformSpec& spec, const RunSpec& run);
+/// count is 0 so `run.peers` workers plus server/tracker/submitter (plus
+/// `extra_hosts` churn provisioning) fit. Platform-file specs read their
+/// file here; throws on parse errors.
+net::Platform build_platform(const PlatformSpec& spec, const RunSpec& run,
+                             int extra_hosts = 0);
 
 /// Builds the platform and boots server + tracker(s) + submitter + workers.
 /// Placement is platform-aware: Daisy spreads workers across the desktop
@@ -49,6 +60,15 @@ std::unique_ptr<Deployment> deploy(const PlatformSpec& spec, const RunSpec& run)
 /// keyed on level + bench sizing).
 const obstacle::CostProfile& cost_profile(ir::OptLevel level, const RunSpec& run);
 
+/// Churn observability for one phase: what the injector applied, how many
+/// submissions the computation needed, and the overlay failovers observed.
+struct ChurnPhaseRecord {
+  churn::ChurnStats stats;
+  int attempts = 1;      // submissions (1 = completed without re-allocation)
+  int reallocations() const { return attempts - 1; }
+  int rejoins = 0;       // sum of PeerActor::rejoin_count over the deployment
+};
+
 /// One executed phase (reference or predicted).
 struct PhaseRecord {
   double solve_seconds = 0;  // first rank start -> last rank end
@@ -57,6 +77,8 @@ struct PhaseRecord {
   int platform_hosts = 0;    // hosts modelled in this phase's deployment
   p2pdc::ComputationResult computation;
   net::FlowNetStats net;
+  /// Present when the spec enables churn.
+  std::optional<ChurnPhaseRecord> churn;
 };
 
 /// The structured result of one scenario run.
@@ -110,12 +132,18 @@ class Runner {
   /// Throws on failure (bad platform file, platform too small, ...).
   RunRecord run() const;
 
-  /// Like run(), but never throws out of the call: any failure comes back as
-  /// a record with the `error` field set (and the spec identification intact)
+  /// Like run(), but never throws out of the call: any failure — including
+  /// std::bad_alloc and std::system_error, whose text is captured together
+  /// with the failing phase name ("[reference] ...") — comes back as a
+  /// record with the `error` field set (and the spec identification intact)
   /// so one bad grid point cannot kill a campaign worker.
   RunRecord try_run() const noexcept;
 
  private:
+  /// The shared phase sequence behind run()/try_run(); updates `phase` as it
+  /// goes so a catcher can name the phase that threw.
+  RunRecord run_phases(const char*& phase) const;
+
   ScenarioSpec spec_;
 };
 

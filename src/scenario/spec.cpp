@@ -365,6 +365,12 @@ ScenarioSpec parse_scenario(const std::string& text, const RunSpec& base) {
     } else if (kw == "cmax") {
       need(2, "cmax <n>");
       spec.run.cmax = parse_int(tok[1], lineno, "cmax");
+    } else if (kw == "churn") {
+      try {
+        churn::parse_churn_tokens(tok, spec.run.churn);
+      } catch (const std::invalid_argument& e) {
+        throw ScenarioError(lineno, e.what());
+      }
     } else {
       throw ScenarioError(lineno, "unknown keyword '" + kw + "'");
     }
@@ -401,6 +407,9 @@ std::string render_scenario(const ScenarioSpec& spec) {
   out << "bench " << r.bench_n << " " << r.bench_iters << " " << r.bench_rcheck << "\n";
   out << "omega " << format_shortest(r.omega) << "\n";
   out << "cmax " << r.cmax << "\n";
+  // Empty for a default ChurnSpec: churn-free scenarios keep the exact text
+  // form they had before churn existed (stable campaign resume identities).
+  out << churn::render_churn_lines(r.churn);
   return out.str();
 }
 

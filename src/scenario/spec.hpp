@@ -25,6 +25,7 @@
 //   bench <n> <iters> <rcheck>
 //   omega <x>
 //   cmax <n>
+//   churn ...                            # fault injection; see churn/spec.hpp
 //
 // Key=value platform parameters take the platfile units (speed 3GHz,
 // bandwidth 1Gbps, latency 100us); `speeds=` takes a comma-separated list.
@@ -37,6 +38,7 @@
 #include <vector>
 
 #include "alloc/groups.hpp"
+#include "churn/spec.hpp"
 #include "ir/pipeline.hpp"
 #include "net/builders.hpp"
 #include "p2pdc/environment.hpp"
@@ -99,6 +101,12 @@ struct RunSpec {
   int bench_iters = 9;
   int bench_rcheck = 3;
   double omega = 0.9;
+
+  /// Volatility the run is subjected to (default: none — a static world).
+  /// When enabled, deployment provisions failover trackers and replacement
+  /// hosts, the expanded event stream is injected into both phases, and the
+  /// Runner re-submits after churn aborts (up to churn.max_attempts).
+  churn::ChurnSpec churn;
 
   /// Paper sizing, shrunk for smoke runs when PDC_QUICK is set.
   static RunSpec from_env();

@@ -28,6 +28,16 @@ class Latch {
     count_ = count;
   }
 
+  /// Opens the latch immediately whatever the remaining count (used to abort
+  /// a computation whose missing count-downs will never arrive, e.g. after a
+  /// peer crash). No-op when already open.
+  void force_open() {
+    if (count_ > 0) {
+      count_ = 0;
+      release_all();
+    }
+  }
+
   int pending() const { return count_; }
   bool open() const { return count_ <= 0; }
 

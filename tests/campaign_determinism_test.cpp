@@ -8,37 +8,10 @@
 #include <string>
 
 #include "campaign/executor.hpp"
+#include "expect_json_equal.hpp"
 
 namespace pdc::campaign {
 namespace {
-
-/// Recursive field-by-field comparison; paths make mismatches debuggable.
-void expect_json_equal(const JsonValue& a, const JsonValue& b, const std::string& path) {
-  ASSERT_EQ(a.v.index(), b.v.index()) << "type mismatch at " << path;
-  if (a.is_object()) {
-    const JsonObject& ao = a.as_object();
-    const JsonObject& bo = b.as_object();
-    ASSERT_EQ(ao.size(), bo.size()) << "key count mismatch at " << path;
-    for (const auto& [key, value] : ao) {
-      ASSERT_TRUE(bo.count(key)) << "missing key " << path << "." << key;
-      expect_json_equal(value, bo.at(key), path + "." + key);
-    }
-  } else if (a.is_array()) {
-    const JsonArray& aa = a.as_array();
-    const JsonArray& ba = b.as_array();
-    ASSERT_EQ(aa.size(), ba.size()) << "array length mismatch at " << path;
-    for (std::size_t i = 0; i < aa.size(); ++i)
-      expect_json_equal(aa[i], ba[i], path + "[" + std::to_string(i) + "]");
-  } else if (std::holds_alternative<double>(a.v)) {
-    // Bit-for-bit: the writer emits shortest round-tripping decimals, so
-    // equal doubles serialize identically and unequal ones never compare ==.
-    EXPECT_EQ(a.as_double(), b.as_double()) << "value mismatch at " << path;
-  } else if (std::holds_alternative<std::string>(a.v)) {
-    EXPECT_EQ(a.as_string(), b.as_string()) << "value mismatch at " << path;
-  } else if (std::holds_alternative<bool>(a.v)) {
-    EXPECT_EQ(a.as_bool(), b.as_bool()) << "value mismatch at " << path;
-  }
-}
 
 TEST(CampaignDeterminism, SameRecordsAtJ1AndJ8) {
   CampaignSpec spec;

@@ -1,0 +1,189 @@
+// churn::ChurnSpec: deterministic event expansion, text-format round trip,
+// and the injector's behaviour against a live deployment.
+#include "churn/spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "churn/injector.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/spec.hpp"
+
+namespace pdc::churn {
+namespace {
+
+TEST(ChurnSpec, DefaultIsDisabledAndRendersNothing) {
+  ChurnSpec spec;
+  EXPECT_FALSE(spec.enabled());
+  EXPECT_EQ(render_churn_lines(spec), "");
+  EXPECT_TRUE(expand_events(spec, 8, 42).empty());
+}
+
+TEST(ChurnSpec, ExpansionIsDeterministicAndSorted) {
+  ChurnSpec spec;
+  spec.peer_crash_rate = 0.01;
+  spec.mean_downtime = 20;
+  spec.link_degrade_rate = 0.02;
+  spec.horizon = 200;
+  const auto a = expand_events(spec, 6, 42);
+  const auto b = expand_events(spec, 6, 42);
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+  EXPECT_TRUE(std::is_sorted(a.begin(), a.end(), [](const auto& x, const auto& y) {
+    return x.at < y.at;
+  }));
+  // Every model crash pairs with a replacement join.
+  int crashes = 0, joins = 0;
+  for (const ChurnEvent& ev : a) {
+    crashes += ev.kind == ChurnEvent::Kind::PeerCrash;
+    joins += ev.kind == ChurnEvent::Kind::PeerJoin;
+  }
+  EXPECT_EQ(crashes, joins);
+  EXPECT_GT(crashes, 0);
+
+  // A different seed yields a different stream; an explicit churn seed wins
+  // over the run seed.
+  EXPECT_NE(expand_events(spec, 6, 43), a);
+  spec.seed = 42;
+  EXPECT_EQ(expand_events(spec, 6, 977), a);
+}
+
+TEST(ChurnSpec, PerWorkerStreamsAreStableAcrossPeerCounts) {
+  ChurnSpec spec;
+  spec.peer_crash_rate = 0.02;
+  spec.mean_downtime = 0;  // crashes only, for easy comparison
+  spec.horizon = 100;
+  const auto small = expand_events(spec, 4, 1);
+  const auto big = expand_events(spec, 8, 1);
+  // Worker i's crash time does not move when the pool grows.
+  for (const ChurnEvent& ev : small) {
+    const bool found = std::any_of(big.begin(), big.end(), [&](const ChurnEvent& other) {
+      return other.kind == ev.kind && other.target == ev.target && other.at == ev.at;
+    });
+    EXPECT_TRUE(found) << "worker " << ev.target;
+  }
+}
+
+TEST(ChurnSpec, ScenarioTextRoundTrips) {
+  scenario::ScenarioSpec spec;
+  spec.run.churn.peer_crash_rate = 0.005;
+  spec.run.churn.mean_downtime = 17.5;
+  spec.run.churn.link_degrade_rate = 0.001;
+  spec.run.churn.link_degrade_scale = 0.25;
+  spec.run.churn.mean_degrade_time = 33;
+  spec.run.churn.horizon = 120;
+  spec.run.churn.seed = 9;
+  spec.run.churn.max_attempts = 5;
+  spec.run.churn.events = {
+      {ChurnEvent::Kind::PeerCrash, 40, 1, 1.0},
+      {ChurnEvent::Kind::PeerJoin, 55, -1, 1.0},
+      {ChurnEvent::Kind::TrackerCrash, 60, 0, 1.0},
+      {ChurnEvent::Kind::LinkDegrade, 10, 2, 0.4},
+      {ChurnEvent::Kind::LinkDegrade, 12, -1, 0.5},
+      {ChurnEvent::Kind::LinkRestore, 80, 2, 1.0},
+      {ChurnEvent::Kind::LinkRestore, 90, -1, 1.0},
+  };
+  const std::string text = scenario::render_scenario(spec);
+  const scenario::ScenarioSpec back = scenario::parse_scenario(text);
+  EXPECT_EQ(back.run.churn, spec.run.churn);
+  EXPECT_EQ(scenario::render_scenario(back), text);
+}
+
+TEST(ChurnSpec, ChurnFreeScenarioKeepsPreChurnTextForm) {
+  // The rendered form of a churn-free scenario must contain no churn lines:
+  // campaign resume identities from before the churn subsystem stay valid.
+  const std::string text = scenario::render_scenario(scenario::ScenarioSpec{});
+  EXPECT_EQ(text.find("churn"), std::string::npos);
+}
+
+TEST(ChurnSpec, MalformedChurnLinesThrowScenarioError) {
+  const char* bad[] = {
+      "churn",
+      "churn rate",
+      "churn rate x",
+      "churn rate -1",
+      "churn bogus 3",
+      "churn link_scale 0",
+      "churn link_scale 1.5",
+      "churn attempts 0",
+      "churn seed twelve",
+      "churn event",
+      "churn event warp at=1",
+      "churn event crash-peer",
+      "churn event crash-peer at=x",
+      "churn event crash-peer at=-3",
+      "churn event crash-peer at=1 peer=-2",
+      "churn event crash-peer at=1 tracker=0",
+      "churn event crash-peer at=1 peer=1 peer=2",
+      "churn event degrade at=1 scale=0",
+      "churn event degrade at=1 scale=2",
+      "churn event join at=1 link=0",
+      "churn event restore scale=1",
+      "churn rate nan",
+      "churn horizon inf",
+      "churn link_scale nan",
+      "churn event degrade at=nan link=0",
+      "churn event crash-peer at=1 peer=99999999999999999999",
+  };
+  for (const char* line : bad)
+    EXPECT_THROW(scenario::parse_scenario(std::string("scenario x\n") + line + "\n"),
+                 scenario::ScenarioError)
+        << line;
+}
+
+TEST(ChurnInjector, AppliesExplicitTimelineToDeployment) {
+  scenario::RunSpec run;
+  run.peers = 4;
+  run.churn.events = {
+      {ChurnEvent::Kind::LinkDegrade, 1.0, 0, 0.5},
+      {ChurnEvent::Kind::PeerCrash, 2.0, 1, 1.0},
+      {ChurnEvent::Kind::PeerCrash, 2.5, 1, 1.0},  // same worker: skipped
+      {ChurnEvent::Kind::PeerJoin, 3.0, -1, 1.0},
+      {ChurnEvent::Kind::PeerJoin, 3.5, -1, 1.0},
+      {ChurnEvent::Kind::LinkRestore, 4.0, -1, 1.0},
+  };
+  auto d = scenario::deploy(scenario::PlatformSpec::lan(), run);
+  ASSERT_EQ(d->spare_hosts.size(), 2u);  // one per join event in the timeline
+  ASSERT_GE(d->crashable_trackers.size(), 3u);  // primary + two failover
+  const std::size_t peers_before = d->env->over().peers().size();
+
+  Injector inj(*d->env, d->workers, d->crashable_trackers, d->spare_hosts,
+               d->churn_timeline, injection_seed(run.churn, run.seed));
+  inj.arm();
+  d->engine.run_until(10.0);
+
+  const ChurnStats& st = inj.stats();
+  EXPECT_EQ(st.peer_crashes, 1);
+  EXPECT_EQ(st.peer_joins, 2);  // both joins fit: timeline sized the spares
+  EXPECT_EQ(st.link_degrades, 1);
+  EXPECT_EQ(st.link_restores, 1);
+  EXPECT_EQ(st.events_skipped, 1);  // the double-crash of worker 1
+  EXPECT_EQ(d->env->over().peers().size(), peers_before + 2);
+  EXPECT_EQ(d->env->flownet().link_scale(0), 1.0);  // degraded then restored
+
+  const overlay::PeerActor* crashed = d->env->over().peer_at(d->workers[1]);
+  ASSERT_NE(crashed, nullptr);
+  EXPECT_FALSE(crashed->alive());
+}
+
+TEST(ChurnInjector, NeverCrashesTheLastTracker) {
+  scenario::RunSpec run;
+  run.peers = 2;
+  for (int i = 0; i < 6; ++i)
+    run.churn.events.push_back(
+        {ChurnEvent::Kind::TrackerCrash, 1.0 + i, -1, 1.0});
+  auto d = scenario::deploy(scenario::PlatformSpec::lan(), run);
+  Injector inj(*d->env, d->workers, d->crashable_trackers, d->spare_hosts,
+               d->churn_timeline, injection_seed(run.churn, run.seed));
+  inj.arm();
+  d->engine.run_until(10.0);
+  int alive = 0;
+  for (const overlay::TrackerActor* t : d->env->over().trackers()) alive += t->alive();
+  EXPECT_EQ(alive, 1);
+  EXPECT_EQ(inj.stats().tracker_crashes, 2);  // 3 crashable, one must survive
+  EXPECT_EQ(inj.stats().events_skipped, 4);
+}
+
+}  // namespace
+}  // namespace pdc::churn

@@ -1,0 +1,43 @@
+// Shared test helper: recursive field-by-field JSON comparison with
+// path-labelled failures, used by every determinism gate that compares
+// RunRecords/CampaignReports across -j levels. Doubles compare exactly: the
+// writer emits shortest round-tripping decimals, so equal doubles serialize
+// identically and unequal ones never compare ==.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <variant>
+
+#include "support/json.hpp"
+
+namespace pdc {
+
+inline void expect_json_equal(const JsonValue& a, const JsonValue& b,
+                              const std::string& path) {
+  ASSERT_EQ(a.v.index(), b.v.index()) << "type mismatch at " << path;
+  if (a.is_object()) {
+    const JsonObject& ao = a.as_object();
+    const JsonObject& bo = b.as_object();
+    ASSERT_EQ(ao.size(), bo.size()) << "key count mismatch at " << path;
+    for (const auto& [key, value] : ao) {
+      ASSERT_TRUE(bo.count(key)) << "missing key " << path << "." << key;
+      expect_json_equal(value, bo.at(key), path + "." + key);
+    }
+  } else if (a.is_array()) {
+    const JsonArray& aa = a.as_array();
+    const JsonArray& ba = b.as_array();
+    ASSERT_EQ(aa.size(), ba.size()) << "array length mismatch at " << path;
+    for (std::size_t i = 0; i < aa.size(); ++i)
+      expect_json_equal(aa[i], ba[i], path + "[" + std::to_string(i) + "]");
+  } else if (std::holds_alternative<double>(a.v)) {
+    EXPECT_EQ(a.as_double(), b.as_double()) << "value mismatch at " << path;
+  } else if (std::holds_alternative<std::string>(a.v)) {
+    EXPECT_EQ(a.as_string(), b.as_string()) << "value mismatch at " << path;
+  } else if (std::holds_alternative<bool>(a.v)) {
+    EXPECT_EQ(a.as_bool(), b.as_bool()) << "value mismatch at " << path;
+  }
+}
+
+}  // namespace pdc

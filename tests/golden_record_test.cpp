@@ -1,0 +1,218 @@
+// Golden-file tests for the serialized record schemas: a canonical
+// RunRecord and CampaignReport are committed under tests/golden/, and the
+// writers must reproduce them byte for byte — any schema drift becomes a
+// reviewed diff instead of a silent break — while the support reader must
+// recover every value losslessly.
+//
+// Regenerate after an intentional schema change with:
+//   PDC_UPDATE_GOLDEN=1 ./build/tests/golden_record_test
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "campaign/executor.hpp"
+#include "scenario/runner.hpp"
+#include "support/env.hpp"
+#include "support/json.hpp"
+
+namespace pdc {
+namespace {
+
+std::string golden_path(const char* name) {
+  return std::string(PDC_TEST_DATA_DIR) + "/golden/" + name;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return "";
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+void check_against_golden(const std::string& produced, const char* name) {
+  const std::string path = golden_path(name);
+  if (env_flag("PDC_UPDATE_GOLDEN")) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out) << "cannot write " << path;
+    out << produced;
+    GTEST_SKIP() << "golden updated: " << path;
+  }
+  const std::string expected = read_file(path);
+  ASSERT_FALSE(expected.empty()) << "missing golden file " << path
+                                 << " (run with PDC_UPDATE_GOLDEN=1 to create it)";
+  EXPECT_EQ(produced, expected) << "serialized " << name
+                                << " drifted from the committed golden; if the schema "
+                                   "change is intentional, regenerate with "
+                                   "PDC_UPDATE_GOLDEN=1 and review the diff";
+}
+
+/// A fully populated, hand-fixed RunRecord: no simulation, so the bytes are
+/// the same on every machine and toolchain.
+scenario::RunRecord canonical_record() {
+  scenario::RunRecord rec;
+  rec.spec.name = "golden";
+  rec.spec.platform = scenario::PlatformSpec::lan();
+  rec.spec.run.peers = 4;
+  rec.spec.run.level = ir::OptLevel::O2;
+  rec.spec.run.mode = scenario::Mode::Both;
+  rec.spec.run.seed = 42;
+  rec.spec.run.grid_n = 258;
+  rec.spec.run.iters = 100;
+  rec.spec.run.churn.peer_crash_rate = 0.01;
+  rec.spec.run.churn.seed = 7;
+  rec.spec.run.churn.events = {
+      {churn::ChurnEvent::Kind::TrackerCrash, 2.5, 0, 1.0},
+      {churn::ChurnEvent::Kind::LinkDegrade, 12.25, 3, 0.5},
+  };
+  rec.platform_kind = "star";
+  rec.platform_label = "lan";
+  rec.platform_hosts = 9;
+
+  scenario::PhaseRecord ref;
+  ref.solve_seconds = 12.125;
+  ref.total_seconds = 15.5;
+  ref.iterations = 100;
+  ref.platform_hosts = 9;
+  ref.computation.ok = true;
+  ref.computation.peers = 4;
+  ref.computation.groups = 1;
+  ref.computation.t_submit = 12.0;
+  ref.computation.t_collected = 12.5;
+  ref.computation.t_allocated = 13.0;
+  ref.computation.t_finished = 27.5;
+  ref.net.flows_started = 640;
+  ref.net.flows_completed = 640;
+  ref.net.bytes_completed = 1.25e9;
+  ref.net.reshares = 1280;
+  ref.net.reshares_partial = 512;
+  ref.net.flows_rescanned = 4096;
+  ref.net.flows_starved = 0;
+  ref.net.link_rescales = 2;
+  scenario::ChurnPhaseRecord churn_rec;
+  churn_rec.stats.events_applied = 3;
+  churn_rec.stats.events_skipped = 1;
+  churn_rec.stats.peer_crashes = 1;
+  churn_rec.stats.peer_joins = 1;
+  churn_rec.stats.tracker_crashes = 1;
+  churn_rec.stats.link_degrades = 1;
+  churn_rec.stats.link_restores = 1;
+  churn_rec.attempts = 2;
+  churn_rec.rejoins = 3;
+  ref.churn = churn_rec;
+  rec.reference = ref;
+
+  scenario::PhaseRecord pred = ref;
+  pred.iterations = 0;
+  pred.solve_seconds = 12.5;
+  pred.churn->attempts = 2;
+  rec.predicted = pred;
+  rec.prediction_error = 0.03125;  // exact in binary: stable text form
+  return rec;
+}
+
+TEST(GoldenRecord, RunRecordSerializationIsByteStable) {
+  check_against_golden(canonical_record().to_json(), "run_record.json");
+}
+
+TEST(GoldenRecord, RunRecordReadsBackLosslessly) {
+  const scenario::RunRecord rec = canonical_record();
+  const JsonValue doc = parse_json(rec.to_json());
+  EXPECT_EQ(doc.at("scenario").as_string(), "golden");
+  EXPECT_EQ(doc.at("spec").as_string(), scenario::render_scenario(rec.spec));
+  EXPECT_EQ(doc.at("platform").at("kind").as_string(), "star");
+  EXPECT_EQ(doc.at("platform").at("hosts").as_double(), 9.0);
+  EXPECT_EQ(doc.at("run").at("peers").as_double(), 4.0);
+  EXPECT_EQ(doc.at("run").at("opt").as_string(), "O2");
+  EXPECT_EQ(doc.at("run").at("mode").as_string(), "both");
+  EXPECT_EQ(doc.at("run").at("seed").as_double(), 42.0);
+  const JsonValue& ref = doc.at("reference");
+  EXPECT_EQ(ref.at("solve_seconds").as_double(), 12.125);
+  EXPECT_EQ(ref.at("iterations").as_double(), 100.0);
+  EXPECT_EQ(ref.at("computation").at("collection_seconds").as_double(), 0.5);
+  EXPECT_EQ(ref.at("flownet").at("bytes_completed").as_double(), 1.25e9);
+  EXPECT_EQ(ref.at("flownet").at("link_rescales").as_double(), 2.0);
+  EXPECT_EQ(ref.at("churn").at("attempts").as_double(), 2.0);
+  EXPECT_EQ(ref.at("churn").at("reallocations").as_double(), 1.0);
+  EXPECT_EQ(ref.at("churn").at("rejoins").as_double(), 3.0);
+  EXPECT_FALSE(doc.at("predicted").has("iterations"));
+  EXPECT_EQ(doc.at("prediction_error").as_double(), 0.03125);
+  // The embedded canonical spec text itself parses back to the same spec.
+  const scenario::ScenarioSpec spec =
+      scenario::parse_scenario(doc.at("spec").as_string());
+  EXPECT_EQ(scenario::render_scenario(spec), doc.at("spec").as_string());
+  EXPECT_EQ(spec.run.churn, rec.spec.run.churn);
+}
+
+/// A hand-fixed CampaignReport with one aggregated point per metric shape.
+campaign::CampaignReport canonical_report() {
+  campaign::CampaignReport rep;
+  rep.name = "golden-camp";
+  rep.jobs = 4;
+  rep.total = 6;
+  rep.executed = 4;
+  rep.skipped = 2;
+  rep.errors = 1;
+  rep.wall_seconds = 3.5;
+  campaign::PointReport point;
+  point.key = "lan-p4-O2-sync-hier-s42-cr0.01";
+  point.platform_label = "lan";
+  point.platform_kind = "star";
+  point.peers = 4;
+  point.opt = "O2";
+  point.scheme = "sync";
+  point.alloc = "hierarchical";
+  point.seed = 42;
+  point.repetitions = 2;
+  point.errors = 1;
+  Summary s;
+  s.n = 2;
+  s.mean = 12.25;
+  s.stddev = 0.25;
+  s.min = 12.0;
+  s.max = 12.5;
+  s.p50 = 12.25;
+  s.p95 = 12.5;
+  s.ci95_half = 0.75;
+  point.metrics["reference_solve_seconds"] = s;
+  Summary attempts;
+  attempts.n = 2;
+  attempts.mean = 1.5;
+  attempts.stddev = 0.5;
+  attempts.min = 1.0;
+  attempts.max = 2.0;
+  attempts.p50 = 1.5;
+  attempts.p95 = 2.0;
+  attempts.ci95_half = 1.5;
+  point.metrics["reference_churn_attempts"] = attempts;
+  rep.points.push_back(point);
+  return rep;
+}
+
+TEST(GoldenRecord, CampaignReportSerializationIsByteStable) {
+  check_against_golden(canonical_report().to_json(), "campaign_report.json");
+}
+
+TEST(GoldenRecord, CampaignReportCsvIsByteStable) {
+  check_against_golden(canonical_report().to_csv(), "campaign_report.csv");
+}
+
+TEST(GoldenRecord, CampaignReportReadsBackLosslessly) {
+  const JsonValue doc = parse_json(canonical_report().to_json());
+  EXPECT_EQ(doc.at("campaign").as_string(), "golden-camp");
+  EXPECT_EQ(doc.at("total_runs").as_double(), 6.0);
+  EXPECT_EQ(doc.at("errors").as_double(), 1.0);
+  const JsonValue& point = doc.at("points").as_array().at(0);
+  EXPECT_EQ(point.at("point").as_string(), "lan-p4-O2-sync-hier-s42-cr0.01");
+  EXPECT_EQ(point.at("repetitions").as_double(), 2.0);
+  const JsonValue& metric = point.at("metrics").at("reference_solve_seconds");
+  EXPECT_EQ(metric.at("n").as_double(), 2.0);
+  EXPECT_EQ(metric.at("mean").as_double(), 12.25);
+  EXPECT_EQ(metric.at("ci95_half").as_double(), 0.75);
+  EXPECT_TRUE(point.at("metrics").has("reference_churn_attempts"));
+}
+
+}  // namespace
+}  // namespace pdc

@@ -26,6 +26,13 @@ struct FlowEvent {
   double bytes = 0;
 };
 
+/// Churn-style link degradation/restoration applied mid-run.
+struct ScaleEvent {
+  Time at = 0;
+  LinkIdx link = 0;
+  double scale = 1.0;
+};
+
 struct RunResult {
   std::vector<Time> done;                       // completion time per event
   std::vector<std::vector<double>> rates;       // per probe: rate per event
@@ -34,7 +41,8 @@ struct RunResult {
 };
 
 RunResult replay(const Platform& plat, const std::vector<FlowEvent>& events,
-                 const std::vector<Time>& probes, FlowNet::Mode mode) {
+                 const std::vector<Time>& probes, FlowNet::Mode mode,
+                 const std::vector<ScaleEvent>& scales = {}) {
   sim::Engine eng;
   FlowNet netw{eng, plat, mode};
   RunResult r;
@@ -48,6 +56,8 @@ RunResult replay(const Platform& plat, const std::vector<FlowEvent>& events,
                                [&r, &eng, i] { r.done[i] = eng.now(); });
     });
   }
+  for (const ScaleEvent& sc : scales)
+    eng.schedule_at(sc.at, [&netw, sc] { netw.set_link_scale(sc.link, sc.scale); });
   for (std::size_t pi = 0; pi < probes.size(); ++pi) {
     eng.schedule_at(probes[pi], [&netw, &ids, &r, pi] {
       for (std::size_t i = 0; i < ids.size(); ++i)
@@ -62,9 +72,10 @@ RunResult replay(const Platform& plat, const std::vector<FlowEvent>& events,
 }
 
 void expect_equivalent(const Platform& plat, const std::vector<FlowEvent>& events,
-                       const std::vector<Time>& probes, const std::string& label) {
-  const RunResult inc = replay(plat, events, probes, FlowNet::Mode::Incremental);
-  const RunResult ref = replay(plat, events, probes, FlowNet::Mode::Reference);
+                       const std::vector<Time>& probes, const std::string& label,
+                       const std::vector<ScaleEvent>& scales = {}) {
+  const RunResult inc = replay(plat, events, probes, FlowNet::Mode::Incremental, scales);
+  const RunResult ref = replay(plat, events, probes, FlowNet::Mode::Reference, scales);
   ASSERT_EQ(inc.done.size(), ref.done.size());
   for (std::size_t i = 0; i < events.size(); ++i) {
     EXPECT_NEAR(inc.done[i], ref.done[i], 1e-9) << label << ": flow " << i;
@@ -136,6 +147,63 @@ TEST(FlowIncremental, RandomCliqueScenariosMatchReference) {
     const auto events = random_events(rng, 90, 10, 3.0, 3e6);
     expect_equivalent(plat, events, spread_probes(6.0, 5),
                       "clique seed " + std::to_string(seed));
+  }
+}
+
+TEST(FlowIncremental, LinkDegradationEventsMatchReference) {
+  // Churn link events: capacities rescale mid-run (degrade + restore) while
+  // random flows come and go; both engines must agree on every completion
+  // and sampled rate. Star first (one shared backbone: rescales hit every
+  // flow), then a clique (rescales hit one component at a time).
+  for (std::uint64_t seed = 21; seed <= 24; ++seed) {
+    Rng rng{seed};
+    const Platform star = build_star(lan_spec(10));
+    const auto events = random_events(rng, 60, 10, 4.0, 4e6);
+    std::vector<ScaleEvent> scales;
+    for (int i = 0; i < 10; ++i) {
+      const auto link = static_cast<LinkIdx>(rng.uniform_int(0, star.link_count() - 1));
+      const Time at = rng.uniform(0.0, 5.0) + 3.21e-5;  // dodge event-time ties
+      scales.push_back({at, link, rng.uniform(0.1, 0.9)});
+      scales.push_back({at + rng.uniform(0.1, 1.0), link, 1.0});
+    }
+    expect_equivalent(star, events, spread_probes(8.0, 5),
+                      "degraded star seed " + std::to_string(seed), scales);
+  }
+  Rng rng{31};
+  const Platform clique = random_clique(rng, 8);
+  const auto events = random_events(rng, 70, 8, 3.0, 3e6);
+  std::vector<ScaleEvent> scales;
+  for (int i = 0; i < 14; ++i) {
+    const auto link = static_cast<LinkIdx>(rng.uniform_int(0, clique.link_count() - 1));
+    scales.push_back({rng.uniform(0.0, 4.0) + 3.21e-5, link, rng.uniform(0.05, 0.95)});
+  }
+  expect_equivalent(clique, events, spread_probes(6.0, 5), "degraded clique", scales);
+}
+
+TEST(FlowIncremental, LinkScaleIsAppliedAndRestored) {
+  // One flow on one link: halving the capacity mid-transfer must halve the
+  // rate and stretch the completion accordingly, identically in both modes.
+  for (const auto mode : {FlowNet::Mode::Incremental, FlowNet::Mode::Reference}) {
+    Platform p;
+    const auto a = p.add_host("a", 1e9, Ipv4{10, 0, 0, 1});
+    const auto b = p.add_host("b", 1e9, Ipv4{10, 0, 0, 2});
+    const auto l = p.add_link("l", 1e6, 0);
+    p.connect(a, b, l);
+    sim::Engine eng;
+    FlowNet netw{eng, p, mode};
+    Time done = -1;
+    FlowId id = 0;
+    eng.schedule_at(0.0, [&] { id = netw.start_flow(a, b, 2e6, [&] { done = eng.now(); }); });
+    eng.schedule_at(1.0, [&] {
+      EXPECT_NEAR(netw.flow_rate(id), 1e6, 1e-3);
+      netw.set_link_scale(l, 0.5);
+    });
+    eng.schedule_at(1.5, [&] { EXPECT_NEAR(netw.flow_rate(id), 0.5e6, 1e-3); });
+    eng.run();
+    EXPECT_EQ(netw.link_scale(l), 0.5);
+    // 1 MB at full rate (1 s), remaining 1 MB at half rate (2 s).
+    EXPECT_NEAR(done, 3.0, 1e-9);
+    EXPECT_EQ(netw.stats().link_rescales, 1u);
   }
 }
 

@@ -1,0 +1,101 @@
+// Direct unit test for the overlay's tracker-crash failover (paper §III-A.5
+// and §III-A.7): kill a tracker mid-run and assert its zone peers re-join a
+// neighbour zone — rejoin_count increments and their resources are
+// republished to the surviving tracker. Previously this path was only
+// reachable implicitly through churn scenarios.
+#include "overlay/overlay.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/builders.hpp"
+#include "net/flow.hpp"
+
+namespace pdc::overlay {
+namespace {
+
+TEST(OverlayFailover, PeersRejoinNeighbourZoneAfterTrackerCrash) {
+  sim::Engine engine;
+  const net::Platform plat = net::build_star(net::lan_spec(16));
+  net::FlowNet flownet{engine, plat};
+  Overlay ov{engine, plat, flownet};
+
+  // Server + two administrator core trackers; IPs are sequential on the
+  // LAN, so hosts 2..6 gravitate to the tracker on host 1 and hosts 9..13
+  // to the tracker on host 8.
+  ov.create_server(plat.host(0));
+  TrackerActor& t_low = ov.create_tracker(plat.host(1), /*core=*/true);
+  TrackerActor& t_high = ov.create_tracker(plat.host(8), /*core=*/true);
+  ov.finish_bootstrap();
+
+  const double kCpu = 2.6e9;
+  std::vector<PeerActor*> low_zone, high_zone;
+  for (int i = 2; i <= 6; ++i)
+    low_zone.push_back(&ov.create_peer(plat.host(i), PeerResources{kCpu, 1e9, 1e9}));
+  for (int i = 9; i <= 13; ++i)
+    high_zone.push_back(&ov.create_peer(plat.host(i), PeerResources{kCpu, 1e9, 1e9}));
+
+  engine.run_until(8.0);
+  ASSERT_TRUE(t_low.alive());
+  ASSERT_EQ(t_low.zone().size(), low_zone.size());
+  ASSERT_EQ(t_high.zone().size(), high_zone.size());
+  for (PeerActor* p : low_zone) {
+    ASSERT_TRUE(p->joined());
+    ASSERT_EQ(p->tracker().node, t_low.host());
+    ASSERT_EQ(p->rejoin_count(), 0);
+  }
+
+  // Crash the low tracker mid-run. Its peers stop receiving state-update
+  // acks, declare it disconnected after fail_timeout, and re-join.
+  t_low.crash();
+  engine.run_until(30.0);
+
+  for (PeerActor* p : low_zone) {
+    EXPECT_EQ(p->rejoin_count(), 1) << "host " << p->host();
+    ASSERT_TRUE(p->joined()) << "host " << p->host();
+    EXPECT_EQ(p->tracker().node, t_high.host()) << "host " << p->host();
+  }
+  // Resources were republished: the surviving tracker's zone now carries
+  // every orphaned peer with its original CPU donation.
+  EXPECT_EQ(t_high.zone().size(), low_zone.size() + high_zone.size());
+  for (PeerActor* p : low_zone) {
+    const auto it = t_high.zone().find(p->host());
+    ASSERT_NE(it, t_high.zone().end()) << "host " << p->host();
+    EXPECT_EQ(it->second.peer.res.cpu_hz, kCpu);
+  }
+  // The neighbour sets healed: the survivor no longer lists the dead node.
+  for (const TrackerRef& n : t_high.neighbor_set())
+    EXPECT_NE(n.node, t_low.host());
+}
+
+TEST(OverlayFailover, RejoinedPeersRemainCollectable) {
+  // After a failover, a submitter must still be able to reserve the
+  // re-joined peers through the ordinary collection protocol.
+  sim::Engine engine;
+  const net::Platform plat = net::build_star(net::lan_spec(12));
+  net::FlowNet flownet{engine, plat};
+  Overlay ov{engine, plat, flownet};
+  ov.create_server(plat.host(0));
+  TrackerActor& doomed = ov.create_tracker(plat.host(1), /*core=*/true);
+  ov.create_tracker(plat.host(8), /*core=*/true);
+  ov.finish_bootstrap();
+  PeerActor& submitter = ov.create_peer(plat.host(9), PeerResources{3e9, 1e9, 1e9});
+  for (int i = 2; i <= 5; ++i)
+    ov.create_peer(plat.host(i), PeerResources{3e9, 1e9, 1e9});
+
+  engine.run_until(8.0);
+  doomed.crash();
+  engine.run_until(30.0);
+
+  std::vector<PeerRef> reserved;
+  bool done = false;
+  engine.spawn([](PeerActor& sub, std::vector<PeerRef>& out, bool& flag) -> sim::Process {
+    out = co_await sub.collect_peers(4, Requirements{}, /*ticket=*/1);
+    flag = true;
+  }(submitter, reserved, done));
+  engine.run_until(60.0);
+  ASSERT_TRUE(done);
+  EXPECT_EQ(reserved.size(), 4u);
+}
+
+}  // namespace
+}  // namespace pdc::overlay
