@@ -55,6 +55,16 @@ std::map<std::string, double> record_metrics(const JsonValue& record) {
     const JsonValue& ph = record.at(key);
     m[std::string(prefix) + "_solve_seconds"] = ph.at("solve_seconds").as_double();
     m[std::string(prefix) + "_total_seconds"] = ph.at("total_seconds").as_double();
+    // Event-kernel observability: how much simulator work the phase cost
+    // and whether any closure fell off the allocation-free inline path
+    // (aggregated next to the FlowNet-derived metrics; absent in records
+    // written before the engine block existed).
+    if (ph.has("engine")) {
+      const JsonValue& e = ph.at("engine");
+      m[std::string(prefix) + "_engine_events"] = e.at("events_dispatched").as_double();
+      m[std::string(prefix) + "_engine_heap_closures"] =
+          e.at("closures_heap").as_double();
+    }
     // Churn observability (present only for churn-enabled runs): lets a
     // volatility sweep tabulate re-allocations and failovers per grid point
     // next to the prediction error.

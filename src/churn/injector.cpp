@@ -18,9 +18,13 @@ Injector::Injector(p2pdc::Environment& env, std::vector<net::NodeIdx> workers,
       rng_(seed) {}
 
 void Injector::arm() {
+  // Each timeline entry is one scheduled closure; the by-value ChurnEvent
+  // capture must stay within the event kernel's inline budget so arming a
+  // dense timeline allocates nothing per event.
+  static_assert(sizeof(ChurnEvent) + sizeof(void*) <= sim::EventFn::kInlineSize);
   sim::Engine& engine = env_->engine();
   for (const ChurnEvent& ev : timeline_)
-    engine.schedule_at(engine.now() + ev.at, [this, ev] { apply(ev); });
+    engine.schedule_after(ev.at, [this, ev] { apply(ev); });
 }
 
 void Injector::apply(const ChurnEvent& ev) {

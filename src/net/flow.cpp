@@ -93,13 +93,13 @@ void FlowNet::release_slot(Slot slot) {
   f.id = 0;
   f.hops.clear();
   f.link_pos.clear();
-  f.on_complete = nullptr;
+  f.on_complete.reset();
   free_slots_.push_back(slot);
   --live_flows_;
 }
 
 FlowId FlowNet::start_flow(NodeIdx src, NodeIdx dst, double bytes,
-                           std::function<void()> on_complete) {
+                           sim::EventFn on_complete) {
   ++stats_.flows_started;
   const FlowId id = next_id_++;
   if (src == dst) {
@@ -133,9 +133,14 @@ FlowId FlowNet::start_flow(NodeIdx src, NodeIdx dst, double bytes,
 }
 
 sim::Task<void> FlowNet::transfer(NodeIdx src, NodeIdx dst, double bytes) {
-  auto gate = std::make_shared<sim::Gate>(*engine_);
-  start_flow(src, dst, bytes, [gate] { gate->open(); });
-  co_await gate->wait();
+  // The gate lives on this coroutine's frame: the frame stays suspended on
+  // gate.wait() until the completion callback opens it, so the capture is a
+  // plain pointer and the whole await is allocation-free (the old
+  // shared_ptr<Gate> cost two allocations per transfer — twice per reliable
+  // P2PSAP message).
+  sim::Gate gate{*engine_};
+  start_flow(src, dst, bytes, [g = &gate] { g->open(); });
+  co_await gate.wait();
 }
 
 double FlowNet::flow_rate(FlowId id) const {

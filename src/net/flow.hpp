@@ -72,8 +72,10 @@ class FlowNet {
   /// Starts a flow of `bytes` from `src` to `dst`; `on_complete` fires (as a
   /// posted event) when the last byte arrives. A src==dst transfer completes
   /// immediately (loopback: no modelled cost). Zero-byte flows still pay the
-  /// route latency.
-  FlowId start_flow(NodeIdx src, NodeIdx dst, double bytes, std::function<void()> on_complete);
+  /// route latency. The callback is a sim::EventFn: the capture sets the
+  /// overlay and P2PSAP pass (up to a moved CtrlMsg/Message) stay inline —
+  /// no per-flow closure allocation.
+  FlowId start_flow(NodeIdx src, NodeIdx dst, double bytes, sim::EventFn on_complete);
 
   /// Awaitable wrapper around start_flow.
   sim::Task<void> transfer(NodeIdx src, NodeIdx dst, double bytes);
@@ -110,7 +112,7 @@ class FlowNet {
     std::uint64_t fixed_epoch = 0;  // scratch: rate fixed in the current solve
     std::vector<Hop> hops;
     std::vector<std::uint32_t> link_pos;  // per-hop index into LinkDir::members
-    std::function<void()> on_complete;
+    sim::EventFn on_complete;
   };
 
   /// One crossing of a linkdir by a transfer-phase flow; `hop` is the index

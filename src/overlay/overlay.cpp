@@ -109,6 +109,13 @@ void Overlay::finish_bootstrap() {
 void Overlay::send_ctrl(NodeIdx from, NodeIdx to, CtrlMsg msg) {
   ++ctrl_messages_;
   const double bytes = ctrl_wire_bytes(config_, msg);
+  // The moved-from CtrlMsg capture is the largest closure the hot control
+  // plane schedules; it must keep fitting the event kernel's inline buffer
+  // (EventFn::kInlineSize was sized for exactly this) or every control
+  // message would silently fall back to the slab. A variant alternative
+  // growing past the budget should carry its payload behind a pointer.
+  static_assert(sizeof(CtrlMsg) + sizeof(void*) + sizeof(NodeIdx) <=
+                sim::EventFn::kInlineSize);
   if (from == to) {
     engine_->post([this, to, m = std::move(msg)]() mutable { deliver(to, std::move(m)); });
     return;

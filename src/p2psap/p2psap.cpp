@@ -111,7 +111,11 @@ sim::Task<void> Channel::send(net::NodeIdx from_host, int tag, double bytes,
     co_await fabric_->flownet().transfer(dst, from_host, config_.ack_bytes);
   } else {
     // Fire-and-forget: the flow delivers in the background; the sender
-    // resumes immediately (injection is not modelled as blocking).
+    // resumes immediately (injection is not modelled as blocking). The
+    // moved Message capture rides the flow's completion EventFn inline —
+    // async schemes deliver with zero allocations per message.
+    static_assert(sizeof(Message) + sizeof(void*) + sizeof(net::NodeIdx) + sizeof(int) <=
+                  sim::EventFn::kInlineSize);
     auto* self = this;
     fabric_->flownet().start_flow(from_host, dst, wire_bytes,
                                   [self, dst, tag, m = std::move(msg)]() mutable {

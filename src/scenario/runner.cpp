@@ -180,6 +180,15 @@ void phase_json(JsonWriter& w, const PhaseRecord& ph, bool with_iterations) {
   w.kv("flows_starved", ph.net.flows_starved);
   w.kv("link_rescales", ph.net.link_rescales);
   w.end_object();
+  w.key("engine").begin_object();
+  w.kv("events_dispatched", ph.engine.events_dispatched);
+  w.kv("closures_inline", ph.engine.closures_inline);
+  w.kv("closures_heap", ph.engine.closures_heap);
+  w.kv("resumes", ph.engine.resumes);
+  w.kv("slot_arms", ph.engine.slot_arms);
+  w.kv("stale_slot_events", ph.engine.stale_slot_events);
+  w.kv("peak_queue_depth", ph.engine.peak_queue_depth);
+  w.end_object();
   if (ph.churn) {
     const ChurnPhaseRecord& c = *ph.churn;
     w.key("churn").begin_object();
@@ -388,6 +397,7 @@ PhaseRecord Runner::run_reference() const {
   ph.platform_hosts = d->platform.host_count();
   ph.computation = rep.computation;
   ph.net = d->env->flownet().stats();
+  ph.engine = d->engine.stats();
   if (injector) ph.churn = churn_phase_record(*d, *injector, attempts);
   return ph;
 }
@@ -426,6 +436,7 @@ PhaseRecord Runner::run_predicted(std::vector<dperf::Trace> traces) const {
   ph.platform_hosts = d->platform.host_count();
   ph.computation = pred.computation;
   ph.net = d->env->flownet().stats();
+  ph.engine = d->engine.stats();
   if (injector) ph.churn = churn_phase_record(*d, *injector, attempts);
   return ph;
 }

@@ -1,67 +1,285 @@
 #include "sim/engine.hpp"
 
-#include <algorithm>
-
 namespace pdc::sim {
 
-void Engine::schedule_at(Time t, std::function<void()> fn) {
-  if (t < now_) t = now_;  // never schedule into the past
-  heap_.push_back(Event{t, seq_++, std::move(fn)});
-  std::push_heap(heap_.begin(), heap_.end(),
-                 [](const Event& a, const Event& b) { return a > b; });
+namespace {
+
+/// Vacant map slot marker: an all-ones NaN bit pattern no valid simulation
+/// time can produce.
+constexpr std::uint64_t kEmptyKey = ~std::uint64_t{0};
+
+constexpr std::size_t kInitialMapCapacity = 64;  // power of two
+
+struct TimeGreater {
+  bool operator()(Time a, Time b) const { return a > b; }
+};
+
+}  // namespace
+
+Engine::Engine() {
+  map_keys_.assign(kInitialMapCapacity, kEmptyKey);
+  map_vals_.assign(kInitialMapCapacity, 0);
 }
 
-TimerHandle Engine::schedule_cancellable(Time dt, std::function<void()> fn) {
-  // The shared state *is* the closure: cancel() nulls it out, dropping any
-  // captures immediately even though the (now empty) event stays queued.
-  auto shared = std::make_shared<std::function<void()>>(std::move(fn));
-  schedule_after(dt, [shared] {
-    if (!*shared) return;  // cancelled
-    auto f = std::move(*shared);
-    *shared = nullptr;  // mark fired so active() turns false
-    f();
-  });
-  return TimerHandle{shared};
+// --- calendar queue ----------------------------------------------------------
+
+std::size_t Engine::map_slot_of(std::uint64_t key) const {
+  const std::size_t mask = map_keys_.size() - 1;
+  std::size_t i = hash_key(key) & mask;
+  while (map_keys_[i] != key) i = (i + 1) & mask;
+  return i;
 }
 
-int Engine::create_timer_slot(std::function<void()> fn) {
+void Engine::map_insert(std::uint64_t key, std::uint32_t bucket) {
+  const std::size_t mask = map_keys_.size() - 1;
+  std::size_t i = hash_key(key) & mask;
+  while (map_keys_[i] != kEmptyKey) i = (i + 1) & mask;
+  map_keys_[i] = key;
+  map_vals_[i] = bucket;
+  ++map_size_;
+}
+
+void Engine::map_grow() {
+  std::vector<std::uint64_t> old_keys = std::move(map_keys_);
+  std::vector<std::uint32_t> old_vals = std::move(map_vals_);
+  map_keys_.assign(old_keys.size() * 2, kEmptyKey);
+  map_vals_.assign(old_vals.size() * 2, 0);
+  map_size_ = 0;
+  for (std::size_t i = 0; i < old_keys.size(); ++i)
+    if (old_keys[i] != kEmptyKey) map_insert(old_keys[i], old_vals[i]);
+}
+
+void Engine::map_erase(std::uint64_t key) {
+  // Linear-probing deletion with backward shift: walk the cluster after the
+  // hole and pull back any entry whose home slot the hole cuts off.
+  const std::size_t mask = map_keys_.size() - 1;
+  std::size_t hole = map_slot_of(key);
+  std::size_t j = hole;
+  for (;;) {
+    j = (j + 1) & mask;
+    const std::uint64_t k = map_keys_[j];
+    if (k == kEmptyKey) break;
+    const std::size_t home = hash_key(k) & mask;
+    // Shift back when the hole lies cyclically within [home, j).
+    if (((j - home) & mask) >= ((j - hole) & mask)) {
+      map_keys_[hole] = k;
+      map_vals_[hole] = map_vals_[j];
+      hole = j;
+    }
+  }
+  map_keys_[hole] = kEmptyKey;
+  --map_size_;
+}
+
+std::uint32_t Engine::alloc_bucket() {
+  if (!free_buckets_.empty()) {
+    const std::uint32_t id = free_buckets_.back();
+    free_buckets_.pop_back();
+    return id;
+  }
+  buckets_.emplace_back();
+  return static_cast<std::uint32_t>(buckets_.size() - 1);
+}
+
+Engine::Bucket& Engine::bucket_at(Time t) {
+  const std::uint64_t key = time_key(t);
+  // Memo for the overwhelmingly common pattern of consecutive schedules
+  // aimed at the same timestamp (chained steps, same-latency messages).
+  // Bucket ids are stable, so the memo survives map growth; it is dropped
+  // whenever a bucket is retired (release or sweep).
+  if (key == memo_key_) return buckets_[memo_bucket_];
+  const std::size_t mask = map_keys_.size() - 1;
+  std::size_t i = hash_key(key) & mask;
+  while (map_keys_[i] != kEmptyKey) {
+    if (map_keys_[i] == key) {
+      memo_key_ = key;
+      memo_bucket_ = map_vals_[i];
+      return buckets_[map_vals_[i]];
+    }
+    i = (i + 1) & mask;
+  }
+  // New distinct timestamp: this is the only place the time heap grows.
+  if ((map_size_ + 1) * 4 > map_keys_.size() * 3) map_grow();
+  const std::uint32_t id = alloc_bucket();
+  map_insert(key, id);
+  time_heap_.push_back(t);
+  std::push_heap(time_heap_.begin(), time_heap_.end(), TimeGreater{});
+  memo_key_ = key;
+  memo_bucket_ = id;
+  return buckets_[id];
+}
+
+void Engine::activate_next_bucket() {
+  std::pop_heap(time_heap_.begin(), time_heap_.end(), TimeGreater{});
+  const Time t = time_heap_.back();
+  time_heap_.pop_back();
+  now_ = t;
+  current_bucket_ = static_cast<std::int32_t>(map_vals_[map_slot_of(time_key(t))]);
+}
+
+void Engine::release_current_bucket() {
+  Bucket& b = buckets_[static_cast<std::size_t>(current_bucket_)];
+  b.events.clear();
+  b.cursor = 0;
+  map_erase(time_key(now_));
+  free_buckets_.push_back(static_cast<std::uint32_t>(current_bucket_));
+  if (memo_key_ == time_key(now_)) memo_key_ = kEmptyKey;
+  current_bucket_ = -1;
+}
+
+bool Engine::event_is_stale(const Event& ev) const {
+  if ((ev.a >> kKindShift) != kSlot) return false;
+  const TimerSlot& s = timer_slots_[static_cast<std::size_t>(ev.a & kPayloadMask)];
+  return !s.armed || s.gen != ev.b;
+}
+
+/// A pending arm just went stale. Dead slot events normally pop lazily, but
+/// long-timeout guards cancelled early (RPC timeouts, recv_for satisfied by
+/// a push) would otherwise pile up for their whole nominal duration and
+/// bloat the queue. When the garbage reaches half the pending events, sweep
+/// every non-current bucket and rebuild the time heap — O(live) amortized,
+/// and deterministic: the trigger depends only on simulation state, bucket
+/// filtering keeps insertion order, and the rebuilt heap pops distinct times
+/// in the same order as the old one.
+void Engine::note_dead_arm() {
+  ++dead_slot_events_;
+  // Require 64 *new* dead arms beyond what the last sweep could not reach
+  // (sweep_leftover_: dead events pinned in the mid-drain bucket, which the
+  // sweep skips). Without the leftover term, 64+ same-time cancelled arms
+  // would re-trigger a fruitless full sweep on every further cancel.
+  if (dead_slot_events_ < 64 + sweep_leftover_ ||
+      dead_slot_events_ * 2 < pending_events_)
+    return;
+  sweep_stale();
+}
+
+void Engine::sweep_stale() {
+  sweep_keys_.clear();
+  sweep_vals_.clear();
+  for (std::size_t i = 0; i < map_keys_.size(); ++i) {
+    if (map_keys_[i] == kEmptyKey) continue;
+    const std::uint32_t id = map_vals_[i];
+    if (static_cast<std::int32_t>(id) == current_bucket_) {
+      // Mid-drain bucket: its cursor is live, leave it to pop lazily.
+      sweep_keys_.push_back(map_keys_[i]);
+      sweep_vals_.push_back(id);
+      continue;
+    }
+    Bucket& b = buckets_[id];
+    const std::size_t before = b.events.size();
+    std::erase_if(b.events, [this](const Event& ev) { return event_is_stale(ev); });
+    const std::size_t removed = before - b.events.size();
+    pending_events_ -= removed;
+    dead_slot_events_ -= removed;
+    stats_.stale_slot_events += removed;  // shed without dispatching
+    if (b.events.empty()) {
+      free_buckets_.push_back(id);
+    } else {
+      sweep_keys_.push_back(map_keys_[i]);
+      sweep_vals_.push_back(id);
+    }
+  }
+  // Rebuild map and time heap from the survivors. Distinct times make the
+  // heap's pop order independent of make_heap's internal layout.
+  std::fill(map_keys_.begin(), map_keys_.end(), kEmptyKey);
+  map_size_ = 0;
+  memo_key_ = kEmptyKey;  // retired buckets may include the memoized one
+  time_heap_.clear();
+  for (std::size_t i = 0; i < sweep_keys_.size(); ++i) {
+    map_insert(sweep_keys_[i], sweep_vals_[i]);
+    if (static_cast<std::int32_t>(sweep_vals_[i]) != current_bucket_)
+      time_heap_.push_back(std::bit_cast<Time>(sweep_keys_[i]));
+  }
+  std::make_heap(time_heap_.begin(), time_heap_.end(), TimeGreater{});
+  sweep_leftover_ = dead_slot_events_;  // unreachable until they pop lazily
+}
+
+// --- timer slots -------------------------------------------------------------
+
+int Engine::alloc_timer_slot(bool one_shot) {
   if (!free_timer_slots_.empty()) {
     const int slot = free_timer_slots_.back();
     free_timer_slots_.pop_back();
     auto& s = timer_slots_[static_cast<std::size_t>(slot)];
-    s.fn = std::move(fn);
     ++s.gen;  // keeps growing so events from the previous owner stay stale
     s.armed = false;
+    s.one_shot = one_shot;
     return slot;
   }
-  timer_slots_.push_back(TimerSlot{std::move(fn), 0, false});
+  timer_slots_.push_back(TimerSlot{{}, 0, false, one_shot, false});
   return static_cast<int>(timer_slots_.size()) - 1;
 }
 
 void Engine::arm_timer_slot(int slot, Time dt) {
   auto& s = timer_slots_[static_cast<std::size_t>(slot)];
+  if (s.armed) note_dead_arm();  // the superseded arm's event is now garbage
   ++s.gen;  // invalidates any previously pending arm
   s.armed = true;
-  Time t = now_ + dt;
-  if (t < now_) t = now_;
-  heap_.push_back(Event{t, seq_++, {}, slot, s.gen});
-  std::push_heap(heap_.begin(), heap_.end(),
-                 [](const Event& a, const Event& b) { return a > b; });
+  ++stats_.slot_arms;
+  push_event(now_ + dt, kSlot, static_cast<std::uint64_t>(slot), s.gen);
 }
 
 void Engine::cancel_timer_slot(int slot) {
   auto& s = timer_slots_[static_cast<std::size_t>(slot)];
+  if (s.armed) note_dead_arm();
   ++s.gen;
   s.armed = false;
 }
 
-void Engine::destroy_timer_slot(int slot) {
+void Engine::release_slot(int slot) {
   auto& s = timer_slots_[static_cast<std::size_t>(slot)];
-  ++s.gen;
+  ++s.gen;       // any TimerHandle still pointing here goes stale
   s.armed = false;
-  s.fn = nullptr;  // release the closure (and anything it captures) now
+  s.fn.reset();  // release the closure (and anything it captures) now
+  s.pending_destroy = false;
   free_timer_slots_.push_back(slot);
 }
+
+void Engine::destroy_timer_slot(int slot) {
+  auto& s = timer_slots_[static_cast<std::size_t>(slot)];
+  if (s.armed) note_dead_arm();
+  ++s.gen;
+  s.armed = false;
+  if (slot == dispatching_slot_) {
+    // Called from inside this slot's own callback: destroying now would free
+    // the closure mid-execution. The arm above is already stale; the closure
+    // itself is released at the end of the dispatch.
+    s.pending_destroy = true;
+    return;
+  }
+  release_slot(slot);
+}
+
+void Engine::run_slot(int slot, std::uint64_t gen) {
+  auto& s = timer_slots_[static_cast<std::size_t>(slot)];
+  if (!s.armed || s.gen != gen) {
+    ++stats_.stale_slot_events;  // superseded, cancelled, or eagerly destroyed
+    --dead_slot_events_;         // popped before a sweep got to it
+    if (dead_slot_events_ < sweep_leftover_) sweep_leftover_ = dead_slot_events_;
+    return;
+  }
+  s.armed = false;
+  dispatching_slot_ = slot;
+  // The deque reference stays valid across the callback even if it registers
+  // new slots; the generation tells us whether it destroyed/recycled itself.
+  try {
+    s.fn();
+  } catch (...) {
+    dispatching_slot_ = -1;
+    if (s.pending_destroy || (s.one_shot && s.gen == gen)) release_slot(slot);
+    throw;
+  }
+  dispatching_slot_ = -1;
+  if (s.pending_destroy || (s.one_shot && s.gen == gen)) {
+    // Deferred self-destroy, or a fired one-shot (not re-armed, not recycled
+    // by its own callback): retire the slot so schedule_cancellable cycles
+    // recycle storage. release_slot bumps the generation, so a TimerHandle
+    // held on this arm goes stale.
+    release_slot(slot);
+  }
+}
+
+// --- processes ---------------------------------------------------------------
 
 void Engine::spawn(Process p, std::string name) {
   Process::Handle h = p.release();
@@ -69,7 +287,7 @@ void Engine::spawn(Process p, std::string name) {
   h.promise().name = std::move(name);
   registered_.push_back(h);
   ++live_processes_;
-  post([h] { h.resume(); });
+  post_resume(h);
 }
 
 void Process::promise_type::FinalAwaiter::await_suspend(Process::Handle h) noexcept {
@@ -90,17 +308,28 @@ void Engine::reap_zombies() {
   zombies_.clear();
 }
 
-void Engine::dispatch(Event ev) {
-  now_ = ev.t;
-  ++dispatched_;
-  if (ev.slot >= 0) {
-    auto& s = timer_slots_[static_cast<std::size_t>(ev.slot)];
-    if (s.armed && s.gen == ev.gen) {
-      s.armed = false;
-      s.fn();
+// --- dispatch loop -----------------------------------------------------------
+
+void Engine::dispatch(const Event& ev) {
+  ++stats_.events_dispatched;
+  switch (ev.a >> kKindShift) {
+    case kClosure: {
+      const auto idx = static_cast<std::uint32_t>(ev.a & kPayloadMask);
+      // Move the closure out before invoking: the callback may schedule new
+      // events, growing the pool (and immediately re-using this index).
+      EventFn fn = std::move(closure_pool_[idx]);
+      free_closures_.push_back(idx);
+      fn();
+      break;
     }
-  } else {
-    ev.fn();
+    case kResume:
+      std::coroutine_handle<>::from_address(
+          reinterpret_cast<void*>(static_cast<std::uintptr_t>(ev.b)))
+          .resume();
+      break;
+    default:
+      run_slot(static_cast<int>(ev.a & kPayloadMask), ev.b);
+      break;
   }
   reap_zombies();
   if (pending_error_) {
@@ -111,12 +340,22 @@ void Engine::dispatch(Event ev) {
 }
 
 bool Engine::step() {
-  if (heap_.empty()) return false;
-  std::pop_heap(heap_.begin(), heap_.end(),
-                [](const Event& a, const Event& b) { return a > b; });
-  Event ev = std::move(heap_.back());
-  heap_.pop_back();
-  dispatch(std::move(ev));
+  for (;;) {
+    if (current_bucket_ >= 0) {
+      Bucket& b = buckets_[static_cast<std::size_t>(current_bucket_)];
+      if (b.cursor < b.events.size()) break;
+      release_current_bucket();
+      continue;
+    }
+    if (time_heap_.empty()) return false;
+    activate_next_bucket();  // activated buckets always hold >= 1 event
+  }
+  Bucket& b = buckets_[static_cast<std::size_t>(current_bucket_)];
+  const Event ev = b.events[b.cursor++];
+  --pending_events_;
+  dispatch(ev);  // may grow buckets_; re-index afterwards
+  Bucket& b2 = buckets_[static_cast<std::size_t>(current_bucket_)];
+  if (b2.cursor >= b2.events.size()) release_current_bucket();
   return true;
 }
 
@@ -126,7 +365,20 @@ void Engine::run() {
 }
 
 void Engine::run_until(Time t_end) {
-  while (!heap_.empty() && heap_.front().t <= t_end) step();
+  for (;;) {
+    if (current_bucket_ >= 0) {
+      const Bucket& b = buckets_[static_cast<std::size_t>(current_bucket_)];
+      if (b.cursor >= b.events.size()) {
+        release_current_bucket();
+        continue;
+      }
+      if (now_ > t_end) break;  // mid-drain bucket beyond the horizon
+      step();
+      continue;
+    }
+    if (time_heap_.empty() || time_heap_.front() > t_end) break;
+    step();
+  }
   if (now_ < t_end) now_ = t_end;
 }
 

@@ -8,14 +8,19 @@
 // A mailbox can operate in LatestValue mode (capacity one, new values
 // overwrite unconsumed ones). P2PSAP uses it for asynchronous iterative
 // schemes where only the most recent boundary data matters.
+//
+// Steady-state receives are allocation-free: delivery resumes the waiter
+// through the engine's raw-handle fast path, and a recv_for timeout is a
+// one-shot timer slot (16-byte inline capture) that push() destroys eagerly
+// the moment the value wins the race — nothing is left parked in the event
+// queue but a stale 16-byte slot event, and the amortized sweep sheds even
+// that long before its nominal fire time.
 #pragma once
 
 #include <cassert>
 #include <coroutine>
 #include <cstdint>
 #include <deque>
-#include <list>
-#include <memory>
 #include <optional>
 
 #include "sim/engine.hpp"
@@ -36,13 +41,18 @@ class Mailbox {
   /// Deposits a value: hands it directly to the oldest waiting receiver if
   /// any (resumed via a same-time event), otherwise queues it.
   void push(T value) {
-    if (!waiters_.empty()) {
-      WaitState& w = *waiters_.front();
-      waiters_.pop_front();
-      w.registered = false;
+    if (head_ != nullptr) {
+      WaitState& w = *head_;
+      unlink(&w);
       w.value.emplace(std::move(value));
-      if (w.timer_alive) *w.timer_alive = false;
-      engine_->post([h = w.handle] { h.resume(); });
+      if (w.timer_slot >= 0) {
+        // The value won the race: retire the armed timeout now, so its
+        // closure is released immediately instead of lingering in the heap
+        // until the (possibly far-off) fire time.
+        engine_->destroy_timer_slot(w.timer_slot);
+        w.timer_slot = -1;
+      }
+      engine_->post_resume(w.handle);
       return;
     }
     if (policy_ == MailboxPolicy::LatestValue && !queue_.empty()) {
@@ -67,13 +77,32 @@ class Mailbox {
   }
 
  private:
+  /// Intrusive wait-queue node: the state lives in the awaiter (on the
+  /// receiving coroutine's frame), so queueing a waiter links two pointers
+  /// instead of allocating a list node.
   struct WaitState {
     std::optional<T> value;
     std::coroutine_handle<> handle;
-    std::shared_ptr<bool> timer_alive;  // set false when delivered
+    WaitState* prev = nullptr;
+    WaitState* next = nullptr;
+    int timer_slot = -1;  // armed recv_for timeout; -1 when none/consumed
     bool registered = false;
-    typename std::list<WaitState*>::iterator where;
   };
+
+  void append(WaitState* s) {
+    s->prev = tail_;
+    s->next = nullptr;
+    (tail_ != nullptr ? tail_->next : head_) = s;
+    tail_ = s;
+    s->registered = true;
+  }
+
+  void unlink(WaitState* s) {
+    (s->prev != nullptr ? s->prev->next : head_) = s->next;
+    (s->next != nullptr ? s->next->prev : tail_) = s->prev;
+    s->prev = s->next = nullptr;
+    s->registered = false;
+  }
 
   struct AwaiterCore {
     Mailbox* mb;
@@ -90,21 +119,22 @@ class Mailbox {
     }
     void await_suspend(std::coroutine_handle<> h) {
       state.handle = h;
-      state.registered = true;
-      state.where = mb->waiters_.insert(mb->waiters_.end(), &state);
+      mb->append(&state);
       if (timeout >= 0) {
-        state.timer_alive = std::make_shared<bool>(true);
+        // One-shot slot: fires at most once, self-destroys after firing, and
+        // push() destroys it eagerly if the value arrives first. The capture
+        // (two pointers) sits in the slot's inline buffer — no allocation on
+        // either outcome.
         Mailbox* m = mb;
         WaitState* s = &state;
-        auto alive = state.timer_alive;
-        m->engine_->schedule_after(timeout, [m, s, h, alive] {
-          if (!*alive) return;  // value was delivered first
-          if (s->registered) {
-            m->waiters_.erase(s->where);
-            s->registered = false;
-          }
-          h.resume();  // state.value stays empty -> timeout
-        });
+        state.timer_slot = m->engine_->create_timer_slot(
+            [m, s] {
+              s->timer_slot = -1;  // fired: the engine retires the slot
+              if (s->registered) m->unlink(s);
+              s->handle.resume();  // state.value stays empty -> timeout
+            },
+            /*one_shot=*/true);
+        m->engine_->arm_timer_slot(state.timer_slot, timeout);
       }
     }
   };
@@ -130,7 +160,8 @@ class Mailbox {
   Engine* engine_;
   MailboxPolicy policy_;
   std::deque<T> queue_;
-  std::list<WaitState*> waiters_;
+  WaitState* head_ = nullptr;  // intrusive FIFO of suspended receivers
+  WaitState* tail_ = nullptr;
   std::uint64_t overwritten_ = 0;
 };
 

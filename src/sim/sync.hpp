@@ -53,7 +53,9 @@ class Latch {
   void release_all() {
     auto waiters = std::move(waiters_);
     waiters_.clear();
-    for (auto h : waiters) engine_->post([h] { h.resume(); });
+    // Raw-handle resumes: releasing N waiters schedules N allocation-free
+    // 16-byte events, in wait order.
+    for (auto h : waiters) engine_->post_resume(h);
   }
 
   Engine* engine_;

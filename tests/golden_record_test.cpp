@@ -91,6 +91,13 @@ scenario::RunRecord canonical_record() {
   ref.net.flows_rescanned = 4096;
   ref.net.flows_starved = 0;
   ref.net.link_rescales = 2;
+  ref.engine.events_dispatched = 262144;
+  ref.engine.closures_inline = 2048;
+  ref.engine.closures_heap = 0;
+  ref.engine.resumes = 131072;
+  ref.engine.slot_arms = 8192;
+  ref.engine.stale_slot_events = 4096;
+  ref.engine.peak_queue_depth = 96;
   scenario::ChurnPhaseRecord churn_rec;
   churn_rec.stats.events_applied = 3;
   churn_rec.stats.events_skipped = 1;

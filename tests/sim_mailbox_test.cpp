@@ -112,6 +112,39 @@ TEST(Mailbox, RecvForDeliversBeforeTimeout) {
   // run() completing without exception is the assertion.
 }
 
+TEST(Mailbox, DeliveredRecvForReleasesItsTimeoutEagerly) {
+  // Regression for the closure-retention leak: a receive satisfied before
+  // its timeout used to leave the armed timeout closure parked in the event
+  // queue until fire time. It is now a one-shot timer slot destroyed by
+  // push() the moment the value wins, so across many rounds the engine needs
+  // exactly one slot (recycled), and nothing survives to fire later.
+  Engine eng;
+  Mailbox<int> mb{eng};
+  constexpr int kRounds = 1000;
+  int received = 0;
+  eng.spawn([](Mailbox<int>& m, int& n) -> Process {
+    for (int i = 0; i < kRounds; ++i) {
+      auto v = co_await m.recv_for(1e6);  // far-future timeout, always wins
+      EXPECT_TRUE(v.has_value());
+      n += v.has_value();
+    }
+  }(mb, received));
+  eng.spawn([](Engine& e, Mailbox<int>& m) -> Process {
+    for (int i = 0; i < kRounds; ++i) {
+      co_await e.sleep(0.001);
+      m.push(i);
+    }
+  }(eng, mb));
+  eng.run();
+  EXPECT_EQ(received, kRounds);
+  // One slot, recycled every round — not one per receive.
+  EXPECT_EQ(eng.timer_slot_count(), 1u);
+  // The dead arms were shed (swept or popped stale), never dispatched as
+  // timeouts, and the queue never grew with the round count.
+  EXPECT_EQ(eng.stats().stale_slot_events, static_cast<std::uint64_t>(kRounds));
+  EXPECT_LT(eng.stats().peak_queue_depth, 200u);
+}
+
 TEST(Mailbox, RecvForAfterTimeoutCanReceiveLater) {
   Engine eng;
   Mailbox<int> mb{eng};
