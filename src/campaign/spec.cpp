@@ -52,6 +52,8 @@ PlatformSpec preset_platform(const std::string& name, int line) {
   if (name == "xdsl") return PlatformSpec::xdsl();
   if (name == "federation") return PlatformSpec::federation();
   if (name == "wan") return PlatformSpec::wan();
+  if (name == "scale_free") return PlatformSpec::scale_free();
+  if (name == "small_world") return PlatformSpec::small_world();
   throw ScenarioError(line, "unknown platform preset '" + name +
                                 "' (use a `variant` line for parameterized platforms)");
 }

@@ -42,14 +42,12 @@ void Injector::crash_peer(const ChurnEvent& ev) {
   if (ev.target >= 0) {
     if (ev.target < static_cast<int>(workers_.size()))
       host = workers_[static_cast<std::size_t>(ev.target)];
-    const overlay::PeerActor* actor = host >= 0 ? env_->over().peer_at(host) : nullptr;
-    if (actor == nullptr || !actor->alive()) host = -1;  // already gone
+    // peer_alive covers full PeerActors and lazily-booted passive peers.
+    if (host >= 0 && !env_->over().peer_alive(host)) host = -1;  // already gone
   } else {
     std::vector<net::NodeIdx> alive;
-    for (const net::NodeIdx w : workers_) {
-      const overlay::PeerActor* actor = env_->over().peer_at(w);
-      if (actor != nullptr && actor->alive()) alive.push_back(w);
-    }
+    for (const net::NodeIdx w : workers_)
+      if (env_->over().peer_alive(w)) alive.push_back(w);
     if (!alive.empty())
       host = alive[static_cast<std::size_t>(rng_.uniform_int(
           0, static_cast<std::int64_t>(alive.size()) - 1))];

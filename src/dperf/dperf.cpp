@@ -94,7 +94,7 @@ Prediction replay_on(p2pdc::Environment& env, net::NodeIdx submitter_host,
   pred.computation = env.run_computation(submitter_host, std::move(spec), main, warmup);
   if (pred.computation.ok) {
     double first_start = 1e300, last_end = 0;
-    for (const auto& [rank, values] : pred.computation.results) {
+    for (const std::vector<double>& values : pred.computation.results) {
       if (values.size() >= 2) {
         first_start = std::min(first_start, values[0]);
         last_end = std::max(last_end, values[1]);

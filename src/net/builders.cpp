@@ -1,6 +1,10 @@
 #include "net/builders.hpp"
 
+#include <algorithm>
+#include <cassert>
+#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "support/time.hpp"
@@ -13,8 +17,6 @@ Platform build_star(const StarSpec& spec) {
   Platform p;
   const NodeIdx sw = p.add_router(spec.name_prefix + "-switch");
   const LinkIdx backbone = p.add_link("backbone", spec.backbone_bw_Bps, spec.backbone_latency);
-  std::vector<NodeIdx> hosts;
-  std::vector<LinkIdx> nics;
   for (int i = 0; i < spec.hosts; ++i) {
     const Ipv4 ip{spec.base_ip.bits() + static_cast<std::uint32_t>(i)};
     const NodeIdx h =
@@ -22,22 +24,16 @@ Platform build_star(const StarSpec& spec) {
     const LinkIdx nic =
         p.add_link("nic-" + std::to_string(i), spec.nic_bw_Bps, spec.nic_latency);
     p.connect(h, sw, nic);
-    hosts.push_back(h);
-    nics.push_back(nic);
   }
-  // Explicit routes force every pair through the backbone: NIC_a up,
-  // backbone, NIC_b down. Direction of the backbone hop groups by flow
-  // orientation so the two directions of the full-duplex fabric are
-  // independent capacities.
-  for (int a = 0; a < spec.hosts; ++a) {
-    for (int b = a + 1; b < spec.hosts; ++b) {
-      std::vector<Hop> hops{Hop{nics[static_cast<std::size_t>(a)], 0},
-                            Hop{backbone, 0},
-                            Hop{nics[static_cast<std::size_t>(b)], 1}};
-      p.set_route(hosts[static_cast<std::size_t>(a)], hosts[static_cast<std::size_t>(b)],
-                  std::move(hops), /*symmetric=*/true);
-    }
-  }
+  // Hierarchical routing with the backbone as trunk forces every host pair
+  // through NIC_a up, backbone, NIC_b down — the same hops the old
+  // O(hosts^2) explicit-route loop installed, resolved algebraically so a
+  // million-host star needs no route table. The trunk hop's direction
+  // groups by flow orientation (src < dst), keeping the two directions of
+  // the full-duplex fabric independent capacities.
+  const bool hier = p.enable_hierarchical_routing(backbone);
+  (void)hier;
+  assert(hier);
   return p;
 }
 
@@ -135,6 +131,9 @@ Platform build_daisy(const DaisySpec& spec, Rng& rng) {
       }
     }
   }
+  const bool hier = p.enable_hierarchical_routing();
+  (void)hier;
+  assert(hier);
   return p;
 }
 
@@ -167,6 +166,9 @@ Platform build_federation(const FederationSpec& spec) {
       p.connect(h, sw, nic);
     }
   }
+  const bool hier = p.enable_hierarchical_routing();
+  (void)hier;
+  assert(hier);
   return p;
 }
 
@@ -205,6 +207,131 @@ Platform build_wan(const WanSpec& spec, Rng& rng) {
         p.add_link("wan-access-" + std::to_string(i), bw, spec.access_latency);
     p.connect(h, routers[static_cast<std::size_t>(at)], l);
   }
+  const bool hier = p.enable_hierarchical_routing();
+  (void)hier;
+  assert(hier);
+  return p;
+}
+
+namespace {
+
+/// Emits `hosts` end hosts router-major: per-router attachment counts are
+/// drawn first (in rng order, so the draw sequence is seed-pure), then
+/// hosts come out grouped by router with contiguous IPs. IP-prefix
+/// proximity therefore correlates with network locality, and the
+/// rank-neighbor halo traffic of grid computations stays router-local.
+void attach_hosts_router_major(Platform& p, const std::vector<NodeIdx>& routers,
+                               const std::vector<int>& count, int hosts,
+                               const std::string& prefix, double speed_hz, double access_bw_Bps,
+                               Time access_latency, Ipv4 base_ip) {
+  (void)hosts;
+  int host_counter = 0;
+  for (std::size_t r = 0; r < routers.size(); ++r) {
+    for (int c = 0; c < count[r]; ++c) {
+      const Ipv4 ip{base_ip.bits() + static_cast<std::uint32_t>(host_counter)};
+      const NodeIdx h =
+          p.add_host(prefix + "-" + std::to_string(host_counter), speed_hz, ip);
+      const LinkIdx nic = p.add_link(prefix + "-nic-" + std::to_string(host_counter),
+                                     access_bw_Bps, access_latency);
+      p.connect(h, routers[r], nic);
+      ++host_counter;
+    }
+  }
+}
+
+}  // namespace
+
+Platform build_scale_free(const ScaleFreeSpec& spec, Rng& rng) {
+  Platform p;
+  const int nr = std::max(1, spec.routers);
+  const int m = std::clamp(spec.m, 1, std::max(1, nr - 1));
+  std::vector<NodeIdx> routers;
+  routers.reserve(static_cast<std::size_t>(nr));
+  for (int r = 0; r < nr; ++r) routers.push_back(p.add_router("sf-r" + std::to_string(r)));
+  // Endpoint multiset: each core edge contributes both endpoints, so a
+  // uniform draw from it is a degree-proportional draw over routers.
+  std::vector<int> endpoints;
+  int core_counter = 0;
+  auto core_link = [&](int a, int b) {
+    const LinkIdx l = p.add_link("sf-core-" + std::to_string(core_counter++),
+                                 spec.core_bw_Bps, spec.core_latency);
+    p.connect(routers[static_cast<std::size_t>(a)], routers[static_cast<std::size_t>(b)], l);
+    endpoints.push_back(a);
+    endpoints.push_back(b);
+  };
+  const int seed = std::min(nr, m + 1);
+  for (int a = 0; a < seed; ++a)
+    for (int b = a + 1; b < seed; ++b) core_link(a, b);
+  for (int r = seed; r < nr; ++r) {
+    // m distinct preferential targets among routers < r (all endpoints are
+    // < r, and r >= m + 1, so m distinct targets always exist).
+    std::vector<int> targets;
+    while (static_cast<int>(targets.size()) < m) {
+      const int t = endpoints[rng.uniform_int(0, endpoints.size() - 1)];
+      if (std::find(targets.begin(), targets.end(), t) == targets.end()) targets.push_back(t);
+    }
+    for (int t : targets) core_link(r, t);
+  }
+  std::vector<int> count(static_cast<std::size_t>(nr), 0);
+  for (int i = 0; i < spec.hosts; ++i) {
+    const int at = endpoints.empty() ? 0
+                                     : endpoints[rng.uniform_int(0, endpoints.size() - 1)];
+    ++count[static_cast<std::size_t>(at)];
+  }
+  attach_hosts_router_major(p, routers, count, spec.hosts, "sf", spec.host_speed_hz,
+                            spec.access_bw_Bps, spec.access_latency, spec.base_ip);
+  const bool hier = p.enable_hierarchical_routing();
+  (void)hier;
+  assert(hier);
+  return p;
+}
+
+Platform build_small_world(const SmallWorldSpec& spec, Rng& rng) {
+  Platform p;
+  const int nr = std::max(3, spec.routers);
+  int k = std::clamp(spec.k, 2, nr - 1);
+  k -= k % 2;
+  std::vector<NodeIdx> routers;
+  routers.reserve(static_cast<std::size_t>(nr));
+  for (int r = 0; r < nr; ++r) routers.push_back(p.add_router("sw-r" + std::to_string(r)));
+  // Ring lattice of degree k. The base ring (j = 1) is never rewired so the
+  // core stays connected for every draw; chords (j >= 2) rewire to a
+  // uniformly random router with probability beta.
+  std::set<std::pair<int, int>> have;
+  auto norm = [](int a, int b) { return a < b ? std::pair{a, b} : std::pair{b, a}; };
+  int core_counter = 0;
+  auto core_link = [&](int a, int b) {
+    have.insert(norm(a, b));
+    const LinkIdx l = p.add_link("sw-core-" + std::to_string(core_counter++),
+                                 spec.core_bw_Bps, spec.core_latency);
+    p.connect(routers[static_cast<std::size_t>(a)], routers[static_cast<std::size_t>(b)], l);
+  };
+  for (int j = 1; j <= k / 2; ++j) {
+    for (int i = 0; i < nr; ++i) {
+      int b = (i + j) % nr;
+      if (have.count(norm(i, b))) continue;  // lattice wrap at j = nr/2
+      if (j >= 2 && rng.bernoulli(spec.beta)) {
+        // Rewire the far endpoint; bounded retries keep determinism even on
+        // dense lattices where i may already touch almost every router.
+        for (int attempt = 0; attempt < 2 * nr; ++attempt) {
+          const int cand = static_cast<int>(rng.uniform_int(0, nr - 1));
+          if (cand == i || have.count(norm(i, cand))) continue;
+          b = cand;
+          break;
+        }
+        if (have.count(norm(i, b))) continue;
+      }
+      core_link(i, b);
+    }
+  }
+  std::vector<int> count(static_cast<std::size_t>(nr), 0);
+  for (int i = 0; i < spec.hosts; ++i)
+    ++count[rng.uniform_int(0, static_cast<std::size_t>(nr) - 1)];
+  attach_hosts_router_major(p, routers, count, spec.hosts, "sw", spec.host_speed_hz,
+                            spec.access_bw_Bps, spec.access_latency, spec.base_ip);
+  const bool hier = p.enable_hierarchical_routing();
+  (void)hier;
+  assert(hier);
   return p;
 }
 

@@ -21,10 +21,12 @@ namespace pdc::net {
 struct StarSpec {
   int hosts = 2;
   double host_speed_hz = 3e9;  // paper: Xeon EM64T 3 GHz, one core per node
-  double nic_bw_Bps = 0;
-  Time nic_latency = 0;
-  double backbone_bw_Bps = 0;
-  Time backbone_latency = 0;
+  // Bandwidths default to the Stage-1 cluster fabric; a zero-bandwidth link
+  // would starve every flow crossing it (rate 0 forever).
+  double nic_bw_Bps = 1e9 / 8;
+  Time nic_latency = 100e-6;
+  double backbone_bw_Bps = 10e9 / 8;
+  Time backbone_latency = 100e-6;
   Ipv4 base_ip{10, 0, 0, 1};
   std::string name_prefix = "node";
 };
@@ -101,5 +103,50 @@ struct WanSpec {
 };
 
 Platform build_wan(const WanSpec& spec, Rng& rng);
+
+/// Barabási–Albert scale-free topology: a router core grown by preferential
+/// attachment (seed clique of m+1 routers, each later router adding `m`
+/// links to routers sampled proportionally to degree), with `hosts` end
+/// hosts attached preferentially by router degree — hubs serve many peers,
+/// leaf routers few, the degree distribution heavy-tailed like real P2P
+/// overlays. Hosts are *emitted* router-major with contiguous IPs so the
+/// IP-prefix proximity metric correlates with network locality and
+/// rank-neighbor traffic stays router-local. Deterministic given `rng`;
+/// hierarchical routing is enabled on the result.
+struct ScaleFreeSpec {
+  int hosts = 64;
+  int routers = 16;
+  int m = 2;  // core links added per new router
+  double host_speed_hz = 3e9;
+  double access_bw_Bps = 100e6 / 8;
+  Time access_latency = 300 * 1e-6;
+  double core_bw_Bps = 10e9 / 8;
+  Time core_latency = 1 * 1e-3;
+  Ipv4 base_ip{10, 64, 0, 1};
+};
+
+Platform build_scale_free(const ScaleFreeSpec& spec, Rng& rng);
+
+/// Watts–Strogatz small-world topology: routers on a ring lattice of even
+/// degree `k`, with every lattice chord beyond the base ring rewired to a
+/// uniformly random router with probability `beta` (the base ring is kept,
+/// so the core is connected for every draw). Hosts attach to uniformly
+/// random routers and are emitted router-major with contiguous IPs, like
+/// the scale-free builder. Deterministic given `rng`; hierarchical routing
+/// is enabled on the result.
+struct SmallWorldSpec {
+  int hosts = 64;
+  int routers = 16;
+  int k = 4;          // ring-lattice degree (rounded down to even)
+  double beta = 0.1;  // chord rewiring probability
+  double host_speed_hz = 3e9;
+  double access_bw_Bps = 100e6 / 8;
+  Time access_latency = 300 * 1e-6;
+  double core_bw_Bps = 10e9 / 8;
+  Time core_latency = 1 * 1e-3;
+  Ipv4 base_ip{10, 32, 0, 1};
+};
+
+Platform build_small_world(const SmallWorldSpec& spec, Rng& rng);
 
 }  // namespace pdc::net

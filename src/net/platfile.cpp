@@ -100,6 +100,11 @@ Platform parse_platform(const std::string& text) {
     return it->second;
   };
 
+  // "hier" applies after all nodes and edges exist, wherever it appears.
+  bool saw_hier = false;
+  int hier_line = 0;
+  std::string trunk_name;
+
   std::istringstream in(text);
   std::string line;
   int lineno = 0;
@@ -174,9 +179,21 @@ Platform parse_platform(const std::string& text) {
       }
       if (at != dst) throw PlatFileError(lineno, "route does not end at '" + tok[2] + "'");
       p.set_route(src, dst, std::move(hops));
+    } else if (kw == "hier") {
+      if (tok.size() != 1 && !(tok.size() == 3 && tok[1] == "trunk"))
+        throw PlatFileError(lineno, "expected: hier [trunk <link>]");
+      saw_hier = true;
+      hier_line = lineno;
+      trunk_name = tok.size() == 3 ? tok[2] : "";
     } else {
       throw PlatFileError(lineno, "unknown keyword '" + kw + "'");
     }
+  }
+  if (saw_hier) {
+    const LinkIdx trunk = trunk_name.empty() ? -1 : need_link(trunk_name, hier_line);
+    if (!p.enable_hierarchical_routing(trunk))
+      throw PlatFileError(hier_line,
+                          "hier: every host needs exactly one uplink edge to a router");
   }
   return p;
 }
@@ -204,6 +221,11 @@ std::string render_platform(const Platform& p) {
     const auto& edge = p.edge(e);
     out << "edge " << p.node(edge.a).name << " " << p.node(edge.b).name << " "
         << p.link(edge.link).name << "\n";
+  }
+  if (p.hierarchical_routing()) {
+    out << "hier";
+    if (p.trunk_link() >= 0) out << " trunk " << p.link(p.trunk_link()).name;
+    out << "\n";
   }
   // Explicit routes. A symmetric pair (the common case: set_route installs
   // both directions) collapses to one line, skipping the mirrored entry.

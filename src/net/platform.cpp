@@ -49,14 +49,143 @@ void Platform::set_route(NodeIdx src, NodeIdx dst, std::vector<Hop> hops, bool s
   }
 }
 
+bool Platform::enable_hierarchical_routing(LinkIdx trunk) {
+  if (trunk >= link_count()) return false;
+  std::vector<Access> access(nodes_.size());
+  for (NodeIdx h : hosts_) {
+    const auto& adj = adjacency_[static_cast<std::size_t>(h)];
+    if (adj.size() != 1) return false;
+    const Edge& e = edges_[static_cast<std::size_t>(adj[0])];
+    const NodeIdx peer = e.a == h ? e.b : e.a;
+    if (nodes_[static_cast<std::size_t>(peer)].is_host) return false;
+    access[static_cast<std::size_t>(h)] = Access{peer, e.link, e.a == h ? 0 : 1};
+  }
+  access_ = std::move(access);
+  hier_ = true;
+  trunk_ = trunk < 0 ? -1 : trunk;
+  route_cache_.clear();
+  cache_lru_.clear();
+  return true;
+}
+
+void Platform::set_route_cache_capacity(std::size_t capacity) {
+  route_cache_capacity_ = std::max<std::size_t>(capacity, 2);
+  while (route_cache_.size() > route_cache_capacity_) {
+    route_cache_.erase(cache_lru_.back().key);
+    cache_lru_.pop_back();
+    ++stats_.cache_evictions;
+  }
+}
+
+RouteStats Platform::route_stats() const {
+  RouteStats s = stats_;
+  s.cache_entries = route_cache_.size();
+  return s;
+}
+
 const Route& Platform::route(NodeIdx src, NodeIdx dst) const {
-  if (auto it = explicit_routes_.find(pair_key(src, dst)); it != explicit_routes_.end())
-    return it->second;
-  if (auto it = route_cache_.find(pair_key(src, dst)); it != route_cache_.end())
-    return it->second;
-  Route r = compute_bfs_route(src, dst);
-  auto [it, _] = route_cache_.emplace(pair_key(src, dst), std::move(r));
-  return it->second;
+  const std::uint64_t key = pair_key(src, dst);
+  if (auto it = explicit_routes_.find(key); it != explicit_routes_.end()) return it->second;
+  if (auto it = route_cache_.find(key); it != route_cache_.end()) {
+    ++stats_.cache_hits;
+    cache_lru_.splice(cache_lru_.begin(), cache_lru_, it->second);
+    return it->second->route;
+  }
+  const bool hier = hier_ && static_cast<std::size_t>(src) < access_.size() &&
+                    static_cast<std::size_t>(dst) < access_.size();
+  Route r = hier ? compute_hier_route(src, dst) : compute_bfs_route(src, dst);
+  ++stats_.routes_computed;
+  return cache_insert(key, std::move(r));
+}
+
+const Route& Platform::cache_insert(std::uint64_t key, Route r) const {
+  while (route_cache_.size() >= route_cache_capacity_ && !cache_lru_.empty()) {
+    route_cache_.erase(cache_lru_.back().key);
+    cache_lru_.pop_back();
+    ++stats_.cache_evictions;
+  }
+  cache_lru_.push_front(CacheEntry{key, std::move(r)});
+  route_cache_.emplace(key, cache_lru_.begin());
+  return cache_lru_.front().route;
+}
+
+// Hierarchical assembly: access hop up, router-core path (cached under the
+// router pair, so 10^5 hosts behind a handful of routers share a few core
+// entries), access hop down. On a trunked star the core collapses to the
+// single fabric hop with direction src < dst ? 0 : 1, exactly what the old
+// O(hosts^2) explicit-route loop installed.
+Route Platform::compute_hier_route(NodeIdx src, NodeIdx dst) const {
+  if (src == dst) return Route{};
+  const NodeInfo& sn = nodes_[static_cast<std::size_t>(src)];
+  const NodeInfo& dn = nodes_[static_cast<std::size_t>(dst)];
+  const NodeIdx rs = sn.is_host ? access_[static_cast<std::size_t>(src)].router : src;
+  const NodeIdx rd = dn.is_host ? access_[static_cast<std::size_t>(dst)].router : dst;
+  Route r;
+  if (sn.is_host) {
+    const Access& a = access_[static_cast<std::size_t>(src)];
+    r.hops.push_back(Hop{a.link, a.up_dir});
+  }
+  if (rs != rd) {
+    const Route core = compute_core_route(rs, rd);
+    r.hops.insert(r.hops.end(), core.hops.begin(), core.hops.end());
+  } else if (trunk_ >= 0 && sn.is_host && dn.is_host) {
+    r.hops.push_back(Hop{trunk_, src < dst ? 0 : 1});
+  }
+  if (dn.is_host) {
+    const Access& a = access_[static_cast<std::size_t>(dst)];
+    r.hops.push_back(Hop{a.link, 1 - a.up_dir});
+  }
+  // Latency summed in reverse hop order: the exact accumulation order of
+  // the full-graph BFS this assembly replaces, so latencies stay
+  // bit-identical and existing golden records hold.
+  for (auto it = r.hops.rbegin(); it != r.hops.rend(); ++it)
+    r.latency += links_[static_cast<std::size_t>(it->link)].latency;
+  return r;
+}
+
+// Router-only BFS, cached under the router pair. Hosts are degree-1 leaves,
+// so skipping their edges leaves the BFS discovery order of routers — and
+// therefore the deterministic tie-breaking — identical to a full-graph BFS.
+Route Platform::compute_core_route(NodeIdx src, NodeIdx dst) const {
+  const std::uint64_t key = pair_key(src, dst);
+  if (auto it = route_cache_.find(key); it != route_cache_.end()) {
+    ++stats_.cache_hits;
+    cache_lru_.splice(cache_lru_.begin(), cache_lru_, it->second);
+    return it->second->route;  // copied into the caller's assembly below
+  }
+  if (src == dst) return Route{};
+  std::vector<int> via_edge(nodes_.size(), -1);
+  std::vector<NodeIdx> parent(nodes_.size(), -1);
+  std::deque<NodeIdx> frontier{src};
+  parent[static_cast<std::size_t>(src)] = src;
+  while (!frontier.empty()) {
+    const NodeIdx n = frontier.front();
+    frontier.pop_front();
+    if (n == dst) break;
+    for (int e : adjacency_[static_cast<std::size_t>(n)]) {
+      const Edge& edge = edges_[static_cast<std::size_t>(e)];
+      const NodeIdx next = edge.a == n ? edge.b : edge.a;
+      if (nodes_[static_cast<std::size_t>(next)].is_host) continue;
+      if (parent[static_cast<std::size_t>(next)] != -1) continue;
+      parent[static_cast<std::size_t>(next)] = n;
+      via_edge[static_cast<std::size_t>(next)] = e;
+      frontier.push_back(next);
+    }
+  }
+  if (parent[static_cast<std::size_t>(dst)] == -1)
+    throw std::runtime_error("Platform::route: no path from " +
+                             nodes_[static_cast<std::size_t>(src)].name + " to " +
+                             nodes_[static_cast<std::size_t>(dst)].name);
+  Route r;
+  for (NodeIdx n = dst; n != src; n = parent[static_cast<std::size_t>(n)]) {
+    const Edge& edge = edges_[static_cast<std::size_t>(via_edge[static_cast<std::size_t>(n)])];
+    const int dir = edge.b == n ? 0 : 1;
+    r.hops.push_back(Hop{edge.link, dir});
+    r.latency += links_[static_cast<std::size_t>(edge.link)].latency;
+  }
+  std::reverse(r.hops.begin(), r.hops.end());
+  ++stats_.routes_computed;
+  return cache_insert(key, std::move(r));
 }
 
 Route Platform::compute_bfs_route(NodeIdx src, NodeIdx dst) const {

@@ -3,13 +3,20 @@
 // dPerf pipeline ("the platform description file being ready ... with
 // Simgrid we calculate the necessary time for communicating").
 //
-// Routes are computed by hop-count BFS over the node graph unless a builder
-// installs an explicit route (used by the cluster/LAN builders to force the
-// NIC -> backbone -> NIC path of the paper's Stage-1/Stage-2B networks).
+// Routes are computed on demand. Structured topologies (star, daisy,
+// federation, scale-free, small-world) enable *hierarchical* resolution:
+// every host hangs off exactly one router, so a host-pair route is the
+// host's access hop + a router-core path + the peer's access hop, and only
+// router-pair paths ever need a graph search. Unstructured platforms fall
+// back to hop-count BFS over the full node graph. Either way computed
+// routes land in a bounded LRU cache — a precomputed table over 10^6 hosts
+// cannot exist — and builders may still install explicit routes that
+// override everything.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <list>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -60,6 +67,16 @@ struct Route {
   Time latency = 0;  // sum of link latencies along the path
 };
 
+/// Route-resolution observability: how many routes were actually computed
+/// (graph search or hierarchical assembly) versus served from the bounded
+/// cache, and how many cache entries were evicted to stay within capacity.
+struct RouteStats {
+  std::uint64_t routes_computed = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_evictions = 0;
+  std::uint64_t cache_entries = 0;  // current resident entries
+};
+
 class Platform {
  public:
   NodeIdx add_host(std::string name, double speed_hz, Ipv4 ip);
@@ -74,9 +91,27 @@ class Platform {
   void set_route(NodeIdx src, NodeIdx dst, std::vector<Hop> hops, bool symmetric = true);
 
   /// Returns the route between two *distinct* nodes: explicit if installed,
-  /// else the BFS shortest path (deterministic tie-breaking by node index).
-  /// Throws std::runtime_error if no path exists.
+  /// else hierarchical assembly (when enabled), else the BFS shortest path
+  /// (deterministic tie-breaking by edge insertion order). Throws
+  /// std::runtime_error if no path exists. The returned reference stays
+  /// valid until later route() calls evict the entry from the bounded
+  /// cache; callers that retain hops must copy them.
   const Route& route(NodeIdx src, NodeIdx dst) const;
+
+  /// Switches route() to hierarchical resolution. Requires every host to
+  /// have exactly one edge, to a router; returns false (and stays on BFS)
+  /// otherwise. When `trunk` names a fabric link, every host-pair route
+  /// additionally crosses it between the access hops with direction
+  /// src < dst ? 0 : 1 — this reproduces the star builder's shared
+  /// backbone without materialising O(hosts^2) explicit routes.
+  bool enable_hierarchical_routing(LinkIdx trunk = -1);
+  bool hierarchical_routing() const { return hier_; }
+  LinkIdx trunk_link() const { return trunk_; }
+
+  /// Caps the number of cached computed routes (minimum 2, so expressions
+  /// holding two route() results stay valid). Default: 65536.
+  void set_route_cache_capacity(std::size_t capacity);
+  RouteStats route_stats() const;
 
   const NodeInfo& node(NodeIdx n) const { return nodes_[static_cast<std::size_t>(n)]; }
   const Link& link(LinkIdx l) const { return links_[static_cast<std::size_t>(l)]; }
@@ -109,8 +144,10 @@ class Platform {
   std::vector<ExplicitRoute> explicit_route_list() const;
 
  private:
-
   Route compute_bfs_route(NodeIdx src, NodeIdx dst) const;
+  Route compute_core_route(NodeIdx src, NodeIdx dst) const;
+  Route compute_hier_route(NodeIdx src, NodeIdx dst) const;
+  const Route& cache_insert(std::uint64_t key, Route r) const;
   static std::uint64_t pair_key(NodeIdx a, NodeIdx b) {
     return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(a)) << 32) |
            static_cast<std::uint32_t>(b);
@@ -122,7 +159,29 @@ class Platform {
   std::vector<std::vector<int>> adjacency_;  // node -> edge indices
   std::vector<NodeIdx> hosts_;
   std::unordered_map<std::uint64_t, Route> explicit_routes_;
-  mutable std::unordered_map<std::uint64_t, Route> route_cache_;
+
+  // Hierarchical metadata: per host, the single uplink edge decomposed into
+  // (attachment router, carrying link, host->router traversal direction).
+  struct Access {
+    NodeIdx router = -1;
+    LinkIdx link = -1;
+    int up_dir = 0;
+  };
+  bool hier_ = false;
+  LinkIdx trunk_ = -1;
+  std::vector<Access> access_;  // indexed by node, hosts only
+
+  // Bounded LRU over computed routes (host pairs and router-core paths
+  // share one cache). List front = most recently used; the map points into
+  // the list so returned references survive until their entry is evicted.
+  struct CacheEntry {
+    std::uint64_t key;
+    Route route;
+  };
+  mutable std::list<CacheEntry> cache_lru_;
+  mutable std::unordered_map<std::uint64_t, std::list<CacheEntry>::iterator> route_cache_;
+  std::size_t route_cache_capacity_ = 65536;
+  mutable RouteStats stats_;
 };
 
 }  // namespace pdc::net

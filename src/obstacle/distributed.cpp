@@ -176,7 +176,7 @@ SolveReport run_distributed(p2pdc::Environment& env, net::NodeIdx submitter_host
     report.solution.values.assign(static_cast<std::size_t>(n) * static_cast<std::size_t>(n),
                                   0.0);
   }
-  for (const auto& [rank, values] : report.computation.results) {
+  for (const std::vector<double>& values : report.computation.results) {
     if (values.size() < 6) continue;
     first_start = std::min(first_start, values[0]);
     last_end = std::max(last_end, values[1]);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <unordered_set>
 
 #include "support/log.hpp"
 
@@ -44,46 +45,110 @@ ActorBase::ActorBase(Overlay& overlay, NodeIdx host, Ipv4 ip)
 
 Overlay::Overlay(sim::Engine& engine, const net::Platform& platform, net::FlowNet& flownet,
                  OverlayConfig config)
-    : engine_(&engine), platform_(&platform), net_(&flownet), config_(config) {}
+    : engine_(&engine), platform_(&platform), net_(&flownet), config_(config) {
+  actors_.resize(static_cast<std::size_t>(platform.node_count()));
+}
 
-namespace {
-void ensure_host_free(const std::map<NodeIdx, std::unique_ptr<ActorBase>>& actors,
-                      NodeIdx host) {
-  if (actors.count(host))
+ActorBase* Overlay::actor_at(NodeIdx host) {
+  if (host < 0 || static_cast<std::size_t>(host) >= actors_.size()) return nullptr;
+  return actors_[static_cast<std::size_t>(host)].get();
+}
+
+const ActorBase* Overlay::actor_at(NodeIdx host) const {
+  if (host < 0 || static_cast<std::size_t>(host) >= actors_.size()) return nullptr;
+  return actors_[static_cast<std::size_t>(host)].get();
+}
+
+Overlay::PassivePeer* Overlay::passive_at(NodeIdx host) {
+  auto it = std::lower_bound(passive_.begin(), passive_.end(), host,
+                             [](const PassivePeer& p, NodeIdx h) { return p.node < h; });
+  return it != passive_.end() && it->node == host ? &*it : nullptr;
+}
+
+const Overlay::PassivePeer* Overlay::passive_at(NodeIdx host) const {
+  return const_cast<Overlay*>(this)->passive_at(host);
+}
+
+void Overlay::ensure_host_free(NodeIdx host) const {
+  if (host < 0 || static_cast<std::size_t>(host) >= actors_.size())
+    throw std::logic_error("overlay: host " + std::to_string(host) +
+                           " is not a platform node");
+  if (actor_at(host) != nullptr || passive_at(host) != nullptr)
     throw std::logic_error("overlay: host " + std::to_string(host) +
                            " already runs an actor; one actor per host");
 }
-}  // namespace
+
+std::unique_ptr<ActorBase>& Overlay::slot(NodeIdx host) {
+  return actors_[static_cast<std::size_t>(host)];
+}
 
 ServerActor& Overlay::create_server(NodeIdx host) {
-  ensure_host_free(actors_, host);
+  ensure_host_free(host);
   auto actor = std::make_unique<ServerActor>(*this, host, platform_->node(host).ip);
   ServerActor& ref = *actor;
   server_ = &ref;
-  actors_[host] = std::move(actor);
+  slot(host) = std::move(actor);
   engine_->spawn(ref.run(), "server");
   return ref;
 }
 
 TrackerActor& Overlay::create_tracker(NodeIdx host, bool bootstrap_core) {
-  ensure_host_free(actors_, host);
+  ensure_host_free(host);
   auto actor = std::make_unique<TrackerActor>(*this, host, platform_->node(host).ip,
                                               bootstrap_core);
   TrackerActor& ref = *actor;
-  actors_[host] = std::move(actor);
+  slot(host) = std::move(actor);
   tracker_ptrs_.push_back(&ref);
   engine_->spawn(ref.run(), "tracker@" + platform_->node(host).name);
   return ref;
 }
 
 PeerActor& Overlay::create_peer(NodeIdx host, PeerResources res) {
-  ensure_host_free(actors_, host);
+  ensure_host_free(host);
   auto actor = std::make_unique<PeerActor>(*this, host, platform_->node(host).ip, res);
   PeerActor& ref = *actor;
-  actors_[host] = std::move(actor);
+  slot(host) = std::move(actor);
   peer_ptrs_.push_back(&ref);
   engine_->spawn(ref.run(), "peer@" + platform_->node(host).name);
   return ref;
+}
+
+bool Overlay::register_passive_peer(NodeIdx host, PeerResources res) {
+  ensure_host_free(host);
+  const Ipv4 ip = platform_->node(host).ip;
+  TrackerActor* best = nullptr;
+  for (TrackerActor* t : tracker_ptrs_) {
+    if (!t->alive()) continue;
+    if (best == nullptr || closer_to(ip, t->ip(), best->ip())) best = t;
+  }
+  if (best == nullptr) return false;
+  best->install_persistent_peer(PeerRef{host, ip, res});
+  PassivePeer pp;
+  pp.node = host;
+  pp.tracker = best->host();
+  auto it = std::lower_bound(passive_.begin(), passive_.end(), host,
+                             [](const PassivePeer& p, NodeIdx h) { return p.node < h; });
+  passive_.insert(it, pp);
+  return true;
+}
+
+bool Overlay::peer_alive(NodeIdx host) const {
+  if (const ActorBase* a = actor_at(host))
+    return a->alive() && dynamic_cast<const PeerActor*>(a) != nullptr;
+  const PassivePeer* pp = passive_at(host);
+  return pp != nullptr && !pp->dead;
+}
+
+bool Overlay::is_passive_peer(NodeIdx host) const { return passive_at(host) != nullptr; }
+
+bool Overlay::crash_passive_peer(NodeIdx host) {
+  PassivePeer* pp = passive_at(host);
+  if (pp == nullptr || pp->dead) return pp != nullptr;
+  pp->dead = true;
+  pp->busy = false;
+  pp->reserved_by = -1;
+  if (TrackerActor* t = tracker_at(pp->tracker)) t->make_peer_transient(host);
+  return true;
 }
 
 void Overlay::finish_bootstrap() {
@@ -125,25 +190,47 @@ void Overlay::send_ctrl(NodeIdx from, NodeIdx to, CtrlMsg msg) {
 }
 
 void Overlay::deliver(NodeIdx to, CtrlMsg msg) {
-  auto it = actors_.find(to);
-  if (it == actors_.end()) return;  // no such node: message lost
-  ActorBase& actor = *it->second;
-  if (!actor.alive_) return;  // crashed or stopped: message lost
-  (is_rpc_reply(msg) ? actor.rpc_box_ : actor.main_box_).push(std::move(msg));
+  ActorBase* actor = actor_at(to);
+  if (actor == nullptr) {
+    if (PassivePeer* pp = passive_at(to); pp != nullptr && !pp->dead)
+      deliver_passive(*pp, msg);
+    return;  // nothing at this node: message lost
+  }
+  if (!actor->alive_) return;  // crashed or stopped: message lost
+  (is_rpc_reply(msg) ? actor->rpc_box_ : actor->main_box_).push(std::move(msg));
+}
+
+void Overlay::deliver_passive(PassivePeer& pp, CtrlMsg& msg) {
+  if (auto* res = std::get_if<ReserveReq>(&msg)) {
+    const bool ok = !pp.busy;
+    if (ok) {
+      pp.busy = true;
+      pp.reserved_by = res->submitter;
+      if (pp.tracker >= 0) send_ctrl(pp.node, pp.tracker, PeerBusyNotice{pp.node, true});
+    }
+    send_ctrl(pp.node, res->submitter, ReserveAck{pp.node, ok, res->ticket});
+  } else if (auto* rel = std::get_if<ReleaseReq>(&msg)) {
+    if (pp.busy && rel->submitter == pp.reserved_by) {
+      pp.busy = false;
+      pp.reserved_by = -1;
+      if (pp.tracker >= 0) send_ctrl(pp.node, pp.tracker, PeerBusyNotice{pp.node, false});
+    }
+  }
+  // Anything else (acks, lists, state traffic) has no passive-side state to
+  // act on: dropped, like a message to an empty node.
 }
 
 TrackerActor* Overlay::tracker_at(NodeIdx host) {
-  auto it = actors_.find(host);
-  return it == actors_.end() ? nullptr : dynamic_cast<TrackerActor*>(it->second.get());
+  return dynamic_cast<TrackerActor*>(actor_at(host));
 }
 
 PeerActor* Overlay::peer_at(NodeIdx host) {
-  auto it = actors_.find(host);
-  return it == actors_.end() ? nullptr : dynamic_cast<PeerActor*>(it->second.get());
+  return dynamic_cast<PeerActor*>(actor_at(host));
 }
 
 void Overlay::shutdown() {
-  for (auto& [host, actor] : actors_) actor->stop();
+  for (auto& actor : actors_)
+    if (actor) actor->stop();
 }
 
 // --- ServerActor -------------------------------------------------------------
@@ -360,7 +447,7 @@ void TrackerActor::handle(CtrlMsg msg) {
       overlay_->send_ctrl(host_, closest.node, *pj);
       return;
     }
-    ZonePeer& entry = zone_[pj->peer];
+    ZonePeer& entry = upsert_transient(pj->peer);
     entry.peer = PeerRef{pj->peer, pj->ip, pj->res};
     entry.busy = false;
     entry.last_update = overlay_->engine().now();
@@ -368,7 +455,7 @@ void TrackerActor::handle(CtrlMsg msg) {
     sorted_insert(list, TrackerRef{host_, ip_});
     overlay_->send_ctrl(host_, pj->peer, PeerJoinAck{TrackerRef{host_, ip_}, std::move(list)});
   } else if (auto* su = std::get_if<StateUpdate>(&msg)) {
-    ZonePeer& entry = zone_[su->peer];
+    ZonePeer& entry = upsert_transient(su->peer);
     entry.peer.node = su->peer;
     entry.peer.res = su->res;
     entry.peer.ip = overlay_->platform().node(su->peer).ip;
@@ -434,10 +521,38 @@ void TrackerActor::detect_dead_neighbors() {
 }
 
 void TrackerActor::expire_stale_peers() {
+  // Passive (persistent) entries send no updates and never go stale; the
+  // scan is skipped entirely while nothing transient is in the zone, which
+  // keeps the heartbeat O(1) on a million-peer platform.
+  if (transient_ == 0) return;
   const Time now = overlay_->engine().now();
   const Time timeout = overlay_->config().fail_timeout;
   // Paper §III-A.7: no state update for time T -> peer considered gone.
-  std::erase_if(zone_, [&](const auto& kv) { return now - kv.second.last_update > timeout; });
+  transient_ -= zone_.erase_if([&](const auto& kv) {
+    return !kv.second.persistent && now - kv.second.last_update > timeout;
+  });
+}
+
+ZonePeer& TrackerActor::upsert_transient(NodeIdx node) {
+  auto [it, fresh] = zone_.try_emplace(node);
+  if (fresh) ++transient_;
+  return it->second;
+}
+
+void TrackerActor::install_persistent_peer(PeerRef peer) {
+  auto [it, fresh] = zone_.try_emplace(peer.node);
+  if (!fresh && !it->second.persistent) --transient_;
+  it->second.peer = peer;
+  it->second.busy = false;
+  it->second.last_update = overlay_->engine().now();
+  it->second.persistent = true;
+}
+
+void TrackerActor::make_peer_transient(NodeIdx node) {
+  auto it = zone_.find(node);
+  if (it == zone_.end() || !it->second.persistent) return;
+  it->second.persistent = false;
+  ++transient_;
 }
 
 void TrackerActor::report_stats() {
@@ -547,12 +662,10 @@ sim::Task<std::vector<PeerRef>> PeerActor::collect_peers(int wanted, Requirement
   std::vector<TrackerRef> known = tracker_list_;
   if (joined()) sorted_insert(known, tracker_);
 
-  auto seen_peer = [&](NodeIdx n) {
-    if (n == host_) return true;
-    for (const PeerRef& p : candidates)
-      if (p.node == n) return true;
-    return false;
-  };
+  // Candidate dedup must stay O(1) per reply entry: at scale one tracker
+  // reply can carry thousands of peers, and the old linear rescan made
+  // collection quadratic in the reply volume.
+  std::unordered_set<NodeIdx> seen{host_};
   auto was_asked = [&](NodeIdx n) {
     return std::find(asked.begin(), asked.end(), n) != asked.end();
   };
@@ -564,7 +677,7 @@ sim::Task<std::vector<PeerRef>> PeerActor::collect_peers(int wanted, Requirement
     if (!reply) co_return;
     if (auto* r = std::get_if<PeerListReply>(&*reply))
       for (const PeerRef& p : r->peers)
-        if (!seen_peer(p.node)) candidates.push_back(p);
+        if (seen.insert(p.node).second) candidates.push_back(p);
   };
 
   // 1. Own tracker first, then every tracker in the local list by proximity.

@@ -18,7 +18,6 @@
 // trackers on both sides until enough peers are reserved.
 #pragma once
 
-#include <map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -29,6 +28,7 @@
 #include "sim/engine.hpp"
 #include "sim/mailbox.hpp"
 #include "sim/task.hpp"
+#include "support/flat_map.hpp"
 
 namespace pdc::overlay {
 
@@ -75,12 +75,12 @@ class ServerActor : public ActorBase {
   void register_core_tracker(TrackerRef t) { trackers_.push_back(t); }
 
   const std::vector<TrackerRef>& known_trackers() const { return trackers_; }
-  const std::map<NodeIdx, ZoneStats>& zone_stats() const { return stats_; }
+  const support::FlatMap<NodeIdx, ZoneStats>& zone_stats() const { return stats_; }
 
  private:
   void handle(CtrlMsg msg);
   std::vector<TrackerRef> trackers_;
-  std::map<NodeIdx, ZoneStats> stats_;
+  support::FlatMap<NodeIdx, ZoneStats> stats_;
 };
 
 /// One entry of a tracker's zone.
@@ -88,6 +88,9 @@ struct ZonePeer {
   PeerRef peer;
   bool busy = false;
   Time last_update = 0;
+  /// Installed by lazy (passive) registration: advertised without periodic
+  /// state updates and exempt from staleness expiry until its host crashes.
+  bool persistent = false;
 };
 
 class TrackerActor : public ActorBase {
@@ -99,7 +102,7 @@ class TrackerActor : public ActorBase {
 
   // --- inspection (tests, stats) ---
   const std::vector<TrackerRef>& neighbor_set() const { return neighbors_; }
-  const std::map<NodeIdx, ZonePeer>& zone() const { return zone_; }
+  const support::FlatMap<NodeIdx, ZonePeer>& zone() const { return zone_; }
   std::optional<TrackerRef> left_neighbor() const;   // closest lower-IP neighbour
   std::optional<TrackerRef> right_neighbor() const;  // closest higher-IP neighbour
   bool joined() const { return joined_; }
@@ -122,12 +125,23 @@ class TrackerActor : public ActorBase {
   void expire_stale_peers();
   void send_heartbeats();
   void report_stats();
+  /// Direct zone install for a passive peer (Overlay::register_passive_peer):
+  /// no join round trip, no state-update process, never expires.
+  void install_persistent_peer(PeerRef peer);
+  /// Passive peer crashed: demote its entry so normal expiry reclaims it.
+  void make_peer_transient(NodeIdx node);
+  /// Upsert that keeps `transient_` (the count of entries subject to
+  /// staleness expiry) in sync; every message-driven insert goes through it.
+  ZonePeer& upsert_transient(NodeIdx node);
 
   bool bootstrap_core_;
   bool joined_ = false;
   std::vector<TrackerRef> neighbors_;  // sorted by IP
-  std::map<NodeIdx, Time> neighbor_last_seen_;
-  std::map<NodeIdx, ZonePeer> zone_;
+  support::FlatMap<NodeIdx, Time> neighbor_last_seen_;
+  support::FlatMap<NodeIdx, ZonePeer> zone_;
+  /// Entries with persistent == false. The heartbeat-rate expiry scan is
+  /// skipped while zero, so a million passive peers cost nothing per tick.
+  std::size_t transient_ = 0;
   Time next_heartbeat_ = 0;
   Time next_stats_ = 0;
 };
@@ -186,6 +200,16 @@ class Overlay {
   TrackerActor& create_tracker(NodeIdx host, bool bootstrap_core = false);
   PeerActor& create_peer(NodeIdx host, PeerResources res);
 
+  /// Lazy worker instantiation for massive platforms: registers `host` as a
+  /// donor without spawning an actor. The peer is installed directly into
+  /// the zone of the closest existing tracker (persistent entry) and costs
+  /// O(1) memory and zero idle events; reservation and release against it
+  /// are synthesized by the overlay with the same wire costs a live
+  /// PeerActor would incur. Requires at least one tracker; returns false
+  /// when none exists. Passive peers do not send state updates and do not
+  /// fail over when their tracker crashes.
+  bool register_passive_peer(NodeIdx host, PeerResources res);
+
   /// Wires all bootstrap-core trackers into a consistent initial line and
   /// registers them with the server. Call once after creating the cores.
   void finish_bootstrap();
@@ -204,6 +228,18 @@ class Overlay {
   const std::vector<TrackerActor*>& trackers() const { return tracker_ptrs_; }
   const std::vector<PeerActor*>& peers() const { return peer_ptrs_; }
 
+  /// True when `host` can still serve a computation: a live PeerActor or a
+  /// passive peer that has not crashed. The liveness check callers must use
+  /// instead of peer_at() now that workers may have no actor at all.
+  bool peer_alive(NodeIdx host) const;
+  /// True when `host` is a passively registered peer (crashed or not).
+  bool is_passive_peer(NodeIdx host) const;
+  /// Crashes a passive peer: it stops answering reservations and its zone
+  /// entry becomes transient, so the tracker expires it like a silent peer.
+  /// Returns false when `host` is not a passive peer.
+  bool crash_passive_peer(NodeIdx host);
+  std::size_t passive_peer_count() const { return passive_.size(); }
+
   /// Initial tracker list installed on new nodes (paper: set at install
   /// time together with the server address).
   std::vector<TrackerRef> install_tracker_list() const { return core_trackers_; }
@@ -219,16 +255,40 @@ class Overlay {
   friend class TrackerActor;
   friend class PeerActor;
 
+  /// A lazily registered worker: all the state a reservation needs, no
+  /// actor, no mailboxes, no coroutine. Kept in a node-sorted vector.
+  struct PassivePeer {
+    NodeIdx node = -1;
+    NodeIdx tracker = -1;
+    bool busy = false;
+    bool dead = false;
+    NodeIdx reserved_by = -1;
+  };
+
   void deliver(NodeIdx to, CtrlMsg msg);
+  /// Reservation protocol on behalf of a passive peer (mirrors
+  /// PeerActor::handle for ReserveReq/ReleaseReq; everything else is
+  /// dropped, as a stateless donor has no use for it).
+  void deliver_passive(PassivePeer& pp, CtrlMsg& msg);
+  ActorBase* actor_at(NodeIdx host);
+  const ActorBase* actor_at(NodeIdx host) const;
+  PassivePeer* passive_at(NodeIdx host);
+  const PassivePeer* passive_at(NodeIdx host) const;
+  void ensure_host_free(NodeIdx host) const;
+  std::unique_ptr<ActorBase>& slot(NodeIdx host);
 
   sim::Engine* engine_;
   const net::Platform* platform_;
   net::FlowNet* net_;
   OverlayConfig config_;
   ServerActor* server_ = nullptr;
-  std::map<NodeIdx, std::unique_ptr<ActorBase>> actors_;
+  /// Dense actor registry indexed by platform node: one pointer per node,
+  /// null for nodes running nothing (routers, passive peers, spare hosts).
+  std::vector<std::unique_ptr<ActorBase>> actors_;
   std::vector<TrackerActor*> tracker_ptrs_;
   std::vector<PeerActor*> peer_ptrs_;
+  /// Node-sorted registry of passive peers (binary-search lookup).
+  std::vector<PassivePeer> passive_;
   std::vector<TrackerRef> core_trackers_;
   std::uint64_t ctrl_messages_ = 0;
 };

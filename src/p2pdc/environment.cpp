@@ -19,28 +19,30 @@ constexpr int kTagReduceMid = -21;
 constexpr int kTagReduceMidDown = -22;
 constexpr int kTagReduceDown = -23;
 
-/// Packs per-rank result vectors as [rank, count, values...]* for the
-/// coordinator -> submitter bundles.
-std::vector<double> pack_results(const std::map<int, std::vector<double>>& results) {
+/// Packs one group's per-rank result vectors (dense, position k = rank
+/// base_rank + k) as [rank, count, values...]* for the coordinator ->
+/// submitter bundles. Ascending-rank wire order, like the map it replaced.
+std::vector<double> pack_results(int base_rank,
+                                 const std::vector<std::vector<double>>& results) {
   std::vector<double> out;
-  for (const auto& [rank, values] : results) {
-    out.push_back(static_cast<double>(rank));
-    out.push_back(static_cast<double>(values.size()));
-    out.insert(out.end(), values.begin(), values.end());
+  for (std::size_t k = 0; k < results.size(); ++k) {
+    out.push_back(static_cast<double>(base_rank + static_cast<int>(k)));
+    out.push_back(static_cast<double>(results[k].size()));
+    out.insert(out.end(), results[k].begin(), results[k].end());
   }
   return out;
 }
 
 void unpack_results(const std::vector<double>& packed,
-                    std::map<int, std::vector<double>>& into) {
+                    std::vector<std::vector<double>>& into) {
   std::size_t i = 0;
   while (i + 1 < packed.size()) {
-    const int rank = static_cast<int>(packed[i]);
+    const auto rank = static_cast<std::size_t>(packed[i]);
     const auto count = static_cast<std::size_t>(packed[i + 1]);
     i += 2;
     std::vector<double> values(packed.begin() + static_cast<std::ptrdiff_t>(i),
                                packed.begin() + static_cast<std::ptrdiff_t>(i + count));
-    into[rank] = std::move(values);
+    if (rank < into.size()) into[rank] = std::move(values);
     i += count;
   }
 }
@@ -67,6 +69,8 @@ struct Computation {
       }
     }
     // coord_rank was appended in group order: index g holds group g's rank.
+    results.resize(ranks.size());
+    rank_result_values.resize(ranks.size());
   }
 
   NodeIdx host_of(int rank) const { return ranks[static_cast<std::size_t>(rank)].node; }
@@ -132,8 +136,10 @@ struct Computation {
   sim::Latch done_latch;
   sim::Gate halt;  // never opened: parking spot for ranks of an aborted attempt
   Time t_allocated = 0;
-  std::map<int, std::vector<double>> results;             // gathered at submitter
-  std::map<int, std::vector<double>> rank_result_values;  // set by PeerContext
+  /// Both indexed by rank and sized nprocs at construction: the completion
+  /// path touches every rank, so dense vectors beat rank-keyed node maps.
+  std::vector<std::vector<double>> results;             // gathered at submitter
+  std::vector<std::vector<double>> rank_result_values;  // set by PeerContext
 };
 
 // --- PeerContext --------------------------------------------------------------
@@ -192,7 +198,7 @@ sim::Task<double> PeerContext::allreduce_max(double value) {
 }
 
 void PeerContext::set_result(std::vector<double> values) {
-  comp_->rank_result_values[rank_] = std::move(values);
+  comp_->rank_result_values[static_cast<std::size_t>(rank_)] = std::move(values);
 }
 
 // --- hierarchical reduction ----------------------------------------------------
@@ -308,9 +314,8 @@ sim::Process Environment::rank_body(std::shared_ptr<Computation> comp, int rank,
 
   // Ship the result up: to the coordinator (hierarchical) or straight to
   // the submitter (flat baseline).
-  auto it = comp->rank_result_values.find(rank);
   auto values = std::make_shared<std::vector<double>>(
-      it == comp->rank_result_values.end() ? std::vector<double>{} : it->second);
+      comp->rank_result_values[static_cast<std::size_t>(rank)]);
   co_await feed_ch.send(my_host, comp->scoped(kTagResultUp), comp->spec.result_bytes,
                         std::move(values));
 }
@@ -354,7 +359,7 @@ sim::Process Environment::coordinator_body(std::shared_ptr<Computation> comp, in
   }
 
   // 4. Gather member results, bundle, ship to the submitter.
-  std::map<int, std::vector<double>> group_results;
+  std::vector<std::vector<double>> group_results(g.members.size());
   int base_rank = 0;
   for (int og = 0; og < group; ++og)
     base_rank += static_cast<int>(comp->groups[static_cast<std::size_t>(og)].members.size());
@@ -362,13 +367,14 @@ sim::Process Environment::coordinator_body(std::shared_ptr<Computation> comp, in
     const NodeIdx member = g.members[m].node;
     const auto msg =
         co_await comp->ctrl_channel(me, member).recv(me, comp->scoped(kTagResultUp));
-    // Identify the sender's rank from its position in the group.
-    int member_rank = base_rank;
+    // Identify the sender's group position (= rank - base_rank).
+    std::size_t pos = 0;
     for (std::size_t k = 0; k < g.members.size(); ++k)
-      if (g.members[k].node == msg.src_host) member_rank = base_rank + static_cast<int>(k);
-    group_results[member_rank] = msg.values ? *msg.values : std::vector<double>{};
+      if (g.members[k].node == msg.src_host) pos = k;
+    group_results[pos] = msg.values ? *msg.values : std::vector<double>{};
   }
-  const auto packed = std::make_shared<std::vector<double>>(pack_results(group_results));
+  const auto packed =
+      std::make_shared<std::vector<double>>(pack_results(base_rank, group_results));
   co_await sub_ch.send(me, comp->scoped(kTagResultBundle),
                        comp->spec.result_bytes * static_cast<double>(g.members.size()) +
                            per_ref * static_cast<double>(g.members.size()),
@@ -411,9 +417,9 @@ sim::Task<ComputationResult> Environment::submit(NodeIdx submitter_host, TaskSpe
   active_.push_back(comp);
   // A reserved peer may have crashed between its ReserveAck and now (the
   // collection RPCs above suspend): fail before allocating onto a dead host.
+  // peer_alive covers both actor-backed and passive workers.
   for (const auto& p : comp->ranks) {
-    const overlay::PeerActor* actor = overlay_.peer_at(p.node);
-    if (actor == nullptr || !actor->alive())
+    if (!overlay_.peer_alive(p.node))
       comp->fail("peer on host " + platform_->node(p.node).name + " crashed before allocation");
   }
 
@@ -458,7 +464,7 @@ sim::Task<ComputationResult> Environment::submit(NodeIdx submitter_host, TaskSpe
       engine_->spawn([](std::shared_ptr<Computation> c, int rank) -> sim::Process {
         auto& ch = c->ctrl_channel(c->submitter, c->host_of(rank));
         const auto msg = co_await ch.recv(c->submitter, c->scoped(kTagResultUp));
-        if (msg.values) c->results[rank] = *msg.values;
+        if (msg.values) c->results[static_cast<std::size_t>(rank)] = *msg.values;
         c->done_latch.count_down();
       }(comp, r));
     }
@@ -471,8 +477,7 @@ sim::Task<ComputationResult> Environment::submit(NodeIdx submitter_host, TaskSpe
     // Release the surviving reserved peers so a re-submission can collect
     // them again; messages to crashed hosts are dropped by the overlay.
     for (const auto& p : comp->ranks) {
-      const overlay::PeerActor* actor = overlay_.peer_at(p.node);
-      if (actor != nullptr && actor->alive())
+      if (overlay_.peer_alive(p.node))
         overlay_.send_ctrl(submitter_host, p.node, overlay::ReleaseReq{submitter_host});
     }
     res.failure = comp->failure_reason;
@@ -480,7 +485,7 @@ sim::Task<ComputationResult> Environment::submit(NodeIdx submitter_host, TaskSpe
   }
   res.t_allocated = comp->t_allocated;
   res.t_finished = engine_->now();
-  res.results = comp->results;
+  res.results = std::move(comp->results);
   res.ok = true;
   for (const auto& p : comp->ranks)
     overlay_.send_ctrl(submitter_host, p.node, overlay::ReleaseReq{submitter_host});
@@ -494,6 +499,8 @@ void Environment::crash_host(NodeIdx host) {
     t->crash();
   } else if (overlay_.server() != nullptr && overlay_.server_host() == host) {
     overlay_.server()->crash();
+  } else if (overlay_.is_passive_peer(host)) {
+    overlay_.crash_passive_peer(host);
   }
   for (const auto& weak : active_) {
     const auto comp = weak.lock();

@@ -19,7 +19,6 @@
 #pragma once
 
 #include <functional>
-#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -108,7 +107,9 @@ struct ComputationResult {
   Time t_collected = 0;  // enough peers reserved
   Time t_allocated = 0;  // every rank received its subtask
   Time t_finished = 0;   // all results back at the submitter
-  std::map<int, std::vector<double>> results;  // rank -> user result values
+  /// User result values indexed by rank (dense: sized nprocs on success;
+  /// ranks that set no result hold an empty vector).
+  std::vector<std::vector<double>> results;
 
   Time collection_time() const { return t_collected - t_submit; }
   Time allocation_time() const { return t_allocated - t_collected; }
@@ -132,6 +133,11 @@ class Environment {
   void boot_server(NodeIdx host) { overlay_.create_server(host); }
   void boot_tracker(NodeIdx host, bool core = true) { overlay_.create_tracker(host, core); }
   void boot_peer(NodeIdx host, overlay::PeerResources res) { overlay_.create_peer(host, res); }
+  /// Lazy worker registration for massive platforms: no actor, no idle
+  /// events; see Overlay::register_passive_peer. Trackers must exist first.
+  bool boot_passive_peer(NodeIdx host, overlay::PeerResources res) {
+    return overlay_.register_passive_peer(host, res);
+  }
   void finish_bootstrap() { overlay_.finish_bootstrap(); }
 
   /// Fail-stop crash of the actor running on `host` (peer, tracker or

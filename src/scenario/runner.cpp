@@ -50,6 +50,20 @@ obstacle::DistributedConfig config_of(const RunSpec& run) {
   return cfg;
 }
 
+/// Boots one worker host: a full PeerActor by default, or — under `boot
+/// lazy` — a passive overlay registration with no actor, no mailboxes and
+/// no idle events (the 10^5..10^6-peer lever; see
+/// Overlay::register_passive_peer). Trackers must already be booted.
+void boot_worker(Deployment& d, const RunSpec& run, net::NodeIdx h) {
+  if (run.lazy_boot) {
+    if (!d.env->boot_passive_peer(h, worker_resources(d.platform, h)))
+      throw std::runtime_error("boot lazy: no tracker to register passive peers with");
+  } else {
+    d.env->boot_peer(h, worker_resources(d.platform, h));
+  }
+  d.workers.push_back(h);
+}
+
 /// Daisy deployment (paper Stage-2A): server and one tracker per petal at
 /// petal boundaries, submitter next to the server, workers spread across
 /// the whole desktop grid, seed-deterministic.
@@ -73,9 +87,7 @@ void deploy_daisy(Deployment& d, const net::DaisySpec& spec, const RunSpec& run)
     int idx = (3 + k * stride) % hosts;
     while (std::find(used.begin(), used.end(), idx) != used.end()) idx = (idx + 1) % hosts;
     used.push_back(idx);
-    const net::NodeIdx h = d.platform.host(idx);
-    d.env->boot_peer(h, worker_resources(d.platform, h));
-    d.workers.push_back(h);
+    boot_worker(d, run, d.platform.host(idx));
     ++placed;
   }
 }
@@ -102,9 +114,7 @@ void deploy_federation(Deployment& d, const net::FederationSpec& spec, const Run
     const auto s = static_cast<std::size_t>(site);
     if (cursor[s] < per_site) {
       const int idx = site * per_site + cursor[s]++;
-      const net::NodeIdx h = d.platform.host(idx);
-      d.env->boot_peer(h, worker_resources(d.platform, h));
-      d.workers.push_back(h);
+      boot_worker(d, run, d.platform.host(idx));
       ++placed;
     } else if (std::all_of(cursor.begin(), cursor.end(),
                            [&](int c) { return c >= per_site; })) {
@@ -114,21 +124,39 @@ void deploy_federation(Deployment& d, const net::FederationSpec& spec, const Run
   }
 }
 
-/// Default deployment: hosts in order — server, tracker, submitter, workers.
+/// Default deployment: server first, then `run.trackers` core trackers
+/// spread across the host (= IP) range so zones stay balanced under the
+/// overlay's IP-proximity join; submitter and workers fill the remaining
+/// hosts in index order. With trackers=1 this is the historical layout —
+/// server, tracker, submitter, workers on hosts 0, 1, 2, 3...
 void deploy_sequential(Deployment& d, const RunSpec& run) {
-  const int needed = run.peers + 3;
-  if (d.platform.host_count() < needed)
-    throw std::runtime_error("platform has " + std::to_string(d.platform.host_count()) +
+  const int trackers = std::max(1, run.trackers);
+  const int hosts = d.platform.host_count();
+  const int needed = run.peers + 2 + trackers;
+  if (hosts < needed)
+    throw std::runtime_error("platform has " + std::to_string(hosts) +
                              " hosts, run needs " + std::to_string(needed));
+  std::vector<char> used(static_cast<std::size_t>(hosts), 0);
   d.env->boot_server(d.platform.host(0));
-  d.env->boot_tracker(d.platform.host(1), /*core=*/true);
-  d.submitter = d.platform.host(2);
-  d.env->boot_peer(d.submitter, worker_resources(d.platform, d.submitter));
-  for (int i = 3; i < needed; ++i) {
-    const net::NodeIdx h = d.platform.host(i);
-    d.env->boot_peer(h, worker_resources(d.platform, h));
-    d.workers.push_back(h);
+  used[0] = 1;
+  for (int t = 0; t < trackers; ++t) {
+    int idx = 1 + static_cast<int>(static_cast<long long>(t) * (hosts - 1) / trackers);
+    while (used[static_cast<std::size_t>(idx)]) idx = (idx + 1) % hosts;
+    used[static_cast<std::size_t>(idx)] = 1;
+    d.env->boot_tracker(d.platform.host(idx), /*core=*/true);
   }
+  int cursor = 0;
+  auto next_free = [&] {
+    while (used[static_cast<std::size_t>(cursor)]) ++cursor;
+    used[static_cast<std::size_t>(cursor)] = 1;
+    return cursor;
+  };
+  // The submitter stays a full PeerActor even under `boot lazy`: peer
+  // collection and result gathering run on it.
+  d.submitter = d.platform.host(next_free());
+  d.env->boot_peer(d.submitter, worker_resources(d.platform, d.submitter));
+  for (int placed = 0; placed < run.peers; ++placed)
+    boot_worker(d, run, d.platform.host(next_free()));
 }
 
 /// Federation sizing shared by build_platform and deploy: auto-size sites
@@ -179,6 +207,12 @@ void phase_json(JsonWriter& w, const PhaseRecord& ph, bool with_iterations) {
   w.kv("flows_rescanned", ph.net.flows_rescanned);
   w.kv("flows_starved", ph.net.flows_starved);
   w.kv("link_rescales", ph.net.link_rescales);
+  w.end_object();
+  w.key("routes").begin_object();
+  w.kv("routes_computed", ph.routes.routes_computed);
+  w.kv("cache_hits", ph.routes.cache_hits);
+  w.kv("cache_evictions", ph.routes.cache_evictions);
+  w.kv("cache_entries", ph.routes.cache_entries);
   w.end_object();
   w.key("engine").begin_object();
   w.kv("events_dispatched", ph.engine.events_dispatched);
@@ -232,7 +266,7 @@ ChurnPhaseRecord churn_phase_record(const Deployment& d, const churn::Injector& 
 
 net::Platform build_platform(const PlatformSpec& spec, const RunSpec& run,
                              int extra_hosts) {
-  const int needed = run.peers + 3 + extra_hosts;
+  const int needed = run.peers + 2 + std::max(1, run.trackers) + extra_hosts;
   if (const auto* s = std::get_if<net::StarSpec>(&spec.spec)) {
     net::StarSpec sized = *s;
     if (sized.hosts <= 0) sized.hosts = needed;
@@ -249,6 +283,18 @@ net::Platform build_platform(const PlatformSpec& spec, const RunSpec& run,
     if (sized.hosts <= 0) sized.hosts = needed;
     Rng rng{run.seed};
     return net::build_wan(sized, rng);
+  }
+  if (const auto* s = std::get_if<net::ScaleFreeSpec>(&spec.spec)) {
+    net::ScaleFreeSpec sized = *s;
+    if (sized.hosts <= 0) sized.hosts = needed;
+    Rng rng{run.seed};
+    return net::build_scale_free(sized, rng);
+  }
+  if (const auto* s = std::get_if<net::SmallWorldSpec>(&spec.spec)) {
+    net::SmallWorldSpec sized = *s;
+    if (sized.hosts <= 0) sized.hosts = needed;
+    Rng rng{run.seed};
+    return net::build_small_world(sized, rng);
   }
   const auto& f = std::get<PlatformFileSpec>(spec.spec);
   std::string text = f.text;
@@ -295,8 +341,8 @@ std::unique_ptr<Deployment> deploy(const PlatformSpec& spec, const RunSpec& run)
     int failover_trackers = 0;
     for (int i = 0; i < d->platform.host_count(); ++i) {
       const net::NodeIdx h = d->platform.host(i);
-      if (over.peer_at(h) != nullptr || over.tracker_at(h) != nullptr ||
-          over.server_host() == h)
+      if (over.peer_at(h) != nullptr || over.is_passive_peer(h) ||
+          over.tracker_at(h) != nullptr || over.server_host() == h)
         continue;
       if (failover_trackers < kChurnFailoverTrackers) {
         d->env->boot_tracker(h, /*core=*/true);
@@ -351,7 +397,7 @@ std::vector<dperf::Trace> Runner::traces() const {
   static std::map<std::tuple<int, int, int, int, int, double>, std::vector<dperf::Trace>>
       cache;
   const auto key = std::make_tuple(static_cast<int>(run.level), run.rcheck, run.grid_n,
-                                   run.iters, run.peers, run.omega);
+                                   run.iters, run.rank_count(), run.omega);
   std::lock_guard<std::mutex> lock(mutex);
   auto it = cache.find(key);
   if (it == cache.end()) {
@@ -363,7 +409,7 @@ std::vector<dperf::Trace> Runner::traces() const {
     it = cache
              .emplace(key, pipeline.traces(obstacle::kernel_workload(problem_of(run),
                                                                      run.iters, run.rcheck),
-                                           run.peers))
+                                           run.rank_count()))
              .first;
   }
   return it->second;
@@ -385,7 +431,7 @@ PhaseRecord Runner::run_reference() const {
   int attempts = 0;
   do {
     ++attempts;
-    rep = obstacle::run_distributed(*d->env, d->submitter, cfg, run.peers);
+    rep = obstacle::run_distributed(*d->env, d->submitter, cfg, run.rank_count());
   } while (!rep.ok && attempts < max_attempts);
   if (!rep.ok)
     throw std::runtime_error("reference run failed (" + spec_.name + ") after " +
@@ -397,6 +443,7 @@ PhaseRecord Runner::run_reference() const {
   ph.platform_hosts = d->platform.host_count();
   ph.computation = rep.computation;
   ph.net = d->env->flownet().stats();
+  ph.routes = d->platform.route_stats();
   ph.engine = d->engine.stats();
   if (injector) ph.churn = churn_phase_record(*d, *injector, attempts);
   return ph;
@@ -420,11 +467,11 @@ PhaseRecord Runner::run_predicted(std::vector<dperf::Trace> traces) const {
     // permitted attempt (the only one, without churn) moves them.
     if (attempts >= max_attempts)
       pred = dperf::replay_on(*d->env, d->submitter,
-                              obstacle::make_task_spec(cfg, run.peers),
+                              obstacle::make_task_spec(cfg, run.rank_count()),
                               std::move(traces));
     else
       pred = dperf::replay_on(*d->env, d->submitter,
-                              obstacle::make_task_spec(cfg, run.peers), traces);
+                              obstacle::make_task_spec(cfg, run.rank_count()), traces);
   } while (!pred.computation.ok && attempts < max_attempts);
   if (!pred.computation.ok)
     throw std::runtime_error("prediction replay failed (" + spec_.name + ") after " +
@@ -436,12 +483,16 @@ PhaseRecord Runner::run_predicted(std::vector<dperf::Trace> traces) const {
   ph.platform_hosts = d->platform.host_count();
   ph.computation = pred.computation;
   ph.net = d->env->flownet().stats();
+  ph.routes = d->platform.route_stats();
   ph.engine = d->engine.stats();
   if (injector) ph.churn = churn_phase_record(*d, *injector, attempts);
   return ph;
 }
 
 RunRecord Runner::run_phases(const char*& phase) const {
+  if (spec_.run.ranks > spec_.run.peers)
+    throw std::runtime_error("ranks (" + std::to_string(spec_.run.ranks) +
+                             ") exceed peers (" + std::to_string(spec_.run.peers) + ")");
   RunRecord rec;
   rec.spec = spec_;
   rec.platform_kind = spec_.platform.kind();
@@ -518,6 +569,7 @@ std::string RunRecord::to_json() const {
   w.end_object();
   w.key("run").begin_object();
   w.kv("peers", spec.run.peers);
+  w.kv("ranks", spec.run.rank_count());
   w.kv("opt", ir::opt_level_name(spec.run.level));
   w.kv("mode", mode_name(spec.run.mode));
   w.kv("alloc", spec.run.allocation == p2pdc::AllocationMode::Hierarchical ? "hierarchical"
@@ -532,6 +584,8 @@ std::string RunRecord::to_json() const {
   w.kv("bench_rcheck", spec.run.bench_rcheck);
   w.kv("omega", spec.run.omega);
   w.kv("cmax", spec.run.cmax);
+  w.kv("boot", spec.run.lazy_boot ? "lazy" : "eager");
+  w.kv("trackers", spec.run.trackers);
   w.end_object();
   if (reference) {
     w.key("reference");

@@ -77,6 +77,10 @@ struct PhaseRecord {
   int platform_hosts = 0;    // hosts modelled in this phase's deployment
   p2pdc::ComputationResult computation;
   net::FlowNetStats net;
+  /// Route-resolution counters for this phase's platform (routes computed
+  /// vs. served from the bounded cache, evictions, resident entries) —
+  /// the hierarchical-routing observability next to the FlowNet stats.
+  net::RouteStats routes;
   /// Event-kernel counters for this phase's engine (events dispatched,
   /// inline-vs-heap closures, resumes, slot arms, peak queue depth) —
   /// the simulator-cost observability next to the FlowNet stats.

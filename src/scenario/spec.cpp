@@ -169,6 +169,47 @@ PlatformSpec parse_platform_tokens(const std::vector<std::string>& tok, int line
                   {"core_lat_min", [&](const std::string& v) { s.core_lat_min = net::parse_latency_value(v); }},
                   {"core_lat_max", [&](const std::string& v) { s.core_lat_max = net::parse_latency_value(v); }}});
     out.spec = s;
+  } else if (kind == "scale_free") {
+    net::ScaleFreeSpec s;
+    s.hosts = 0;  // auto-size to the run's peer count unless given
+    const Params p = parse_params(tok, 2, line);
+    apply_params(p, line,
+                 {{"label", [&](const std::string& v) { out.label = v; }},
+                  {"hosts", [&](const std::string& v) { s.hosts = parse_int(v, line, "hosts"); }},
+                  {"routers", [&](const std::string& v) { s.routers = parse_int(v, line, "routers"); }},
+                  {"m", [&](const std::string& v) { s.m = parse_int(v, line, "m"); }},
+                  {"speed", [&](const std::string& v) { s.host_speed_hz = net::parse_speed_value(v); }},
+                  {"access_bw", [&](const std::string& v) { s.access_bw_Bps = net::parse_bandwidth_value(v); }},
+                  {"access_lat", [&](const std::string& v) { s.access_latency = net::parse_latency_value(v); }},
+                  {"core_bw", [&](const std::string& v) { s.core_bw_Bps = net::parse_bandwidth_value(v); }},
+                  {"core_lat", [&](const std::string& v) { s.core_latency = net::parse_latency_value(v); }},
+                  {"ip", [&](const std::string& v) {
+                     auto ip = Ipv4::parse(v);
+                     if (!ip) throw std::invalid_argument("bad ip '" + v + "'");
+                     s.base_ip = *ip;
+                   }}});
+    out.spec = s;
+  } else if (kind == "small_world") {
+    net::SmallWorldSpec s;
+    s.hosts = 0;  // auto-size to the run's peer count unless given
+    const Params p = parse_params(tok, 2, line);
+    apply_params(p, line,
+                 {{"label", [&](const std::string& v) { out.label = v; }},
+                  {"hosts", [&](const std::string& v) { s.hosts = parse_int(v, line, "hosts"); }},
+                  {"routers", [&](const std::string& v) { s.routers = parse_int(v, line, "routers"); }},
+                  {"k", [&](const std::string& v) { s.k = parse_int(v, line, "k"); }},
+                  {"beta", [&](const std::string& v) { s.beta = parse_double(v, line, "beta"); }},
+                  {"speed", [&](const std::string& v) { s.host_speed_hz = net::parse_speed_value(v); }},
+                  {"access_bw", [&](const std::string& v) { s.access_bw_Bps = net::parse_bandwidth_value(v); }},
+                  {"access_lat", [&](const std::string& v) { s.access_latency = net::parse_latency_value(v); }},
+                  {"core_bw", [&](const std::string& v) { s.core_bw_Bps = net::parse_bandwidth_value(v); }},
+                  {"core_lat", [&](const std::string& v) { s.core_latency = net::parse_latency_value(v); }},
+                  {"ip", [&](const std::string& v) {
+                     auto ip = Ipv4::parse(v);
+                     if (!ip) throw std::invalid_argument("bad ip '" + v + "'");
+                     s.base_ip = *ip;
+                   }}});
+    out.spec = s;
   } else if (kind == "file") {
     if (tok.size() != 3) throw ScenarioError(line, "expected: platform file <path>");
     return PlatformSpec::from_file(tok[2]);
@@ -215,6 +256,23 @@ std::string render_platform_line(const PlatformSpec& p) {
         << " core_bw=" << fmt_bw(s->core_bw_Bps)
         << " core_lat_min=" << fmt_lat(s->core_lat_min)
         << " core_lat_max=" << fmt_lat(s->core_lat_max);
+  } else if (const auto* s = std::get_if<net::ScaleFreeSpec>(&p.spec)) {
+    out << " hosts=" << s->hosts << " routers=" << s->routers << " m=" << s->m
+        << " speed=" << fmt_speed(s->host_speed_hz)
+        << " access_bw=" << fmt_bw(s->access_bw_Bps)
+        << " access_lat=" << fmt_lat(s->access_latency)
+        << " core_bw=" << fmt_bw(s->core_bw_Bps)
+        << " core_lat=" << fmt_lat(s->core_latency)
+        << " ip=" << s->base_ip.to_string();
+  } else if (const auto* s = std::get_if<net::SmallWorldSpec>(&p.spec)) {
+    out << " hosts=" << s->hosts << " routers=" << s->routers << " k=" << s->k
+        << " beta=" << format_shortest(s->beta)
+        << " speed=" << fmt_speed(s->host_speed_hz)
+        << " access_bw=" << fmt_bw(s->access_bw_Bps)
+        << " access_lat=" << fmt_lat(s->access_latency)
+        << " core_bw=" << fmt_bw(s->core_bw_Bps)
+        << " core_lat=" << fmt_lat(s->core_latency)
+        << " ip=" << s->base_ip.to_string();
   }
   return out.str();
 }
@@ -226,6 +284,8 @@ const char* PlatformSpec::kind() const {
     const char* operator()(const PlatformFileSpec&) const { return "file"; }
     const char* operator()(const net::FederationSpec&) const { return "federation"; }
     const char* operator()(const net::WanSpec&) const { return "wan"; }
+    const char* operator()(const net::ScaleFreeSpec&) const { return "scale_free"; }
+    const char* operator()(const net::SmallWorldSpec&) const { return "small_world"; }
   };
   return std::visit(Visitor{}, spec);
 }
@@ -247,6 +307,18 @@ PlatformSpec PlatformSpec::federation() {
 }
 
 PlatformSpec PlatformSpec::wan() { return PlatformSpec{"wan", net::WanSpec{}}; }
+
+PlatformSpec PlatformSpec::scale_free() {
+  net::ScaleFreeSpec s;
+  s.hosts = 0;  // auto-size to the run's peer count at deploy
+  return PlatformSpec{"scale_free", s};
+}
+
+PlatformSpec PlatformSpec::small_world() {
+  net::SmallWorldSpec s;
+  s.hosts = 0;
+  return PlatformSpec{"small_world", s};
+}
 
 PlatformSpec PlatformSpec::from_file(std::string path) {
   return PlatformSpec{"file:" + path, PlatformFileSpec{std::move(path), ""}};
@@ -365,6 +437,19 @@ ScenarioSpec parse_scenario(const std::string& text, const RunSpec& base) {
     } else if (kw == "cmax") {
       need(2, "cmax <n>");
       spec.run.cmax = parse_int(tok[1], lineno, "cmax");
+    } else if (kw == "boot") {
+      need(2, "boot <eager|lazy>");
+      if (tok[1] == "eager") spec.run.lazy_boot = false;
+      else if (tok[1] == "lazy") spec.run.lazy_boot = true;
+      else throw ScenarioError(lineno, "unknown boot mode '" + tok[1] + "'");
+    } else if (kw == "trackers") {
+      need(2, "trackers <n>");
+      spec.run.trackers = parse_int(tok[1], lineno, "trackers");
+      if (spec.run.trackers < 1) throw ScenarioError(lineno, "trackers must be >= 1");
+    } else if (kw == "ranks") {
+      need(2, "ranks <n>");
+      spec.run.ranks = parse_int(tok[1], lineno, "ranks");
+      if (spec.run.ranks < 0) throw ScenarioError(lineno, "ranks must be >= 0");
     } else if (kw == "churn") {
       try {
         churn::parse_churn_tokens(tok, spec.run.churn);
@@ -407,6 +492,11 @@ std::string render_scenario(const ScenarioSpec& spec) {
   out << "bench " << r.bench_n << " " << r.bench_iters << " " << r.bench_rcheck << "\n";
   out << "omega " << format_shortest(r.omega) << "\n";
   out << "cmax " << r.cmax << "\n";
+  // Scale knobs render only when non-default, so pre-existing scenarios keep
+  // their exact text form (same contract as the churn lines below).
+  if (r.lazy_boot) out << "boot lazy\n";
+  if (r.trackers != 1) out << "trackers " << r.trackers << "\n";
+  if (r.ranks != 0) out << "ranks " << r.ranks << "\n";
   // Empty for a default ChurnSpec: churn-free scenarios keep the exact text
   // form they had before churn existed (stable campaign resume identities).
   out << churn::render_churn_lines(r.churn);

@@ -57,12 +57,14 @@ struct PlatformFileSpec {
 /// tables) without touching RunSpec or the Runner.
 struct PlatformSpec {
   using Variant = std::variant<net::StarSpec, net::DaisySpec, PlatformFileSpec,
-                               net::FederationSpec, net::WanSpec>;
+                               net::FederationSpec, net::WanSpec, net::ScaleFreeSpec,
+                               net::SmallWorldSpec>;
 
   std::string label;  // display/record name, e.g. "grid5000"
   Variant spec;
 
-  /// "star" | "daisy" | "file" | "federation" | "wan".
+  /// "star" | "daisy" | "file" | "federation" | "wan" | "scale_free" |
+  /// "small_world".
   const char* kind() const;
 
   // The paper's evaluation platforms (§IV-A), auto-sized to the run's peer
@@ -73,6 +75,10 @@ struct PlatformSpec {
   // The new generators, with their builder defaults.
   static PlatformSpec federation();
   static PlatformSpec wan();
+  // Complex-network generators for scale studies (hosts auto-sized to the
+  // run's peer count when 0).
+  static PlatformSpec scale_free();
+  static PlatformSpec small_world();
   static PlatformSpec from_file(std::string path);
   static PlatformSpec from_text(std::string platfile_text);
 };
@@ -91,6 +97,23 @@ struct RunSpec {
   Mode mode = Mode::Both;
   std::uint64_t seed = 42;
   int cmax = alloc::kCmax;
+  /// Lazy worker boot (`boot lazy`): non-rank workers are registered as
+  /// passive overlay peers — O(1) memory, zero idle events — instead of
+  /// full actors. The scale lever for 10^5..10^6-peer platforms; the
+  /// default (eager) keeps every worker a live PeerActor.
+  bool lazy_boot = false;
+  /// Core trackers to boot (`trackers <n>`): the zones peers spread over.
+  /// More trackers shrink per-zone size on massive platforms.
+  int trackers = 1;
+  /// Computation ranks (`ranks <n>`; 0 = every peer). Decoupling rank count
+  /// from overlay population is the other half of the scale story: a
+  /// 10^5-peer overlay can serve a modest computation, and only the peers
+  /// the allocation touches materialize any per-run state.
+  int ranks = 0;
+
+  /// Ranks the computation actually runs on (`ranks` when set, else all
+  /// peers).
+  int rank_count() const { return ranks > 0 ? ranks : peers; }
 
   // Obstacle problem sizing (see experiments::PaperSetup for the paper's
   // calibration rationale).

@@ -1,0 +1,96 @@
+// A sorted-vector map: contiguous storage, binary-search lookup, ascending
+// key iteration. Drop-in for the std::map subset the overlay uses, without
+// a node allocation per entry — the per-peer structures (tracker zones,
+// server zone statistics, neighbour liveness) hold hundreds of thousands
+// of entries at scale, where pointer-chasing node maps dominate both the
+// memory footprint and the cache miss rate.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace pdc::support {
+
+template <class Key, class T>
+class FlatMap {
+ public:
+  using value_type = std::pair<Key, T>;
+  using iterator = typename std::vector<value_type>::iterator;
+  using const_iterator = typename std::vector<value_type>::const_iterator;
+
+  iterator begin() { return items_.begin(); }
+  iterator end() { return items_.end(); }
+  const_iterator begin() const { return items_.begin(); }
+  const_iterator end() const { return items_.end(); }
+
+  std::size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+  void clear() { items_.clear(); }
+  void reserve(std::size_t n) { items_.reserve(n); }
+
+  iterator find(const Key& key) {
+    auto it = lower(key);
+    return it != items_.end() && it->first == key ? it : items_.end();
+  }
+  const_iterator find(const Key& key) const {
+    auto it = lower(key);
+    return it != items_.end() && it->first == key ? it : items_.end();
+  }
+  std::size_t count(const Key& key) const { return find(key) == end() ? 0 : 1; }
+
+  T& at(const Key& key) {
+    auto it = find(key);
+    if (it == end()) throw std::out_of_range("FlatMap::at");
+    return it->second;
+  }
+  const T& at(const Key& key) const {
+    auto it = find(key);
+    if (it == end()) throw std::out_of_range("FlatMap::at");
+    return it->second;
+  }
+
+  T& operator[](const Key& key) { return try_emplace(key).first->second; }
+
+  /// Inserts {key, T(args...)} unless the key exists; like std::map.
+  template <class... Args>
+  std::pair<iterator, bool> try_emplace(const Key& key, Args&&... args) {
+    auto it = lower(key);
+    if (it != items_.end() && it->first == key) return {it, false};
+    it = items_.emplace(it, std::piecewise_construct, std::forward_as_tuple(key),
+                        std::forward_as_tuple(std::forward<Args>(args)...));
+    return {it, true};
+  }
+
+  std::size_t erase(const Key& key) {
+    auto it = find(key);
+    if (it == end()) return 0;
+    items_.erase(it);
+    return 1;
+  }
+
+  /// Removes every entry the predicate accepts; returns how many.
+  template <class Pred>
+  std::size_t erase_if(Pred pred) {
+    const auto keep = std::remove_if(items_.begin(), items_.end(), pred);
+    const auto n = static_cast<std::size_t>(items_.end() - keep);
+    items_.erase(keep, items_.end());
+    return n;
+  }
+
+ private:
+  iterator lower(const Key& key) {
+    return std::lower_bound(items_.begin(), items_.end(), key,
+                            [](const value_type& v, const Key& k) { return v.first < k; });
+  }
+  const_iterator lower(const Key& key) const {
+    return std::lower_bound(items_.begin(), items_.end(), key,
+                            [](const value_type& v, const Key& k) { return v.first < k; });
+  }
+
+  std::vector<value_type> items_;
+};
+
+}  // namespace pdc::support

@@ -91,6 +91,10 @@ scenario::RunRecord canonical_record() {
   ref.net.flows_rescanned = 4096;
   ref.net.flows_starved = 0;
   ref.net.link_rescales = 2;
+  ref.routes.routes_computed = 36;
+  ref.routes.cache_hits = 4060;
+  ref.routes.cache_evictions = 4;
+  ref.routes.cache_entries = 32;
   ref.engine.events_dispatched = 262144;
   ref.engine.closures_inline = 2048;
   ref.engine.closures_heap = 0;
@@ -141,6 +145,13 @@ TEST(GoldenRecord, RunRecordReadsBackLosslessly) {
   EXPECT_EQ(ref.at("computation").at("collection_seconds").as_double(), 0.5);
   EXPECT_EQ(ref.at("flownet").at("bytes_completed").as_double(), 1.25e9);
   EXPECT_EQ(ref.at("flownet").at("link_rescales").as_double(), 2.0);
+  EXPECT_EQ(ref.at("routes").at("routes_computed").as_double(), 36.0);
+  EXPECT_EQ(ref.at("routes").at("cache_hits").as_double(), 4060.0);
+  EXPECT_EQ(ref.at("routes").at("cache_evictions").as_double(), 4.0);
+  EXPECT_EQ(ref.at("routes").at("cache_entries").as_double(), 32.0);
+  EXPECT_EQ(doc.at("run").at("boot").as_string(), "eager");
+  EXPECT_EQ(doc.at("run").at("trackers").as_double(), 1.0);
+  EXPECT_EQ(doc.at("run").at("ranks").as_double(), 4.0);
   EXPECT_EQ(ref.at("churn").at("attempts").as_double(), 2.0);
   EXPECT_EQ(ref.at("churn").at("reallocations").as_double(), 1.0);
   EXPECT_EQ(ref.at("churn").at("rejoins").as_double(), 3.0);

@@ -1,0 +1,233 @@
+// Property tests for the complex-network platform builders (Barabási–Albert
+// scale-free and Watts–Strogatz small-world): purity in (spec, seed) down to
+// the rendered platfile bytes, connectivity for every draw, and the degree
+// structure each model promises (BA edge budget and hubs, WS ring lattice
+// with the base ring kept under rewiring).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/builders.hpp"
+#include "net/platfile.hpp"
+#include "support/rng.hpp"
+
+namespace pdc::net {
+namespace {
+
+// Undirected reachability over the edge list: every node (hosts and routers)
+// must be reachable from node 0.
+bool connected(const Platform& p) {
+  const int n = p.node_count();
+  if (n == 0) return true;
+  std::vector<std::vector<int>> adj(static_cast<std::size_t>(n));
+  for (int e = 0; e < p.edge_count(); ++e) {
+    adj[static_cast<std::size_t>(p.edge(e).a)].push_back(p.edge(e).b);
+    adj[static_cast<std::size_t>(p.edge(e).b)].push_back(p.edge(e).a);
+  }
+  std::vector<char> seen(static_cast<std::size_t>(n), 0);
+  std::vector<int> stack{0};
+  seen[0] = 1;
+  int reached = 1;
+  while (!stack.empty()) {
+    const int v = stack.back();
+    stack.pop_back();
+    for (int w : adj[static_cast<std::size_t>(v)])
+      if (!seen[static_cast<std::size_t>(w)]) {
+        seen[static_cast<std::size_t>(w)] = 1;
+        ++reached;
+        stack.push_back(w);
+      }
+  }
+  return reached == n;
+}
+
+// Router-to-router (core) degree per router; routers are the non-host nodes.
+std::vector<int> core_degrees(const Platform& p) {
+  std::vector<int> deg(static_cast<std::size_t>(p.node_count()), 0);
+  for (int e = 0; e < p.edge_count(); ++e) {
+    const auto& ed = p.edge(e);
+    if (p.node(ed.a).is_host || p.node(ed.b).is_host) continue;
+    ++deg[static_cast<std::size_t>(ed.a)];
+    ++deg[static_cast<std::size_t>(ed.b)];
+  }
+  std::vector<int> out;
+  for (int n = 0; n < p.node_count(); ++n)
+    if (!p.node(n).is_host) out.push_back(deg[static_cast<std::size_t>(n)]);
+  return out;
+}
+
+int core_edge_count(const Platform& p) {
+  int edges = 0;
+  for (int e = 0; e < p.edge_count(); ++e)
+    if (!p.node(p.edge(e).a).is_host && !p.node(p.edge(e).b).is_host) ++edges;
+  return edges;
+}
+
+// Every host must have exactly one edge, to a router, with IPs contiguous
+// from base_ip in emission order — the invariants hierarchical routing and
+// the IP-prefix proximity metric rely on.
+void check_host_shape(const Platform& p, Ipv4 base_ip) {
+  std::vector<int> host_edges(static_cast<std::size_t>(p.node_count()), 0);
+  for (int e = 0; e < p.edge_count(); ++e) {
+    const auto& ed = p.edge(e);
+    if (p.node(ed.a).is_host) {
+      EXPECT_FALSE(p.node(ed.b).is_host) << "host-to-host edge " << e;
+      ++host_edges[static_cast<std::size_t>(ed.a)];
+    } else if (p.node(ed.b).is_host) {
+      ++host_edges[static_cast<std::size_t>(ed.b)];
+    }
+  }
+  for (int i = 0; i < p.host_count(); ++i) {
+    const NodeIdx h = p.host(i);
+    EXPECT_EQ(host_edges[static_cast<std::size_t>(h)], 1) << "host " << i;
+    EXPECT_EQ(p.node(h).ip.bits(), base_ip.bits() + static_cast<std::uint32_t>(i))
+        << "host " << i;
+  }
+}
+
+TEST(NetComplex, ScaleFreePureInSpecAndSeed) {
+  ScaleFreeSpec spec;
+  spec.hosts = 96;
+  spec.routers = 24;
+  spec.m = 2;
+  for (std::uint64_t seed : {1ULL, 42ULL, 1234567ULL}) {
+    Rng a{seed}, b{seed};
+    const std::string once = render_platform(build_scale_free(spec, a));
+    const std::string twice = render_platform(build_scale_free(spec, b));
+    EXPECT_EQ(once, twice) << "seed " << seed;
+  }
+  Rng a{1}, b{2};
+  EXPECT_NE(render_platform(build_scale_free(spec, a)),
+            render_platform(build_scale_free(spec, b)));
+}
+
+TEST(NetComplex, SmallWorldPureInSpecAndSeed) {
+  SmallWorldSpec spec;
+  spec.hosts = 96;
+  spec.routers = 24;
+  spec.k = 4;
+  spec.beta = 0.3;
+  for (std::uint64_t seed : {1ULL, 42ULL, 1234567ULL}) {
+    Rng a{seed}, b{seed};
+    const std::string once = render_platform(build_small_world(spec, a));
+    const std::string twice = render_platform(build_small_world(spec, b));
+    EXPECT_EQ(once, twice) << "seed " << seed;
+  }
+  Rng a{1}, b{2};
+  EXPECT_NE(render_platform(build_small_world(spec, a)),
+            render_platform(build_small_world(spec, b)));
+}
+
+TEST(NetComplex, ScaleFreeConnectedForEveryDraw) {
+  ScaleFreeSpec spec;
+  spec.hosts = 64;
+  spec.routers = 16;
+  spec.m = 2;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    Rng rng{seed};
+    const Platform p = build_scale_free(spec, rng);
+    EXPECT_EQ(p.host_count(), spec.hosts);
+    EXPECT_TRUE(connected(p)) << "seed " << seed;
+    check_host_shape(p, spec.base_ip);
+  }
+}
+
+TEST(NetComplex, SmallWorldConnectedEvenAtFullRewire) {
+  SmallWorldSpec spec;
+  spec.hosts = 64;
+  spec.routers = 16;
+  spec.k = 6;
+  spec.beta = 1.0;  // every chord rewired; the kept base ring must still connect
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    Rng rng{seed};
+    const Platform p = build_small_world(spec, rng);
+    EXPECT_EQ(p.host_count(), spec.hosts);
+    EXPECT_TRUE(connected(p)) << "seed " << seed;
+    check_host_shape(p, spec.base_ip);
+  }
+}
+
+TEST(NetComplex, ScaleFreeDegreeStats) {
+  // BA edge budget is exact: a seed clique of m+1 routers plus m core links
+  // per later router. Every router keeps core degree >= m, and preferential
+  // attachment must have grown at least one hub well above the floor.
+  ScaleFreeSpec spec;
+  spec.hosts = 256;
+  spec.routers = 32;
+  spec.m = 2;
+  Rng rng{42};
+  const Platform p = build_scale_free(spec, rng);
+  const int expected =
+      (spec.m + 1) * spec.m / 2 + (spec.routers - spec.m - 1) * spec.m;
+  EXPECT_EQ(core_edge_count(p), expected);
+  const std::vector<int> deg = core_degrees(p);
+  ASSERT_EQ(static_cast<int>(deg.size()), spec.routers);
+  EXPECT_GE(*std::min_element(deg.begin(), deg.end()), spec.m);
+  EXPECT_GE(*std::max_element(deg.begin(), deg.end()), 2 * spec.m);
+}
+
+TEST(NetComplex, SmallWorldRingLatticeKeptUnderRewiring) {
+  // The base ring (distance-1 edges) is never rewired, chords may move: the
+  // core keeps exactly nr*k/2 edges at beta=0 and never gains edges beyond
+  // that budget at any beta.
+  SmallWorldSpec spec;
+  spec.hosts = 128;
+  spec.routers = 24;
+  spec.k = 4;
+  spec.beta = 0.0;
+  Rng frozen{7};
+  const Platform lattice = build_small_world(spec, frozen);
+  EXPECT_EQ(core_edge_count(lattice), spec.routers * spec.k / 2);
+
+  spec.beta = 0.5;
+  Rng rng{7};
+  const Platform rewired = build_small_world(spec, rng);
+  EXPECT_LE(core_edge_count(rewired), spec.routers * spec.k / 2);
+  EXPECT_GE(core_edge_count(rewired), spec.routers);  // ring + surviving chords
+  // Routers were added first, in index order: the ring edge i -- (i+1) % nr
+  // must be present in both draws.
+  std::set<std::pair<int, int>> edges;
+  for (int e = 0; e < rewired.edge_count(); ++e) {
+    const auto& ed = rewired.edge(e);
+    if (rewired.node(ed.a).is_host || rewired.node(ed.b).is_host) continue;
+    edges.insert({std::min(ed.a, ed.b), std::max(ed.a, ed.b)});
+  }
+  for (int i = 0; i < spec.routers; ++i) {
+    const int j = (i + 1) % spec.routers;
+    EXPECT_TRUE(edges.count({std::min(i, j), std::max(i, j)})) << "ring edge " << i;
+  }
+}
+
+TEST(NetComplex, RenderedPlatformsReparse) {
+  // The rendered platfile of a generated platform is itself a valid platform
+  // description reproducing node and edge structure (spec-level purity means
+  // the scenario runner can regenerate platforms from (spec, seed) alone).
+  ScaleFreeSpec ba;
+  ba.hosts = 32;
+  ba.routers = 8;
+  Rng a{11};
+  const Platform p1 = build_scale_free(ba, a);
+  const Platform p2 = parse_platform(render_platform(p1));
+  EXPECT_EQ(p2.node_count(), p1.node_count());
+  EXPECT_EQ(p2.link_count(), p1.link_count());
+  EXPECT_EQ(p2.edge_count(), p1.edge_count());
+  EXPECT_EQ(p2.host_count(), p1.host_count());
+
+  SmallWorldSpec ws;
+  ws.hosts = 32;
+  ws.routers = 8;
+  Rng b{11};
+  const Platform q1 = build_small_world(ws, b);
+  const Platform q2 = parse_platform(render_platform(q1));
+  EXPECT_EQ(q2.node_count(), q1.node_count());
+  EXPECT_EQ(q2.link_count(), q1.link_count());
+  EXPECT_EQ(q2.edge_count(), q1.edge_count());
+  EXPECT_EQ(q2.host_count(), q1.host_count());
+}
+
+}  // namespace
+}  // namespace pdc::net

@@ -107,13 +107,16 @@ TEST(PlatFile, RenderParseRoundTrip) {
     EXPECT_EQ(reparsed.node(reparsed.host(h)).ip, original.node(original.host(h)).ip);
 }
 
-// Regression: render_platform used to drop explicit routes, so a
+// Regression: render_platform used to drop routing metadata, so a
 // re-parsed star platform silently fell back to BFS paths that skip the
-// shared backbone. Routing must survive the round trip.
+// shared backbone. The star now routes hierarchically through its trunk
+// (no explicit route table), and that must survive the round trip via the
+// "hier trunk" directive.
 TEST(PlatFile, RenderParseRoundTripPreservesRoutes) {
   const Platform original = build_star(bordeplage_cluster_spec(4));
+  ASSERT_TRUE(original.hierarchical_routing());
   const std::string text = render_platform(original);
-  EXPECT_NE(text.find("route "), std::string::npos);
+  EXPECT_NE(text.find("hier trunk backbone"), std::string::npos);
   const Platform reparsed = parse_platform(text);
   for (int a = 0; a < original.host_count(); ++a) {
     for (int b = 0; b < original.host_count(); ++b) {
@@ -131,6 +134,27 @@ TEST(PlatFile, RenderParseRoundTripPreservesRoutes) {
   }
   // Idempotent: rendering the reparsed platform gives the same text.
   EXPECT_EQ(render_platform(reparsed), text);
+}
+
+TEST(PlatFile, HierRejectsNonHierarchicalPlatform) {
+  // Host with two uplinks: hierarchical resolution cannot apply.
+  const char* text = R"(
+host a speed 1GHz ip 10.0.0.1
+router r1
+router r2
+link l1 bw 1Mbps lat 1us
+link l2 bw 1Mbps lat 1us
+edge a r1 l1
+edge a r2 l2
+hier
+)";
+  EXPECT_THROW(parse_platform(text), PlatFileError);
+}
+
+TEST(PlatFile, HierRejectsUnknownTrunkAndBadShape) {
+  EXPECT_THROW(parse_platform("router r\nhier trunk nosuchlink\n"), PlatFileError);
+  EXPECT_THROW(parse_platform("router r\nhier trunk\n"), PlatFileError);
+  EXPECT_THROW(parse_platform("router r\nhier bogus x\n"), PlatFileError);
 }
 
 // Fabric links (no edge) carry their direction in the route line.

@@ -62,8 +62,8 @@ TEST(Concurrency, TwoComputationsRunSimultaneously) {
   ASSERT_EQ(r1->results.size(), 5u);
   ASSERT_EQ(r2->results.size(), 5u);
   // Every rank saw only its own computation's marker.
-  for (const auto& [rank, values] : r1->results) EXPECT_DOUBLE_EQ(values[0], 111.0);
-  for (const auto& [rank, values] : r2->results) EXPECT_DOUBLE_EQ(values[0], 222.0);
+  for (const auto& values : r1->results) EXPECT_DOUBLE_EQ(values[0], 111.0);
+  for (const auto& values : r2->results) EXPECT_DOUBLE_EQ(values[0], 222.0);
   // The two computations overlapped in simulated time (both needed >= 0.2 s
   // of compute and finished within the same window).
   EXPECT_GT(r1->t_finished, r2->t_submit);

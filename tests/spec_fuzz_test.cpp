@@ -48,7 +48,7 @@ churn::ChurnSpec random_churn(Rng& rng) {
 }
 
 scenario::PlatformSpec random_platform(Rng& rng) {
-  switch (rng.uniform_int(0, 6)) {
+  switch (rng.uniform_int(0, 8)) {
     case 0: return scenario::PlatformSpec::grid5000();
     case 1: return scenario::PlatformSpec::lan();
     case 2: return scenario::PlatformSpec::xdsl();
@@ -62,6 +62,27 @@ scenario::PlatformSpec random_platform(Rng& rng) {
       star.host_speed_hz = rng.uniform(1e9, 4e9);
       star.nic_bw_Bps = rng.uniform(1e6, 1e9);
       star.backbone_latency = rng.uniform(1e-6, 1e-3);
+      return p;
+    }
+    case 6: {
+      scenario::PlatformSpec p = scenario::PlatformSpec::scale_free();
+      auto& sf = std::get<net::ScaleFreeSpec>(p.spec);
+      p.label = "ba" + std::to_string(rng.uniform_int(0, 99));
+      sf.hosts = static_cast<int>(rng.uniform_int(0, 128));  // 0 = auto-size
+      sf.routers = static_cast<int>(rng.uniform_int(4, 64));
+      sf.m = static_cast<int>(rng.uniform_int(1, 4));
+      sf.access_bw_Bps = rng.uniform(1e6, 1e8);
+      sf.core_latency = rng.uniform(1e-4, 1e-2);
+      return p;
+    }
+    case 7: {
+      scenario::PlatformSpec p = scenario::PlatformSpec::small_world();
+      auto& sw = std::get<net::SmallWorldSpec>(p.spec);
+      p.label = "ws" + std::to_string(rng.uniform_int(0, 99));
+      sw.hosts = static_cast<int>(rng.uniform_int(0, 128));  // 0 = auto-size
+      sw.routers = static_cast<int>(rng.uniform_int(4, 64));
+      sw.k = static_cast<int>(rng.uniform_int(2, 8));
+      sw.beta = rng.uniform(0.0, 1.0);
       return p;
     }
     default: {
@@ -98,6 +119,10 @@ scenario::ScenarioSpec random_scenario(Rng& rng) {
   s.run.rcheck = static_cast<int>(rng.uniform_int(1, 16));
   s.run.omega = rng.uniform(0.1, 1.9);
   s.run.cmax = static_cast<int>(rng.uniform_int(2, 64));
+  s.run.lazy_boot = rng.bernoulli(0.5);
+  s.run.trackers = static_cast<int>(rng.uniform_int(1, 8));
+  s.run.ranks =
+      rng.bernoulli(0.5) ? 0 : static_cast<int>(rng.uniform_int(1, s.run.peers));
   s.run.churn = random_churn(rng);
   return s;
 }
@@ -131,6 +156,9 @@ TEST(SpecFuzz, ScenarioRoundTripsStructurally) {
     EXPECT_EQ(back.run.iters, spec.run.iters);
     EXPECT_EQ(back.run.omega, spec.run.omega);
     EXPECT_EQ(back.run.cmax, spec.run.cmax);
+    EXPECT_EQ(back.run.lazy_boot, spec.run.lazy_boot);
+    EXPECT_EQ(back.run.trackers, spec.run.trackers);
+    EXPECT_EQ(back.run.ranks, spec.run.ranks);
     EXPECT_EQ(back.run.churn, spec.run.churn) << text;
     // Canonical fixed point: render(parse(render(s))) == render(s).
     EXPECT_EQ(scenario::render_scenario(back), text);
@@ -228,6 +256,19 @@ TEST(SpecFuzz, MalformedScenarioLinesAreRejectedWithDiagnostics) {
       "platform file",
       "platform file a b",
       "platform inline",  // never closed
+      "platform scale_free m=x",
+      "platform scale_free warp=9",
+      "platform small_world beta=maybe",
+      "platform small_world k=",
+      "boot",
+      "boot never",
+      "boot eager lazy",
+      "trackers",
+      "trackers 0",
+      "trackers x",
+      "ranks",
+      "ranks -1",
+      "ranks many",
       "scenario",
       "scenario a b",
       "wibble 3",
@@ -267,6 +308,8 @@ TEST(SpecFuzz, MalformedCampaignLinesAreRejectedWithDiagnostics) {
       "variant",
       "variant inline",
       "variant star hosts=z",
+      "variant scale_free routers=z",
+      "variant small_world beta=x",
   };
   for (const char* line : corpus) {
     const std::string text = std::string("campaign ok\n") + line + "\n";
@@ -286,7 +329,8 @@ TEST(SpecFuzz, RandomMutationsNeverCrashTheParsers) {
   // ASan) fails the test.
   const char* garbage[] = {"",      "#",     "end",   "???",  "-1",   "1e999",
                            "peers", "churn", "sweep", "link", "=",    "at=",
-                           "\t",    "0x12",  "nan",   "inf",  "🦀"};
+                           "\t",    "0x12",  "nan",   "inf",  "🦀",   "boot",
+                           "ranks", "beta="};
   const int iters = fuzz_iters();
   for (int i = 0; i < iters; ++i) {
     Rng rng{0xBEEF + static_cast<std::uint64_t>(i)};
