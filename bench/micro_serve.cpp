@@ -1,0 +1,134 @@
+// Serving-layer microbench: what does the resident pdc_serve daemon buy
+// over re-simulating every query? An in-process Server on an ephemeral
+// loopback port answers the same scenario over real sockets: one cold
+// request (full dPerf bench + trace sampling + reference run + replay),
+// then a warm batch served from the memo cache. Reported: cold latency,
+// warm latency distribution, warm requests/sec, and the cold/warm speedup —
+// the number the ISSUE acceptance pins at >= 50x.
+//
+// Emits BENCH_serve.json (pass a path as argv[1] to redirect;
+// --warm=<n> overrides the warm request count).
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "support/json.hpp"
+#include "support/socket.hpp"
+#include "support/stats.hpp"
+
+#include <thread>
+
+namespace {
+
+using namespace pdc;
+
+// Fixed quick-class sizing (independent of PDC_QUICK) so emitted numbers
+// are comparable across environments; mode=both so the cold path pays the
+// full pipeline the daemon keeps warm.
+const char* kScenario =
+    "scenario micro-serve\n"
+    "platform lan\n"
+    "peers 4\n"
+    "mode both\n"
+    "grid 130\n"
+    "iters 40\n"
+    "bench 34 5 2\n";
+
+double request_seconds(int port, const serve::Request& req, serve::Response& resp) {
+  const auto t0 = std::chrono::steady_clock::now();
+  Socket conn = connect_tcp("127.0.0.1", port);
+  serve::write_request(conn, req);
+  resp = serve::read_response(conn);
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* out_path = "BENCH_serve.json";
+  int warm_requests = 200;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--warm=", 7) == 0)
+      warm_requests = std::atoi(argv[i] + 7);
+    else
+      out_path = argv[i];
+  }
+
+  serve::ServerOptions opts;
+  opts.tcp_port = 0;  // ephemeral
+  serve::Server server{opts};
+  const int port = server.port();
+  std::thread serving([&server] { server.run(); });
+
+  const serve::Request run{serve::RequestKind::RunScenario, kScenario};
+  serve::Response resp;
+
+  const double cold_seconds = request_seconds(port, run, resp);
+  if (!resp.ok || resp.tag != "miss") {
+    std::fprintf(stderr, "cold request failed: %s\n", resp.body.c_str());
+    server.request_stop();
+    serving.join();
+    return 1;
+  }
+  const std::string cold_body = resp.body;
+  std::printf("cold   %10.3f ms  (miss: full simulate)\n", cold_seconds * 1e3);
+
+  std::vector<double> warm;
+  warm.reserve(static_cast<std::size_t>(warm_requests));
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < warm_requests; ++i) {
+    const double s = request_seconds(port, run, resp);
+    if (!resp.ok || resp.tag != "hit" || resp.body != cold_body) {
+      std::fprintf(stderr, "warm request %d was not a byte-identical hit\n", i);
+      server.request_stop();
+      serving.join();
+      return 1;
+    }
+    warm.push_back(s);
+  }
+  const double warm_wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  const Summary w = summarize(warm);
+  const double requests_per_sec =
+      warm_wall > 0 ? static_cast<double>(warm_requests) / warm_wall : 0;
+  const double speedup = w.mean > 0 ? cold_seconds / w.mean : 0;
+
+  std::printf("warm   %10.3f ms mean  (p95 %.3f ms, n=%d, hit)\n", w.mean * 1e3,
+              w.p95 * 1e3, warm_requests);
+  std::printf("warm throughput %.0f requests/s\n", requests_per_sec);
+  std::printf("cold/warm speedup %.0fx\n", speedup);
+
+  server.request_stop();
+  serving.join();
+
+  pdc::JsonWriter jw;
+  jw.begin_object();
+  jw.kv("bench", "serve_cold_vs_warm");
+  jw.kv("warm_requests", static_cast<std::int64_t>(warm_requests));
+  jw.kv("cold_seconds", cold_seconds);
+  jw.key("warm_seconds").begin_object();
+  jw.kv("mean", w.mean);
+  jw.kv("min", w.min);
+  jw.kv("max", w.max);
+  jw.kv("p50", w.p50);
+  jw.kv("p95", w.p95);
+  jw.end_object();
+  jw.kv("warm_requests_per_sec", requests_per_sec);
+  jw.kv("cold_over_warm_speedup", speedup);
+  jw.end_object();
+
+  std::FILE* f = std::fopen(out_path, "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot write %s\n", out_path);
+    return 1;
+  }
+  std::fputs(jw.str().c_str(), f);
+  std::fputs("\n", f);
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path);
+  return 0;
+}

@@ -7,10 +7,28 @@
 //   $ ./example_pdc_campaign -j 4 -o out examples/campaigns/fig9.cmp
 //   $ printf 'sweep peers 2,4\n' | PDC_QUICK=1 ./example_pdc_campaign -
 //
+// Distributed execution — split the matrix across worker processes, then
+// reassemble (see examples/README.md "Serving & sharding"):
+//
+//   $ ./example_pdc_campaign --shard 0/2 -o s0 sweep.cmp &
+//   $ ./example_pdc_campaign --shard 1/2 -o s1 sweep.cmp &
+//   $ wait
+//   $ ./example_pdc_campaign --merge -o merged sweep.cmp s0 s1
+//
 // Options:
 //   -j <n>       run up to n grid cells concurrently (default 1)
 //   -o <dir>     output directory (default CAMPAIGN_<name>); holds
 //                runs/<key>.json per run plus report.json / report.csv
+//   --shard i/n  execute only the i-th of n deterministic shards of the run
+//                matrix (0-based). Shards may share one -o directory — the
+//                atomic record protocol makes runs/ a lock-free work queue —
+//                and write report-shard<i>of<n>.json instead of report.json
+//   --merge      merge mode: positional arguments after the campaign file
+//                are input directories holding runs/<key>.json records;
+//                loads every record of the matrix, copies them into -o, and
+//                writes the canonical report.json/report.csv (byte-identical
+//                for any complete partition of the matrix — two shards or
+//                one -j1 run)
 //   --render     print the canonical campaign text and exit (no run)
 //   --list       print the expanded run matrix and exit (no run)
 //   --no-resume  re-execute runs even when their record already exists
@@ -19,13 +37,14 @@
 //
 // Completed runs found in <dir>/runs are skipped on restart, so an
 // interrupted campaign continues where it stopped. The final summary line
-// (`campaign done: ...`) is stable for scripting.
+// (`campaign done: ...` / `campaign merged: ...`) is stable for scripting.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "campaign/executor.hpp"
 #include "support/table.hpp"
@@ -39,6 +58,9 @@ int main(int argc, char** argv) {
   bool list_only = false;
   bool resume = true;
   bool check = false;
+  bool merge = false;
+  int shard_index = 0, shard_count = 1;
+  std::vector<std::string> merge_dirs;  // positional args after the spec file
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "-j") == 0 && i + 1 < argc) jobs = std::atoi(argv[++i]);
     else if (std::strcmp(argv[i], "-o") == 0 && i + 1 < argc) out_dir = argv[++i];
@@ -46,21 +68,42 @@ int main(int argc, char** argv) {
     else if (std::strcmp(argv[i], "--list") == 0) list_only = true;
     else if (std::strcmp(argv[i], "--no-resume") == 0) resume = false;
     else if (std::strcmp(argv[i], "--check") == 0) check = true;
-    else if (argv[i][0] == '-' && std::strcmp(argv[i], "-") != 0) {
+    else if (std::strcmp(argv[i], "--merge") == 0) merge = true;
+    else if (std::strcmp(argv[i], "--shard") == 0 && i + 1 < argc) {
+      if (std::sscanf(argv[++i], "%d/%d", &shard_index, &shard_count) != 2) {
+        std::fprintf(stderr, "--shard wants i/n, e.g. --shard 0/4\n");
+        return 2;
+      }
+    } else if (argv[i][0] == '-' && std::strcmp(argv[i], "-") != 0) {
       std::fprintf(stderr, "unknown option '%s'\n", argv[i]);
       return 2;
-    } else {
+    } else if (spec_path == nullptr) {
       spec_path = argv[i];
+    } else {
+      merge_dirs.push_back(argv[i]);
     }
   }
   if (spec_path == nullptr) {
     std::fprintf(stderr,
-                 "usage: pdc_campaign [-j n] [-o dir] [--render] [--list] [--no-resume] "
-                 "[--check] <campaign-file|->\n");
+                 "usage: pdc_campaign [-j n] [-o dir] [--shard i/n] [--render] [--list] "
+                 "[--no-resume] [--check] <campaign-file|->\n"
+                 "       pdc_campaign --merge [-o dir] <campaign-file|-> <run-dir>...\n");
     return 2;
   }
   if (jobs < 1) {
     std::fprintf(stderr, "-j wants a positive job count\n");
+    return 2;
+  }
+  if (shard_count < 1 || shard_index < 0 || shard_index >= shard_count) {
+    std::fprintf(stderr, "--shard %d/%d is out of range\n", shard_index, shard_count);
+    return 2;
+  }
+  if (!merge && !merge_dirs.empty()) {
+    std::fprintf(stderr, "input run directories only make sense with --merge\n");
+    return 2;
+  }
+  if (merge && (merge_dirs.empty() || shard_count != 1)) {
+    std::fprintf(stderr, "--merge wants input run directories (and no --shard)\n");
     return 2;
   }
 
@@ -96,20 +139,26 @@ int main(int argc, char** argv) {
   campaign::ExecutorOptions opts;
   opts.jobs = jobs;
   opts.resume = resume;
-  opts.progress = true;
+  opts.progress = !merge;
   opts.out_dir = out_dir != nullptr ? out_dir : "CAMPAIGN_" + spec.name;
+  opts.shard_index = shard_index;
+  opts.shard_count = shard_count;
   campaign::Executor executor{std::move(spec), opts};
 
   if (list_only) {
     for (const campaign::CampaignRun& run : executor.runs())
       std::printf("%4zu  %s\n", run.index, run.key.c_str());
-    std::printf("%zu runs\n", executor.runs().size());
+    if (shard_count > 1)
+      std::printf("%zu runs in shard %d/%d\n", executor.runs().size(), shard_index,
+                  shard_count);
+    else
+      std::printf("%zu runs\n", executor.runs().size());
     return 0;
   }
 
   campaign::CampaignReport report;
   try {
-    report = executor.execute();
+    report = merge ? executor.merge(merge_dirs) : executor.execute();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "campaign failed: %s\n", e.what());
     return 1;
@@ -152,9 +201,25 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::printf("wrote %s/report.json and report.csv\n", opts.out_dir.c_str());
-  std::printf("campaign done: total=%zu executed=%zu skipped=%zu errors=%zu wall=%.2fs\n",
-              report.total, report.executed, report.skipped, report.errors,
-              report.wall_seconds);
+  if (merge) {
+    std::printf("wrote %s/report.json and report.csv (canonical)\n",
+                opts.out_dir.c_str());
+    std::printf("campaign merged: total=%zu loaded=%zu errors=%zu\n", report.total,
+                report.total - report.errors, report.errors);
+  } else if (shard_count > 1) {
+    std::printf("wrote %s/report-shard%dof%d.json and .csv\n", opts.out_dir.c_str(),
+                shard_index, shard_count);
+    std::printf(
+        "campaign shard %d/%d done: runs=%zu executed=%zu skipped=%zu errors=%zu "
+        "wall=%.2fs\n",
+        shard_index, shard_count, report.total, report.executed, report.skipped,
+        report.errors, report.wall_seconds);
+  } else {
+    std::printf("wrote %s/report.json and report.csv\n", opts.out_dir.c_str());
+    std::printf(
+        "campaign done: total=%zu executed=%zu skipped=%zu errors=%zu wall=%.2fs\n",
+        report.total, report.executed, report.skipped, report.errors,
+        report.wall_seconds);
+  }
   return report.errors == 0 ? 0 : 3;
 }

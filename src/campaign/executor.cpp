@@ -8,6 +8,7 @@
 #include <set>
 #include <sstream>
 #include <stdexcept>
+#include <system_error>
 #include <tuple>
 
 #include "support/csv.hpp"
@@ -81,27 +82,21 @@ std::map<std::string, double> record_metrics(const JsonValue& record) {
   return m;
 }
 
-Executor::Executor(CampaignSpec spec, ExecutorOptions opts)
-    : spec_(std::move(spec)), opts_(std::move(opts)), runs_(expand(spec_)) {}
+namespace {
 
-std::string Executor::record_path(const CampaignRun& run) const {
-  return (fs::path(opts_.out_dir) / "runs" / (run.key + ".json")).string();
-}
-
-bool Executor::try_resume(const CampaignRun& run, Outcome& out) const {
-  if (opts_.out_dir.empty() || !opts_.resume) return false;
-  std::ifstream in(record_path(run), std::ios::binary);
-  if (!in) return false;
-  std::stringstream buf;
-  buf << in.rdbuf();
-  const std::string text = buf.str();
+/// Parses one persisted record and fills `out` when it is a complete,
+/// matching record for `run`. With `accept_errors` (the merge path), failed
+/// records load too — their error message lands in out.error so aggregation
+/// counts them exactly like a live failed run; without it (the resume path),
+/// failed records are rejected so they re-execute. Returns false on any
+/// mismatch or parse failure.
+bool load_record_text(const std::string& text, const CampaignRun& run, Outcome& out,
+                      bool accept_errors) {
   try {
     const JsonValue doc = parse_json(text);
-    // Only a complete, matching, successful record counts as done; failed
-    // or foreign records are re-executed.
     if (!doc.has("scenario") || doc.at("scenario").as_string() != run.spec.name)
       return false;
-    if (doc.has("error")) return false;
+    if (!accept_errors && doc.has("error")) return false;
     // The run name encodes axis values but not the base scenario, so an
     // edited .cmp (different grid/iters/mode, changed variant parameters,
     // edited inline platform text, ...) must not silently resume stale
@@ -112,14 +107,61 @@ bool Executor::try_resume(const CampaignRun& run, Outcome& out) const {
       return false;
     // Extract before committing any state: a record whose metrics do not
     // parse (older format) is re-executed, not half-loaded.
-    auto metrics = record_metrics(doc);
+    auto metrics = doc.has("error") ? std::map<std::string, double>{}
+                                    : record_metrics(doc);
     out.skipped = true;
+    out.error = doc.has("error") ? doc.at("error").as_string() : "";
     out.record_json = text;
     out.metrics = std::move(metrics);
     return true;
   } catch (const std::exception&) {
     return false;
   }
+}
+
+bool read_file(const fs::path& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  out = buf.str();
+  return true;
+}
+
+/// A worker killed mid-write leaves runs/<key>.json.tmp behind; the rename
+/// protocol already keeps such torn files out of resume's sight, and this
+/// sweep keeps them from accumulating. Only *.tmp leftovers are touched —
+/// never completed records.
+void clean_stale_temps(const fs::path& runs_dir) {
+  if (!fs::is_directory(runs_dir)) return;
+  for (const fs::directory_entry& entry : fs::directory_iterator(runs_dir)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.size() > 4 && name.compare(name.size() - 4, 4, ".tmp") == 0) {
+      std::error_code ec;
+      fs::remove(entry.path(), ec);  // best effort; a live writer wins the race
+    }
+  }
+}
+
+}  // namespace
+
+Executor::Executor(CampaignSpec spec, ExecutorOptions opts)
+    : spec_(std::move(spec)),
+      opts_(std::move(opts)),
+      runs_(shard_runs(expand(spec_), opts_.shard_index, opts_.shard_count)) {}
+
+std::string Executor::record_path(const CampaignRun& run) const {
+  return (fs::path(opts_.out_dir) / "runs" / (run.key + ".json")).string();
+}
+
+bool Executor::try_resume(const CampaignRun& run, Outcome& out) const {
+  if (opts_.out_dir.empty() || !opts_.resume) return false;
+  std::string text;
+  if (!read_file(record_path(run), text)) return false;
+  // Only a complete, matching, successful record counts as done; failed
+  // or foreign records are re-executed.
+  return load_record_text(text, run, out, /*accept_errors=*/false);
 }
 
 void Executor::execute_one(const CampaignRun& run, Outcome& out) const {
@@ -148,7 +190,12 @@ void Executor::execute_one(const CampaignRun& run, Outcome& out) const {
 
 CampaignReport Executor::execute() {
   const auto t0 = std::chrono::steady_clock::now();
-  if (!opts_.out_dir.empty()) fs::create_directories(fs::path(opts_.out_dir) / "runs");
+  if (!opts_.out_dir.empty()) {
+    fs::create_directories(fs::path(opts_.out_dir) / "runs");
+    // A previous session interrupted mid-run may have left torn temp files;
+    // they are never trusted (only renamed records are), so drop them now.
+    clean_stale_temps(fs::path(opts_.out_dir) / "runs");
+  }
 
   outcomes_.clear();
   outcomes_.resize(runs_.size());
@@ -215,27 +262,102 @@ CampaignReport Executor::execute() {
 
   const double wall =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
-  CampaignReport report = aggregate(wall);
+  CampaignReport report = aggregate_outcomes(spec_.name, outcomes_, opts_.jobs, wall);
   report.executed = pending.size();
   if (!opts_.out_dir.empty()) {
-    write_file_atomic(fs::path(opts_.out_dir) / "report.json", report.to_json());
+    // Concurrent shard processes sharing one out_dir each write their own
+    // (partial) report file; only an unsharded session owns report.json.
+    const std::string suffix =
+        opts_.shard_count > 1 ? "-shard" + std::to_string(opts_.shard_index) + "of" +
+                                    std::to_string(opts_.shard_count)
+                              : "";
+    write_file_atomic(fs::path(opts_.out_dir) / ("report" + suffix + ".json"),
+                      report.to_json());
+    write_file_atomic(fs::path(opts_.out_dir) / ("report" + suffix + ".csv"),
+                      report.to_csv());
+  }
+  return report;
+}
+
+CampaignReport Executor::merge(const std::vector<std::string>& input_dirs) {
+  if (opts_.shard_count != 1)
+    throw std::logic_error("merge must run over the full matrix (shard 0/1)");
+  const auto t0 = std::chrono::steady_clock::now();
+  if (!opts_.out_dir.empty()) fs::create_directories(fs::path(opts_.out_dir) / "runs");
+
+  // Accept each input as either a campaign output directory (records in
+  // <dir>/runs/) or a bare record directory.
+  auto candidate_paths = [&input_dirs](const CampaignRun& run) {
+    std::vector<fs::path> paths;
+    for (const std::string& dir : input_dirs) {
+      paths.push_back(fs::path(dir) / "runs" / (run.key + ".json"));
+      paths.push_back(fs::path(dir) / (run.key + ".json"));
+    }
+    return paths;
+  };
+
+  outcomes_.clear();
+  outcomes_.resize(runs_.size());
+  std::size_t loaded = 0;
+  for (std::size_t i = 0; i < runs_.size(); ++i) {
+    Outcome& out = outcomes_[i];
+    out.run = runs_[i];
+    bool found = false;
+    for (const fs::path& path : candidate_paths(runs_[i])) {
+      std::string text;
+      if (!read_file(path, text)) continue;
+      if (load_record_text(text, runs_[i], out, /*accept_errors=*/true)) {
+        found = true;
+        break;
+      }
+      // A file with the right name but wrong spec text is a stale record
+      // from an edited campaign — surface it instead of aggregating it.
+      out.skipped = true;
+      out.error = "stale or foreign record: " + path.string();
+      found = true;
+      break;
+    }
+    if (!found) {
+      out.skipped = true;
+      out.error = "missing record: runs/" + runs_[i].key + ".json";
+    } else if (!out.record_json.empty() && !opts_.out_dir.empty()) {
+      // Assemble one complete, resumable run directory alongside the report.
+      write_file_atomic(fs::path(opts_.out_dir) / "runs" / (runs_[i].key + ".json"),
+                        out.record_json);
+    }
+    if (found && out.ok()) ++loaded;
+  }
+  (void)loaded;
+
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  CampaignReport report = aggregate_outcomes(spec_.name, outcomes_, opts_.jobs, wall);
+  report.executed = 0;
+  if (!opts_.out_dir.empty()) {
+    // The canonical form: a pure function of the records, so merging shard
+    // directories and merging a single -j1 directory produce identical
+    // bytes (diffed in tests and the serve-smoke CI job).
+    write_file_atomic(fs::path(opts_.out_dir) / "report.json",
+                      report.to_json(/*canonical=*/true));
     write_file_atomic(fs::path(opts_.out_dir) / "report.csv", report.to_csv());
   }
   return report;
 }
 
-CampaignReport Executor::aggregate(double wall_seconds) const {
+CampaignReport aggregate_outcomes(const std::string& campaign_name,
+                                  const std::vector<Outcome>& outcomes, int jobs,
+                                  double wall_seconds) {
   CampaignReport report;
-  report.name = spec_.name;
-  report.jobs = opts_.jobs;
-  report.total = runs_.size();
+  report.name = campaign_name;
+  report.jobs = jobs;
+  report.total = outcomes.size();
   report.wall_seconds = wall_seconds;
 
   // Grid points in first-appearance (expansion) order; repetitions are the
   // innermost expansion axis, so samples group naturally.
   std::map<std::string, std::size_t> point_index;
   std::vector<std::map<std::string, std::vector<double>>> samples;
-  for (const Outcome& out : outcomes_) {
+  for (const Outcome& out : outcomes) {
     if (out.skipped) ++report.skipped;
     auto it = point_index.find(out.run.point_key);
     if (it == point_index.end()) {
@@ -269,16 +391,22 @@ CampaignReport Executor::aggregate(double wall_seconds) const {
   return report;
 }
 
-std::string CampaignReport::to_json() const {
+std::string CampaignReport::to_json(bool canonical) const {
   JsonWriter w;
   w.begin_object();
   w.kv("campaign", name);
-  w.kv("jobs", jobs);
+  if (!canonical) {
+    w.kv("jobs", jobs);
+  }
   w.kv("total_runs", static_cast<std::int64_t>(total));
-  w.kv("executed", static_cast<std::int64_t>(executed));
-  w.kv("skipped", static_cast<std::int64_t>(skipped));
+  if (!canonical) {
+    w.kv("executed", static_cast<std::int64_t>(executed));
+    w.kv("skipped", static_cast<std::int64_t>(skipped));
+  }
   w.kv("errors", static_cast<std::int64_t>(errors));
-  w.kv("wall_seconds", wall_seconds);
+  if (!canonical) {
+    w.kv("wall_seconds", wall_seconds);
+  }
   w.key("points").begin_array();
   for (const PointReport& p : points) {
     w.begin_object();

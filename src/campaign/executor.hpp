@@ -35,6 +35,16 @@ struct ExecutorOptions {
   bool resume = true;
   /// Live per-run progress lines on stderr.
   bool progress = false;
+  /// Deterministic shard of the run matrix this executor owns (--shard i/n):
+  /// only runs with index % shard_count == shard_index are executed. Shard
+  /// processes may share one out_dir — the atomic temp-write+rename record
+  /// protocol makes runs/ a lock-free work queue (records land whole or not
+  /// at all, and resume skips work another process finished) — or write to
+  /// separate directories merged afterwards. Sharded sessions write their
+  /// partial report as report-shard<i>of<n>.json so concurrent shards never
+  /// race on report.json; campaign::merge builds the full report.
+  int shard_index = 0;
+  int shard_count = 1;
 };
 
 /// One run's outcome: the serialized RunRecord (written to or loaded from
@@ -77,11 +87,25 @@ struct CampaignReport {
   double wall_seconds = 0;   // this session's wall-clock
   std::vector<PointReport> points;
 
-  std::string to_json() const;
+  /// `canonical` omits the session-dependent fields (jobs, executed,
+  /// skipped, wall_seconds), leaving a document that is a pure function of
+  /// the run records — any complete partition of the matrix (one -j1
+  /// process, two shard processes, a resumed session) merges to the same
+  /// bytes. The merge path writes this form.
+  std::string to_json(bool canonical = false) const;
   /// Long format: one row per (grid point, metric); see examples/README.md
-  /// for the column list.
+  /// for the column list. Contains no session fields, so it is already
+  /// canonical.
   std::string to_csv() const;
 };
+
+/// Aggregates per-run outcomes (in expansion order) into a report: grid
+/// points in first-appearance order, per-point metric summaries over the
+/// successful repetitions, error counts. Shared by the live executor, the
+/// shard-merge path and the serve daemon's campaign handler.
+CampaignReport aggregate_outcomes(const std::string& campaign_name,
+                                  const std::vector<Outcome>& outcomes, int jobs,
+                                  double wall_seconds);
 
 class Executor {
  public:
@@ -97,14 +121,26 @@ class Executor {
   /// the output directory, unwritable report) throw.
   CampaignReport execute();
 
-  /// Per-run outcomes in expansion order; valid after execute().
+  /// Merges completed run directories into the full, unsharded report:
+  /// every record of the expanded matrix is loaded from the first of
+  /// `input_dirs` that holds it (a directory or its runs/ subdirectory;
+  /// failed records are loaded too and counted as errors, a missing record
+  /// becomes a synthetic "missing record" error), copied into
+  /// out_dir/runs/ when an output directory is configured, and aggregated
+  /// exactly like a live session. Writes report.json / report.csv in the
+  /// canonical form, which is byte-identical to the canonical report of a
+  /// single-process -j1 execution of the same campaign. Requires
+  /// shard_count == 1 (the merge spans the whole matrix); throws
+  /// std::logic_error otherwise.
+  CampaignReport merge(const std::vector<std::string>& input_dirs);
+
+  /// Per-run outcomes in expansion order; valid after execute() / merge().
   const std::vector<Outcome>& outcomes() const { return outcomes_; }
 
  private:
   std::string record_path(const CampaignRun& run) const;
   bool try_resume(const CampaignRun& run, Outcome& out) const;
   void execute_one(const CampaignRun& run, Outcome& out) const;
-  CampaignReport aggregate(double wall_seconds) const;
 
   CampaignSpec spec_;
   ExecutorOptions opts_;

@@ -190,6 +190,24 @@ std::vector<CampaignRun> expand(const CampaignSpec& spec) {
   return runs;
 }
 
+std::vector<CampaignRun> shard_runs(std::vector<CampaignRun> runs, int shard_index,
+                                    int shard_count) {
+  if (shard_count < 1)
+    throw std::invalid_argument("shard count must be >= 1, got " +
+                                std::to_string(shard_count));
+  if (shard_index < 0 || shard_index >= shard_count)
+    throw std::invalid_argument("shard index " + std::to_string(shard_index) +
+                                " outside [0, " + std::to_string(shard_count) + ")");
+  if (shard_count == 1) return runs;
+  std::vector<CampaignRun> out;
+  out.reserve(runs.size() / static_cast<std::size_t>(shard_count) + 1);
+  for (CampaignRun& run : runs)
+    if (run.index % static_cast<std::size_t>(shard_count) ==
+        static_cast<std::size_t>(shard_index))
+      out.push_back(std::move(run));
+  return out;
+}
+
 CampaignSpec parse_campaign(const std::string& text, const scenario::RunSpec& base) {
   CampaignSpec spec;
   bool named = false;       // saw a `campaign <name>` line

@@ -83,6 +83,17 @@ struct CampaignRun {
 /// grid (repetitions < 1).
 std::vector<CampaignRun> expand(const CampaignSpec& spec);
 
+/// Deterministic shard selection over an expanded matrix: keeps the runs
+/// whose expansion index i satisfies i % shard_count == shard_index,
+/// preserving order (and each run's original `index`). Round-robin striping
+/// balances repetitions — the innermost axis — across shards, so equal-cost
+/// repeated points spread instead of clumping on one worker. The shards of
+/// any n partition the matrix disjointly and exhaustively; campaign::merge
+/// reassembles their run directories into the unsharded report. Throws
+/// std::invalid_argument on shard_count < 1 or shard_index outside [0, n).
+std::vector<CampaignRun> shard_runs(std::vector<CampaignRun> runs, int shard_index,
+                                    int shard_count);
+
 /// Parses the campaign text format. Unset base keys keep the defaults of
 /// `base` (pass RunSpec::from_env() to honour PDC_QUICK). Throws
 /// scenario::ScenarioError with the 1-based line in the original text.

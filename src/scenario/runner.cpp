@@ -359,6 +359,32 @@ std::unique_ptr<Deployment> deploy(const PlatformSpec& spec, const RunSpec& run)
   return d;
 }
 
+namespace {
+
+// The process-wide dPerf memos behind cost_profile() and Runner::traces().
+// Named stores (instead of function-local statics) so memo_stats() can
+// report their footprint — the "hot across requests" working set the serve
+// daemon exposes in its status endpoint.
+struct CostMemo {
+  std::mutex mutex;
+  std::map<std::tuple<int, int, int, int>, obstacle::CostProfile> cache;
+};
+CostMemo& cost_memo() {
+  static CostMemo memo;
+  return memo;
+}
+
+struct TraceMemo {
+  std::mutex mutex;
+  std::map<std::tuple<int, int, int, int, int, double>, std::vector<dperf::Trace>> cache;
+};
+TraceMemo& trace_memo() {
+  static TraceMemo memo;
+  return memo;
+}
+
+}  // namespace
+
 const obstacle::CostProfile& cost_profile(ir::OptLevel level, const RunSpec& run) {
   // Process-wide memo shared by every concurrent campaign run; the mutex
   // covers lookup and derivation (map references stay valid across inserts,
@@ -366,19 +392,39 @@ const obstacle::CostProfile& cost_profile(ir::OptLevel level, const RunSpec& run
   // deterministic, so serializing first-touch cannot change any result;
   // campaign::Executor pre-warms the profiles its grid needs before fanning
   // out so workers only ever hit the cached path.
-  static std::mutex mutex;
-  static std::map<std::tuple<int, int, int, int>, obstacle::CostProfile> cache;
+  CostMemo& memo = cost_memo();
   const auto key =
       std::make_tuple(static_cast<int>(level), run.bench_n, run.bench_iters, run.bench_rcheck);
-  std::lock_guard<std::mutex> lock(mutex);
-  auto it = cache.find(key);
-  if (it == cache.end()) {
-    it = cache
+  std::lock_guard<std::mutex> lock(memo.mutex);
+  auto it = memo.cache.find(key);
+  if (it == memo.cache.end()) {
+    it = memo.cache
              .emplace(key, obstacle::derive_cost_profile(level, bench_problem_of(run),
                                                          run.bench_iters, run.bench_rcheck))
              .first;
   }
   return it->second;
+}
+
+MemoStats memo_stats() {
+  MemoStats s;
+  {
+    CostMemo& memo = cost_memo();
+    std::lock_guard<std::mutex> lock(memo.mutex);
+    s.cost_profiles = memo.cache.size();
+    s.cost_profile_bytes = memo.cache.size() * sizeof(obstacle::CostProfile);
+  }
+  {
+    TraceMemo& memo = trace_memo();
+    std::lock_guard<std::mutex> lock(memo.mutex);
+    s.trace_sets = memo.cache.size();
+    for (const auto& [key, traces] : memo.cache) {
+      (void)key;
+      for (const dperf::Trace& t : traces)
+        s.trace_bytes += sizeof(dperf::Trace) + t.events.capacity() * sizeof(dperf::TraceEvent);
+    }
+  }
+  return s;
 }
 
 std::unique_ptr<Deployment> Runner::deploy() const {
@@ -393,20 +439,18 @@ std::vector<dperf::Trace> Runner::traces() const {
   // campaign::Executor pre-warms the keys its grid needs (mirroring this
   // tuple) so pooled workers never serialize on a derivation.
   const RunSpec& run = spec_.run;
-  static std::mutex mutex;
-  static std::map<std::tuple<int, int, int, int, int, double>, std::vector<dperf::Trace>>
-      cache;
+  TraceMemo& memo = trace_memo();
   const auto key = std::make_tuple(static_cast<int>(run.level), run.rcheck, run.grid_n,
                                    run.iters, run.rank_count(), run.omega);
-  std::lock_guard<std::mutex> lock(mutex);
-  auto it = cache.find(key);
-  if (it == cache.end()) {
+  std::lock_guard<std::mutex> lock(memo.mutex);
+  auto it = memo.cache.find(key);
+  if (it == memo.cache.end()) {
     dperf::DperfOptions opt;
     opt.level = run.level;
     opt.chunk = run.rcheck;
     opt.sample_iters = 3 * run.rcheck;
     const dperf::Dperf pipeline{obstacle::minic_kernel_source(), opt};
-    it = cache
+    it = memo.cache
              .emplace(key, pipeline.traces(obstacle::kernel_workload(problem_of(run),
                                                                      run.iters, run.rcheck),
                                            run.rank_count()))

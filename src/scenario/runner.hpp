@@ -8,6 +8,7 @@
 // and every bench/example drives scenarios instead of hand-rolled drivers.
 #pragma once
 
+#include <cstddef>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -59,6 +60,19 @@ std::unique_ptr<Deployment> deploy(const PlatformSpec& spec, const RunSpec& run)
 /// dPerf block-benchmark cost profile for a level (memoized per process,
 /// keyed on level + bench sizing).
 const obstacle::CostProfile& cost_profile(ir::OptLevel level, const RunSpec& run);
+
+/// Footprint of the process-wide dPerf memos (cost profiles and trace sets)
+/// that stay hot across runs — what a resident server keeps warm so repeated
+/// what-if queries skip re-benchmarking. Byte counts are estimates of the
+/// dominant storage (trace event vectors, profile structs), not allocator
+/// truth.
+struct MemoStats {
+  std::size_t cost_profiles = 0;
+  std::size_t cost_profile_bytes = 0;
+  std::size_t trace_sets = 0;
+  std::size_t trace_bytes = 0;
+};
+MemoStats memo_stats();
 
 /// Churn observability for one phase: what the injector applied, how many
 /// submissions the computation needed, and the overlay failovers observed.

@@ -1,0 +1,74 @@
+#include "serve/cache.hpp"
+
+#include "support/env.hpp"
+
+namespace pdc::serve {
+
+std::size_t default_cache_bytes() {
+  // env_int is the project-wide knob reader; a non-positive override
+  // disables caching outright (every request simulates), which is the
+  // honest interpretation of "no cache budget".
+  const int v = env_int("PDC_SERVE_CACHE_BYTES", 64 << 20);
+  return v > 0 ? static_cast<std::size_t>(v) : 0;
+}
+
+MemoCache::MemoCache(std::size_t budget_bytes)
+    : budget_(budget_bytes == static_cast<std::size_t>(-1) ? default_cache_bytes()
+                                                           : budget_bytes) {}
+
+std::optional<std::string> MemoCache::get(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+  return it->second.value;
+}
+
+void MemoCache::put(const std::string& key, std::string value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    bytes_ -= it->second.value.size();
+    bytes_ += value.size();
+    it->second.value = std::move(value);
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    evict_to_budget_locked();
+    return;
+  }
+  if (key.size() + value.size() > budget_) return;  // would evict everything
+  ++insertions_;
+  lru_.push_front(key);
+  bytes_ += key.size() + value.size();
+  map_.emplace(key, Entry{std::move(value), lru_.begin()});
+  evict_to_budget_locked();
+}
+
+void MemoCache::evict_to_budget_locked() {
+  while (bytes_ > budget_ && !lru_.empty()) {
+    const std::string& victim = lru_.back();
+    auto it = map_.find(victim);
+    bytes_ -= victim.size() + it->second.value.size();
+    map_.erase(it);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+CacheStats MemoCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  CacheStats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.evictions = evictions_;
+  s.insertions = insertions_;
+  s.entries = map_.size();
+  s.bytes = bytes_;
+  s.budget_bytes = budget_;
+  return s;
+}
+
+}  // namespace pdc::serve

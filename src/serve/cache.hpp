@@ -1,0 +1,72 @@
+// The hot memo at the heart of prediction-as-a-service: canonical spec text
+// -> serialized RunRecord, LRU-evicted under a byte budget. Repeated what-if
+// queries (the "millions of users" traffic shape) become map lookups instead
+// of simulations.
+//
+// Keys are *canonical* spec renderings (scenario::render_scenario of the
+// parsed spec), so textual variants of one scenario — reordered lines,
+// comments, defaulted keys spelled out — all land on the same entry.
+//
+// The budget defaults to the PDC_SERVE_CACHE_BYTES environment knob (see
+// ROADMAP.md); entries are charged key + value bytes. Thread-safe: one
+// mutex, held only for map/list operations (values are returned by copy —
+// response bodies outlive any eviction).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+namespace pdc::serve {
+
+/// The PDC_SERVE_CACHE_BYTES default: 64 MiB.
+std::size_t default_cache_bytes();
+
+/// Point-in-time counters (also embedded in ServeStats).
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t insertions = 0;
+  std::size_t entries = 0;
+  std::size_t bytes = 0;
+  std::size_t budget_bytes = 0;
+};
+
+class MemoCache {
+ public:
+  /// budget_bytes == SIZE_MAX means "use default_cache_bytes()".
+  explicit MemoCache(std::size_t budget_bytes = static_cast<std::size_t>(-1));
+
+  /// Looks `key` up, counting a hit (and refreshing its LRU position) or a
+  /// miss.
+  std::optional<std::string> get(const std::string& key);
+
+  /// Inserts or replaces `key`, then evicts least-recently-used entries
+  /// until the byte budget holds. An entry bigger than the whole budget is
+  /// not cached at all (and does not evict the working set to make room).
+  void put(const std::string& key, std::string value);
+
+  CacheStats stats() const;
+
+ private:
+  struct Entry {
+    std::string value;
+    std::list<std::string>::iterator lru_it;
+  };
+
+  void evict_to_budget_locked();
+
+  mutable std::mutex mutex_;
+  std::size_t budget_;
+  std::size_t bytes_ = 0;
+  std::uint64_t hits_ = 0, misses_ = 0, evictions_ = 0, insertions_ = 0;
+  std::list<std::string> lru_;  // front = most recently used
+  std::unordered_map<std::string, Entry> map_;
+};
+
+}  // namespace pdc::serve

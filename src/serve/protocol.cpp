@@ -1,0 +1,109 @@
+#include "serve/protocol.hpp"
+
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace pdc::serve {
+
+namespace {
+
+std::vector<std::string> split_words(const std::string& line) {
+  std::vector<std::string> out;
+  std::istringstream in(line);
+  std::string w;
+  while (in >> w) out.push_back(w);
+  return out;
+}
+
+std::size_t parse_length(const std::string& text) {
+  char* end = nullptr;
+  const unsigned long long n = std::strtoull(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0')
+    throw std::runtime_error("bad length '" + text + "'");
+  if (n > kMaxBody)
+    throw std::runtime_error("body of " + text + " bytes exceeds the " +
+                             std::to_string(kMaxBody) + "-byte cap");
+  return static_cast<std::size_t>(n);
+}
+
+std::string read_body(const Socket& s, std::size_t size) {
+  std::string body(size, '\0');
+  if (size > 0 && !s.read_exact(body.data(), size))
+    throw std::runtime_error("peer closed before the body");
+  return body;
+}
+
+}  // namespace
+
+bool read_request(const Socket& s, Request& out) {
+  const std::optional<std::string> line = s.read_line();
+  if (!line) return false;
+  const std::vector<std::string> words = split_words(*line);
+  if (words.empty()) throw std::runtime_error("empty request line");
+
+  if (words[0] == "RUN") {
+    if (words.size() != 3 || (words[1] != "scn" && words[1] != "cmp"))
+      throw std::runtime_error("expected: RUN scn|cmp <nbytes>");
+    out.kind =
+        words[1] == "scn" ? RequestKind::RunScenario : RequestKind::RunCampaign;
+    out.body = read_body(s, parse_length(words[2]));
+    return true;
+  }
+  out.body.clear();
+  if (words.size() != 1)
+    throw std::runtime_error("unexpected arguments after '" + words[0] + "'");
+  if (words[0] == "STATS") out.kind = RequestKind::Stats;
+  else if (words[0] == "PING") out.kind = RequestKind::Ping;
+  else if (words[0] == "SHUTDOWN") out.kind = RequestKind::Shutdown;
+  else throw std::runtime_error("unknown request '" + words[0] + "'");
+  return true;
+}
+
+void write_request(const Socket& s, const Request& req) {
+  std::string header;
+  switch (req.kind) {
+    case RequestKind::RunScenario:
+      header = "RUN scn " + std::to_string(req.body.size()) + "\n";
+      break;
+    case RequestKind::RunCampaign:
+      header = "RUN cmp " + std::to_string(req.body.size()) + "\n";
+      break;
+    case RequestKind::Stats: header = "STATS\n"; break;
+    case RequestKind::Ping: header = "PING\n"; break;
+    case RequestKind::Shutdown: header = "SHUTDOWN\n"; break;
+  }
+  // One write per request: header and body reach the server together even
+  // if it reads slowly.
+  s.write_all(header + req.body);
+}
+
+Response read_response(const Socket& s) {
+  const std::optional<std::string> line = s.read_line();
+  if (!line) throw std::runtime_error("server closed without a response");
+  const std::vector<std::string> words = split_words(*line);
+  Response resp;
+  if (words.size() == 3 && words[0] == "OK") {
+    resp.ok = true;
+    resp.tag = words[2];
+    resp.body = read_body(s, parse_length(words[1]));
+  } else if (words.size() == 2 && words[0] == "ERR") {
+    resp.ok = false;
+    resp.body = read_body(s, parse_length(words[1]));
+  } else {
+    throw std::runtime_error("malformed response line '" + *line + "'");
+  }
+  return resp;
+}
+
+void write_response(const Socket& s, const Response& resp) {
+  std::string header;
+  if (resp.ok)
+    header = "OK " + std::to_string(resp.body.size()) + " " + resp.tag + "\n";
+  else
+    header = "ERR " + std::to_string(resp.body.size()) + "\n";
+  s.write_all(header + resp.body);
+}
+
+}  // namespace pdc::serve

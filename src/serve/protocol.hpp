@@ -1,0 +1,64 @@
+// The pdc_serve wire protocol: one request per connection, line-framed.
+//
+// The client sends a single header line, optionally followed by an exact
+// byte-counted body (so spec text never needs escaping):
+//
+//   RUN scn <nbytes>\n<nbytes of scenario text>   run / memo-hit a scenario
+//   RUN cmp <nbytes>\n<nbytes of campaign text>   run a campaign (cells share
+//                                                 the scenario memo cache)
+//   STATS\n                                       ServeStats JSON snapshot
+//   PING\n                                        liveness probe
+//   SHUTDOWN\n                                    graceful drain + exit
+//
+// The server answers with one header line and a byte-counted body:
+//
+//   OK <nbytes> <tag>\n<nbytes of body>           tag = hit | miss | stats |
+//                                                 pong | bye
+//   ERR <nbytes>\n<nbytes of message>
+//
+// For RUN requests the body is the RunRecord / CampaignReport JSON and the
+// tag says whether the answer came from the hot memo cache (`hit`: every
+// simulated cell was served from memory) or required simulation (`miss`).
+// Responses are complete before the server closes the connection; clients
+// read header + body and are done — no trailing sentinel, no keep-alive.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "support/socket.hpp"
+
+namespace pdc::serve {
+
+/// Hard cap on request/response bodies (16 MiB): a corrupt length prefix
+/// must not make either side allocate unbounded memory.
+inline constexpr std::size_t kMaxBody = 16u << 20;
+
+enum class RequestKind { RunScenario, RunCampaign, Stats, Ping, Shutdown };
+
+struct Request {
+  RequestKind kind = RequestKind::Ping;
+  std::string body;  // spec text for Run*, empty otherwise
+};
+
+struct Response {
+  bool ok = false;
+  std::string tag;   // hit | miss | stats | pong | bye (ok) — empty for ERR
+  std::string body;  // payload (ok) or error message
+};
+
+/// Reads one request from `s`. Returns false on clean EOF before any byte
+/// (client connected and went away). Throws std::runtime_error on malformed
+/// framing — the server turns that into an ERR response where possible.
+bool read_request(const Socket& s, Request& out);
+
+/// Writes one request (client side).
+void write_request(const Socket& s, const Request& req);
+
+/// Reads one response (client side). Throws on malformed framing or EOF.
+Response read_response(const Socket& s);
+
+/// Writes one response (server side).
+void write_response(const Socket& s, const Response& resp);
+
+}  // namespace pdc::serve

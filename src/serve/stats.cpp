@@ -1,0 +1,125 @@
+#include "serve/stats.hpp"
+
+#include "support/json.hpp"
+
+namespace pdc::serve {
+
+namespace {
+
+void summary_json(JsonWriter& w, const Summary& s) {
+  w.begin_object();
+  w.kv("n", static_cast<std::int64_t>(s.n));
+  w.kv("mean", s.mean);
+  w.kv("min", s.min);
+  w.kv("max", s.max);
+  w.kv("p50", s.p50);
+  w.kv("p95", s.p95);
+  w.end_object();
+}
+
+}  // namespace
+
+std::string ServeStats::to_json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("requests", requests);
+  w.kv("scenario_requests", scenario_requests);
+  w.kv("campaign_requests", campaign_requests);
+  w.kv("spool_jobs", spool_jobs);
+  w.kv("stats_requests", stats_requests);
+  w.kv("pings", pings);
+  w.kv("errors", errors);
+  w.key("cache").begin_object();
+  w.kv("hits", cache.hits);
+  w.kv("misses", cache.misses);
+  w.kv("evictions", cache.evictions);
+  w.kv("insertions", cache.insertions);
+  w.kv("entries", static_cast<std::int64_t>(cache.entries));
+  w.kv("bytes", static_cast<std::int64_t>(cache.bytes));
+  w.kv("budget_bytes", static_cast<std::int64_t>(cache.budget_bytes));
+  w.end_object();
+  w.key("memos").begin_object();
+  w.kv("cost_profiles", static_cast<std::int64_t>(memos.cost_profiles));
+  w.kv("cost_profile_bytes", static_cast<std::int64_t>(memos.cost_profile_bytes));
+  w.kv("trace_sets", static_cast<std::int64_t>(memos.trace_sets));
+  w.kv("trace_bytes", static_cast<std::int64_t>(memos.trace_bytes));
+  w.end_object();
+  w.kv("in_flight", in_flight);
+  w.kv("queue_peak", queue_peak);
+  w.kv("uptime_seconds", uptime_seconds);
+  w.key("latency_hit");
+  summary_json(w, latency_hit);
+  w.key("latency_miss");
+  summary_json(w, latency_miss);
+  w.end_object();
+  return w.str() + "\n";
+}
+
+void StatsCollector::count_request() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++totals_.requests;
+}
+void StatsCollector::count_scenario() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++totals_.scenario_requests;
+}
+void StatsCollector::count_campaign() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++totals_.campaign_requests;
+}
+void StatsCollector::count_spool_job() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++totals_.spool_jobs;
+}
+void StatsCollector::count_stats() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++totals_.stats_requests;
+}
+void StatsCollector::count_ping() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++totals_.pings;
+}
+void StatsCollector::count_error() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++totals_.errors;
+}
+
+void StatsCollector::enter_request() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++totals_.in_flight;
+  if (totals_.in_flight > totals_.queue_peak) totals_.queue_peak = totals_.in_flight;
+}
+
+void StatsCollector::leave_request() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  --totals_.in_flight;
+}
+
+void StatsCollector::record_latency(bool cache_hit, double seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<double>& ring = cache_hit ? hit_latencies_ : miss_latencies_;
+  std::size_t& next = cache_hit ? hit_next_ : miss_next_;
+  if (ring.size() < kMaxSamples) {
+    ring.push_back(seconds);
+  } else {
+    ring[next] = seconds;
+    next = (next + 1) % kMaxSamples;
+  }
+}
+
+ServeStats StatsCollector::snapshot(const MemoCache& cache,
+                                    double uptime_seconds) const {
+  ServeStats s;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    s = totals_;
+    s.latency_hit = summarize(hit_latencies_);
+    s.latency_miss = summarize(miss_latencies_);
+  }
+  s.cache = cache.stats();
+  s.memos = scenario::memo_stats();
+  s.uptime_seconds = uptime_seconds;
+  return s;
+}
+
+}  // namespace pdc::serve

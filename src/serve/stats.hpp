@@ -1,0 +1,72 @@
+// Serving-layer observability: per-request counters, memo-cache state, the
+// hot dPerf memo footprint, queue depth and latency percentiles — rendered
+// as the JSON document the STATS endpoint returns and the daemon writes on
+// shutdown.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "scenario/runner.hpp"
+#include "serve/cache.hpp"
+#include "support/stats.hpp"
+
+namespace pdc::serve {
+
+/// A point-in-time snapshot of the server's counters.
+struct ServeStats {
+  std::uint64_t requests = 0;        // everything, including pings
+  std::uint64_t scenario_requests = 0;
+  std::uint64_t campaign_requests = 0;
+  std::uint64_t spool_jobs = 0;      // files picked up from the spool
+  std::uint64_t stats_requests = 0;
+  std::uint64_t pings = 0;
+  std::uint64_t errors = 0;          // malformed requests + failed runs
+  CacheStats cache;                  // the RunRecord memo cache
+  scenario::MemoStats memos;         // hot dPerf cost-profile / trace memos
+  int in_flight = 0;                 // requests being processed right now
+  int queue_peak = 0;                // max in_flight observed
+  double uptime_seconds = 0;
+  /// Request latency (seconds), split by whether the answer came from the
+  /// memo cache — the cold/warm split that makes the cache's value visible.
+  Summary latency_hit;
+  Summary latency_miss;
+
+  std::string to_json() const;
+};
+
+/// Thread-safe accumulator behind ServeStats. Latency samples are kept in
+/// bounded rings (most recent kMaxSamples per class) so a long-lived daemon
+/// cannot grow without bound; percentiles describe recent traffic.
+class StatsCollector {
+ public:
+  static constexpr std::size_t kMaxSamples = 4096;
+
+  void count_request();
+  void count_scenario();
+  void count_campaign();
+  void count_spool_job();
+  void count_stats();
+  void count_ping();
+  void count_error();
+
+  /// Tracks in-flight depth; returns the new depth (for queue_peak).
+  void enter_request();
+  void leave_request();
+
+  void record_latency(bool cache_hit, double seconds);
+
+  /// Snapshot, merging in the cache's and the process memos' current state.
+  ServeStats snapshot(const MemoCache& cache, double uptime_seconds) const;
+
+ private:
+  mutable std::mutex mutex_;
+  ServeStats totals_;  // counters only; cache/memos/latency filled on snapshot
+  std::vector<double> hit_latencies_;
+  std::vector<double> miss_latencies_;
+  std::size_t hit_next_ = 0, miss_next_ = 0;  // ring cursors
+};
+
+}  // namespace pdc::serve

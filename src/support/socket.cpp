@@ -1,0 +1,210 @@
+#include "support/socket.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+#include <system_error>
+
+namespace pdc {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+
+int checked(int rc, const std::string& what) {
+  if (rc < 0) throw_errno(what);
+  return rc;
+}
+
+}  // namespace
+
+Socket::~Socket() { close(); }
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Socket::write_all(const void* data, std::size_t size) const {
+  const char* p = static_cast<const char*>(data);
+  std::size_t left = size;
+  while (left > 0) {
+    const ssize_t n = ::send(fd_, p, left, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("socket write");
+    }
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+}
+
+bool Socket::read_exact(void* out, std::size_t size) const {
+  char* p = static_cast<char*>(out);
+  std::size_t got = 0;
+  while (got < size) {
+    const ssize_t n = ::recv(fd_, p + got, size - got, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("socket read");
+    }
+    if (n == 0) {
+      if (got == 0) return false;
+      throw std::runtime_error("socket closed mid-message (" + std::to_string(got) +
+                               "/" + std::to_string(size) + " bytes)");
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::optional<std::string> Socket::read_line(std::size_t max_len) const {
+  // Byte-at-a-time is fine here: the protocol reads exactly one short
+  // header line per request, then switches to bulk read_exact for the body
+  // (a buffered reader would swallow body bytes).
+  std::string line;
+  char c;
+  while (true) {
+    if (!read_exact(&c, 1)) {
+      if (line.empty()) return std::nullopt;
+      throw std::runtime_error("socket closed mid-line");
+    }
+    if (c == '\n') return line;
+    line += c;
+    if (line.size() > max_len) throw std::runtime_error("protocol line too long");
+  }
+}
+
+void Socket::set_io_timeout(double seconds) const {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(seconds);
+  tv.tv_usec = static_cast<suseconds_t>((seconds - std::floor(seconds)) * 1e6);
+  checked(::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)),
+          "setsockopt(SO_RCVTIMEO)");
+  checked(::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)),
+          "setsockopt(SO_SNDTIMEO)");
+}
+
+Socket listen_unix(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path))
+    throw std::invalid_argument("unix socket path too long: " + path);
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+  Socket s{checked(::socket(AF_UNIX, SOCK_STREAM, 0), "socket(AF_UNIX)")};
+  ::unlink(path.c_str());  // stale socket file from a previous daemon
+  checked(::bind(s.fd(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+          "bind '" + path + "'");
+  checked(::listen(s.fd(), 64), "listen");
+  return s;
+}
+
+Socket listen_tcp(int port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+
+  Socket s{checked(::socket(AF_INET, SOCK_STREAM, 0), "socket(AF_INET)")};
+  const int one = 1;
+  checked(::setsockopt(s.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)),
+          "setsockopt(SO_REUSEADDR)");
+  checked(::bind(s.fd(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+          "bind 127.0.0.1:" + std::to_string(port));
+  checked(::listen(s.fd(), 64), "listen");
+  return s;
+}
+
+int bound_tcp_port(const Socket& listener) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  checked(::getsockname(listener.fd(), reinterpret_cast<sockaddr*>(&addr), &len),
+          "getsockname");
+  return ntohs(addr.sin_port);
+}
+
+Socket connect_unix(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path))
+    throw std::invalid_argument("unix socket path too long: " + path);
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+  Socket s{checked(::socket(AF_UNIX, SOCK_STREAM, 0), "socket(AF_UNIX)")};
+  checked(::connect(s.fd(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+          "connect '" + path + "'");
+  return s;
+}
+
+Socket connect_tcp(const std::string& host, int port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
+    throw std::invalid_argument("bad IPv4 address '" + host + "'");
+
+  Socket s{checked(::socket(AF_INET, SOCK_STREAM, 0), "socket(AF_INET)")};
+  checked(::connect(s.fd(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+          "connect " + host + ":" + std::to_string(port));
+  return s;
+}
+
+std::optional<Socket> accept_ready(const Socket& a, const Socket& b,
+                                   double timeout_seconds) {
+  pollfd fds[2];
+  const Socket* sockets[2];
+  nfds_t n = 0;
+  for (const Socket* s : {&a, &b}) {
+    if (!s->valid()) continue;
+    fds[n].fd = s->fd();
+    fds[n].events = POLLIN;
+    fds[n].revents = 0;
+    sockets[n] = s;
+    ++n;
+  }
+  if (n == 0) throw std::logic_error("accept_ready: no valid listener");
+
+  const int timeout_ms = static_cast<int>(timeout_seconds * 1000.0);
+  const int rc = ::poll(fds, n, timeout_ms);
+  if (rc < 0) {
+    if (errno == EINTR) return std::nullopt;  // let the caller re-check stop flags
+    throw_errno("poll");
+  }
+  if (rc == 0) return std::nullopt;
+  for (nfds_t i = 0; i < n; ++i) {
+    if ((fds[i].revents & POLLIN) == 0) continue;
+    const int fd = ::accept(sockets[i]->fd(), nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED || errno == EAGAIN ||
+          errno == EWOULDBLOCK)
+        return std::nullopt;
+      throw_errno("accept");
+    }
+    return Socket{fd};
+  }
+  return std::nullopt;
+}
+
+}  // namespace pdc

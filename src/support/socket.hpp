@@ -1,0 +1,78 @@
+// Minimal POSIX socket wrapper for the serving layer: RAII file
+// descriptors, Unix-domain and loopback-TCP listeners, blocking client
+// connects, poll-based accept with a timeout, and the exact-read /
+// exact-write helpers the line-framed serve protocol is built on
+// (serve/protocol.hpp).
+//
+// Scope is deliberately narrow — local sockets between cooperating
+// processes on one machine (the pdc_serve daemon and its clients), not a
+// general networking layer. Everything throws std::system_error on OS
+// failures so callers see errno text.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+
+namespace pdc {
+
+/// RAII socket file descriptor. Move-only; closes on destruction.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket();
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  void close();
+
+  /// Writes all of `data`, looping over partial writes. Throws on error.
+  void write_all(const void* data, std::size_t size) const;
+  void write_all(const std::string& data) const { write_all(data.data(), data.size()); }
+
+  /// Reads exactly `size` bytes. Returns false on clean EOF before the first
+  /// byte; throws on error or truncation mid-buffer.
+  bool read_exact(void* out, std::size_t size) const;
+
+  /// Reads up to and including '\n', returning the line without the
+  /// terminator. Returns nullopt on clean EOF before any byte. Throws on
+  /// error, EOF mid-line, or a line longer than `max_len`.
+  std::optional<std::string> read_line(std::size_t max_len = 4096) const;
+
+  /// Arms SO_RCVTIMEO/SO_SNDTIMEO so a dead peer cannot park a worker
+  /// forever; subsequent reads/writes fail with std::system_error (EAGAIN).
+  void set_io_timeout(double seconds) const;
+
+ private:
+  int fd_ = -1;
+};
+
+/// Binds and listens on a Unix-domain socket at `path` (an existing socket
+/// file at that path is removed first, the daemon-restart convention).
+Socket listen_unix(const std::string& path);
+
+/// Binds and listens on 127.0.0.1:`port` (0 = ephemeral). Use
+/// `bound_tcp_port` to learn the chosen port.
+Socket listen_tcp(int port);
+
+/// The local port a TCP listener is bound to.
+int bound_tcp_port(const Socket& listener);
+
+/// Blocking client connects.
+Socket connect_unix(const std::string& path);
+Socket connect_tcp(const std::string& host, int port);
+
+/// Waits up to `timeout_seconds` for either listener (invalid sockets are
+/// skipped) to have a pending connection; returns the accepted connection or
+/// nullopt on timeout. Throws on poll/accept errors (EINTR is treated as a
+/// timeout so signal-driven shutdown flags get re-checked by the caller).
+std::optional<Socket> accept_ready(const Socket& a, const Socket& b,
+                                   double timeout_seconds);
+
+}  // namespace pdc
