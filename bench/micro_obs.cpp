@@ -1,0 +1,246 @@
+// Observability-layer microbench: what does tracing cost, on and off?
+//
+// The obs contract is "zero-overhead-when-off" — every hook in the event
+// kernel and FlowNet guards on one thread_local load. This bench prices
+// that claim and the on-path, emitting BENCH_obs.json:
+//
+//  * dispatch_off    — the micro_engine closure_light workload with the
+//    tracing hooks compiled in but no recorder installed. Pass
+//    --baseline=BENCH_engine.json to embed the overhead percentage vs the
+//    closure_light rate recorded there (the ≤2% acceptance gate);
+//  * dispatch_traced — the same chains with a live recorder, pricing the
+//    sampled queue-depth counter the engine emits every 64 time advances;
+//  * recorder_spans  — tight span_begin/span_end pairs with two numeric
+//    args: the raw per-event recorder cost, ns/event;
+//  * recorder_async  — async begin/end pairs (the FlowNet flow lifecycle
+//    shape: cat + correlation id);
+//  * render_json     — to_json() over the recorder_spans document, bytes/s;
+//  * histogram       — obs::Histogram::observe, the serve-latency hot path;
+//  * prometheus      — render_prometheus over a serve-shaped registry,
+//    renders/s (the METRICS verb answer cost).
+//
+// Emits BENCH_obs.json (argv[1] redirects). PDC_QUICK shrinks budgets for
+// smoke/ASan runs.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "sim/engine.hpp"
+#include "support/env.hpp"
+#include "support/json.hpp"
+
+namespace {
+
+using namespace pdc;
+using sim::Engine;
+
+struct Result {
+  std::string name;
+  std::uint64_t events = 0;
+  double wall_seconds = 0;
+  double events_per_sec = 0;
+};
+
+struct Timer {
+  std::chrono::steady_clock::time_point t0 = std::chrono::steady_clock::now();
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  }
+};
+
+Result finish(std::string name, std::uint64_t events, const Timer& timer) {
+  Result r;
+  r.name = std::move(name);
+  r.events = events;
+  r.wall_seconds = timer.seconds();
+  r.events_per_sec =
+      r.wall_seconds > 0 ? static_cast<double>(events) / r.wall_seconds : 0;
+  return r;
+}
+
+// The micro_engine closure_light workload, byte for byte: self-rechaining
+// events with a pointer-sized capture. Identical code here means the
+// --baseline comparison against BENCH_engine.json compares like with like.
+struct LightChain {
+  Engine* eng;
+  std::uint64_t remaining;
+  void step() {
+    if (remaining == 0) return;
+    --remaining;
+    eng->schedule_after(0.001, [this] { step(); });
+  }
+};
+
+Result bench_dispatch(const char* name, std::uint64_t events,
+                      obs::TraceRecorder* recorder) {
+  Engine eng;
+  constexpr int kChains = 16;
+  std::vector<LightChain> chains(kChains);
+  obs::TraceScope scope{recorder};  // null recorder = tracing off
+  Timer timer;
+  for (auto& c : chains) {
+    c.eng = &eng;
+    c.remaining = events / kChains;
+    c.step();
+  }
+  eng.run();
+  return finish(name, eng.dispatched_events(), timer);
+}
+
+Result bench_recorder_spans(std::uint64_t events, obs::TraceRecorder& tr) {
+  tr.begin_phase("bench");
+  const obs::TrackId t = tr.track("spans");
+  Timer timer;
+  for (std::uint64_t i = 0; i < events / 2; ++i) {
+    tr.span_begin(t, "work", static_cast<double>(i) * 1e-6,
+                  {{"peers", 8}, {"bytes", 4096.0}});
+    tr.span_end(t, static_cast<double>(i) * 1e-6 + 5e-7);
+  }
+  return finish("recorder_spans", tr.event_count(), timer);
+}
+
+Result bench_recorder_async(std::uint64_t events) {
+  obs::TraceRecorder tr;
+  tr.begin_phase("bench");
+  const obs::TrackId t = tr.track("flows");
+  Timer timer;
+  for (std::uint64_t i = 0; i < events / 2; ++i) {
+    tr.async_begin(t, "flow", "flow", i, static_cast<double>(i) * 1e-6,
+                   {{"src", 1}, {"dst", 2}});
+    tr.async_end(t, "flow", "flow", i, static_cast<double>(i) * 1e-6 + 5e-7);
+  }
+  return finish("recorder_async", tr.event_count(), timer);
+}
+
+Result bench_render_json(const obs::TraceRecorder& tr) {
+  Timer timer;
+  const std::string text = tr.to_json();
+  Result r = finish("render_json", text.size(), timer);
+  r.name = "render_json";  // events = bytes rendered
+  return r;
+}
+
+Result bench_histogram(std::uint64_t events) {
+  obs::Histogram h;
+  Timer timer;
+  for (std::uint64_t i = 0; i < events; ++i)
+    h.observe(static_cast<double>(i % 1000) * 1e-5 + 1e-6);
+  // Percentile queries ride along: they are what the stats snapshot pays.
+  volatile double sink = h.percentile(0.99);
+  (void)sink;
+  return finish("histogram", h.count(), timer);
+}
+
+Result bench_prometheus(std::uint64_t renders) {
+  std::uint64_t bytes = 0;
+  Timer timer;
+  for (std::uint64_t i = 0; i < renders; ++i) {
+    // Build + render per iteration: the METRICS verb snapshots a fresh
+    // registry per request, so the build cost is part of the answer.
+    obs::Registry reg;
+    reg.counter("serve", "requests", "requests accepted").set(i);
+    reg.counter("serve", "errors", "failed requests").set(std::uint64_t{3});
+    reg.counter("cache", "hits", "memo cache hits").set(i / 2);
+    reg.counter("cache", "misses", "memo cache misses").set(i / 3);
+    reg.gauge("cache", "bytes", "cached answer bytes").set(std::uint64_t{1} << 20);
+    reg.gauge("load", "in_flight", "live requests").set(2);
+    reg.rename_prom("serve_in_flight");
+    obs::Histogram& h =
+        reg.histogram("serve", "latency_hit_seconds", "hit latency");
+    for (int j = 0; j < 64; ++j) h.observe(static_cast<double>(j) * 1e-4);
+    bytes += reg.render_prometheus("pdc_").size();
+  }
+  Result r = finish("prometheus", renders, timer);
+  r.name = "prometheus";
+  (void)bytes;
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* out_path = "BENCH_obs.json";
+  std::string baseline_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--baseline=", 11) == 0)
+      baseline_path = argv[i] + 11;
+    else
+      out_path = argv[i];
+  }
+
+  const bool quick = env_flag("PDC_QUICK");
+  const std::uint64_t events = quick ? 100'000 : 4'000'000;
+  const std::uint64_t renders = quick ? 500 : 20'000;
+
+  std::vector<Result> results;
+  results.push_back(bench_dispatch("dispatch_off", events, nullptr));
+  obs::TraceRecorder dispatch_rec;
+  results.push_back(bench_dispatch("dispatch_traced", events, &dispatch_rec));
+  obs::TraceRecorder span_rec;
+  results.push_back(bench_recorder_spans(events, span_rec));
+  results.push_back(bench_recorder_async(events));
+  results.push_back(bench_render_json(span_rec));
+  results.push_back(bench_histogram(events));
+  results.push_back(bench_prometheus(renders));
+
+  // The acceptance gate: dispatch_off vs the closure_light rate in a
+  // previously emitted BENCH_engine.json (same workload, pre-obs kernel).
+  double baseline_light = 0;
+  if (!baseline_path.empty()) {
+    std::ifstream in(baseline_path, std::ios::binary);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    const JsonValue baseline = parse_json(buf.str());
+    if (baseline.has("workloads"))
+      for (const JsonValue& w : baseline.at("workloads").as_array())
+        if (w.at("name").as_string() == "closure_light")
+          baseline_light = w.at("events_per_sec").as_double();
+  }
+
+  JsonWriter w;
+  w.begin_object();
+  w.kv("bench", "obs_tracing_cost");
+  w.kv("quick", quick);
+  w.kv("events_per_workload", events);
+  w.key("workloads").begin_array();
+  for (const Result& r : results) {
+    w.begin_object();
+    w.kv("name", r.name);
+    w.kv("events", r.events);
+    w.kv("wall_seconds", r.wall_seconds);
+    w.kv("events_per_sec", r.events_per_sec);
+    if (r.name == "dispatch_off" && baseline_light > 0) {
+      const double overhead = baseline_light / r.events_per_sec - 1.0;
+      w.kv("baseline_events_per_sec", baseline_light);
+      w.kv("off_overhead_pct", overhead * 100.0);
+    }
+    w.end_object();
+    std::printf("%-16s %10llu events  %8.3f s  %12.0f ev/s",
+                r.name.c_str(), static_cast<unsigned long long>(r.events),
+                r.wall_seconds, r.events_per_sec);
+    if (r.name == "dispatch_off" && baseline_light > 0)
+      std::printf("  %+.2f%% vs engine baseline",
+                  (baseline_light / r.events_per_sec - 1.0) * 100.0);
+    std::printf("\n");
+    std::fflush(stdout);
+  }
+  w.end_array();
+  w.end_object();
+
+  std::FILE* f = std::fopen(out_path, "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot write %s\n", out_path);
+    return 1;
+  }
+  std::fputs(w.str().c_str(), f);
+  std::fputs("\n", f);
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path);
+  return 0;
+}

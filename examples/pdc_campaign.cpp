@@ -34,6 +34,9 @@
 //   --no-resume  re-execute runs even when their record already exists
 //   --check      re-parse the emitted report JSON + CSV and fail loudly on
 //                a mismatch (used by the CI campaign-smoke job)
+//   --trace-dir <dir>  write a Chrome-trace JSON per executed run as
+//                <dir>/<key>.trace.json (defaults to PDC_TRACE_DIR when set;
+//                does not affect run keys, records or the report)
 //
 // Completed runs found in <dir>/runs are skipped on restart, so an
 // interrupted campaign continues where it stopped. The final summary line
@@ -47,6 +50,7 @@
 #include <vector>
 
 #include "campaign/executor.hpp"
+#include "support/env.hpp"
 #include "support/table.hpp"
 
 int main(int argc, char** argv) {
@@ -60,10 +64,14 @@ int main(int argc, char** argv) {
   bool check = false;
   bool merge = false;
   int shard_index = 0, shard_count = 1;
+  // Per-run tracing; the flag overrides the PDC_TRACE_DIR default.
+  std::string trace_dir = env_str("PDC_TRACE_DIR");
   std::vector<std::string> merge_dirs;  // positional args after the spec file
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "-j") == 0 && i + 1 < argc) jobs = std::atoi(argv[++i]);
     else if (std::strcmp(argv[i], "-o") == 0 && i + 1 < argc) out_dir = argv[++i];
+    else if (std::strcmp(argv[i], "--trace-dir") == 0 && i + 1 < argc)
+      trace_dir = argv[++i];
     else if (std::strcmp(argv[i], "--render") == 0) render_only = true;
     else if (std::strcmp(argv[i], "--list") == 0) list_only = true;
     else if (std::strcmp(argv[i], "--no-resume") == 0) resume = false;
@@ -86,7 +94,7 @@ int main(int argc, char** argv) {
   if (spec_path == nullptr) {
     std::fprintf(stderr,
                  "usage: pdc_campaign [-j n] [-o dir] [--shard i/n] [--render] [--list] "
-                 "[--no-resume] [--check] <campaign-file|->\n"
+                 "[--no-resume] [--check] [--trace-dir dir] <campaign-file|->\n"
                  "       pdc_campaign --merge [-o dir] <campaign-file|-> <run-dir>...\n");
     return 2;
   }
@@ -143,6 +151,7 @@ int main(int argc, char** argv) {
   opts.out_dir = out_dir != nullptr ? out_dir : "CAMPAIGN_" + spec.name;
   opts.shard_index = shard_index;
   opts.shard_count = shard_count;
+  opts.trace_dir = trace_dir;
   campaign::Executor executor{std::move(spec), opts};
 
   if (list_only) {

@@ -18,6 +18,7 @@
 // Commands:
 //   run <file|->      submit the .scn/.cmp file (kind from the extension)
 //   stats             print the ServeStats JSON snapshot
+//   metrics           print the Prometheus text exposition of the same counters
 //   ping              liveness probe (prints the server's banner)
 //   shutdown          ask the daemon to drain and exit
 //
@@ -55,8 +56,8 @@ int main(int argc, char** argv) {
       (std::strcmp(command, "run") == 0) != (arg != nullptr)) {
     std::fprintf(stderr,
                  "usage: pdc_client [--unix path | --tcp port] [--cmp] "
-                 "[--expect hit|miss] run <file.scn|file.cmp|-> | stats | ping | "
-                 "shutdown\n");
+                 "[--expect hit|miss] run <file.scn|file.cmp|-> | stats | metrics | "
+                 "ping | shutdown\n");
     return 2;
   }
 
@@ -82,6 +83,8 @@ int main(int argc, char** argv) {
     req.kind = cmp ? serve::RequestKind::RunCampaign : serve::RequestKind::RunScenario;
   } else if (std::strcmp(command, "stats") == 0) {
     req.kind = serve::RequestKind::Stats;
+  } else if (std::strcmp(command, "metrics") == 0) {
+    req.kind = serve::RequestKind::Metrics;
   } else if (std::strcmp(command, "ping") == 0) {
     req.kind = serve::RequestKind::Ping;
   } else if (std::strcmp(command, "shutdown") == 0) {

@@ -20,6 +20,8 @@
 //   -j <n>            concurrent request workers (default 1)
 //   --stats <path>    write the final ServeStats JSON here on shutdown
 //   --cache-bytes <n> memo-cache byte budget (overrides PDC_SERVE_CACHE_BYTES)
+//   --metrics-every <sec>  cadence of the <spool>/out/metrics.prom Prometheus
+//                     snapshot (default 60; 0 disables; needs --spool)
 //   -v                log protocol activity to stderr
 //
 // SIGINT/SIGTERM trigger the same graceful drain as a SHUTDOWN request.
@@ -57,12 +59,14 @@ int main(int argc, char** argv) {
       opts.stats_path = argv[++i];
     else if (std::strcmp(argv[i], "--cache-bytes") == 0 && i + 1 < argc)
       opts.cache_bytes = static_cast<std::size_t>(std::atoll(argv[++i]));
+    else if (std::strcmp(argv[i], "--metrics-every") == 0 && i + 1 < argc)
+      opts.metrics_interval_seconds = std::atof(argv[++i]);
     else if (std::strcmp(argv[i], "-v") == 0)
       set_log_level(LogLevel::Info);
     else {
       std::fprintf(stderr,
                    "usage: pdc_serve [--unix path] [--tcp port] [--spool dir] [-j n] "
-                   "[--stats path] [--cache-bytes n] [-v]\n");
+                   "[--stats path] [--cache-bytes n] [--metrics-every sec] [-v]\n");
       return 2;
     }
   }

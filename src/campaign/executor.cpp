@@ -169,7 +169,11 @@ void Executor::execute_one(const CampaignRun& run, Outcome& out) const {
   // Warnings this run emits (starved flows, ...) carry its key even when
   // eight workers interleave on stderr.
   LogRunTag tag(run.key);
-  const scenario::Runner runner{run.spec};
+  scenario::ScenarioSpec spec = run.spec;
+  if (!opts_.trace_dir.empty() && spec.run.trace_path.empty())
+    spec.run.trace_path =
+        (fs::path(opts_.trace_dir) / (run.key + ".trace.json")).string();
+  const scenario::Runner runner{std::move(spec)};
   scenario::RunRecord rec = runner.try_run();
   out.error = rec.error;
   out.record_json = rec.to_json();
@@ -196,6 +200,7 @@ CampaignReport Executor::execute() {
     // they are never trusted (only renamed records are), so drop them now.
     clean_stale_temps(fs::path(opts_.out_dir) / "runs");
   }
+  if (!opts_.trace_dir.empty()) fs::create_directories(opts_.trace_dir);
 
   outcomes_.clear();
   outcomes_.resize(runs_.size());

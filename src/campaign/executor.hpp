@@ -45,6 +45,10 @@ struct ExecutorOptions {
   /// race on report.json; campaign::merge builds the full report.
   int shard_index = 0;
   int shard_count = 1;
+  /// Write a Chrome-trace JSON per executed run as <trace_dir>/<key>.trace.json
+  /// (--trace-dir / PDC_TRACE_DIR; empty = untraced). Purely an execution
+  /// knob: run keys, records and the report are unaffected.
+  std::string trace_dir;
 };
 
 /// One run's outcome: the serialized RunRecord (written to or loaded from

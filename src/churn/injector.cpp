@@ -2,9 +2,21 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
 #include "support/log.hpp"
 
 namespace pdc::churn {
+
+namespace {
+
+/// All churn instants land on one shared "churn" track of the per-run trace.
+void trace_churn(sim::Engine& eng, const char* name,
+                 std::initializer_list<obs::TraceArg> args) {
+  if (obs::TraceRecorder* tr = obs::trace(); tr != nullptr)
+    tr->instant(tr->track("churn"), name, eng.now(), args);
+}
+
+}  // namespace
 
 Injector::Injector(p2pdc::Environment& env, std::vector<net::NodeIdx> workers,
                    std::vector<net::NodeIdx> crashable_trackers,
@@ -54,11 +66,13 @@ void Injector::crash_peer(const ChurnEvent& ev) {
   }
   if (host < 0) {
     ++stats_.events_skipped;
+    trace_churn(env_->engine(), "skipped", {{"kind", "crash-peer"}});
     return;
   }
   PDC_LOG_INFO("churn: crash-peer " + env_->platform().node(host).name + " at t=" +
                std::to_string(env_->engine().now()));
   env_->crash_host(host);
+  trace_churn(env_->engine(), "crash-peer", {{"host", host}});
   ++stats_.peer_crashes;
   ++stats_.events_applied;
 }
@@ -66,6 +80,7 @@ void Injector::crash_peer(const ChurnEvent& ev) {
 void Injector::join_peer() {
   if (next_spare_ >= spare_hosts_.size()) {
     ++stats_.events_skipped;  // no replacement capacity left on this platform
+    trace_churn(env_->engine(), "skipped", {{"kind", "join"}});
     return;
   }
   const net::NodeIdx host = spare_hosts_[next_spare_++];
@@ -74,6 +89,7 @@ void Injector::join_peer() {
   // The shared deployment policy, so replacements satisfy the same
   // requirement matching as the original workers.
   env_->boot_peer(host, p2pdc::worker_resources(env_->platform(), host));
+  trace_churn(env_->engine(), "join", {{"host", host}});
   ++stats_.peer_joins;
   ++stats_.events_applied;
 }
@@ -102,11 +118,13 @@ void Injector::crash_tracker(const ChurnEvent& ev) {
   }
   if (host < 0) {
     ++stats_.events_skipped;
+    trace_churn(env_->engine(), "skipped", {{"kind", "crash-tracker"}});
     return;
   }
   PDC_LOG_INFO("churn: crash-tracker " + env_->platform().node(host).name + " at t=" +
                std::to_string(env_->engine().now()));
   env_->crash_host(host);
+  trace_churn(env_->engine(), "crash-tracker", {{"host", host}});
   ++stats_.tracker_crashes;
   ++stats_.events_applied;
 }
@@ -115,12 +133,14 @@ void Injector::degrade_link(const ChurnEvent& ev) {
   const int links = env_->platform().link_count();
   if (links == 0) {
     ++stats_.events_skipped;
+    trace_churn(env_->engine(), "skipped", {{"kind", "degrade-link"}});
     return;
   }
   net::LinkIdx link;
   if (ev.target >= 0) {
     if (ev.target >= links) {
       ++stats_.events_skipped;
+      trace_churn(env_->engine(), "skipped", {{"kind", "degrade-link"}});
       return;
     }
     link = ev.target;
@@ -128,6 +148,7 @@ void Injector::degrade_link(const ChurnEvent& ev) {
     link = static_cast<net::LinkIdx>(rng_.uniform_int(0, links - 1));
   }
   env_->flownet().set_link_scale(link, ev.scale);
+  trace_churn(env_->engine(), "degrade-link", {{"link", link}, {"scale", ev.scale}});
   degraded_.push_back(link);
   ++stats_.link_degrades;
   ++stats_.events_applied;
@@ -138,6 +159,7 @@ void Injector::restore_link(const ChurnEvent& ev) {
   if (ev.target >= 0) {
     if (ev.target >= env_->platform().link_count()) {
       ++stats_.events_skipped;
+      trace_churn(env_->engine(), "skipped", {{"kind", "restore-link"}});
       return;
     }
     link = ev.target;
@@ -147,12 +169,14 @@ void Injector::restore_link(const ChurnEvent& ev) {
     // Model-generated restores heal the longest-degraded link first.
     if (degraded_.empty()) {
       ++stats_.events_skipped;
+      trace_churn(env_->engine(), "skipped", {{"kind", "restore-link"}});
       return;
     }
     link = degraded_.front();
     degraded_.pop_front();
   }
   env_->flownet().set_link_scale(link, 1.0);
+  trace_churn(env_->engine(), "restore-link", {{"link", link}});
   ++stats_.link_restores;
   ++stats_.events_applied;
 }

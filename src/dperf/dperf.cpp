@@ -7,6 +7,7 @@
 #include "minic/parser.hpp"
 #include "minic/sema.hpp"
 #include "minic/unparse.hpp"
+#include "obs/trace.hpp"
 
 namespace pdc::dperf {
 
@@ -86,6 +87,15 @@ Prediction replay_on(p2pdc::Environment& env, net::NodeIdx submitter_host,
         case TraceEvent::Kind::IterMark:
           break;  // markers carry no replay cost
       }
+    }
+    // Retroactive per-rank replay span: B at the recorded start, E at the
+    // moment the trace ran dry.
+    if (obs::TraceRecorder* tr = obs::trace(); tr != nullptr) {
+      const obs::TrackId t = tr->track("rank/" + std::to_string(ctx.rank()));
+      tr->span_begin(t, "replay", started,
+                     {{"rank", ctx.rank()},
+                      {"events", static_cast<std::uint64_t>(trace.events.size())}});
+      tr->span_end(t, ctx.now());
     }
     ctx.set_result({started, ctx.now()});
   };

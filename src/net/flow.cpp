@@ -7,6 +7,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "obs/trace.hpp"
 #include "support/log.hpp"
 
 namespace pdc::net {
@@ -66,6 +67,9 @@ void FlowNet::set_link_scale(LinkIdx link, double scale) {
   }
   ++stats_.link_rescales;
   ++stats_.reshares;
+  if (obs::TraceRecorder* tr = obs::trace(); tr != nullptr)
+    tr->instant(tr->track("flownet"), "rescale", engine_->now(),
+                {{"link", link}, {"scale", scale}});
   if (mode_ == Mode::Reference)
     reference_reshare();
   else
@@ -102,6 +106,12 @@ FlowId FlowNet::start_flow(NodeIdx src, NodeIdx dst, double bytes,
                            sim::EventFn on_complete) {
   ++stats_.flows_started;
   const FlowId id = next_id_++;
+  if (obs::TraceRecorder* tr = obs::trace(); tr != nullptr) {
+    const obs::TrackId t = tr->track("flownet");
+    tr->async_begin(t, "flow", "flow", id, engine_->now(),
+                    {{"src", src}, {"dst", dst}, {"bytes", bytes}});
+    if (src == dst) tr->async_end(t, "flow", "flow", id, engine_->now());
+  }
   if (src == dst) {
     ++stats_.flows_completed;
     stats_.bytes_completed += bytes;
@@ -255,6 +265,9 @@ void FlowNet::resolve_dirty() {
 
   stats_.flows_rescanned += affected_.size();
   if (affected_.size() < transfer_flows_) ++stats_.reshares_partial;
+  if (obs::TraceRecorder* tr = obs::trace(); tr != nullptr)
+    tr->instant(tr->track("flownet"), "reshare", now,
+                {{"rescanned", static_cast<std::uint64_t>(affected_.size())}});
 
   // Settle progress under the outgoing rates, then re-solve the component by
   // progressive filling (identical fixing rule to the reference oracle).
@@ -340,6 +353,8 @@ void FlowNet::on_completion_event() {
     Flow& f = flows_[s];
     ++stats_.flows_completed;
     stats_.bytes_completed += f.total_bytes;
+    if (obs::TraceRecorder* tr = obs::trace(); tr != nullptr)
+      tr->async_end(tr->track("flownet"), "flow", "flow", f.id, now);
     engine_->post(std::move(f.on_complete));
     release_slot(s);
   }
@@ -457,6 +472,8 @@ void FlowNet::reference_completion_event() {
     Flow& f = flows_[s];
     ++stats_.flows_completed;
     stats_.bytes_completed += f.total_bytes;
+    if (obs::TraceRecorder* tr = obs::trace(); tr != nullptr)
+      tr->async_end(tr->track("flownet"), "flow", "flow", f.id, engine_->now());
     engine_->post(std::move(f.on_complete));
     release_slot(s);
   }

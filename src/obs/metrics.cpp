@@ -1,0 +1,185 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+
+#include "support/json.hpp"
+
+namespace pdc::obs {
+
+namespace {
+
+std::vector<double> default_latency_bounds() {
+  std::vector<double> bounds;
+  for (double b = 1e-6; b < 150.0; b *= 2) bounds.push_back(b);
+  return bounds;
+}
+
+}  // namespace
+
+Histogram::Histogram() : Histogram(default_latency_bounds()) {}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), counts_(bounds_.size() + 1, 0) {}
+
+void Histogram::observe(double v) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
+  ++count_;
+  sum_ += v;
+  if (count_ == 1) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+}
+
+double Histogram::percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  const double rank = p * static_cast<double>(count_);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const auto before = static_cast<double>(seen);
+    seen += counts_[i];
+    if (static_cast<double>(seen) < rank) continue;
+    // Interpolate inside bucket i between its lower and upper edge; the
+    // overflow bucket and the extremes clamp to the observed min/max.
+    const double lo = i == 0 ? min_ : bounds_[i - 1];
+    const double hi = i < bounds_.size() ? bounds_[i] : max_;
+    const double frac =
+        counts_[i] ? (rank - before) / static_cast<double>(counts_[i]) : 0.0;
+    const double v = lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+    return std::clamp(v, min_, max_);
+  }
+  return max_;
+}
+
+Metric& Registry::intern(MetricKind kind, std::string_view group,
+                         std::string_view name, std::string_view help,
+                         std::vector<Label> labels) {
+  for (const auto& m : metrics_) {
+    if (m->kind == kind && m->group == group && m->name == name &&
+        m->labels.size() == labels.size() &&
+        std::equal(m->labels.begin(), m->labels.end(), labels.begin(),
+                   [](const Label& a, const Label& b) {
+                     return a.key == b.key && a.value == b.value;
+                   }))
+      return *m;
+  }
+  auto m = std::make_unique<Metric>();
+  m->kind = kind;
+  m->group = group;
+  m->name = name;
+  m->prom_name = std::string(group) + "_" + std::string(name);
+  m->help = help;
+  m->labels = std::move(labels);
+  metrics_.push_back(std::move(m));
+  return *metrics_.back();
+}
+
+Counter Registry::counter(std::string_view group, std::string_view name,
+                          std::string_view help, std::vector<Label> labels) {
+  return Counter{&intern(MetricKind::Counter, group, name, help, std::move(labels))};
+}
+
+Gauge Registry::gauge(std::string_view group, std::string_view name,
+                      std::string_view help, std::vector<Label> labels) {
+  return Gauge{&intern(MetricKind::Gauge, group, name, help, std::move(labels))};
+}
+
+Histogram& Registry::histogram(std::string_view group, std::string_view name,
+                               std::string_view help, std::vector<Label> labels,
+                               std::vector<double> bounds) {
+  Metric& m = intern(MetricKind::Histogram, group, name, help, std::move(labels));
+  if (!m.hist)
+    m.hist = bounds.empty() ? std::make_unique<Histogram>()
+                            : std::make_unique<Histogram>(std::move(bounds));
+  return *m.hist;
+}
+
+void Registry::rename_prom(std::string_view prom_name) {
+  if (!metrics_.empty()) metrics_.back()->prom_name = prom_name;
+}
+
+void Registry::json_fields(JsonWriter& w, std::string_view group) const {
+  for (const auto& m : metrics_) {
+    if (m->group != group || m->kind == MetricKind::Histogram) continue;
+    if (m->floating)
+      w.kv(m->name, m->f);
+    else
+      w.kv(m->name, m->u);
+  }
+}
+
+namespace {
+
+std::string prom_number(double v) { return format_shortest(v); }
+
+std::string prom_labels(const std::vector<Label>& labels,
+                        const char* extra_key = nullptr,
+                        const std::string& extra_value = {}) {
+  if (labels.empty() && extra_key == nullptr) return {};
+  std::string out = "{";
+  bool first = true;
+  for (const Label& l : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += l.key + "=\"" + l.value + "\"";
+  }
+  if (extra_key != nullptr) {
+    if (!first) out += ",";
+    out += std::string(extra_key) + "=\"" + extra_value + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+std::string Registry::render_prometheus(std::string_view prefix) const {
+  std::string out;
+  std::vector<const std::string*> typed;  // HELP/TYPE once per family name
+  for (const auto& m : metrics_) {
+    std::string name = std::string(prefix) + m->prom_name;
+    if (m->kind == MetricKind::Counter) {
+      const bool suffixed =
+          name.size() >= 6 && name.compare(name.size() - 6, 6, "_total") == 0;
+      if (!suffixed) name += "_total";
+    }
+    const bool seen = std::any_of(typed.begin(), typed.end(),
+                                  [&](const std::string* n) { return *n == m->prom_name; });
+    if (!seen) {
+      typed.push_back(&m->prom_name);
+      if (!m->help.empty()) out += "# HELP " + name + " " + m->help + "\n";
+      out += "# TYPE " + name + " ";
+      switch (m->kind) {
+        case MetricKind::Counter: out += "counter\n"; break;
+        case MetricKind::Gauge: out += "gauge\n"; break;
+        case MetricKind::Histogram: out += "histogram\n"; break;
+      }
+    }
+    if (m->kind == MetricKind::Histogram) {
+      const Histogram& h = *m->hist;
+      std::uint64_t cum = 0;
+      for (std::size_t i = 0; i < h.bounds().size(); ++i) {
+        cum += h.bucket_counts()[i];
+        out += name + "_bucket" +
+               prom_labels(m->labels, "le", prom_number(h.bounds()[i])) + " " +
+               std::to_string(cum) + "\n";
+      }
+      out += name + "_bucket" + prom_labels(m->labels, "le", "+Inf") + " " +
+             std::to_string(h.count()) + "\n";
+      out += name + "_sum" + prom_labels(m->labels) + " " + prom_number(h.sum()) + "\n";
+      out += name + "_count" + prom_labels(m->labels) + " " +
+             std::to_string(h.count()) + "\n";
+    } else {
+      out += name + prom_labels(m->labels) + " " +
+             (m->floating ? prom_number(m->f) : std::to_string(m->u)) + "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace pdc::obs

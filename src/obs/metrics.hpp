@@ -1,0 +1,148 @@
+// The metrics registry: one uniform counter/gauge/histogram surface behind
+// every ad-hoc stats struct in the project. The hot paths keep their POD
+// counters (a registry lookup has no business inside the event kernel);
+// obs/publish.hpp materializes those structs into a Registry after the
+// fact, and the two renderers here — JSON fields in registration order,
+// Prometheus text exposition — make one publish path serve both the
+// RunRecord per-phase blocks (byte-identical to the hand-written originals)
+// and the pdc_serve METRICS endpoint.
+//
+// A Registry is not thread-safe: build one per render, or guard it with the
+// caller's mutex (serve::StatsCollector does the latter).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pdc {
+class JsonWriter;
+}
+
+namespace pdc::obs {
+
+enum class MetricKind { Counter, Gauge, Histogram };
+
+/// Fixed-bucket histogram: log-spaced upper bounds plus exact count, sum,
+/// min and max. Percentiles interpolate linearly inside the owning bucket
+/// and clamp to the observed [min, max] — the uniform replacement for the
+/// serve layer's bounded latency rings.
+class Histogram {
+ public:
+  /// Default bounds suit latencies in seconds: 1us doubling up to ~2min.
+  Histogram();
+  /// `bounds` are ascending upper bucket edges; +Inf is implicit.
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v);
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  /// p in [0, 1]; 0 for an empty histogram.
+  double percentile(double p) const;
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// One count per bound plus the overflow bucket (size bounds() + 1).
+  const std::vector<std::uint64_t>& bucket_counts() const { return counts_; }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+struct Label {
+  std::string key;
+  std::string value;
+};
+
+/// One registered series. `group` places the metric in a JSON block and
+/// prefixes its Prometheus name (overridable via `prom_name` when the JSON
+/// layout and the exposition name disagree); `name` is the JSON field.
+struct Metric {
+  MetricKind kind = MetricKind::Counter;
+  std::string group;
+  std::string name;
+  std::string prom_name;  // defaults to "<group>_<name>"
+  std::string help;
+  std::vector<Label> labels;
+  bool floating = false;  // render f (double) instead of u (integer)
+  std::uint64_t u = 0;
+  double f = 0;
+  std::unique_ptr<Histogram> hist;
+
+  double number() const { return floating ? f : static_cast<double>(u); }
+};
+
+/// Handle to a Counter metric; valid while its Registry lives.
+class Counter {
+ public:
+  Counter() = default;
+  explicit Counter(Metric* m) : m_(m) {}
+  void inc(std::uint64_t d = 1) { m_->u += d; }
+  void set(std::uint64_t v) { m_->u = v, m_->floating = false; }
+  void set(double v) { m_->f = v, m_->floating = true; }
+  std::uint64_t value() const { return m_->u; }
+
+ private:
+  Metric* m_ = nullptr;
+};
+
+/// Handle to a Gauge metric; valid while its Registry lives.
+class Gauge {
+ public:
+  Gauge() = default;
+  explicit Gauge(Metric* m) : m_(m) {}
+  void set(std::uint64_t v) { m_->u = v, m_->floating = false; }
+  void set(std::int64_t v) { m_->u = static_cast<std::uint64_t>(v), m_->floating = false; }
+  void set(int v) { set(static_cast<std::int64_t>(v)); }
+  void set(double v) { m_->f = v, m_->floating = true; }
+  double value() const { return m_->number(); }
+
+ private:
+  Metric* m_ = nullptr;
+};
+
+class Registry {
+ public:
+  /// Lookup-or-create by (group, name, labels); iteration and rendering
+  /// follow first-registration order, which is what makes registry-rendered
+  /// JSON blocks reproduce the historical field order byte for byte.
+  Counter counter(std::string_view group, std::string_view name,
+                  std::string_view help = {}, std::vector<Label> labels = {});
+  Gauge gauge(std::string_view group, std::string_view name,
+              std::string_view help = {}, std::vector<Label> labels = {});
+  Histogram& histogram(std::string_view group, std::string_view name,
+                       std::string_view help = {}, std::vector<Label> labels = {},
+                       std::vector<double> bounds = {});
+
+  /// Overrides the Prometheus name of the most recently registered metric.
+  void rename_prom(std::string_view prom_name);
+
+  const std::vector<std::unique_ptr<Metric>>& metrics() const { return metrics_; }
+
+  /// Writes this group's counters and gauges, in registration order, as
+  /// `"name": value` pairs into an object the caller has opened (histograms
+  /// are skipped — their JSON form is a summary object, see serve/stats).
+  void json_fields(JsonWriter& w, std::string_view group) const;
+
+  /// Prometheus text exposition of every metric: HELP/TYPE lines, counters
+  /// suffixed `_total`, histograms as cumulative `_bucket`/`_sum`/`_count`.
+  std::string render_prometheus(std::string_view prefix) const;
+
+ private:
+  Metric& intern(MetricKind kind, std::string_view group, std::string_view name,
+                 std::string_view help, std::vector<Label> labels);
+
+  std::vector<std::unique_ptr<Metric>> metrics_;
+};
+
+}  // namespace pdc::obs

@@ -1,0 +1,140 @@
+#include "obs/trace.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "support/json.hpp"
+
+namespace pdc::obs {
+
+namespace detail {
+thread_local TraceRecorder* tls_recorder = nullptr;
+}
+
+std::uint32_t TraceRecorder::intern(std::string_view s) {
+  const auto it = string_ids_.find(std::string(s));
+  if (it != string_ids_.end()) return it->second;
+  const auto id = static_cast<std::uint32_t>(strings_.size());
+  strings_.emplace_back(s);
+  string_ids_.emplace(strings_.back(), id);
+  return id;
+}
+
+void TraceRecorder::begin_phase(std::string_view name) {
+  phases_.emplace_back(name);
+  track_ids_.clear();
+  next_tid_ = 0;
+}
+
+TrackId TraceRecorder::track(std::string_view name) {
+  if (phases_.empty()) begin_phase("run");
+  const auto it = track_ids_.find(std::string(name));
+  if (it != track_ids_.end()) return it->second;
+  const auto id = static_cast<TrackId>(tracks_.size());
+  tracks_.push_back(Track{static_cast<std::uint32_t>(phases_.size() - 1), next_tid_++,
+                          intern(name)});
+  track_ids_.emplace(std::string(name), id);
+  return id;
+}
+
+std::uint32_t TraceRecorder::render_args(std::initializer_list<TraceArg> args) {
+  if (args.size() == 0) return 0;
+  std::string out = "{";
+  bool first = true;
+  for (const TraceArg& a : args) {
+    if (!first) out += ",";
+    first = false;
+    out += json_escape(a.key);
+    out += ":";
+    out += a.str != nullptr ? json_escape(a.str) : format_shortest(a.num);
+  }
+  out += "}";
+  args_.push_back(std::move(out));
+  return static_cast<std::uint32_t>(args_.size());
+}
+
+void TraceRecorder::push(char ph, TrackId t, std::uint32_t name, std::uint32_t cat,
+                         double ts, std::uint64_t id, std::uint32_t args) {
+  events_.push_back(Event{ph, t, name, cat, ts, id, args});
+}
+
+void TraceRecorder::span_begin(TrackId t, std::string_view name, double ts,
+                               std::initializer_list<TraceArg> args) {
+  push('B', t, intern(name), kNone, ts, 0, render_args(args));
+}
+
+void TraceRecorder::span_end(TrackId t, double ts) {
+  push('E', t, kNone, kNone, ts, 0, 0);
+}
+
+void TraceRecorder::async_begin(TrackId t, std::string_view cat,
+                                std::string_view name, std::uint64_t id, double ts,
+                                std::initializer_list<TraceArg> args) {
+  push('b', t, intern(name), intern(cat), ts, id, render_args(args));
+}
+
+void TraceRecorder::async_end(TrackId t, std::string_view cat,
+                              std::string_view name, std::uint64_t id, double ts) {
+  push('e', t, intern(name), intern(cat), ts, id, 0);
+}
+
+void TraceRecorder::instant(TrackId t, std::string_view name, double ts,
+                            std::initializer_list<TraceArg> args) {
+  push('i', t, intern(name), kNone, ts, 0, render_args(args));
+}
+
+void TraceRecorder::counter(TrackId t, std::string_view name, double ts,
+                            std::initializer_list<TraceArg> args) {
+  push('C', t, intern(name), kNone, ts, 0, render_args(args));
+}
+
+std::string TraceRecorder::to_json() const {
+  // Hand-rolled assembly (instead of JsonWriter) because half the fields are
+  // pre-rendered fragments; the output is still canonical JSON and
+  // deterministic (insertion order, format_shortest timestamps).
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  auto emit = [&](const std::string& obj) {
+    if (!first) out += ",\n";
+    first = false;
+    out += obj;
+  };
+  // Metadata: one process per phase, one named thread per track.
+  for (std::size_t pid = 0; pid < phases_.size(); ++pid)
+    emit("{\"ph\":\"M\",\"pid\":" + std::to_string(pid) +
+         ",\"name\":\"process_name\",\"args\":{\"name\":" + json_escape(phases_[pid]) +
+         "}}");
+  for (const Track& t : tracks_)
+    emit("{\"ph\":\"M\",\"pid\":" + std::to_string(t.pid) +
+         ",\"tid\":" + std::to_string(t.tid) +
+         ",\"name\":\"thread_name\",\"args\":{\"name\":" +
+         json_escape(strings_[t.name]) + "}}");
+  for (const Event& e : events_) {
+    const Track& t = tracks_[e.track];
+    std::string obj = "{\"ph\":\"";
+    obj += e.ph;
+    obj += "\",\"pid\":" + std::to_string(t.pid) + ",\"tid\":" + std::to_string(t.tid);
+    obj += ",\"ts\":" + format_shortest(e.ts * 1e6);
+    if (e.name != kNone) obj += ",\"name\":" + json_escape(strings_[e.name]);
+    if (e.cat != kNone) {
+      obj += ",\"cat\":" + json_escape(strings_[e.cat]);
+      obj += ",\"id\":" + std::to_string(e.id);
+    }
+    if (e.ph == 'i') obj += ",\"s\":\"t\"";  // thread-scoped instant
+    if (e.args != 0) obj += ",\"args\":" + args_[e.args - 1];
+    obj += "}";
+    emit(obj);
+  }
+  out += "]}\n";
+  return out;
+}
+
+void TraceRecorder::write(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("cannot open trace file '" + path + "'");
+  const std::string doc = to_json();
+  out.write(doc.data(), static_cast<std::streamsize>(doc.size()));
+  if (!out) throw std::runtime_error("cannot write trace file '" + path + "'");
+}
+
+}  // namespace pdc::obs

@@ -1,0 +1,140 @@
+// Simulated-time tracing: a per-run recorder of span/instant/counter events
+// emitted as Chrome trace-event JSON (chrome://tracing, Perfetto).
+// Timestamps are simulated seconds (rendered in microseconds, the trace
+// format's unit); phases (reference / predicted) map to processes, actors /
+// trackers / links / ranks map to named tracks (threads) within them.
+//
+// Zero-overhead-when-off is the contract that lets the hooks live inside
+// the event kernel and FlowNet: every call site guards on obs::trace(),
+// a thread_local pointer that is null unless the *current run on this
+// thread* installed a recorder (scenario::Runner does, when the `trace`
+// knob / PDC_TRACE_DIR / --trace-dir asks for one). Campaign workers each
+// install their own recorder, so parallel runs trace independently and
+// -j never changes what any single run records.
+//
+// The recorder is single-threaded by construction (one run = one thread)
+// and deterministic: event order follows simulation order, and the JSON
+// renderer is byte-stable, so a traced run re-executed anywhere yields an
+// identical file.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace pdc::obs {
+
+class TraceRecorder;
+
+namespace detail {
+extern thread_local TraceRecorder* tls_recorder;
+}
+
+/// The calling thread's active recorder; null (the common case) when the
+/// current run is untraced. One TLS load + branch is the entire off cost.
+inline TraceRecorder* trace() { return detail::tls_recorder; }
+
+/// RAII installation of a recorder as the thread's active one.
+class TraceScope {
+ public:
+  explicit TraceScope(TraceRecorder* r) : prev_(detail::tls_recorder) {
+    detail::tls_recorder = r;
+  }
+  ~TraceScope() { detail::tls_recorder = prev_; }
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  TraceRecorder* prev_;
+};
+
+using TrackId = std::uint32_t;
+
+/// One event argument: numeric by default, a string when `str` is set.
+struct TraceArg {
+  const char* key;
+  double num = 0;
+  const char* str = nullptr;
+
+  TraceArg(const char* k, double v) : key(k), num(v) {}
+  TraceArg(const char* k, int v) : key(k), num(v) {}
+  TraceArg(const char* k, std::int64_t v) : key(k), num(static_cast<double>(v)) {}
+  TraceArg(const char* k, std::uint64_t v) : key(k), num(static_cast<double>(v)) {}
+  TraceArg(const char* k, const char* s) : key(k), str(s) {}
+};
+
+class TraceRecorder {
+ public:
+  TraceRecorder() = default;
+
+  /// Starts a new phase (Chrome process); subsequent tracks belong to it.
+  void begin_phase(std::string_view name);
+
+  /// Interns a track (Chrome thread) by name within the current phase.
+  TrackId track(std::string_view name);
+
+  // Synchronous nested spans: every begin on a track must be closed by an
+  // end at ts >= the begin (the validity test enforces it).
+  void span_begin(TrackId t, std::string_view name, double ts,
+                  std::initializer_list<TraceArg> args = {});
+  void span_end(TrackId t, double ts);
+
+  // Async spans for overlapping lifecycles (flows, reserve handshakes):
+  // matched by (cat, id), free to interleave on one track.
+  void async_begin(TrackId t, std::string_view cat, std::string_view name,
+                   std::uint64_t id, double ts,
+                   std::initializer_list<TraceArg> args = {});
+  void async_end(TrackId t, std::string_view cat, std::string_view name,
+                 std::uint64_t id, double ts);
+
+  void instant(TrackId t, std::string_view name, double ts,
+               std::initializer_list<TraceArg> args = {});
+
+  /// Counter sample (rendered as a Chrome "C" event; one series per arg).
+  void counter(TrackId t, std::string_view name, double ts,
+               std::initializer_list<TraceArg> args);
+
+  std::size_t event_count() const { return events_.size(); }
+
+  /// The complete {"traceEvents": [...]} document.
+  std::string to_json() const;
+
+  /// Writes to_json() to `path`; throws std::runtime_error on I/O failure.
+  void write(const std::string& path) const;
+
+ private:
+  struct Event {
+    char ph;            // B E b e i C
+    std::uint32_t track;
+    std::uint32_t name;  // string index
+    std::uint32_t cat;   // string index; kNone for sync events
+    double ts;
+    std::uint64_t id;    // async correlation id
+    std::uint32_t args;  // args_ index + 1; 0 = none
+  };
+  struct Track {
+    std::uint32_t pid;
+    std::uint32_t tid;
+    std::uint32_t name;
+  };
+  static constexpr std::uint32_t kNone = 0xffffffffu;
+
+  std::uint32_t intern(std::string_view s);
+  std::uint32_t render_args(std::initializer_list<TraceArg> args);
+  void push(char ph, TrackId t, std::uint32_t name, std::uint32_t cat, double ts,
+            std::uint64_t id, std::uint32_t args);
+
+  std::vector<std::string> strings_;
+  std::unordered_map<std::string, std::uint32_t> string_ids_;
+  std::vector<std::string> phases_;        // index = pid
+  std::vector<Track> tracks_;              // index = TrackId
+  std::unordered_map<std::string, TrackId> track_ids_;  // of the current phase
+  std::uint32_t next_tid_ = 0;             // within the current phase
+  std::vector<std::string> args_;          // pre-rendered {"k":v,...} objects
+  std::vector<Event> events_;
+};
+
+}  // namespace pdc::obs

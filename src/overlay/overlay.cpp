@@ -4,6 +4,7 @@
 #include <cassert>
 #include <unordered_set>
 
+#include "obs/trace.hpp"
 #include "support/log.hpp"
 
 namespace pdc::overlay {
@@ -589,6 +590,9 @@ sim::Process PeerActor::run() {
                       [&](const TrackerRef& t) { return t.node == tracker_.node; });
         tracker_ = TrackerRef{-1, Ipv4{}};
         ++rejoins_;
+        if (obs::TraceRecorder* tr = obs::trace(); tr != nullptr)
+          tr->instant(tr->track("peer/" + std::to_string(host_)), "rejoin",
+                      overlay_->engine().now(), {{"host", host_}});
         co_await join_overlay();
       }
     }
@@ -728,10 +732,28 @@ sim::Task<std::vector<PeerRef>> PeerActor::collect_peers(int wanted, Requirement
   std::vector<PeerRef> reserved;
   for (const PeerRef& p : candidates) {
     if (static_cast<int>(reserved.size()) >= wanted) break;
+    obs::TraceRecorder* tr = obs::trace();
+    if (tr != nullptr)
+      tr->async_begin(tr->track("peer/" + std::to_string(host_)), "reserve", "reserve",
+                      static_cast<std::uint64_t>(p.node), overlay_->engine().now(),
+                      {{"target", p.node}});
     auto reply = co_await rpc(p.node, ReserveReq{host_, ticket});
-    if (!reply) continue;
-    if (auto* ack = std::get_if<ReserveAck>(&*reply))
-      if (ack->ok && ack->ticket == ticket) reserved.push_back(p);
+    bool ok = false;
+    if (reply)
+      if (auto* ack = std::get_if<ReserveAck>(&*reply))
+        if (ack->ok && ack->ticket == ticket) {
+          reserved.push_back(p);
+          ok = true;
+        }
+    // The recorder (if any) is per-run and outlives this coroutine; re-read
+    // it anyway so a scope torn down mid-await cannot leave a dangling use.
+    if ((tr = obs::trace()) != nullptr) {
+      const obs::TrackId t = tr->track("peer/" + std::to_string(host_));
+      tr->async_end(t, "reserve", "reserve", static_cast<std::uint64_t>(p.node),
+                    overlay_->engine().now());
+      if (!ok)
+        tr->instant(t, "reserve-miss", overlay_->engine().now(), {{"target", p.node}});
+    }
   }
   co_return reserved;
 }

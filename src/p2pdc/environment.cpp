@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/trace.hpp"
 #include "support/log.hpp"
 
 namespace pdc::p2pdc {
@@ -401,6 +402,9 @@ sim::Task<ComputationResult> Environment::submit(NodeIdx submitter_host, TaskSpe
       overlay_.send_ctrl(submitter_host, p.node, overlay::ReleaseReq{submitter_host});
     res.failure = "not enough peers: wanted " + std::to_string(spec.peers_needed) +
                   ", reserved " + std::to_string(peers.size());
+    if (obs::TraceRecorder* tr = obs::trace(); tr != nullptr)
+      tr->instant(tr->track("p2psap"), "abort", engine_->now(),
+                  {{"phase", "collection"}, {"reserved", res.peers}});
     co_return res;
   }
 
@@ -481,12 +485,26 @@ sim::Task<ComputationResult> Environment::submit(NodeIdx submitter_host, TaskSpe
         overlay_.send_ctrl(submitter_host, p.node, overlay::ReleaseReq{submitter_host});
     }
     res.failure = comp->failure_reason;
+    if (obs::TraceRecorder* tr = obs::trace(); tr != nullptr)
+      tr->instant(tr->track("p2psap"), "abort", engine_->now(),
+                  {{"phase", "computation"}, {"reason", comp->failure_reason.c_str()}});
     co_return res;
   }
   res.t_allocated = comp->t_allocated;
   res.t_finished = engine_->now();
   res.results = std::move(comp->results);
   res.ok = true;
+  // Retroactive P2PSAP phase spans: the boundary timestamps were recorded as
+  // the protocol ran; emitting them here keeps the hot path untouched.
+  if (obs::TraceRecorder* tr = obs::trace(); tr != nullptr) {
+    const obs::TrackId t = tr->track("p2psap");
+    tr->span_begin(t, "collection", res.t_submit, {{"peers", res.peers}});
+    tr->span_end(t, res.t_collected);
+    tr->span_begin(t, "allocation", res.t_collected, {{"groups", res.groups}});
+    tr->span_end(t, res.t_allocated);
+    tr->span_begin(t, "computation", res.t_allocated, {{"ranks", comp->nprocs()}});
+    tr->span_end(t, res.t_finished);
+  }
   for (const auto& p : comp->ranks)
     overlay_.send_ctrl(submitter_host, p.node, overlay::ReleaseReq{submitter_host});
   co_return res;

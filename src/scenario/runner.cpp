@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <filesystem>
 #include <fstream>
 #include <map>
 #include <mutex>
@@ -12,7 +13,11 @@
 
 #include "churn/injector.hpp"
 #include "net/platfile.hpp"
+#include "obs/metrics.hpp"
+#include "obs/publish.hpp"
+#include "obs/trace.hpp"
 #include "obstacle/minic_kernel.hpp"
+#include "support/env.hpp"
 #include "support/json.hpp"
 #include "support/rng.hpp"
 
@@ -187,6 +192,15 @@ int churn_extra_hosts(const std::vector<churn::ChurnEvent>& timeline) {
 }
 
 void phase_json(JsonWriter& w, const PhaseRecord& ph, bool with_iterations) {
+  // The subsystem blocks are rendered *from* the metrics registry: the
+  // publish_* bridges (obs/publish.cpp) register every field in the
+  // historical order, so this stays byte-identical to the hand-written
+  // writer it replaced — the golden record tests prove it.
+  obs::Registry reg;
+  obs::publish_flownet(reg, ph.net);
+  obs::publish_routes(reg, ph.routes);
+  obs::publish_engine(reg, ph.engine);
+  if (ph.churn) obs::publish_churn(reg, *ph.churn);
   w.begin_object();
   w.kv("solve_seconds", ph.solve_seconds);
   w.kv("total_seconds", ph.total_seconds);
@@ -199,43 +213,17 @@ void phase_json(JsonWriter& w, const PhaseRecord& ph, bool with_iterations) {
   w.kv("total_seconds", ph.computation.total_time());
   w.end_object();
   w.key("flownet").begin_object();
-  w.kv("flows_started", ph.net.flows_started);
-  w.kv("flows_completed", ph.net.flows_completed);
-  w.kv("bytes_completed", ph.net.bytes_completed);
-  w.kv("reshares", ph.net.reshares);
-  w.kv("reshares_partial", ph.net.reshares_partial);
-  w.kv("flows_rescanned", ph.net.flows_rescanned);
-  w.kv("flows_starved", ph.net.flows_starved);
-  w.kv("link_rescales", ph.net.link_rescales);
+  reg.json_fields(w, "flownet");
   w.end_object();
   w.key("routes").begin_object();
-  w.kv("routes_computed", ph.routes.routes_computed);
-  w.kv("cache_hits", ph.routes.cache_hits);
-  w.kv("cache_evictions", ph.routes.cache_evictions);
-  w.kv("cache_entries", ph.routes.cache_entries);
+  reg.json_fields(w, "routes");
   w.end_object();
   w.key("engine").begin_object();
-  w.kv("events_dispatched", ph.engine.events_dispatched);
-  w.kv("closures_inline", ph.engine.closures_inline);
-  w.kv("closures_heap", ph.engine.closures_heap);
-  w.kv("resumes", ph.engine.resumes);
-  w.kv("slot_arms", ph.engine.slot_arms);
-  w.kv("stale_slot_events", ph.engine.stale_slot_events);
-  w.kv("peak_queue_depth", ph.engine.peak_queue_depth);
+  reg.json_fields(w, "engine");
   w.end_object();
   if (ph.churn) {
-    const ChurnPhaseRecord& c = *ph.churn;
     w.key("churn").begin_object();
-    w.kv("events_applied", c.stats.events_applied);
-    w.kv("events_skipped", c.stats.events_skipped);
-    w.kv("peer_crashes", c.stats.peer_crashes);
-    w.kv("peer_joins", c.stats.peer_joins);
-    w.kv("tracker_crashes", c.stats.tracker_crashes);
-    w.kv("link_degrades", c.stats.link_degrades);
-    w.kv("link_restores", c.stats.link_restores);
-    w.kv("attempts", c.attempts);
-    w.kv("reallocations", c.reallocations());
-    w.kv("rejoins", c.rejoins);
+    reg.json_fields(w, "churn");
     w.end_object();
   }
   w.end_object();
@@ -461,6 +449,8 @@ std::vector<dperf::Trace> Runner::traces() const {
 
 PhaseRecord Runner::run_reference() const {
   const RunSpec& run = spec_.run;
+  obs::TraceRecorder* tr = obs::trace();
+  if (tr) tr->begin_phase("reference");
   auto d = deploy();
   std::optional<churn::Injector> injector = make_injector(*d, run);
   if (injector) injector->arm();
@@ -471,12 +461,16 @@ PhaseRecord Runner::run_reference() const {
   // on the same deployment — the overlay heals, released survivors and
   // joined replacements are collected again — up to the spec's budget.
   const int max_attempts = run.churn.enabled() ? std::max(1, run.churn.max_attempts) : 1;
+  if (tr)
+    tr->span_begin(tr->track("run"), "reference", d->engine.now(),
+                   {{"peers", run.peers}, {"ranks", run.rank_count()}});
   obstacle::SolveReport rep;
   int attempts = 0;
   do {
     ++attempts;
     rep = obstacle::run_distributed(*d->env, d->submitter, cfg, run.rank_count());
   } while (!rep.ok && attempts < max_attempts);
+  if (tr) tr->span_end(tr->track("run"), d->engine.now());
   if (!rep.ok)
     throw std::runtime_error("reference run failed (" + spec_.name + ") after " +
                              std::to_string(attempts) + " attempt(s): " + rep.failure);
@@ -495,6 +489,8 @@ PhaseRecord Runner::run_reference() const {
 
 PhaseRecord Runner::run_predicted(std::vector<dperf::Trace> traces) const {
   const RunSpec& run = spec_.run;
+  obs::TraceRecorder* tr = obs::trace();
+  if (tr) tr->begin_phase("predicted");
   auto d = deploy();
   // The prediction replays under the *identical* expanded event stream as
   // the reference (same timeline, same injection seed), so mode=both
@@ -503,6 +499,9 @@ PhaseRecord Runner::run_predicted(std::vector<dperf::Trace> traces) const {
   if (injector) injector->arm();
   obstacle::DistributedConfig cfg = config_of(run);
   const int max_attempts = run.churn.enabled() ? std::max(1, run.churn.max_attempts) : 1;
+  if (tr)
+    tr->span_begin(tr->track("run"), "predicted", d->engine.now(),
+                   {{"peers", run.peers}, {"ranks", run.rank_count()}});
   dperf::Prediction pred;
   int attempts = 0;
   do {
@@ -517,6 +516,7 @@ PhaseRecord Runner::run_predicted(std::vector<dperf::Trace> traces) const {
       pred = dperf::replay_on(*d->env, d->submitter,
                               obstacle::make_task_spec(cfg, run.rank_count()), traces);
   } while (!pred.computation.ok && attempts < max_attempts);
+  if (tr) tr->span_end(tr->track("run"), d->engine.now());
   if (!pred.computation.ok)
     throw std::runtime_error("prediction replay failed (" + spec_.name + ") after " +
                              std::to_string(attempts) +
@@ -537,6 +537,26 @@ RunRecord Runner::run_phases(const char*& phase) const {
   if (spec_.run.ranks > spec_.run.peers)
     throw std::runtime_error("ranks (" + std::to_string(spec_.run.ranks) +
                              ") exceed peers (" + std::to_string(spec_.run.peers) + ")");
+  // Tracing: the spec's `trace <path>` knob wins; PDC_TRACE_DIR supplies a
+  // per-scenario default. The recorder is installed for this thread only —
+  // parallel campaign workers each scope their own run — and the file is
+  // written after the phases complete (failed runs leave no trace file).
+  std::string trace_path = spec_.run.trace_path;
+  if (trace_path.empty()) {
+    const std::string dir = env_str("PDC_TRACE_DIR");
+    if (!dir.empty()) {
+      // The env knob names a directory we compose the filename into, so
+      // create it here; an explicit `trace <path>` keeps strict semantics.
+      std::filesystem::create_directories(dir);
+      trace_path = dir + "/" + spec_.name + ".trace.json";
+    }
+  }
+  std::unique_ptr<obs::TraceRecorder> recorder;
+  std::optional<obs::TraceScope> scope;
+  if (!trace_path.empty()) {
+    recorder = std::make_unique<obs::TraceRecorder>();
+    scope.emplace(recorder.get());
+  }
   RunRecord rec;
   rec.spec = spec_;
   rec.platform_kind = spec_.platform.kind();
@@ -551,6 +571,10 @@ RunRecord Runner::run_phases(const char*& phase) const {
     std::vector<dperf::Trace> tr = traces();
     phase = "predicted";
     rec.predicted = run_predicted(std::move(tr));
+  }
+  if (recorder) {
+    phase = "trace";
+    recorder->write(trace_path);
   }
   phase = "record";
   rec.platform_hosts = rec.reference ? rec.reference->platform_hosts

@@ -450,6 +450,9 @@ ScenarioSpec parse_scenario(const std::string& text, const RunSpec& base) {
       need(2, "ranks <n>");
       spec.run.ranks = parse_int(tok[1], lineno, "ranks");
       if (spec.run.ranks < 0) throw ScenarioError(lineno, "ranks must be >= 0");
+    } else if (kw == "trace") {
+      need(2, "trace <path>");
+      spec.run.trace_path = tok[1];
     } else if (kw == "churn") {
       try {
         churn::parse_churn_tokens(tok, spec.run.churn);

@@ -26,6 +26,7 @@
 //   omega <x>
 //   cmax <n>
 //   churn ...                            # fault injection; see churn/spec.hpp
+//   trace <path>                         # write a Chrome-trace JSON of the run
 //
 // Key=value platform parameters take the platfile units (speed 3GHz,
 // bandwidth 1Gbps, latency 100us); `speeds=` takes a comma-separated list.
@@ -130,6 +131,14 @@ struct RunSpec {
   /// hosts, the expanded event stream is injected into both phases, and the
   /// Runner re-submits after churn aborts (up to churn.max_attempts).
   churn::ChurnSpec churn;
+
+  /// Where the Runner writes a Chrome-trace-event JSON of this run
+  /// (`trace <path>`; empty = untraced, unless PDC_TRACE_DIR supplies a
+  /// directory). An *execution* knob, not part of the run's identity:
+  /// parse_scenario accepts it but render_scenario never emits it, so memo
+  /// keys, campaign resume identities and golden records are unchanged by
+  /// tracing.
+  std::string trace_path;
 
   /// Paper sizing, shrunk for smoke runs when PDC_QUICK is set.
   static RunSpec from_env();

@@ -55,6 +55,7 @@ bool read_request(const Socket& s, Request& out) {
   if (words.size() != 1)
     throw std::runtime_error("unexpected arguments after '" + words[0] + "'");
   if (words[0] == "STATS") out.kind = RequestKind::Stats;
+  else if (words[0] == "METRICS") out.kind = RequestKind::Metrics;
   else if (words[0] == "PING") out.kind = RequestKind::Ping;
   else if (words[0] == "SHUTDOWN") out.kind = RequestKind::Shutdown;
   else throw std::runtime_error("unknown request '" + words[0] + "'");
@@ -71,6 +72,7 @@ void write_request(const Socket& s, const Request& req) {
       header = "RUN cmp " + std::to_string(req.body.size()) + "\n";
       break;
     case RequestKind::Stats: header = "STATS\n"; break;
+    case RequestKind::Metrics: header = "METRICS\n"; break;
     case RequestKind::Ping: header = "PING\n"; break;
     case RequestKind::Shutdown: header = "SHUTDOWN\n"; break;
   }

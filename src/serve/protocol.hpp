@@ -7,13 +7,14 @@
 //   RUN cmp <nbytes>\n<nbytes of campaign text>   run a campaign (cells share
 //                                                 the scenario memo cache)
 //   STATS\n                                       ServeStats JSON snapshot
+//   METRICS\n                                     Prometheus text exposition
 //   PING\n                                        liveness probe
 //   SHUTDOWN\n                                    graceful drain + exit
 //
 // The server answers with one header line and a byte-counted body:
 //
 //   OK <nbytes> <tag>\n<nbytes of body>           tag = hit | miss | stats |
-//                                                 pong | bye
+//                                                 metrics | pong | bye
 //   ERR <nbytes>\n<nbytes of message>
 //
 // For RUN requests the body is the RunRecord / CampaignReport JSON and the
@@ -34,7 +35,7 @@ namespace pdc::serve {
 /// must not make either side allocate unbounded memory.
 inline constexpr std::size_t kMaxBody = 16u << 20;
 
-enum class RequestKind { RunScenario, RunCampaign, Stats, Ping, Shutdown };
+enum class RequestKind { RunScenario, RunCampaign, Stats, Metrics, Ping, Shutdown };
 
 struct Request {
   RequestKind kind = RequestKind::Ping;
@@ -43,7 +44,7 @@ struct Request {
 
 struct Response {
   bool ok = false;
-  std::string tag;   // hit | miss | stats | pong | bye (ok) — empty for ERR
+  std::string tag;   // hit | miss | stats | metrics | pong | bye (ok) — empty for ERR
   std::string body;  // payload (ok) or error message
 };
 

@@ -88,6 +88,9 @@ void Server::run() {
     ThreadPool pool(opts_.jobs);
     auto last_scan = std::chrono::steady_clock::now() -
                      std::chrono::hours(1);  // force an immediate first scan
+    auto last_metrics = std::chrono::steady_clock::now();
+    const bool metrics_enabled =
+        opts_.metrics_interval_seconds > 0 && !opts_.spool_dir.empty();
     while (!stopping()) {
       if (accepting) {
         std::optional<Socket> conn =
@@ -108,6 +111,11 @@ void Server::run() {
         scan_spool(pool);
         last_scan = std::chrono::steady_clock::now();
       }
+      if (metrics_enabled &&
+          elapsed_since(last_metrics) >= opts_.metrics_interval_seconds) {
+        write_metrics_snapshot();
+        last_metrics = std::chrono::steady_clock::now();
+      }
     }
     // Stop accepting before draining: a client connecting now gets ECONNREFUSED
     // instead of a hung socket.
@@ -118,7 +126,18 @@ void Server::run() {
     std::error_code ec;
     fs::remove(opts_.unix_path, ec);
   }
+  if (opts_.metrics_interval_seconds > 0 && !opts_.spool_dir.empty())
+    write_metrics_snapshot();  // in-flight work has drained; capture the end state
   write_final_stats();
+}
+
+void Server::write_metrics_snapshot() {
+  try {
+    write_file_atomic(fs::path(opts_.spool_dir) / "out" / "metrics.prom",
+                      stats().to_prometheus());
+  } catch (const std::exception& e) {
+    PDC_LOG_WARN(std::string("serve: metrics snapshot failed: ") + e.what());
+  }
 }
 
 void Server::write_final_stats() {
@@ -170,6 +189,9 @@ Response Server::dispatch(const Request& req) {
     case RequestKind::Stats:
       collector_.count_stats();
       return Response{true, "stats", stats().to_json()};
+    case RequestKind::Metrics:
+      collector_.count_metrics();
+      return Response{true, "metrics", stats().to_prometheus()};
     case RequestKind::Ping:
       collector_.count_ping();
       return Response{true, "pong", "pdc_serve"};

@@ -68,6 +68,10 @@ struct ServerOptions {
   double poll_seconds = 0.2;
   /// Per-connection socket I/O timeout: a dead client cannot park a worker.
   double io_timeout_seconds = 30.0;
+  /// Cadence of the periodic Prometheus snapshot written to
+  /// <spool>/out/metrics.prom (0 = disabled; needs a spool directory). A
+  /// final snapshot is always written on shutdown when enabled.
+  double metrics_interval_seconds = 60.0;
   /// Optional async-signal-safe stop flag: the daemon's SIGINT/SIGTERM
   /// handler sets it, the serve loop polls it.
   const volatile std::sig_atomic_t* stop_flag = nullptr;
@@ -104,6 +108,7 @@ class Server {
   void scan_spool(ThreadPool& pool);
   void process_spool_file(const std::string& claimed_path, const std::string& stem);
   void write_final_stats();
+  void write_metrics_snapshot();
 
   ServerOptions opts_;
   Socket unix_listener_;

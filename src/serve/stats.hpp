@@ -1,17 +1,17 @@
 // Serving-layer observability: per-request counters, memo-cache state, the
 // hot dPerf memo footprint, queue depth and latency percentiles — rendered
-// as the JSON document the STATS endpoint returns and the daemon writes on
-// shutdown.
+// as the JSON document the STATS endpoint returns, the Prometheus text
+// exposition the METRICS endpoint returns, and the files the daemon writes
+// on shutdown. Both renderings come from one obs::Registry publish path.
 #pragma once
 
 #include <cstdint>
 #include <mutex>
 #include <string>
-#include <vector>
 
+#include "obs/metrics.hpp"
 #include "scenario/runner.hpp"
 #include "serve/cache.hpp"
-#include "support/stats.hpp"
 
 namespace pdc::serve {
 
@@ -22,6 +22,7 @@ struct ServeStats {
   std::uint64_t campaign_requests = 0;
   std::uint64_t spool_jobs = 0;      // files picked up from the spool
   std::uint64_t stats_requests = 0;
+  std::uint64_t metrics_requests = 0;
   std::uint64_t pings = 0;
   std::uint64_t errors = 0;          // malformed requests + failed runs
   CacheStats cache;                  // the RunRecord memo cache
@@ -31,24 +32,28 @@ struct ServeStats {
   double uptime_seconds = 0;
   /// Request latency (seconds), split by whether the answer came from the
   /// memo cache — the cold/warm split that makes the cache's value visible.
-  Summary latency_hit;
-  Summary latency_miss;
+  obs::Histogram latency_hit;
+  obs::Histogram latency_miss;
 
   std::string to_json() const;
+
+  /// The same snapshot as Prometheus text exposition (pdc_ name prefix):
+  /// counters as `_total` series, the latency split as cumulative-bucket
+  /// histograms, cache / memo footprints as gauges.
+  std::string to_prometheus() const;
 };
 
-/// Thread-safe accumulator behind ServeStats. Latency samples are kept in
-/// bounded rings (most recent kMaxSamples per class) so a long-lived daemon
-/// cannot grow without bound; percentiles describe recent traffic.
+/// Thread-safe accumulator behind ServeStats. Latencies go straight into
+/// fixed-bucket histograms, so a long-lived daemon holds O(buckets) latency
+/// state however much traffic it serves.
 class StatsCollector {
  public:
-  static constexpr std::size_t kMaxSamples = 4096;
-
   void count_request();
   void count_scenario();
   void count_campaign();
   void count_spool_job();
   void count_stats();
+  void count_metrics();
   void count_ping();
   void count_error();
 
@@ -63,10 +68,7 @@ class StatsCollector {
 
  private:
   mutable std::mutex mutex_;
-  ServeStats totals_;  // counters only; cache/memos/latency filled on snapshot
-  std::vector<double> hit_latencies_;
-  std::vector<double> miss_latencies_;
-  std::size_t hit_next_ = 0, miss_next_ = 0;  // ring cursors
+  ServeStats totals_;  // counters + latency histograms; cache/memos on snapshot
 };
 
 }  // namespace pdc::serve

@@ -1,5 +1,7 @@
 #include "sim/engine.hpp"
 
+#include "obs/trace.hpp"
+
 namespace pdc::sim {
 
 namespace {
@@ -115,6 +117,16 @@ void Engine::activate_next_bucket() {
   time_heap_.pop_back();
   now_ = t;
   current_bucket_ = static_cast<std::int32_t>(map_vals_[map_slot_of(time_key(t))]);
+  // Dispatch instrumentation, sampled every 64 time advances so tracing a
+  // long run stays bounded. The counter-based trigger (not wall or sim
+  // time) keeps the sample points deterministic; the off cost is the
+  // obs::trace() TLS load.
+  if (obs::TraceRecorder* tr = obs::trace(); tr != nullptr) {
+    if ((++trace_advances_ & 63u) == 0)
+      tr->counter(tr->track("engine"), "queue", t,
+                  {{"pending", static_cast<std::uint64_t>(pending_events_)},
+                   {"dispatched", stats_.events_dispatched}});
+  }
 }
 
 void Engine::release_current_bucket() {

@@ -308,6 +308,7 @@ class Engine {
   std::uint32_t memo_bucket_ = 0;
   std::size_t pending_events_ = 0;    // queued events, stale arms included
   std::size_t dead_slot_events_ = 0;  // stale arms still parked in the queue
+  std::uint32_t trace_advances_ = 0;  // obs sampling cadence (traced runs only)
   std::size_t sweep_leftover_ = 0;    // dead arms the last sweep could not reach
   std::vector<std::uint64_t> sweep_keys_;  // sweep scratch (kept warm)
   std::vector<std::uint32_t> sweep_vals_;

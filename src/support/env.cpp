@@ -29,4 +29,10 @@ double env_double(const char* name, double fallback) {
   return parsed;
 }
 
+std::string env_str(const char* name, const std::string& fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || v[0] == '\0') return fallback;
+  return v;
+}
+
 }  // namespace pdc

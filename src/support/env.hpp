@@ -3,6 +3,8 @@
 // ROADMAP.md ("Environment knobs").
 #pragma once
 
+#include <string>
+
 namespace pdc {
 
 /// True when `name` is set to anything but "" or a string starting with '0'
@@ -14,5 +16,8 @@ int env_int(const char* name, int fallback);
 
 /// Double value of `name`, or `fallback` when unset or not a number.
 double env_double(const char* name, double fallback);
+
+/// String value of `name`, or `fallback` when unset or empty.
+std::string env_str(const char* name, const std::string& fallback = {});
 
 }  // namespace pdc

@@ -1,0 +1,205 @@
+// obs::Registry and obs::Histogram: registration-order JSON rendering (the
+// property the RunRecord phase blocks lean on), Prometheus text exposition,
+// and the percentile behaviour that replaced the serve layer's latency rings.
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "support/json.hpp"
+
+namespace pdc::obs {
+namespace {
+
+TEST(ObsHistogram, EmptyIsAllZeros) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0.0);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.max(), 0.0);
+  EXPECT_EQ(h.percentile(0.5), 0.0);
+  EXPECT_EQ(h.percentile(0.99), 0.0);
+}
+
+TEST(ObsHistogram, TracksCountSumMinMax) {
+  Histogram h;
+  h.observe(0.001);
+  h.observe(0.004);
+  h.observe(0.010);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.015);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.005);
+  EXPECT_DOUBLE_EQ(h.min(), 0.001);
+  EXPECT_DOUBLE_EQ(h.max(), 0.010);
+}
+
+TEST(ObsHistogram, PercentilesAreOrderedAndClamped) {
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.observe(static_cast<double>(i) * 1e-4);
+  const double p50 = h.percentile(0.50);
+  const double p95 = h.percentile(0.95);
+  const double p99 = h.percentile(0.99);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  // Clamped to the observed range whatever the bucket interpolation does.
+  EXPECT_GE(p50, h.min());
+  EXPECT_LE(p99, h.max());
+  // Log-spaced buckets are coarse; half the mass sits below ~0.05s, so p50
+  // must land in the right decade.
+  EXPECT_GT(p50, 0.01);
+  EXPECT_LT(p50, 0.1);
+}
+
+TEST(ObsHistogram, SingleObservationPinsAllPercentiles) {
+  Histogram h;
+  h.observe(0.25);
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.25);
+  EXPECT_DOUBLE_EQ(h.percentile(0.99), 0.25);
+}
+
+TEST(ObsHistogram, CustomBoundsCountOverflow) {
+  Histogram h({1.0, 2.0});
+  h.observe(0.5);
+  h.observe(1.5);
+  h.observe(5.0);  // overflow bucket
+  ASSERT_EQ(h.bucket_counts().size(), 3u);
+  EXPECT_EQ(h.bucket_counts()[0], 1u);
+  EXPECT_EQ(h.bucket_counts()[1], 1u);
+  EXPECT_EQ(h.bucket_counts()[2], 1u);
+}
+
+TEST(ObsRegistry, JsonFieldsFollowRegistrationOrder) {
+  Registry reg;
+  reg.counter("g", "zulu").set(std::uint64_t{1});
+  reg.counter("g", "alpha").set(std::uint64_t{2});
+  reg.gauge("g", "mike").set(3);
+  reg.counter("other", "noise").set(std::uint64_t{9});
+  JsonWriter w;
+  w.begin_object();
+  reg.json_fields(w, "g");
+  w.end_object();
+  const std::string s = w.str();
+  // Registration order, not alphabetical — and only the requested group.
+  const std::size_t z = s.find("\"zulu\"");
+  const std::size_t a = s.find("\"alpha\"");
+  const std::size_t m = s.find("\"mike\"");
+  ASSERT_NE(z, std::string::npos);
+  ASSERT_NE(a, std::string::npos);
+  ASSERT_NE(m, std::string::npos);
+  EXPECT_LT(z, a);
+  EXPECT_LT(a, m);
+  EXPECT_EQ(s.find("noise"), std::string::npos);
+  const JsonValue doc = parse_json(s);
+  EXPECT_EQ(doc.at("zulu").as_double(), 1.0);
+  EXPECT_EQ(doc.at("alpha").as_double(), 2.0);
+  EXPECT_EQ(doc.at("mike").as_double(), 3.0);
+}
+
+TEST(ObsRegistry, LookupOrCreateReturnsTheSameSeries) {
+  Registry reg;
+  reg.counter("g", "hits").inc();
+  reg.counter("g", "hits").inc(2);
+  EXPECT_EQ(reg.counter("g", "hits").value(), 3u);
+  ASSERT_EQ(reg.metrics().size(), 1u);
+}
+
+TEST(ObsRegistry, FloatingCountersRenderShortest) {
+  Registry reg;
+  reg.counter("g", "bytes").set(1.25e9);
+  JsonWriter w;
+  w.begin_object();
+  reg.json_fields(w, "g");
+  w.end_object();
+  // Doubles go through format_shortest, matching the historical kv(double)
+  // rendering the golden RunRecords were written with.
+  EXPECT_NE(w.str().find("\"bytes\": 1.25e+09"), std::string::npos) << w.str();
+}
+
+TEST(ObsRegistry, PrometheusExposition) {
+  Registry reg;
+  reg.counter("cache", "hits", "memo cache hits").set(std::uint64_t{41});
+  reg.gauge("cache", "bytes", "resident bytes").set(std::uint64_t{1024});
+  reg.gauge("load", "in_flight", "live requests").set(2);
+  reg.rename_prom("serve_in_flight");
+  Histogram& h = reg.histogram("serve", "latency_seconds", "request latency",
+                               {}, {0.1, 1.0});
+  h.observe(0.05);
+  h.observe(0.5);
+  h.observe(5.0);
+  const std::string text = reg.render_prometheus("pdc_");
+
+  // Counters gain _total; gauges do not; rename_prom overrides group_name.
+  EXPECT_NE(text.find("# TYPE pdc_cache_hits_total counter\n"), std::string::npos);
+  EXPECT_NE(text.find("# HELP pdc_cache_hits_total memo cache hits\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("pdc_cache_hits_total 41\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE pdc_cache_bytes gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("pdc_cache_bytes 1024\n"), std::string::npos);
+  EXPECT_NE(text.find("pdc_serve_in_flight 2\n"), std::string::npos);
+
+  // Histograms render cumulative buckets with the +Inf terminator.
+  EXPECT_NE(text.find("# TYPE pdc_serve_latency_seconds histogram\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("pdc_serve_latency_seconds_bucket{le=\"0.1\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("pdc_serve_latency_seconds_bucket{le=\"1\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("pdc_serve_latency_seconds_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("pdc_serve_latency_seconds_count 3\n"), std::string::npos);
+  EXPECT_NE(text.find("pdc_serve_latency_seconds_sum "), std::string::npos);
+
+  // Exposition format basics: every non-comment line is "name[{labels}] value".
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    const std::string line = text.substr(start, end - start);
+    start = end + 1;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      EXPECT_TRUE(line.rfind("# HELP ", 0) == 0 || line.rfind("# TYPE ", 0) == 0)
+          << line;
+      continue;
+    }
+    const std::size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    EXPECT_GT(space, 0u) << line;
+    // The value parses as a number.
+    const std::string value = line.substr(space + 1);
+    EXPECT_FALSE(value.empty()) << line;
+    char* parsed_end = nullptr;
+    std::strtod(value.c_str(), &parsed_end);
+    EXPECT_EQ(*parsed_end, '\0') << line;
+  }
+}
+
+TEST(ObsRegistry, CounterNamedTotalIsNotDoubleSuffixed) {
+  Registry reg;
+  reg.counter("x", "events_total").set(std::uint64_t{5});
+  const std::string text = reg.render_prometheus("");
+  EXPECT_NE(text.find("x_events_total 5\n"), std::string::npos);
+  EXPECT_EQ(text.find("x_events_total_total"), std::string::npos);
+}
+
+TEST(ObsRegistry, LabelsRender) {
+  Registry reg;
+  reg.counter("rpc", "calls", "calls by verb", {{"verb", "RESERVE"}})
+      .set(std::uint64_t{7});
+  reg.counter("rpc", "calls", "calls by verb", {{"verb", "JOIN"}})
+      .set(std::uint64_t{3});
+  const std::string text = reg.render_prometheus("");
+  EXPECT_NE(text.find("rpc_calls_total{verb=\"RESERVE\"} 7\n"), std::string::npos);
+  EXPECT_NE(text.find("rpc_calls_total{verb=\"JOIN\"} 3\n"), std::string::npos);
+  // One family, one HELP/TYPE pair.
+  const std::size_t first = text.find("# TYPE rpc_calls_total counter");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_EQ(text.find("# TYPE rpc_calls_total counter", first + 1),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace pdc::obs
