@@ -100,9 +100,16 @@ int main(int argc, char** argv) {
                    TextTable::num(rec.predicted->total_seconds, 3),
                    std::to_string(rec.predicted->computation.peers),
                    std::to_string(rec.predicted->computation.groups)});
+  if (rec.analytic)
+    table.add_row({"analytic", TextTable::num(rec.analytic->solve_seconds, 3),
+                   TextTable::num(rec.analytic->total_seconds, 3),
+                   std::to_string(rec.analytic->computation.peers),
+                   std::to_string(rec.analytic->computation.groups)});
   std::printf("%s", table.render().c_str());
   if (rec.prediction_error)
     std::printf("prediction error: %.2f%%\n", 100.0 * *rec.prediction_error);
+  if (rec.analytic_error)
+    std::printf("analytic error: %.2f%%\n", 100.0 * *rec.analytic_error);
 
   const std::string json = rec.to_json();
   const std::string path =

@@ -77,8 +77,11 @@ std::map<std::string, double> record_metrics(const JsonValue& record) {
   };
   phase("reference", "reference");
   phase("predicted", "predicted");
+  phase("analytic", "analytic");
   if (record.has("prediction_error"))
     m["prediction_error"] = record.at("prediction_error").as_double();
+  if (record.has("analytic_error"))
+    m["analytic_error"] = record.at("analytic_error").as_double();
   return m;
 }
 

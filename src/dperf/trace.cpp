@@ -64,6 +64,17 @@ Trace load_trace(const std::string& text) {
     ls >> kw >> t.rank >> of >> t.nprocs >> hz >> t.host_hz;
     if (kw != "proc" || of != "of" || hz != "hz" || ls.fail())
       throw fail("bad proc line '" + line + "'");
+    std::string extra;
+    if (ls >> extra) throw fail("trailing tokens on proc line '" + line + "'");
+    if (t.nprocs <= 0)
+      throw fail("proc line has nprocs " + std::to_string(t.nprocs) +
+                 ", expected nprocs > 0");
+    if (t.rank < 0 || t.rank >= t.nprocs)
+      throw fail("proc line has rank " + std::to_string(t.rank) +
+                 " outside [0, " + std::to_string(t.nprocs) + ")");
+    if (!(t.host_hz > 0))
+      throw fail("proc line has hz " + std::to_string(t.host_hz) +
+                 ", expected hz > 0");
   }
   bool ended = false;
   while (std::getline(in, line)) {
@@ -97,6 +108,10 @@ Trace load_trace(const std::string& text) {
       throw fail("unknown record '" + kw + "'");
     }
     if (ls.fail()) throw fail("malformed record '" + line + "'");
+    if ((e.kind == TraceEvent::Kind::Send || e.kind == TraceEvent::Kind::Recv) &&
+        (e.peer < 0 || e.peer >= t.nprocs))
+      throw fail("record '" + line + "' has peer " + std::to_string(e.peer) +
+                 " outside [0, " + std::to_string(t.nprocs) + ")");
     t.events.push_back(e);
   }
   if (!ended) throw fail("missing end marker");
@@ -104,11 +119,21 @@ Trace load_trace(const std::string& text) {
 }
 
 Trace extrapolate(const Trace& sampled, int sample_iters, int target_iters, int chunk) {
+  // All precondition failures name the trace rank and echo the offending
+  // values, so a caller iterating many ranks can tell which one failed.
+  auto where = [&sampled, sample_iters, target_iters, chunk] {
+    return " (rank " + std::to_string(sampled.rank) + ", sample " +
+           std::to_string(sample_iters) + ", target " + std::to_string(target_iters) +
+           ", chunk " + std::to_string(chunk) + ")";
+  };
+  if (sample_iters <= 0)
+    throw std::runtime_error("extrapolate: need sample_iters > 0" + where());
   if (target_iters == sample_iters) return sampled;
   if (chunk <= 0 || sample_iters < 3 * chunk)
-    throw std::runtime_error("extrapolate: need sample_iters >= 3*chunk");
+    throw std::runtime_error("extrapolate: need chunk > 0 and sample_iters >= 3*chunk" +
+                             where());
   if (target_iters < sample_iters || (target_iters - sample_iters) % chunk != 0)
-    throw std::runtime_error("extrapolate: target must be sample + k*chunk");
+    throw std::runtime_error("extrapolate: target must be sample + k*chunk" + where());
 
   // Locate iteration markers.
   std::vector<std::size_t> marker_pos;
@@ -116,7 +141,8 @@ Trace extrapolate(const Trace& sampled, int sample_iters, int target_iters, int 
     if (sampled.events[i].kind == TraceEvent::Kind::IterMark) marker_pos.push_back(i);
   if (static_cast<int>(marker_pos.size()) != sample_iters)
     throw std::runtime_error("extrapolate: trace has " + std::to_string(marker_pos.size()) +
-                             " iteration marks, expected " + std::to_string(sample_iters));
+                             " iteration marks, expected " + std::to_string(sample_iters) +
+                             where());
 
   // Steady chunk: the `chunk` iterations ending one chunk before the end,
   // i.e. events [marker[S-2c], marker[S-c]).

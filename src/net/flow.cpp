@@ -153,6 +153,67 @@ sim::Task<void> FlowNet::transfer(NodeIdx src, NodeIdx dst, double bytes) {
   co_await gate.wait();
 }
 
+std::vector<double> FlowNet::hypothetical_rates(
+    const std::vector<std::pair<NodeIdx, NodeIdx>>& endpoints) const {
+  // Progressive filling over a local capacity map, mirroring
+  // reference_recompute_rates but against the platform's (churn-rescaled)
+  // nominal capacities instead of live flow state.
+  struct Entry {
+    std::vector<Hop> hops;  // copied: the platform's route cache may evict
+    std::size_t index;
+  };
+  std::vector<double> rates(endpoints.size(),
+                            std::numeric_limits<double>::infinity());
+  std::map<std::size_t, double> capacity;
+  std::map<std::size_t, int> unfixed_count;
+  std::vector<Entry> unfixed;
+  for (std::size_t i = 0; i < endpoints.size(); ++i) {
+    const auto [src, dst] = endpoints[i];
+    if (src == dst) continue;
+    const Route& route = platform_->route(src, dst);
+    Entry e{route.hops, i};
+    for (const Hop& h : e.hops) {
+      const std::size_t key = linkdir_index(h);
+      capacity.emplace(key, platform_->link(h.link).bandwidth_Bps * link_scale(h.link));
+      ++unfixed_count[key];
+    }
+    unfixed.push_back(std::move(e));
+  }
+  while (!unfixed.empty()) {
+    double best_share = std::numeric_limits<double>::infinity();
+    for (const auto& [key, cap] : capacity) {
+      const int n = unfixed_count[key];
+      if (n > 0) best_share = std::min(best_share, cap / n);
+    }
+    if (!std::isfinite(best_share)) break;
+    std::vector<Entry> still_unfixed;
+    for (Entry& e : unfixed) {
+      bool at_bottleneck = false;
+      for (const Hop& h : e.hops) {
+        const auto key = linkdir_index(h);
+        if (unfixed_count[key] > 0 &&
+            capacity[key] / unfixed_count[key] <= best_share * (1 + 1e-12)) {
+          at_bottleneck = true;
+          break;
+        }
+      }
+      if (at_bottleneck) {
+        rates[e.index] = best_share;
+        for (const Hop& h : e.hops) {
+          const auto key = linkdir_index(h);
+          capacity[key] = std::max(0.0, capacity[key] - best_share);
+          --unfixed_count[key];
+        }
+      } else {
+        still_unfixed.push_back(std::move(e));
+      }
+    }
+    if (still_unfixed.size() == unfixed.size()) break;  // numeric safety
+    unfixed.swap(still_unfixed);
+  }
+  return rates;
+}
+
 double FlowNet::flow_rate(FlowId id) const {
   auto it = id_to_slot_.find(id);
   return it == id_to_slot_.end() ? 0.0 : flows_[it->second].rate;

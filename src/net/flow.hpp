@@ -96,6 +96,14 @@ class FlowNet {
   void set_link_scale(LinkIdx link, double scale);
   double link_scale(LinkIdx link) const;
 
+  /// Pure what-if query: the max-min fair rates a set of simultaneous flows
+  /// (one per (src, dst) endpoint pair) would get on an otherwise idle
+  /// network, honoring churn link rescales. Never touches live flow state —
+  /// this is the analytic planner's rate oracle. Entries with src == dst get
+  /// an infinite rate (local delivery costs nothing, as in start_flow).
+  std::vector<double> hypothetical_rates(
+      const std::vector<std::pair<NodeIdx, NodeIdx>>& endpoints) const;
+
  private:
   enum class Phase { Latency, Transfer };
   using Slot = std::uint32_t;

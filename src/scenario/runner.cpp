@@ -12,6 +12,7 @@
 #include <tuple>
 
 #include "churn/injector.hpp"
+#include "dperf/analytic.hpp"
 #include "net/platfile.hpp"
 #include "obs/metrics.hpp"
 #include "obs/publish.hpp"
@@ -371,6 +372,20 @@ TraceMemo& trace_memo() {
   return memo;
 }
 
+// Trace summaries share the traces' key space (they are a pure collapse of
+// the memoized trace set) and are platform-independent like them: a
+// campaign sweeping platforms or churn axes in mode=analytic summarizes one
+// workload once, then every grid point is just plan_on.
+struct SummaryMemo {
+  std::mutex mutex;
+  std::map<std::tuple<int, int, int, int, int, double>, std::vector<dperf::TraceSummary>>
+      cache;
+};
+SummaryMemo& summary_memo() {
+  static SummaryMemo memo;
+  return memo;
+}
+
 }  // namespace
 
 const obstacle::CostProfile& cost_profile(ir::OptLevel level, const RunSpec& run) {
@@ -533,6 +548,64 @@ PhaseRecord Runner::run_predicted(std::vector<dperf::Trace> traces) const {
   return ph;
 }
 
+PhaseRecord Runner::run_analytic(const std::vector<dperf::Trace>& traces) const {
+  const RunSpec& run = spec_.run;
+  obs::TraceRecorder* tr = obs::trace();
+  if (tr) tr->begin_phase("analytic");
+  // A deployment supplies the platform, the booted overlay (tracker lists
+  // for the collection model) and the worker placement — but the planner
+  // runs zero simulation on it: no events, no flows, no churn injection
+  // (the injector is never armed; the plan prices the churn-free baseline).
+  // Workers boot lazily regardless of the spec's knob: passive registration
+  // yields the identical placement without simulating any peer actors, so
+  // the deployment cost stays out of the plan's per-grid-point budget.
+  RunSpec lazy = run;
+  lazy.lazy_boot = true;
+  auto d = scenario::deploy(spec_.platform, lazy);
+  obstacle::DistributedConfig cfg = config_of(run);
+  if (tr)
+    tr->span_begin(tr->track("run"), "analytic", d->engine.now(),
+                   {{"peers", run.peers}, {"ranks", run.rank_count()}});
+  std::vector<dperf::TraceSummary> summaries;
+  {
+    SummaryMemo& memo = summary_memo();
+    const auto key = std::make_tuple(static_cast<int>(run.level), run.rcheck, run.grid_n,
+                                     run.iters, run.rank_count(), run.omega);
+    std::lock_guard<std::mutex> lock(memo.mutex);
+    auto it = memo.cache.find(key);
+    if (it == memo.cache.end()) {
+      std::vector<dperf::TraceSummary> fresh;
+      fresh.reserve(traces.size());
+      for (const dperf::Trace& t : traces) fresh.push_back(dperf::summarize_trace(t));
+      it = memo.cache.emplace(key, std::move(fresh)).first;
+    }
+    summaries = it->second;
+  }
+  const dperf::AnalyticReport rep =
+      dperf::plan_on(*d->env, d->submitter, obstacle::make_task_spec(cfg, run.rank_count()),
+                     summaries, d->workers);
+  if (tr) tr->span_end(tr->track("run"), d->engine.now());
+  if (!rep.ok)
+    throw std::runtime_error("analytic plan failed (" + spec_.name + "): " + rep.failure);
+  PhaseRecord ph;
+  ph.solve_seconds = rep.solve_seconds;
+  ph.total_seconds = rep.total_seconds;
+  ph.platform_hosts = d->platform.host_count();
+  // Synthetic computation milestones on the planner's clock (t_submit = 0),
+  // so collection_time()/allocation_time()/total_time() read as usual.
+  ph.computation.ok = true;
+  ph.computation.peers = rep.peers;
+  ph.computation.groups = rep.groups;
+  ph.computation.t_submit = 0;
+  ph.computation.t_collected = rep.collection_seconds;
+  ph.computation.t_allocated = rep.collection_seconds + rep.allocation_seconds;
+  ph.computation.t_finished = rep.total_seconds;
+  ph.net = d->env->flownet().stats();
+  ph.routes = d->platform.route_stats();
+  ph.engine = d->engine.stats();
+  return ph;
+}
+
 RunRecord Runner::run_phases(const char*& phase) const {
   if (spec_.run.ranks > spec_.run.peers)
     throw std::runtime_error("ranks (" + std::to_string(spec_.run.ranks) +
@@ -572,17 +645,32 @@ RunRecord Runner::run_phases(const char*& phase) const {
     phase = "predicted";
     rec.predicted = run_predicted(std::move(tr));
   }
+  if (mode == Mode::Analytic || mode == Mode::BothAnalytic) {
+    phase = "traces";
+    std::vector<dperf::Trace> tr = traces();
+    if (mode == Mode::BothAnalytic) {
+      phase = "predicted";
+      rec.predicted = run_predicted(tr);
+    }
+    phase = "analytic";
+    rec.analytic = run_analytic(tr);
+  }
   if (recorder) {
     phase = "trace";
     recorder->write(trace_path);
   }
   phase = "record";
-  rec.platform_hosts = rec.reference ? rec.reference->platform_hosts
-                                     : rec.predicted->platform_hosts;
+  rec.platform_hosts = rec.reference  ? rec.reference->platform_hosts
+                       : rec.predicted ? rec.predicted->platform_hosts
+                                       : rec.analytic->platform_hosts;
   if (rec.reference && rec.predicted && rec.reference->solve_seconds > 0)
     rec.prediction_error =
         std::abs(rec.predicted->solve_seconds - rec.reference->solve_seconds) /
         rec.reference->solve_seconds;
+  if (rec.analytic && rec.predicted && rec.predicted->solve_seconds > 0)
+    rec.analytic_error =
+        std::abs(rec.analytic->solve_seconds - rec.predicted->solve_seconds) /
+        rec.predicted->solve_seconds;
   return rec;
 }
 
@@ -663,7 +751,12 @@ std::string RunRecord::to_json() const {
     w.key("predicted");
     phase_json(w, *predicted, /*with_iterations=*/false);
   }
+  if (analytic) {
+    w.key("analytic");
+    phase_json(w, *analytic, /*with_iterations=*/false);
+  }
   if (prediction_error) w.kv("prediction_error", *prediction_error);
+  if (analytic_error) w.kv("analytic_error", *analytic_error);
   if (!error.empty()) w.kv("error", error);
   w.end_object();
   return w.str() + "\n";

@@ -111,8 +111,13 @@ struct RunRecord {
   int platform_hosts = 0;
   std::optional<PhaseRecord> reference;
   std::optional<PhaseRecord> predicted;
+  /// Critical-path plan with no engine replay (mode analytic / both-analytic).
+  std::optional<PhaseRecord> analytic;
   /// |predicted - reference| / reference solve seconds; set when both ran.
   std::optional<double> prediction_error;
+  /// |analytic - predicted| / predicted solve seconds; set when both-analytic
+  /// runs both the replay and the plan (what `both` does for prediction).
+  std::optional<double> analytic_error;
   /// Empty on success; the failure message when the run could not complete
   /// (platform file parse error, platform too small, solve failure, ...).
   /// Failed records keep the spec identification fields so a campaign can
@@ -149,6 +154,10 @@ class Runner {
 
   /// Trace replay on this scenario's platform.
   PhaseRecord run_predicted(std::vector<dperf::Trace> traces) const;
+
+  /// Analytic plan on this scenario's platform: summaries x cost model, no
+  /// engine replay (dperf::plan_on). Throws on planner failure.
+  PhaseRecord run_analytic(const std::vector<dperf::Trace>& traces) const;
 
   /// Executes the phases `spec().run.mode` asks for and assembles the record.
   /// Throws on failure (bad platform file, platform too small, ...).

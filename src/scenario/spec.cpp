@@ -333,6 +333,8 @@ const char* mode_name(Mode m) {
     case Mode::Reference: return "reference";
     case Mode::Predict: return "predict";
     case Mode::Both: return "both";
+    case Mode::Analytic: return "analytic";
+    case Mode::BothAnalytic: return "both-analytic";
   }
   return "?";
 }
@@ -396,10 +398,12 @@ ScenarioSpec parse_scenario(const std::string& text, const RunSpec& base) {
         throw ScenarioError(lineno, e.what());
       }
     } else if (kw == "mode") {
-      need(2, "mode <reference|predict|both>");
+      need(2, "mode <reference|predict|both|analytic|both-analytic>");
       if (tok[1] == "reference") spec.run.mode = Mode::Reference;
       else if (tok[1] == "predict") spec.run.mode = Mode::Predict;
       else if (tok[1] == "both") spec.run.mode = Mode::Both;
+      else if (tok[1] == "analytic") spec.run.mode = Mode::Analytic;
+      else if (tok[1] == "both-analytic") spec.run.mode = Mode::BothAnalytic;
       else throw ScenarioError(lineno, "unknown mode '" + tok[1] + "'");
     } else if (kw == "alloc") {
       need(2, "alloc <hierarchical|flat>");

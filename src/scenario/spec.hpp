@@ -17,7 +17,7 @@
 //   end
 //   peers <n>
 //   opt <0|1|2|3|s>
-//   mode <reference|predict|both>
+//   mode <reference|predict|both|analytic|both-analytic>
 //   alloc <hierarchical|flat>
 //   scheme <sync|async>
 //   seed <n>
@@ -84,7 +84,7 @@ struct PlatformSpec {
   static PlatformSpec from_text(std::string platfile_text);
 };
 
-enum class Mode { Reference, Predict, Both };
+enum class Mode { Reference, Predict, Both, Analytic, BothAnalytic };
 const char* mode_name(Mode m);
 
 /// How to run the workload: everything the paper varies between experiments

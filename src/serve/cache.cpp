@@ -32,6 +32,16 @@ void MemoCache::put(const std::string& key, std::string value) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = map_.find(key);
   if (it != map_.end()) {
+    if (key.size() + value.size() > budget_) {
+      // An oversized replacement must not stay resident (evicting it to
+      // budget would drain the whole working set first): drop the old entry
+      // and don't cache the new value.
+      bytes_ -= key.size() + it->second.value.size();
+      lru_.erase(it->second.lru_it);
+      map_.erase(it);
+      ++evictions_;
+      return;
+    }
     bytes_ -= it->second.value.size();
     bytes_ += value.size();
     it->second.value = std::move(value);

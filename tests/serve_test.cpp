@@ -77,6 +77,52 @@ TEST(MemoCache, OversizedEntriesAreNotCachedAndEvictNothing) {
   EXPECT_EQ(cache.stats().entries, 1u);
 }
 
+// Regression: replacing a resident key with a value bigger than the whole
+// budget used to leave the oversized entry resident and let the eviction
+// loop drain every other entry trying to make room. The replacement must
+// simply drop the key (the header's oversized-entry promise) and leave the
+// rest of the working set alone.
+TEST(MemoCache, OversizedReplacementDropsKeyAndKeepsWorkingSet) {
+  MemoCache cache{32};
+  cache.put("keep", "1234");          // 8 bytes
+  cache.put("k", "v");                // 2 bytes
+  cache.put("k", std::string(100, 'z'));  // oversized replacement
+  EXPECT_FALSE(cache.get("k").has_value());
+  EXPECT_TRUE(cache.get("keep").has_value());
+  const CacheStats s = cache.stats();
+  EXPECT_EQ(s.entries, 1u);
+  EXPECT_EQ(s.bytes, std::string("keep").size() + std::string("1234").size());
+}
+
+// The bytes counter must equal the byte footprint of the live entries after
+// any interleaving of inserts, replacements, oversized puts and evictions —
+// checked here across every transition the cache implements.
+TEST(MemoCache, BytesMatchLiveEntriesThroughAllTransitions) {
+  MemoCache cache{40};
+  const auto live_bytes = [&cache](std::initializer_list<const char*> keys) {
+    std::size_t total = 0;
+    for (const char* k : keys) {
+      const auto v = cache.get(k);
+      if (v.has_value()) total += std::string(k).size() + v->size();
+    }
+    return total;
+  };
+  cache.put("a", "12345");  // 6
+  cache.put("b", "12345");  // 6
+  EXPECT_EQ(cache.stats().bytes, live_bytes({"a", "b"}));
+  cache.put("a", std::string(12, 'x'));  // in-place growth
+  EXPECT_EQ(cache.stats().bytes, live_bytes({"a", "b"}));
+  cache.put("a", "1");  // in-place shrink
+  EXPECT_EQ(cache.stats().bytes, live_bytes({"a", "b"}));
+  cache.put("c", std::string(34, 'y'));  // forces LRU eviction
+  EXPECT_EQ(cache.stats().bytes, live_bytes({"a", "b", "c"}));
+  cache.put("d", std::string(64, 'z'));  // oversized insert: not cached
+  EXPECT_EQ(cache.stats().bytes, live_bytes({"a", "b", "c", "d"}));
+  cache.put("c", std::string(64, 'w'));  // oversized replacement: drops c
+  EXPECT_EQ(cache.stats().bytes, live_bytes({"a", "b", "c", "d"}));
+  EXPECT_LE(cache.stats().bytes, cache.stats().budget_bytes);
+}
+
 TEST(MemoCache, ZeroBudgetDisablesCaching) {
   MemoCache cache{0};
   cache.put("a", "b");

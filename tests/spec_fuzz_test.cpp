@@ -112,7 +112,7 @@ scenario::ScenarioSpec random_scenario(Rng& rng) {
                                         : p2pdc::AllocationMode::Flat;
   s.run.scheme =
       rng.bernoulli(0.5) ? p2psap::Scheme::Synchronous : p2psap::Scheme::Asynchronous;
-  s.run.mode = static_cast<scenario::Mode>(rng.uniform_int(0, 2));
+  s.run.mode = static_cast<scenario::Mode>(rng.uniform_int(0, 4));
   s.run.seed = rng.next_u64() % 1000000;
   s.run.grid_n = static_cast<int>(rng.uniform_int(16, 2048));
   s.run.iters = static_cast<int>(rng.uniform_int(1, 500));

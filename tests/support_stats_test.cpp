@@ -63,6 +63,24 @@ TEST(RunningStats, MergeWithEmptySides) {
   EXPECT_DOUBLE_EQ(a.mean(), 1.0);
 }
 
+// The reverse direction: merging an empty accumulator into a populated one
+// must leave every field — including min/max/total, which have no neutral
+// element inside the struct — untouched.
+TEST(RunningStats, MergeEmptyIntoPopulatedIsIdentity) {
+  RunningStats a;
+  a.add(-2.0);
+  a.add(5.0);
+  a.add(3.0);
+  const RunningStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(a.min(), -2.0);
+  EXPECT_DOUBLE_EQ(a.max(), 5.0);
+  EXPECT_DOUBLE_EQ(a.total(), 6.0);
+  EXPECT_NEAR(a.stddev(), std::sqrt(13.0), 1e-12);
+}
+
 TEST(Quantile, InterpolatesLinearly) {
   std::vector<double> v{1, 2, 3, 4, 5};
   EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);
@@ -75,6 +93,16 @@ TEST(Quantile, InterpolatesLinearly) {
 TEST(Quantile, HandlesDegenerateInputs) {
   EXPECT_EQ(quantile({}, 0.5), 0.0);
   EXPECT_EQ(quantile({7.0}, 0.99), 7.0);
+}
+
+// The extremes must hit the true min/max even when the input arrives
+// unsorted (quantile sorts its copy) and p lands exactly on the ends.
+TEST(Quantile, ExtremesOnUnsortedInput) {
+  const std::vector<double> v{9.0, -4.0, 2.5, 7.0, 0.0};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), -4.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 9.0);
+  EXPECT_EQ(quantile({3.0}, 0.0), 3.0);
+  EXPECT_EQ(quantile({3.0}, 1.0), 3.0);
 }
 
 TEST(Summary, EmptyIsAllZero) {
