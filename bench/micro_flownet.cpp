@@ -2,18 +2,27 @@
 // trajectory: with N long-lived flows holding the network, how many
 // start/complete reshares per wall-clock second can each engine sustain?
 //
-// Two topologies bracket the design space:
-//  * pairs — disjoint host pairs on private links: many independent sharing
-//    components, the incremental engine's O(affected) best case;
-//  * star  — every route crosses one backbone: a single giant component,
-//    isolating the dense-records-vs-std::map constant factor.
+// Three topologies bracket the design space:
+//  * pairs    — disjoint host pairs on private links: many independent
+//    sharing components, the incremental engine's O(affected) best case;
+//  * star     — random all-to-all over 64 hosts through one backbone: a
+//    single giant component whose flows have ~O(flows) distinct contention
+//    profiles, so class compression is structurally impossible and the
+//    bench isolates the per-class constant factor;
+//  * backbone — disjoint host pairs routed through one shared trunk: a
+//    single giant component that collapses into O(1) flow classes, the
+//    class solver's payoff case (and the shape of the paper's platforms).
 //
 // Emits BENCH_flownet.json (pass a path as argv[1] to redirect). Reference
 // mode is skipped above --ref-cap flows (default 1000): the point of the
-// exercise is that the full recompute is unusable at that scale.
+// exercise is that the full recompute is unusable at that scale. Pass
+// --baseline=FILE (a previously emitted BENCH_flownet.json) to embed
+// before/after speedups at matched (topology, flows, mode).
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -38,6 +47,9 @@ struct Result {
   double reshares_per_sec = 0;
   std::uint64_t reshares_partial = 0;
   std::uint64_t flows_rescanned = 0;
+  std::uint64_t classes_active = 0;
+  std::uint64_t class_merges = 0;
+  std::uint64_t class_splits = 0;
 };
 
 Platform build_pairs(int pairs) {
@@ -63,7 +75,7 @@ Result run_case(const std::string& topology, const Platform& plat, int flows, in
   Rng rng{42};
   const int hosts = plat.host_count();
   auto pick_pair = [&](int& s, int& d) {
-    if (topology == "pairs") {
+    if (topology == "pairs" || topology == "backbone") {
       const int pair = static_cast<int>(rng.uniform_int(0, hosts / 2 - 1));
       s = 2 * pair;
       d = 2 * pair + 1;
@@ -75,13 +87,21 @@ Result run_case(const std::string& topology, const Platform& plat, int flows, in
   };
   for (int i = 0; i < flows; ++i) {
     int s, d;
-    pick_pair(s, d);
+    if (topology == "backbone") {
+      // One base flow per disjoint pair: every NIC keeps a single member, so
+      // the whole population shares one route signature (one class).
+      const int pair = i % (hosts / 2);
+      s = 2 * pair;
+      d = 2 * pair + 1;
+    } else {
+      pick_pair(s, d);
+    }
     netw.start_flow(plat.host(s), plat.host(d), 1e15, [] {});  // outlives the bench
   }
   const Time kGap = 0.05;  // leaves room for each churn flow to drain
   for (int i = 0; i < churn; ++i) {
     int s, d;
-    pick_pair(s, d);
+    pick_pair(s, d);  // backbone churn lands on a base pair: split + re-merge
     eng.schedule_at(1.0 + kGap * i, [&netw, &plat, s, d] {
       netw.start_flow(plat.host(s), plat.host(d), 16.0, [] {});
     });
@@ -103,10 +123,14 @@ Result run_case(const std::string& topology, const Platform& plat, int flows, in
       r.wall_seconds > 0 ? static_cast<double>(r.churn_reshares) / r.wall_seconds : 0;
   r.reshares_partial = after.reshares_partial - before.reshares_partial;
   r.flows_rescanned = after.flows_rescanned - before.flows_rescanned;
-  std::printf("%-5s  %5d flows  %-11s  %6llu reshares  %8.3f ms  %12.0f reshares/s\n",
-              topology.c_str(), flows, r.mode,
-              static_cast<unsigned long long>(r.churn_reshares), r.wall_seconds * 1e3,
-              r.reshares_per_sec);
+  r.classes_active = after.classes_active;  // peak gauge, not a delta
+  r.class_merges = after.class_merges - before.class_merges;
+  r.class_splits = after.class_splits - before.class_splits;
+  std::printf(
+      "%-8s  %5d flows  %-11s  %6llu reshares  %8.3f ms  %12.0f reshares/s  %5llu classes\n",
+      topology.c_str(), flows, r.mode, static_cast<unsigned long long>(r.churn_reshares),
+      r.wall_seconds * 1e3, r.reshares_per_sec,
+      static_cast<unsigned long long>(r.classes_active));
   std::fflush(stdout);
   return r;
 }
@@ -115,27 +139,50 @@ Result run_case(const std::string& topology, const Platform& plat, int flows, in
 
 int main(int argc, char** argv) {
   const char* out_path = "BENCH_flownet.json";
+  std::string baseline_path;
   int ref_cap = pdc::env_int("PDC_FLOWNET_REF_CAP", 1000);
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--ref-cap=", 10) == 0)
       ref_cap = std::atoi(argv[i] + 10);
+    else if (std::strncmp(argv[i], "--baseline=", 11) == 0)
+      baseline_path = argv[i] + 11;
     else
       out_path = argv[i];
   }
 
   const int kFlowCounts[] = {10, 100, 1000, 10000};
   std::vector<Result> results;
-  for (const char* topology : {"pairs", "star"}) {
+  for (const char* topology : {"pairs", "star", "backbone"}) {
     for (const int flows : kFlowCounts) {
-      const Platform plat = std::string(topology) == "pairs"
-                                ? build_pairs(std::max(2, flows / 8))
-                                : net::build_star(net::lan_spec(64));
+      const std::string topo{topology};
+      const Platform plat =
+          topo == "pairs" ? build_pairs(std::max(2, flows / 8))
+          : topo == "star"
+              ? net::build_star(net::lan_spec(64))
+              : net::build_star(net::lan_spec(std::max(4, 2 * flows)));
       const int churn = flows >= 10000 ? 50 : 200;
-      results.push_back(run_case(topology, plat, flows, churn, FlowNet::Mode::Incremental));
+      results.push_back(run_case(topo, plat, flows, churn, FlowNet::Mode::Incremental));
       if (flows <= ref_cap)
-        results.push_back(run_case(topology, plat, flows, churn, FlowNet::Mode::Reference));
+        results.push_back(run_case(topo, plat, flows, churn, FlowNet::Mode::Reference));
     }
   }
+
+  // Optional before/after comparison against a previously emitted file.
+  pdc::JsonValue baseline;
+  if (!baseline_path.empty()) {
+    std::ifstream in(baseline_path, std::ios::binary);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    baseline = pdc::parse_json(buf.str());
+  }
+  auto baseline_rate = [&baseline](const Result& r) -> double {
+    if (!baseline.has("results")) return 0;
+    for (const pdc::JsonValue& b : baseline.at("results").as_array())
+      if (b.at("topology").as_string() == r.topology &&
+          b.at("flows").as_double() == r.flows && b.at("mode").as_string() == r.mode)
+        return b.at("reshares_per_sec").as_double();
+    return 0;
+  };
 
   // Speedups at matched (topology, flows), emitted through the shared
   // support JSON writer like every other BENCH_*.json / RunRecord file.
@@ -144,6 +191,7 @@ int main(int argc, char** argv) {
   w.kv("bench", "flownet_reshare_throughput");
   w.key("results").begin_array();
   for (const Result& r : results) {
+    const double before = baseline_rate(r);
     w.begin_object();
     w.kv("topology", r.topology);
     w.kv("flows", r.flows);
@@ -153,6 +201,13 @@ int main(int argc, char** argv) {
     w.kv("reshares_per_sec", r.reshares_per_sec);
     w.kv("reshares_partial", r.reshares_partial);
     w.kv("flows_rescanned", r.flows_rescanned);
+    w.kv("classes_active", r.classes_active);
+    w.kv("class_merges", r.class_merges);
+    w.kv("class_splits", r.class_splits);
+    if (before > 0) {
+      w.kv("baseline_reshares_per_sec", before);
+      w.kv("speedup_vs_baseline", r.reshares_per_sec / before);
+    }
     w.end_object();
   }
   w.end_array();

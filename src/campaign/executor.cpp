@@ -60,6 +60,12 @@ std::map<std::string, double> record_metrics(const JsonValue& record) {
     // and whether any closure fell off the allocation-free inline path
     // (aggregated next to the FlowNet-derived metrics; absent in records
     // written before the engine block existed).
+    // Class-solver compression per phase: how many flow classes the max-min
+    // solver actually held live at peak (absent in records written before
+    // the class solver existed).
+    if (ph.has("flownet") && ph.at("flownet").has("classes_active"))
+      m[std::string(prefix) + "_flownet_classes"] =
+          ph.at("flownet").at("classes_active").as_double();
     if (ph.has("engine")) {
       const JsonValue& e = ph.at("engine");
       m[std::string(prefix) + "_engine_events"] = e.at("events_dispatched").as_double();

@@ -1,6 +1,7 @@
 #include "net/flow.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <limits>
 #include <map>
@@ -21,8 +22,13 @@ constexpr double kByteEpsilon = 1e-6;
 // absorbs float drift between lazily-settled projections (arm time vs heap
 // key); it must stay >= 2 ulp so a rearm after a short pop always lands
 // strictly later, yet small enough that early-completed flows have far less
-// than kByteEpsilon bytes left at any realistic rate.
+// than kByteEpsilon bytes left at any realistic rate. The same window,
+// converted to bytes at the class rate, absorbs the rounding of the class
+// credit counter: credit <= rate * now, so ulp(credit) <= rate * now * 2e-16
+// is always inside rate * (cutoff - now).
 constexpr Time completion_cutoff(Time now) { return now * (1.0 + 4e-16) + 1e-12; }
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
 }  // namespace
 
 FlowNet::FlowNet(sim::Engine& engine, const Platform& platform, Mode mode)
@@ -64,16 +70,23 @@ void FlowNet::set_link_scale(LinkIdx link, double scale) {
     const std::size_t li = linkdir_index(Hop{link, dir});
     linkdirs_[li].capacity = capacity;
     mark_dirty(li);
+    // A private link's capacity is part of its member's class signature, so
+    // a rescale must re-classify the sole member (class split). Shared
+    // links are signed by linkdir index; their classes are unaffected.
+    if (mode_ == Mode::Incremental && linkdirs_[li].members.size() == 1)
+      queue_reclass(linkdirs_[li].members[0].slot);
   }
   ++stats_.link_rescales;
   ++stats_.reshares;
   if (obs::TraceRecorder* tr = obs::trace(); tr != nullptr)
     tr->instant(tr->track("flownet"), "rescale", engine_->now(),
                 {{"link", link}, {"scale", scale}});
-  if (mode_ == Mode::Reference)
+  if (mode_ == Mode::Reference) {
     reference_reshare();
-  else
+  } else {
+    process_reclass_queue(engine_->now());
     resolve_dirty();
+  }
 }
 
 double FlowNet::link_scale(LinkIdx link) const {
@@ -95,6 +108,7 @@ void FlowNet::release_slot(Slot slot) {
   Flow& f = flows_[slot];
   id_to_slot_.erase(f.id);
   f.id = 0;
+  f.cls = kNoClass;
   f.hops.clear();
   f.link_pos.clear();
   f.on_complete.reset();
@@ -128,6 +142,8 @@ FlowId FlowNet::start_flow(NodeIdx src, NodeIdx dst, double bytes,
   f.rate = 0;
   f.phase = Phase::Latency;
   f.starve_warned = false;
+  f.cls = kNoClass;
+  f.done_credit = 0;
   f.last_touched = engine_->now();
   f.hops = route.hops;
   f.link_pos.assign(f.hops.size(), 0);
@@ -155,18 +171,20 @@ sim::Task<void> FlowNet::transfer(NodeIdx src, NodeIdx dst, double bytes) {
 
 std::vector<double> FlowNet::hypothetical_rates(
     const std::vector<std::pair<NodeIdx, NodeIdx>>& endpoints) const {
-  // Progressive filling over a local capacity map, mirroring
-  // reference_recompute_rates but against the platform's (churn-rescaled)
-  // nominal capacities instead of live flow state.
+  // Class-aggregated progressive filling, mirroring resolve_dirty() but
+  // against the platform's (churn-rescaled) nominal capacities instead of
+  // live flow state: endpoints whose route signatures match (linkdir for
+  // batch-shared hops, capacity for batch-private hops) collapse into one
+  // class with a multiplicity, so a gather/scatter what-if over 10^4
+  // endpoints solves over O(1) classes.
+  std::vector<double> rates(endpoints.size(), kInf);
   struct Entry {
     std::vector<Hop> hops;  // copied: the platform's route cache may evict
     std::size_t index;
   };
-  std::vector<double> rates(endpoints.size(),
-                            std::numeric_limits<double>::infinity());
-  std::map<std::size_t, double> capacity;
-  std::map<std::size_t, int> unfixed_count;
-  std::vector<Entry> unfixed;
+  std::vector<Entry> entries;
+  std::map<std::size_t, double> capacity;   // linkdir -> usable capacity
+  std::map<std::size_t, int> cross_count;   // linkdir -> crossings in batch
   for (std::size_t i = 0; i < endpoints.size(); ++i) {
     const auto [src, dst] = endpoints[i];
     if (src == dst) continue;
@@ -175,48 +193,110 @@ std::vector<double> FlowNet::hypothetical_rates(
     for (const Hop& h : e.hops) {
       const std::size_t key = linkdir_index(h);
       capacity.emplace(key, platform_->link(h.link).bandwidth_Bps * link_scale(h.link));
-      ++unfixed_count[key];
+      ++cross_count[key];
     }
-    unfixed.push_back(std::move(e));
+    entries.push_back(std::move(e));
   }
-  while (!unfixed.empty()) {
-    double best_share = std::numeric_limits<double>::infinity();
-    for (const auto& [key, cap] : capacity) {
-      const int n = unfixed_count[key];
-      if (n > 0) best_share = std::min(best_share, cap / n);
+
+  struct HypoClass {
+    std::vector<SigTok> sig;
+    std::vector<std::size_t> shared_links;  // linkdir per SHARED token
+    double private_min_cap = kInf;
+    std::uint32_t mult = 0;
+    std::vector<std::size_t> members;  // endpoint indices
+    bool fixed = false;
+  };
+  std::vector<HypoClass> classes;
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> index;
+  std::vector<SigTok> sig;
+  for (const Entry& e : entries) {
+    sig.clear();
+    for (const Hop& h : e.hops) {
+      const std::size_t key = linkdir_index(h);
+      if (cross_count[key] >= 2)
+        sig.push_back(SigTok{static_cast<std::uint64_t>(key), TokKind::Shared});
+      else
+        sig.push_back(
+            SigTok{std::bit_cast<std::uint64_t>(capacity[key]), TokKind::Private});
     }
-    if (!std::isfinite(best_share)) break;
-    std::vector<Entry> still_unfixed;
-    for (Entry& e : unfixed) {
-      bool at_bottleneck = false;
-      for (const Hop& h : e.hops) {
-        const auto key = linkdir_index(h);
-        if (unfixed_count[key] > 0 &&
-            capacity[key] / unfixed_count[key] <= best_share * (1 + 1e-12)) {
+    const std::uint64_t h = hash_sig(sig);
+    std::size_t ci = classes.size();
+    for (const std::size_t cand : index[h]) {
+      if (classes[cand].sig == sig) {
+        ci = cand;
+        break;
+      }
+    }
+    if (ci == classes.size()) {
+      HypoClass c;
+      c.sig = sig;
+      for (std::size_t p = 0; p < sig.size(); ++p) {
+        if (sig[p].kind == TokKind::Shared)
+          c.shared_links.push_back(static_cast<std::size_t>(sig[p].v));
+        else
+          c.private_min_cap =
+              std::min(c.private_min_cap, std::bit_cast<double>(sig[p].v));
+      }
+      classes.push_back(std::move(c));
+      index[h].push_back(ci);
+    }
+    ++classes[ci].mult;
+    classes[ci].members.push_back(e.index);
+  }
+
+  // Progressive filling over classes, mirroring resolve_dirty(): only
+  // batch-shared linkdirs act as link constraints in the scan (their
+  // residual capacity and crossing count shrink as classes fix); a
+  // batch-private linkdir constrains exactly one class and enters solely
+  // through that class's private_min_cap, which leaves the problem with the
+  // class. Keeping fixed classes' private links in the scan would wedge
+  // `best` at an already-consumed capacity and starve the rest to infinity.
+  std::vector<std::size_t> shared_keys;
+  for (const auto& [key, n] : cross_count)
+    if (n >= 2) shared_keys.push_back(key);
+  std::size_t unfixed = classes.size();
+  while (unfixed > 0) {
+    double best = kInf;
+    for (const std::size_t key : shared_keys) {
+      const int n = cross_count[key];
+      if (n > 0) best = std::min(best, capacity[key] / n);
+    }
+    for (const HypoClass& c : classes)
+      if (!c.fixed) best = std::min(best, c.private_min_cap);
+    if (!std::isfinite(best)) break;
+    bool fixed_any = false;
+    for (HypoClass& c : classes) {
+      if (c.fixed) continue;
+      bool at_bottleneck = c.private_min_cap <= best * (1 + 1e-12);
+      for (const std::size_t key : c.shared_links) {
+        if (at_bottleneck) break;
+        if (cross_count[key] > 0 &&
+            capacity[key] / cross_count[key] <= best * (1 + 1e-12))
           at_bottleneck = true;
-          break;
-        }
       }
-      if (at_bottleneck) {
-        rates[e.index] = best_share;
-        for (const Hop& h : e.hops) {
-          const auto key = linkdir_index(h);
-          capacity[key] = std::max(0.0, capacity[key] - best_share);
-          --unfixed_count[key];
-        }
-      } else {
-        still_unfixed.push_back(std::move(e));
+      if (!at_bottleneck) continue;
+      c.fixed = true;
+      --unfixed;
+      fixed_any = true;
+      for (const std::size_t i : c.members) rates[i] = best;
+      for (const std::size_t key : c.shared_links) {
+        capacity[key] = std::max(0.0, capacity[key] - best * c.mult);
+        cross_count[key] -= static_cast<int>(c.mult);
       }
     }
-    if (still_unfixed.size() == unfixed.size()) break;  // numeric safety
-    unfixed.swap(still_unfixed);
+    if (!fixed_any) break;  // numeric safety
   }
   return rates;
 }
 
 double FlowNet::flow_rate(FlowId id) const {
   auto it = id_to_slot_.find(id);
-  return it == id_to_slot_.end() ? 0.0 : flows_[it->second].rate;
+  if (it == id_to_slot_.end()) return 0.0;
+  const Flow& f = flows_[it->second];
+  if (mode_ == Mode::Incremental)
+    return (f.phase == Phase::Transfer && f.cls != kNoClass) ? classes_[f.cls].rate
+                                                             : 0.0;
+  return f.rate;
 }
 
 void FlowNet::mark_dirty(std::size_t linkdir) {
@@ -229,8 +309,9 @@ void FlowNet::mark_dirty(std::size_t linkdir) {
 
 void FlowNet::begin_transfer(Slot slot) {
   Flow& f = flows_[slot];
+  const Time now = engine_->now();
   f.phase = Phase::Transfer;
-  f.last_touched = engine_->now();
+  f.last_touched = now;
   ++transfer_flows_;
   for (std::uint32_t i = 0; i < f.hops.size(); ++i) {
     const std::size_t li = linkdir_index(f.hops[i]);
@@ -238,12 +319,19 @@ void FlowNet::begin_transfer(Slot slot) {
     f.link_pos[i] = static_cast<std::uint32_t>(ld.members.size());
     ld.members.push_back(LinkMember{slot, i});
     mark_dirty(li);
+    // A link going 1 -> 2 members stops being private: its pre-existing sole
+    // member's signature changes (capacity token -> linkdir token).
+    if (mode_ == Mode::Incremental && ld.members.size() == 2)
+      queue_reclass(ld.members[0].slot);
   }
   ++stats_.reshares;
-  if (mode_ == Mode::Reference)
+  if (mode_ == Mode::Reference) {
     reference_reshare();
-  else
-    resolve_dirty();
+    return;
+  }
+  process_reclass_queue(now);
+  classify_flow(slot, f.remaining, now);
+  resolve_dirty();
 }
 
 void FlowNet::remove_membership(Slot slot) {
@@ -259,120 +347,341 @@ void FlowNet::remove_membership(Slot slot) {
     if (moved.slot != slot || moved.hop != i)
       flows_[moved.slot].link_pos[moved.hop] = pos;
     mark_dirty(li);
+    // A link going 2 -> 1 members becomes private for the survivor.
+    if (mode_ == Mode::Incremental && ld.members.size() == 1)
+      queue_reclass(ld.members[0].slot);
   }
 }
 
-void FlowNet::settle(Flow& f, Time now) {
-  if (f.phase == Phase::Transfer && f.rate > 0 && now > f.last_touched)
-    f.remaining = std::max(0.0, f.remaining - f.rate * (now - f.last_touched));
-  f.last_touched = now;
-}
-
-Time FlowNet::projected_completion(const Flow& f, Time now) const {
-  if (f.remaining <= kByteEpsilon) return now;  // drains at the next event
-  if (f.rate <= 0) return kTimeInfinity;        // starved: never completes
-  return now + f.remaining / f.rate;
-}
-
-void FlowNet::warn_starved(Flow& f) {
+void FlowNet::warn_starved(Flow& f, double remaining) {
   f.starve_warned = true;
   ++stats_.flows_starved;
   PDC_LOG_WARN("FlowNet: flow " + std::to_string(f.id) + " starved (rate 0, " +
-               std::to_string(f.remaining) + " B left): it will never complete");
+               std::to_string(remaining) + " B left): it will never complete");
 }
 
 // ---------------------------------------------------------------------------
-// Incremental engine.
+// Incremental engine: flow classes.
+
+std::uint64_t FlowNet::hash_sig(const std::vector<SigTok>& sig) {
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a
+  for (const auto& t : sig) {
+    h ^= t.v + static_cast<std::uint64_t>(t.kind) * 0x9e3779b97f4a7c15ull;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+void FlowNet::build_signature(const Flow& f) {
+  sig_scratch_.clear();
+  bool any_shared = false;
+  for (const Hop& h : f.hops) {
+    const std::size_t li = linkdir_index(h);
+    const LinkDir& ld = linkdirs_[li];
+    if (ld.members.size() >= 2) {
+      sig_scratch_.push_back(SigTok{static_cast<std::uint64_t>(li), TokKind::Shared});
+      any_shared = true;
+    } else {
+      sig_scratch_.push_back(
+          SigTok{std::bit_cast<std::uint64_t>(ld.capacity), TokKind::Private});
+    }
+  }
+  // An all-private route contends with nothing: salt it with the flow id so
+  // fully disjoint flows keep separate classes (see SigTok).
+  if (!any_shared) sig_scratch_.push_back(SigTok{f.id, TokKind::Salt});
+}
+
+FlowNet::ClassSlot FlowNet::alloc_class() {
+  if (!free_classes_.empty()) {
+    const ClassSlot cs = free_classes_.back();
+    free_classes_.pop_back();
+    return cs;
+  }
+  classes_.emplace_back();
+  return static_cast<ClassSlot>(classes_.size() - 1);
+}
+
+void FlowNet::classify_flow(Slot slot, double remaining, Time now) {
+  Flow& f = flows_[slot];
+  build_signature(f);
+  const std::uint64_t h = hash_sig(sig_scratch_);
+  ClassSlot cs = kNoClass;
+  auto it = class_index_.find(h);
+  if (it != class_index_.end()) {
+    for (ClassSlot cand = it->second; cand != kNoClass;
+         cand = classes_[cand].hash_next) {
+      if (classes_[cand].sig == sig_scratch_) {
+        cs = cand;
+        break;
+      }
+    }
+  }
+  if (cs != kNoClass) {
+    settle_class(classes_[cs], now);
+    ++stats_.class_merges;
+  } else {
+    cs = alloc_class();
+    FlowClass& c = classes_[cs];
+    c.sig.assign(sig_scratch_.begin(), sig_scratch_.end());
+    c.sig_hash = h;
+    c.private_min_cap = kInf;
+    c.mult = 0;
+    c.rate = 0;
+    c.credit = 0;
+    c.last_touched = now;
+    c.tally_pos.assign(c.sig.size(), 0);
+    c.member_heap.clear();
+    c.live = true;
+    for (std::uint32_t p = 0; p < c.sig.size(); ++p) {
+      if (c.sig[p].kind == TokKind::Shared) {
+        const auto li = static_cast<std::size_t>(c.sig[p].v);
+        c.tally_pos[p] = static_cast<std::uint32_t>(linkdirs_[li].classes.size());
+        linkdirs_[li].classes.push_back(ClassCrossing{cs, p});
+      } else if (c.sig[p].kind == TokKind::Private) {
+        c.private_min_cap =
+            std::min(c.private_min_cap, std::bit_cast<double>(c.sig[p].v));
+      }
+    }
+    auto [slot_it, inserted] = class_index_.emplace(h, cs);
+    if (!inserted) {
+      c.hash_next = slot_it->second;
+      slot_it->second = cs;
+    } else {
+      c.hash_next = kNoClass;
+    }
+    ++live_classes_;
+    stats_.classes_active =
+        std::max<std::uint64_t>(stats_.classes_active, live_classes_);
+  }
+  FlowClass& c = classes_[cs];
+  f.cls = cs;
+  f.done_credit = c.credit + std::max(remaining, 0.0);
+  c.member_heap.push_back(MemberRef{f.done_credit, slot, f.id});
+  std::push_heap(c.member_heap.begin(), c.member_heap.end(),
+                 [](const MemberRef& a, const MemberRef& b) { return a.done > b.done; });
+  ++c.mult;
+}
+
+double FlowNet::leave_class(Slot slot, Time now) {
+  Flow& f = flows_[slot];
+  const ClassSlot cs = f.cls;
+  FlowClass& c = classes_[cs];
+  settle_class(c, now);
+  const double remaining = std::max(0.0, f.done_credit - c.credit);
+  f.cls = kNoClass;  // the member_heap entry goes stale and is pruned lazily
+  --c.mult;
+  if (c.mult == 0) destroy_class(cs);
+  return remaining;
+}
+
+void FlowNet::destroy_class(ClassSlot cs) {
+  FlowClass& c = classes_[cs];
+  for (std::uint32_t p = 0; p < c.sig.size(); ++p) {
+    if (c.sig[p].kind != TokKind::Shared) continue;
+    const auto li = static_cast<std::size_t>(c.sig[p].v);
+    auto& tallies = linkdirs_[li].classes;
+    const std::uint32_t pos = c.tally_pos[p];
+    const ClassCrossing moved = tallies.back();
+    tallies[pos] = moved;
+    tallies.pop_back();
+    if (moved.cls != cs || moved.sig_pos != p)
+      classes_[moved.cls].tally_pos[moved.sig_pos] = pos;
+  }
+  // Unlink from the signature hash chain.
+  auto it = class_index_.find(c.sig_hash);
+  if (it != class_index_.end()) {
+    if (it->second == cs) {
+      if (c.hash_next == kNoClass)
+        class_index_.erase(it);
+      else
+        it->second = c.hash_next;
+    } else {
+      for (ClassSlot prev = it->second; prev != kNoClass;
+           prev = classes_[prev].hash_next) {
+        if (classes_[prev].hash_next == cs) {
+          classes_[prev].hash_next = c.hash_next;
+          break;
+        }
+      }
+    }
+  }
+  if (completion_heap_.contains(cs)) completion_heap_.erase(cs);
+  c.sig.clear();
+  c.tally_pos.clear();
+  c.member_heap.clear();
+  c.hash_next = kNoClass;
+  c.live = false;
+  free_classes_.push_back(cs);
+  --live_classes_;
+}
+
+void FlowNet::settle_class(FlowClass& c, Time now) {
+  if (c.rate > 0 && now > c.last_touched) c.credit += c.rate * (now - c.last_touched);
+  c.last_touched = now;
+}
+
+bool FlowNet::member_valid(ClassSlot cs, const MemberRef& m) const {
+  const Flow& f = flows_[m.slot];
+  return f.id == m.id && f.cls == cs && f.done_credit == m.done;
+}
+
+Time FlowNet::class_completion_key(ClassSlot cs, Time now) {
+  FlowClass& c = classes_[cs];
+  auto cmp = [](const MemberRef& a, const MemberRef& b) { return a.done > b.done; };
+  while (!c.member_heap.empty() && !member_valid(cs, c.member_heap.front())) {
+    std::pop_heap(c.member_heap.begin(), c.member_heap.end(), cmp);
+    c.member_heap.pop_back();
+  }
+  if (c.member_heap.empty()) return kTimeInfinity;
+  const double left = c.member_heap.front().done - c.credit;
+  if (left <= kByteEpsilon) return now;  // drains at the next event
+  if (c.rate <= 0) return kTimeInfinity;  // starved: never completes
+  return now + left / c.rate;
+}
+
+void FlowNet::queue_reclass(Slot slot) {
+  Flow& f = flows_[slot];
+  if (f.reclass_epoch == reclass_epoch_) return;
+  f.reclass_epoch = reclass_epoch_;
+  reclass_queue_.push_back(slot);
+}
+
+void FlowNet::process_reclass_queue(Time now) {
+  for (const Slot slot : reclass_queue_) {
+    Flow& f = flows_[slot];
+    if (!f.id || f.phase != Phase::Transfer || f.cls == kNoClass) continue;
+    // Skip if the signature is in fact unchanged (e.g. a rescale restored
+    // the capacity a private token was built from).
+    build_signature(f);
+    if (sig_scratch_ == classes_[f.cls].sig) continue;
+    const double remaining = leave_class(slot, now);
+    classify_flow(slot, remaining, now);
+    ++stats_.class_splits;
+  }
+  reclass_queue_.clear();
+  ++reclass_epoch_;
+}
 
 void FlowNet::resolve_dirty() {
   const Time now = engine_->now();
   ++epoch_;
   comp_links_.clear();
-  affected_.clear();
+  affected_classes_.clear();
   bfs_stack_.clear();
 
   // Affected component: everything reachable from dirty linkdirs over the
-  // bipartite linkdir <-> flow graph. Flows outside it keep their rates,
+  // bipartite linkdir <-> class graph. Classes outside it keep their rates,
   // which is exact because max-min allocations decompose by component.
-  for (const std::size_t li : dirty_linkdirs_) {
+  // Private linkdirs (single member) are not component links — their
+  // capacity enters the solve as the class's private_min_cap scalar — but
+  // they still pull their sole member's class into the component.
+  auto visit_linkdir = [&](std::size_t li) {
     LinkDir& ld = linkdirs_[li];
-    ld.dirty = false;
-    if (ld.visit_epoch != epoch_) {
-      ld.visit_epoch = epoch_;
-      comp_links_.push_back(li);
-      bfs_stack_.push_back(li);
-    }
+    if (ld.visit_epoch == epoch_) return;
+    ld.visit_epoch = epoch_;
+    if (ld.members.size() >= 2) comp_links_.push_back(li);
+    bfs_stack_.push_back(li);
+  };
+  for (const std::size_t li : dirty_linkdirs_) {
+    linkdirs_[li].dirty = false;
+    visit_linkdir(li);
   }
   dirty_linkdirs_.clear();
+  std::uint64_t member_total = 0;
+  auto visit_class = [&](ClassSlot cs) {
+    FlowClass& c = classes_[cs];
+    if (c.visit_epoch == epoch_) return;
+    c.visit_epoch = epoch_;
+    affected_classes_.push_back(cs);
+    member_total += c.mult;
+    for (const SigTok& t : c.sig)
+      if (t.kind == TokKind::Shared) visit_linkdir(static_cast<std::size_t>(t.v));
+  };
   while (!bfs_stack_.empty()) {
     const std::size_t li = bfs_stack_.back();
     bfs_stack_.pop_back();
-    for (const LinkMember& m : linkdirs_[li].members) {
-      Flow& f = flows_[m.slot];
-      if (f.visit_epoch == epoch_) continue;
-      f.visit_epoch = epoch_;
-      affected_.push_back(m.slot);
-      for (const Hop& h : f.hops) {
-        const std::size_t hi = linkdir_index(h);
-        LinkDir& ld = linkdirs_[hi];
-        if (ld.visit_epoch != epoch_) {
-          ld.visit_epoch = epoch_;
-          comp_links_.push_back(hi);
-          bfs_stack_.push_back(hi);
-        }
-      }
-    }
+    LinkDir& ld = linkdirs_[li];
+    if (ld.members.size() == 1)
+      visit_class(flows_[ld.members[0].slot].cls);
+    else
+      for (const ClassCrossing& cc : ld.classes) visit_class(cc.cls);
   }
 
-  stats_.flows_rescanned += affected_.size();
-  if (affected_.size() < transfer_flows_) ++stats_.reshares_partial;
+  stats_.flows_rescanned += member_total;
+  if (member_total < transfer_flows_) ++stats_.reshares_partial;
   if (obs::TraceRecorder* tr = obs::trace(); tr != nullptr)
     tr->instant(tr->track("flownet"), "reshare", now,
-                {{"rescanned", static_cast<std::uint64_t>(affected_.size())}});
+                {{"rescanned", member_total}});
 
-  // Settle progress under the outgoing rates, then re-solve the component by
-  // progressive filling (identical fixing rule to the reference oracle).
-  for (const Slot s : affected_) {
-    Flow& f = flows_[s];
-    settle(f, now);
-    f.rate = 0;
+  // Settle credit under the outgoing rates, then re-solve the component by
+  // progressive filling over classes (identical fixing rule to the
+  // reference oracle; a fixed class charges each shared link mult x rate).
+  private_classes_.clear();
+  for (const ClassSlot cs : affected_classes_) {
+    FlowClass& c = classes_[cs];
+    settle_class(c, now);
+    c.rate = 0;
+    if (std::isfinite(c.private_min_cap)) private_classes_.push_back(cs);
   }
   for (const std::size_t li : comp_links_) {
     cap_[li] = linkdirs_[li].capacity;
     nun_[li] = static_cast<int>(linkdirs_[li].members.size());
   }
-  std::size_t unfixed = affected_.size();
+  std::size_t unfixed = affected_classes_.size();
+  bool fixed_any = false;
+  auto fix_class = [&](ClassSlot cs, double best) {
+    FlowClass& c = classes_[cs];
+    if (c.fixed_epoch == epoch_) return;
+    c.fixed_epoch = epoch_;
+    c.rate = best;
+    --unfixed;
+    fixed_any = true;
+    for (const SigTok& t : c.sig) {
+      if (t.kind != TokKind::Shared) continue;
+      const auto hi = static_cast<std::size_t>(t.v);
+      cap_[hi] = std::max(0.0, cap_[hi] - best * c.mult);
+      nun_[hi] -= static_cast<int>(c.mult);
+    }
+  };
   while (unfixed > 0) {
     double best = std::numeric_limits<double>::infinity();
     for (const std::size_t li : comp_links_)
       if (nun_[li] > 0) best = std::min(best, cap_[li] / nun_[li]);
-    if (!std::isfinite(best)) break;  // no constrained flows remain
-    bool fixed_any = false;
+    // Compact away already-fixed classes so the private-cap scan stays
+    // proportional to what is still unfixed.
+    std::size_t w = 0;
+    for (const ClassSlot cs : private_classes_) {
+      if (classes_[cs].fixed_epoch == epoch_) continue;
+      private_classes_[w++] = cs;
+      best = std::min(best, classes_[cs].private_min_cap);
+    }
+    private_classes_.resize(w);
+    if (!std::isfinite(best)) break;  // no constrained classes remain
+    fixed_any = false;
     for (const std::size_t li : comp_links_) {
       if (nun_[li] <= 0 || cap_[li] / nun_[li] > best * (1 + 1e-12)) continue;
-      for (const LinkMember& m : linkdirs_[li].members) {
-        Flow& f = flows_[m.slot];
-        if (f.fixed_epoch == epoch_) continue;
-        f.fixed_epoch = epoch_;
-        f.rate = best;
-        --unfixed;
-        fixed_any = true;
-        for (const Hop& h : f.hops) {
-          const std::size_t hi = linkdir_index(h);
-          cap_[hi] = std::max(0.0, cap_[hi] - best);
-          --nun_[hi];
-        }
-      }
+      for (const ClassCrossing& cc : linkdirs_[li].classes) fix_class(cc.cls, best);
     }
+    for (const ClassSlot cs : private_classes_)
+      if (classes_[cs].fixed_epoch != epoch_ &&
+          classes_[cs].private_min_cap <= best * (1 + 1e-12))
+        fix_class(cs, best);
     if (!fixed_any) break;  // numeric safety
   }
 
-  // Re-key only the affected flows; untouched components keep their absolute
-  // projected completion times.
-  for (const Slot s : affected_) {
-    Flow& f = flows_[s];
-    if (f.rate <= 0 && f.remaining > kByteEpsilon && !f.starve_warned) warn_starved(f);
-    completion_heap_.set(s, projected_completion(f, now));
+  // Re-key only the affected classes; untouched components keep their
+  // absolute projected completion times.
+  for (const ClassSlot cs : affected_classes_) {
+    FlowClass& c = classes_[cs];
+    if (c.rate <= 0) {
+      for (const MemberRef& m : c.member_heap) {
+        if (!member_valid(cs, m)) continue;
+        Flow& f = flows_[m.slot];
+        const double left = m.done - c.credit;
+        if (left > kByteEpsilon && !f.starve_warned) warn_starved(f, left);
+      }
+    }
+    completion_heap_.set(cs, class_completion_key(cs, now));
   }
   rearm_completion_timer();
 }
@@ -400,11 +709,39 @@ void FlowNet::on_completion_event() {
   armed_at_ = kTimeInfinity;  // the arm we are inside just fired
   const Time cutoff = completion_cutoff(now);
   done_scratch_.clear();
+  popped_classes_.clear();
+  auto cmp = [](const MemberRef& a, const MemberRef& b) { return a.done > b.done; };
   while (!completion_heap_.empty() && completion_heap_.top_key() <= cutoff) {
-    const Slot s = completion_heap_.top();
+    const ClassSlot cs = completion_heap_.top();
     completion_heap_.pop();
-    settle(flows_[s], now);
-    done_scratch_.push_back(s);
+    FlowClass& c = classes_[cs];
+    settle_class(c, now);
+    // Tie window in bytes at the class rate: members projected to drain
+    // within the cutoff complete together (and the window absorbs the
+    // rounding of the lazily-settled credit counter).
+    const double window = std::max(kByteEpsilon, c.rate * (cutoff - now));
+    bool destroyed = false;
+    while (!c.member_heap.empty()) {
+      const MemberRef top = c.member_heap.front();
+      if (!member_valid(cs, top)) {
+        std::pop_heap(c.member_heap.begin(), c.member_heap.end(), cmp);
+        c.member_heap.pop_back();
+        continue;
+      }
+      if (top.done - c.credit > window) break;
+      std::pop_heap(c.member_heap.begin(), c.member_heap.end(), cmp);
+      c.member_heap.pop_back();
+      done_scratch_.push_back(top.slot);
+      // Detach now so any duplicate heap entry for this flow goes stale.
+      flows_[top.slot].cls = kNoClass;
+      --c.mult;
+      if (c.mult == 0) {
+        destroy_class(cs);
+        destroyed = true;
+        break;
+      }
+    }
+    if (!destroyed) popped_classes_.push_back(cs);
   }
   // Ascending id = start order, matching the reference oracle's map order.
   std::sort(done_scratch_.begin(), done_scratch_.end(),
@@ -420,6 +757,12 @@ void FlowNet::on_completion_event() {
     release_slot(s);
   }
   ++stats_.reshares;
+  process_reclass_queue(now);
+  // Popped classes that survive (a tie-window miss by a few ulps of credit)
+  // must be re-keyed by hand: they may sit outside the dirty component.
+  // resolve_dirty() then overwrites any that are inside it.
+  for (const ClassSlot cs : popped_classes_)
+    if (classes_[cs].live) completion_heap_.set(cs, class_completion_key(cs, now));
   resolve_dirty();
 }
 
@@ -510,7 +853,7 @@ void FlowNet::reference_schedule_next_completion() {
     if (f.rate > 0)
       earliest = std::min(earliest, f.remaining / f.rate);
     else if (!f.starve_warned)
-      warn_starved(f);
+      warn_starved(f, f.remaining);
   }
   if (earliest >= kTimeInfinity) return;
   engine_->arm_timer_slot(timer_slot_, earliest);

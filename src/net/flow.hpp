@@ -11,13 +11,19 @@
 // Two sharing engines are provided:
 //
 //  * Mode::Incremental (default) — the production path. Link state lives in
-//    dense per-direction records (flat vector indexed by linkdir_index);
-//    a flow start/completion marks only its own links dirty, and the solver
-//    re-runs progressive filling over just the connected component of flows
-//    reachable from dirty links. Flow progress is settled lazily per flow
-//    (last_touched timestamp), and projected completion times sit in an
-//    indexed min-heap so a reshare re-keys only re-rated flows. Cost per
-//    reshare is O(affected component), not O(all flows × all links).
+//    dense per-direction records (flat vector indexed by linkdir_index),
+//    and transfer flows are aggregated into *flow classes*: flows whose
+//    route signatures match (see SigTok) are interchangeable under
+//    progressive filling, so the solver fixes one rate per class and
+//    charges each saturated link multiplicity x rate at once. A flow
+//    start/completion marks only its own links dirty and the solver re-runs
+//    over just the connected component of *classes* reachable from dirty
+//    links. Per-flow progress is settled lazily from the class rate via a
+//    credit counter (bytes served per member since class creation), and
+//    projected completions sit in an indexed min-heap keyed per class. Cost
+//    per reshare is O(classes x links in the affected component), not
+//    O(flows x links): a shared-backbone population of N identical
+//    transfers reshapes in O(1) amortized instead of O(N).
 //
 //  * Mode::Reference — the original full recompute over every flow per
 //    reshare, kept verbatim as the correctness oracle for differential
@@ -28,6 +34,7 @@
 #include <functional>
 #include <memory>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "net/platform.hpp"
@@ -58,6 +65,19 @@ struct FlowNetStats {
   /// Link capacity rescale events applied (churn link degradation/restore);
   /// each one also counts as a reshare.
   std::uint64_t link_rescales = 0;
+  /// Peak number of concurrently live flow classes (incremental mode only).
+  /// classes_active / peak concurrent flows is the compression ratio the
+  /// class solver achieved: a 10^4-flow gather through one backbone runs at
+  /// classes_active == 1.
+  std::uint64_t classes_active = 0;
+  /// Flows that joined an already-existing class (signature match), i.e.
+  /// transfers that cost O(1) instead of a fresh class setup.
+  std::uint64_t class_merges = 0;
+  /// Mid-transfer reclassifications: a flow left its class and re-entered
+  /// another because its signature changed (a link's member count crossed
+  /// the shared/private boundary, or set_link_scale changed a private
+  /// link's capacity token).
+  std::uint64_t class_splits = 0;
 };
 
 class FlowNet {
@@ -101,23 +121,83 @@ class FlowNet {
   /// network, honoring churn link rescales. Never touches live flow state —
   /// this is the analytic planner's rate oracle. Entries with src == dst get
   /// an infinite rate (local delivery costs nothing, as in start_flow).
+  /// Aggregates the batch into flow classes exactly like the live
+  /// incremental solver, so a 10^4-endpoint gather query solves in O(1)
+  /// classes instead of O(endpoints^2).
   std::vector<double> hypothetical_rates(
       const std::vector<std::pair<NodeIdx, NodeIdx>>& endpoints) const;
 
  private:
   enum class Phase { Latency, Transfer };
   using Slot = std::uint32_t;
+  using ClassSlot = std::uint32_t;
+  static constexpr ClassSlot kNoClass = 0xffffffffu;
+
+  /// One token of a class route signature. A hop is SHARED when its linkdir
+  /// is crossed by >= 2 transfer flows — the token is the linkdir index, so
+  /// class members provably contend on the very same resource — and PRIVATE
+  /// when this flow is the linkdir's sole member — the token is the usable
+  /// capacity, so equal-capacity private NICs are interchangeable (swapping
+  /// them is an automorphism of the max-min constraint system). The private
+  /// normalization is what collapses gather/scatter populations: N children
+  /// streaming to one parent differ only in their private NIC, so they form
+  /// one class of multiplicity N. An all-private route additionally carries
+  /// a SALT token (the flow id) so flows on fully disjoint routes never
+  /// merge: merging them would be rate-correct but would make the affected
+  /// component (flows_rescanned, reshares_partial) drift from the flow-level
+  /// truth the reference oracle and the pre-class goldens report.
+  enum class TokKind : std::uint8_t { Private = 0, Shared = 1, Salt = 2 };
+  struct SigTok {
+    std::uint64_t v = 0;  // Shared: linkdir index; Private: capacity bits;
+                          // Salt: flow id
+    TokKind kind = TokKind::Private;
+    bool operator==(const SigTok& o) const { return v == o.v && kind == o.kind; }
+    bool operator!=(const SigTok& o) const { return !(*this == o); }
+  };
+
+  /// A lazily-pruned min-heap entry ordering class members by the credit
+  /// level at which they drain. (done, id) pins the exact flow incarnation:
+  /// entries whose flow left the class (or completed, or re-joined with a
+  /// different done_credit) are skipped and dropped when they surface.
+  struct MemberRef {
+    double done = 0;
+    Slot slot = 0;
+    FlowId id = 0;
+  };
+
+  /// An equivalence class of transfer flows with identical route signature.
+  /// All members share one max-min rate; `credit` counts the bytes served
+  /// per member since the class was created, so a member with join-time
+  /// residual R drains when credit reaches done_credit = credit(join) + R.
+  struct FlowClass {
+    std::vector<SigTok> sig;
+    std::uint64_t sig_hash = 0;
+    double private_min_cap = 0;  // min over PRIVATE tokens; +inf if none
+    std::uint32_t mult = 0;      // member count
+    double rate = 0;
+    double credit = 0;  // bytes served per member, settled lazily
+    Time last_touched = 0;
+    /// Per SHARED sig position: index of this class's crossing entry in
+    /// that linkdir's `classes` vector (back-pointer for swap-removal).
+    std::vector<std::uint32_t> tally_pos;
+    std::vector<MemberRef> member_heap;
+    ClassSlot hash_next = kNoClass;  // intrusive hash-bucket chain
+    std::uint64_t visit_epoch = 0;  // scratch: in the current affected set
+    std::uint64_t fixed_epoch = 0;  // scratch: rate fixed in the current solve
+    bool live = false;
+  };
 
   struct Flow {
     FlowId id = 0;  // 0 = free slot
-    double remaining = 0;  // bytes left as of last_touched
+    double remaining = 0;  // reference mode / latency phase: bytes left
     double total_bytes = 0;
-    double rate = 0;
-    Time last_touched = 0;
+    double rate = 0;        // reference mode only; incremental reads the class
+    Time last_touched = 0;  // reference mode only
     Phase phase = Phase::Latency;
     bool starve_warned = false;
-    std::uint64_t visit_epoch = 0;  // scratch: in the current affected set
-    std::uint64_t fixed_epoch = 0;  // scratch: rate fixed in the current solve
+    ClassSlot cls = kNoClass;     // incremental: transfer-phase class
+    double done_credit = 0;       // incremental: class credit level at drain
+    std::uint64_t reclass_epoch = 0;  // scratch: queued for reclassification
     std::vector<Hop> hops;
     std::vector<std::uint32_t> link_pos;  // per-hop index into LinkDir::members
     sim::EventFn on_complete;
@@ -130,10 +210,18 @@ class FlowNet {
     std::uint32_t hop = 0;
   };
 
+  /// One crossing of a linkdir by a flow class's SHARED sig position. The
+  /// class's multiplicity is the crossing count, so no count is stored.
+  struct ClassCrossing {
+    ClassSlot cls = 0;
+    std::uint32_t sig_pos = 0;
+  };
+
   /// Dense per-direction link record (index = linkdir_index(hop)).
   struct LinkDir {
     double capacity = 0;
     std::vector<LinkMember> members;
+    std::vector<ClassCrossing> classes;  // incremental: shared-hop tallies
     bool dirty = false;
     std::uint64_t visit_epoch = 0;  // scratch: in the current component
   };
@@ -144,17 +232,26 @@ class FlowNet {
   void mark_dirty(std::size_t linkdir);
   void begin_transfer(Slot slot);
   void remove_membership(Slot slot);
-  void settle(Flow& f, Time now);
-  Time projected_completion(const Flow& f, Time now) const;
-  void warn_starved(Flow& f);
+  void warn_starved(Flow& f, double remaining);
   void on_completion_event();
 
-  // Incremental engine: component-local re-solve of everything reachable
-  // from dirty linkdirs, then heap re-key of the affected flows.
+  // Incremental engine: class bookkeeping plus component-local re-solve of
+  // every class reachable from dirty linkdirs, then heap re-key per class.
+  static std::uint64_t hash_sig(const std::vector<SigTok>& sig);
+  void build_signature(const Flow& f);
+  ClassSlot alloc_class();
+  void classify_flow(Slot slot, double remaining, Time now);
+  double leave_class(Slot slot, Time now);
+  void destroy_class(ClassSlot cs);
+  void settle_class(FlowClass& c, Time now);
+  bool member_valid(ClassSlot cs, const MemberRef& m) const;
+  Time class_completion_key(ClassSlot cs, Time now);
+  void queue_reclass(Slot slot);
+  void process_reclass_queue(Time now);
   void resolve_dirty();
   void rearm_completion_timer();
 
-  // Reference oracle: the original O(flows × links) full recompute.
+  // Reference oracle: the original O(flows x links) full recompute.
   void reference_reshare();
   void reference_advance_progress();
   void reference_recompute_rates();
@@ -176,17 +273,29 @@ class FlowNet {
   std::vector<double> link_scales_;  // per link (not per direction), default 1
   std::vector<std::size_t> dirty_linkdirs_;
 
+  // Class storage: slot-map plus an intrusive hash index over signatures.
+  std::vector<FlowClass> classes_;
+  std::vector<ClassSlot> free_classes_;
+  std::unordered_map<std::uint64_t, ClassSlot> class_index_;
+  std::size_t live_classes_ = 0;
+
   // Solver scratch, persistent to avoid per-reshare allocation. cap_/nun_
   // are linkdir-indexed and only valid for the current component.
   std::uint64_t epoch_ = 0;
   std::vector<double> cap_;
   std::vector<int> nun_;
   std::vector<std::size_t> comp_links_;
-  std::vector<Slot> affected_;
+  std::vector<ClassSlot> affected_classes_;
+  std::vector<ClassSlot> private_classes_;  // affected classes w/ finite private cap
   std::vector<std::size_t> bfs_stack_;
   std::vector<Slot> done_scratch_;
+  std::vector<ClassSlot> popped_classes_;
+  std::vector<SigTok> sig_scratch_;
+  std::vector<Slot> reclass_queue_;
+  std::uint64_t reclass_epoch_ = 1;
 
-  IndexedMinHeap<Time, Slot> completion_heap_;  // key: absolute completion time
+  // Key: absolute completion time of the class's earliest-draining member.
+  IndexedMinHeap<Time, ClassSlot> completion_heap_;
   int timer_slot_ = -1;
   Time armed_at_ = kTimeInfinity;  // absolute time the slot is armed for
 

@@ -32,6 +32,14 @@ void publish_flownet(Registry& reg, const net::FlowNetStats& s) {
       .set(s.flows_starved);
   reg.counter("flownet", "link_rescales", "capacity changes applied")
       .set(s.link_rescales);
+  // Class-solver compression observability — appended after the historical
+  // fields so pre-existing records/goldens change only additively.
+  reg.gauge("flownet", "classes_active", "peak concurrent flow classes")
+      .set(s.classes_active);
+  reg.counter("flownet", "class_merges", "flows joining an existing class")
+      .set(s.class_merges);
+  reg.counter("flownet", "class_splits", "flows reclassified mid-transfer")
+      .set(s.class_splits);
 }
 
 void publish_routes(Registry& reg, const net::RouteStats& s) {

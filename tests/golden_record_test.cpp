@@ -91,6 +91,9 @@ scenario::RunRecord canonical_record() {
   ref.net.flows_rescanned = 4096;
   ref.net.flows_starved = 0;
   ref.net.link_rescales = 2;
+  ref.net.classes_active = 12;
+  ref.net.class_merges = 628;
+  ref.net.class_splits = 4;
   ref.routes.routes_computed = 36;
   ref.routes.cache_hits = 4060;
   ref.routes.cache_evictions = 4;
@@ -145,6 +148,9 @@ TEST(GoldenRecord, RunRecordReadsBackLosslessly) {
   EXPECT_EQ(ref.at("computation").at("collection_seconds").as_double(), 0.5);
   EXPECT_EQ(ref.at("flownet").at("bytes_completed").as_double(), 1.25e9);
   EXPECT_EQ(ref.at("flownet").at("link_rescales").as_double(), 2.0);
+  EXPECT_EQ(ref.at("flownet").at("classes_active").as_double(), 12.0);
+  EXPECT_EQ(ref.at("flownet").at("class_merges").as_double(), 628.0);
+  EXPECT_EQ(ref.at("flownet").at("class_splits").as_double(), 4.0);
   EXPECT_EQ(ref.at("routes").at("routes_computed").as_double(), 36.0);
   EXPECT_EQ(ref.at("routes").at("cache_hits").as_double(), 4060.0);
   EXPECT_EQ(ref.at("routes").at("cache_evictions").as_double(), 4.0);

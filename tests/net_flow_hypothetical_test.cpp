@@ -1,0 +1,153 @@
+// Property test for FlowNet::hypothetical_rates, the analytic planner's
+// rate oracle: for random endpoint batches on random platforms (with random
+// churn rescales applied), the class-aggregated what-if solver must agree
+// with the rates a Mode::Reference FlowNet actually hands out when one huge
+// flow per endpoint pair runs concurrently on an otherwise idle network.
+// The CI ASan job runs this with a fixed iteration budget (PDC_FUZZ_ITERS).
+#include "net/flow.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/builders.hpp"
+#include "support/env.hpp"
+#include "support/rng.hpp"
+#include "support/time.hpp"
+
+namespace pdc::net {
+namespace {
+
+using namespace pdc::units;
+
+int fuzz_iters() { return env_int("PDC_FUZZ_ITERS", 150); }
+
+Platform random_clique(Rng& rng, int hosts) {
+  Platform p;
+  for (int i = 0; i < hosts; ++i)
+    p.add_host("h" + std::to_string(i), 1e9,
+               Ipv4{10, 2, static_cast<std::uint8_t>(i / 250),
+                    static_cast<std::uint8_t>(i % 250 + 1)});
+  for (int i = 0; i < hosts; ++i)
+    for (int j = i + 1; j < hosts; ++j) {
+      const auto l = p.add_link("l" + std::to_string(i) + "_" + std::to_string(j),
+                                rng.uniform(0.5e6, 8e6), rng.uniform(0.0, 2 * ms));
+      p.connect(p.host(i), p.host(j), l);
+    }
+  return p;
+}
+
+/// Ground truth: start one effectively-endless flow per endpoint pair on a
+/// Reference-mode FlowNet, run past every route latency, and sample each
+/// flow's steady-state max-min rate.
+std::vector<double> observed_rates(
+    const Platform& plat, const std::vector<std::pair<NodeIdx, NodeIdx>>& endpoints,
+    const std::vector<std::pair<LinkIdx, double>>& rescales) {
+  sim::Engine eng;
+  FlowNet netw{eng, plat, FlowNet::Mode::Reference};
+  for (const auto& [link, scale] : rescales) netw.set_link_scale(link, scale);
+  std::vector<double> rates(endpoints.size(),
+                            std::numeric_limits<double>::infinity());
+  std::vector<FlowId> ids(endpoints.size(), 0);
+  for (std::size_t i = 0; i < endpoints.size(); ++i)
+    if (endpoints[i].first != endpoints[i].second)
+      ids[i] = netw.start_flow(endpoints[i].first, endpoints[i].second, 1e18, [] {});
+  // Route latencies are sub-millisecond on every generated platform, so at
+  // t = 1 s all flows are mid-transfer and no 1e18-byte flow has finished.
+  // Stop right after the probe: draining 1e18 bytes would push simulated
+  // time past the float quantum where completion residuals stall.
+  eng.schedule_at(1.0, [&] {
+    for (std::size_t i = 0; i < ids.size(); ++i)
+      if (ids[i] != 0) rates[i] = netw.flow_rate(ids[i]);
+  });
+  eng.run_until(1.5);
+  return rates;
+}
+
+void expect_rates_match(const Platform& plat,
+                        const std::vector<std::pair<NodeIdx, NodeIdx>>& endpoints,
+                        const std::vector<std::pair<LinkIdx, double>>& rescales,
+                        const std::string& label) {
+  // hypothetical_rates must honor churn rescales, so mirror them onto the
+  // querying net (any mode works: the query never touches live flow state).
+  sim::Engine eng;
+  FlowNet netw{eng, plat, FlowNet::Mode::Incremental};
+  for (const auto& [link, scale] : rescales) netw.set_link_scale(link, scale);
+  const std::vector<double> hypo = netw.hypothetical_rates(endpoints);
+  const std::vector<double> truth = observed_rates(plat, endpoints, rescales);
+  ASSERT_EQ(hypo.size(), endpoints.size()) << label;
+  for (std::size_t i = 0; i < endpoints.size(); ++i) {
+    if (std::isinf(truth[i])) {
+      EXPECT_TRUE(std::isinf(hypo[i])) << label << ": endpoint " << i;
+      continue;
+    }
+    EXPECT_NEAR(hypo[i], truth[i], 1e-9 * std::max(1.0, std::abs(truth[i])))
+        << label << ": endpoint " << i;
+  }
+}
+
+std::vector<std::pair<NodeIdx, NodeIdx>> random_endpoints(Rng& rng, const Platform& plat,
+                                                          int count) {
+  std::vector<std::pair<NodeIdx, NodeIdx>> eps;
+  const int hosts = static_cast<int>(plat.host_count());
+  for (int i = 0; i < count; ++i) {
+    // Bias toward gather/scatter shapes (everything through host 0) so
+    // batches actually collapse into multi-member classes; keep some
+    // uniform pairs (including src == dst: infinite local delivery).
+    int src = static_cast<int>(rng.uniform_int(0, hosts - 1));
+    int dst = static_cast<int>(rng.uniform_int(0, hosts - 1));
+    if (rng.uniform(0.0, 1.0) < 0.5) (rng.uniform(0.0, 1.0) < 0.5 ? src : dst) = 0;
+    eps.emplace_back(plat.host(src), plat.host(dst));
+  }
+  return eps;
+}
+
+std::vector<std::pair<LinkIdx, double>> random_rescales(Rng& rng, const Platform& plat,
+                                                        int count) {
+  std::vector<std::pair<LinkIdx, double>> scales;
+  for (int i = 0; i < count; ++i)
+    scales.emplace_back(static_cast<LinkIdx>(rng.uniform_int(0, plat.link_count() - 1)),
+                        rng.uniform(0.1, 1.5));
+  return scales;
+}
+
+TEST(FlowHypothetical, RandomBatchesMatchReferenceOnStar) {
+  const int iters = fuzz_iters();
+  for (int it = 0; it < iters; ++it) {
+    Rng rng{0x9100 + static_cast<std::uint64_t>(it)};
+    const int hosts = 3 + static_cast<int>(rng.uniform_int(0, 13));
+    const Platform plat = build_star(lan_spec(hosts));
+    const auto eps = random_endpoints(rng, plat, 1 + static_cast<int>(rng.uniform_int(0, 63)));
+    const auto scales = random_rescales(rng, plat, static_cast<int>(rng.uniform_int(0, 3)));
+    expect_rates_match(plat, eps, scales, "star iter " + std::to_string(it));
+  }
+}
+
+TEST(FlowHypothetical, RandomBatchesMatchReferenceOnClique) {
+  const int iters = fuzz_iters();
+  for (int it = 0; it < iters; ++it) {
+    Rng rng{0x9a00 + static_cast<std::uint64_t>(it)};
+    const Platform plat = random_clique(rng, 3 + static_cast<int>(rng.uniform_int(0, 7)));
+    const auto eps = random_endpoints(rng, plat, 1 + static_cast<int>(rng.uniform_int(0, 47)));
+    const auto scales = random_rescales(rng, plat, static_cast<int>(rng.uniform_int(0, 3)));
+    expect_rates_match(plat, eps, scales, "clique iter " + std::to_string(it));
+  }
+}
+
+TEST(FlowHypothetical, FullPopulationGatherCollapsesAndMatches) {
+  // The class-compression payoff case: a 2000-endpoint gather through one
+  // shared backbone. The reference replay is O(N^2)-ish but still cheap at
+  // this size; the hypothetical query must match it while solving over a
+  // handful of classes.
+  const Platform plat = build_star(bordeplage_cluster_spec(64));
+  std::vector<std::pair<NodeIdx, NodeIdx>> eps;
+  for (int i = 0; i < 2000; ++i) eps.emplace_back(plat.host(1 + i % 63), plat.host(0));
+  expect_rates_match(plat, eps, {}, "gather 2000");
+}
+
+}  // namespace
+}  // namespace pdc::net

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <string>
 #include <vector>
 
@@ -205,6 +206,81 @@ TEST(FlowIncremental, LinkScaleIsAppliedAndRestored) {
     EXPECT_NEAR(done, 3.0, 1e-9);
     EXPECT_EQ(netw.stats().link_rescales, 1u);
   }
+}
+
+TEST(FlowIncremental, DegradedBackboneRescalesSplitClassesAndMatchReference) {
+  // Degraded-backbone corpus case: a gather population shares one backbone
+  // (so all flows collapse into one class — their private NIC capacities are
+  // identical), then individual NICs are rescaled to different degrees
+  // mid-transfer. A rescaled private link changes its flow's signature, so
+  // the flow must leave its class and re-enter the correct one; the
+  // differential check proves the split produces exactly the reference
+  // rates, and the stats check proves the split actually happened (instead
+  // of a stale class silently keeping the old capacity).
+  for (std::uint64_t seed = 41; seed <= 43; ++seed) {
+    Rng rng{seed};
+    const Platform star = build_star(lan_spec(14));
+    std::vector<FlowEvent> events;
+    for (int i = 1; i < 14; ++i)
+      events.push_back({rng.uniform(0.0, 0.2), i, 0, rng.uniform(8e6, 64e6)});
+    // Link 0 is the backbone, link 1+i is host i's NIC (build_star order).
+    std::vector<ScaleEvent> scales;
+    // Degrade the backbone below the NIC tier so it becomes the bottleneck.
+    scales.push_back({0.4 + 3.21e-5, LinkIdx{0}, 0.05});
+    for (int k = 0; k < 5; ++k) {
+      const auto nic = static_cast<LinkIdx>(rng.uniform_int(2, 14));
+      const Time at = rng.uniform(0.05, 0.3) + 3.21e-5;
+      scales.push_back({at, nic, rng.uniform(0.05, 0.5)});
+      if (k % 2 == 0) scales.push_back({at + rng.uniform(0.05, 0.2), nic, 1.0});
+    }
+    const std::string label = "degraded backbone seed " + std::to_string(seed);
+    expect_equivalent(star, events, spread_probes(0.6, 6), label, scales);
+    const RunResult inc =
+        replay(star, events, spread_probes(0.6, 6), FlowNet::Mode::Incremental, scales);
+    EXPECT_GT(inc.stats.class_splits, 0u) << label;
+    EXPECT_GT(inc.stats.class_merges, 0u) << label;
+    EXPECT_LT(inc.stats.classes_active, 13u) << label;  // 13 flows compressed
+  }
+}
+
+TEST(FlowIncremental, MixedDemandSharedRoutesMatchReference) {
+  // Mixed-demand population: flows on identical routes but with sizes
+  // spanning four orders of magnitude. Class members drain one at a time in
+  // lazy min-heap order, and every drain must land at the exact instant the
+  // reference solver computes.
+  Rng rng{55};
+  const Platform star = build_star(bordeplage_cluster_spec(8));
+  std::vector<FlowEvent> events;
+  for (int i = 0; i < 60; ++i) {
+    const int src = 1 + static_cast<int>(rng.uniform_int(0, 6));
+    events.push_back({rng.uniform(0.0, 0.2), src, 0,
+                      std::pow(10.0, rng.uniform(3.0, 7.0))});
+  }
+  expect_equivalent(star, events, spread_probes(0.5, 6), "mixed demand");
+}
+
+TEST(FlowIncremental, SharedBackboneCollapsesToFewClasses) {
+  // The compression contract: hundreds of same-shape transfers through a
+  // shared backbone must collapse to a handful of classes, so a reshare is
+  // O(classes), not O(flows).
+  // One flow per distinct source, so every source NIC keeps a single member
+  // (private) and the whole gather shares one signature. Sources whose NIC
+  // is crossed by two concurrent flows would legitimately get per-source
+  // classes — that contention profile is genuinely different.
+  const Platform star = build_star(lan_spec(202));
+  sim::Engine eng;
+  FlowNet netw{eng, star};
+  int completed = 0;
+  for (int i = 0; i < 200; ++i) {
+    eng.schedule_at(0.001 * i, [&netw, &star, &completed, i] {
+      netw.start_flow(star.host(1 + i), star.host(0), 2e6, [&completed] { ++completed; });
+    });
+  }
+  eng.run();
+  EXPECT_EQ(completed, 200);
+  const FlowNetStats& s = netw.stats();
+  EXPECT_GT(s.class_merges, 150u);
+  EXPECT_LE(s.classes_active, 6u);  // peak concurrent classes vs 200 flows
 }
 
 TEST(FlowIncremental, ChurnHeavyScenarioMatchesReference) {
